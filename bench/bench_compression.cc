@@ -1,0 +1,211 @@
+// F9 — Multi-resolution views (the paper's Fig. 9) and the
+// image-compression-transfer module: rate-distortion of the multi-layered
+// hybrid codec (wavelet base + wavelet-packet + local-cosine residuals),
+// progressive prefix decoding, per-bandwidth adaptation, and the
+// single-basis-vs-hybrid ablation the Meyer-Averbuch-Coifman scheme
+// argues for.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "compress/best_basis.h"
+#include "compress/layered_codec.h"
+#include "media/synthetic.h"
+
+namespace {
+
+using namespace mmconf;
+using compress::CodecOptions;
+using compress::LayerBasis;
+using compress::LayeredCodec;
+using compress::StreamInfo;
+
+media::Image TestImage() {
+  Rng rng(77);
+  return media::MakePhantomCt({256, 256, 6, 3.0}, rng);
+}
+
+void PrintFigure9() {
+  media::Image ct = TestImage();
+  LayeredCodec codec;
+  Bytes stream = codec.Encode(ct).value();
+  StreamInfo info = LayeredCodec::Inspect(stream).value();
+
+  std::printf("== F9: PSNR vs stream prefix (progressive layers) ==\n");
+  std::printf("%-8s %-16s %-12s %-12s %-10s\n", "layers", "basis", "bytes",
+              "bpp", "PSNR(dB)");
+  const double pixels = 256.0 * 256.0;
+  for (size_t k = 0; k < info.layers.size(); ++k) {
+    media::Image decoded =
+        LayeredCodec::Decode(stream, static_cast<int>(k) + 1).value();
+    std::printf("%-8zu %-16s %-12zu %-12.3f %-10.2f\n", k + 1,
+                compress::LayerBasisToString(info.layers[k].basis),
+                info.layer_end[k],
+                8.0 * static_cast<double>(info.layer_end[k]) / pixels,
+                media::Image::Psnr(ct, decoded).value());
+  }
+
+  std::printf("\n== F9: per-partner resolution adaptation "
+              "(2 s deadline) ==\n");
+  std::printf("%-24s %-14s %-10s %-10s\n", "partner", "budget(B)",
+              "layers", "PSNR(dB)");
+  struct Partner {
+    const char* name;
+    double bandwidth;
+  };
+  for (Partner partner : std::vector<Partner>{{"workstation-10MB/s", 10e6},
+                                              {"dsl-16KB/s", 16e3},
+                                              {"isdn-4KB/s", 4e3},
+                                              {"gsm-1.2KB/s", 1.2e3}}) {
+    size_t budget = static_cast<size_t>(partner.bandwidth * 2.0);
+    int layers = LayeredCodec::LayersWithinBudget(stream, budget).value();
+    if (layers > 0) {
+      media::Image view = LayeredCodec::Decode(stream, layers).value();
+      std::printf("%-24s %-14zu %-10d %-10.2f\n", partner.name, budget,
+                  layers, media::Image::Psnr(ct, view).value());
+    } else {
+      media::Image thumb = LayeredCodec::DecodeThumbnail(stream, 2).value();
+      std::printf("%-24s %-14zu %-10s %dx%d thumb\n", partner.name, budget,
+                  "0", thumb.width(), thumb.height());
+    }
+  }
+
+  std::printf("\n== ablation: hybrid residual bases vs wavelet-only at "
+              "matched rate ==\n");
+  std::printf("%-28s %-12s %-10s\n", "configuration", "bytes", "PSNR(dB)");
+  struct Config {
+    const char* name;
+    CodecOptions options;
+  };
+  std::vector<Config> configs;
+  configs.push_back({"hybrid (wav+packet+lct)", CodecOptions{}});
+  CodecOptions wavelet_only;
+  wavelet_only.layers = {{LayerBasis::kWavelet, 4, 16.0},
+                         {LayerBasis::kWavelet, 4, 8.0},
+                         {LayerBasis::kWavelet, 4, 4.0}};
+  configs.push_back({"wavelet-only residuals", wavelet_only});
+  CodecOptions single;
+  single.layers = {{LayerBasis::kWavelet, 4, 4.0}};
+  configs.push_back({"single layer (step 4)", single});
+  for (const Config& config : configs) {
+    Bytes encoded = LayeredCodec(config.options).Encode(ct).value();
+    media::Image decoded = LayeredCodec::Decode(encoded).value();
+    std::printf("%-28s %-12zu %-10.2f\n", config.name, encoded.size(),
+                media::Image::Psnr(ct, decoded).value());
+  }
+
+  std::printf("\n== rate control: EncodeToBudget ==\n");
+  std::printf("%-12s %-12s %-10s\n", "budget(B)", "actual(B)", "PSNR(dB)");
+  LayeredCodec rc;
+  for (size_t budget : {size_t{20000}, size_t{8000}, size_t{3000}}) {
+    auto constrained = rc.EncodeToBudget(ct, budget);
+    if (!constrained.ok()) {
+      std::printf("%-12zu (unreachable)\n", budget);
+      continue;
+    }
+    media::Image decoded = LayeredCodec::Decode(*constrained).value();
+    std::printf("%-12zu %-12zu %-10.2f\n", budget, constrained->size(),
+                media::Image::Psnr(ct, decoded).value());
+  }
+
+  std::printf("\n== best-basis search (l1 cost, Daub4, depth 4) ==\n");
+  std::printf("%-12s %-12s %-12s %-12s %-12s %s\n", "content", "identity",
+              "pyramid-4", "uniform-4", "best", "best-leaves");
+  compress::Plane smooth = compress::PlaneFromImage(ct);
+  compress::Plane texture(256, 256);
+  for (int y = 0; y < 256; ++y) {
+    for (int x = 0; x < 256; ++x) {
+      texture.at(x, y) = 100.0 * std::sin(2.0 * M_PI * x * 37 / 256.0) *
+                         std::sin(2.0 * M_PI * y * 41 / 256.0);
+    }
+  }
+  struct Content {
+    const char* name;
+    const compress::Plane* plane;
+  };
+  for (Content content : std::vector<Content>{{"ct-phantom", &smooth},
+                                              {"oscillatory", &texture}}) {
+    compress::BasisNode best =
+        compress::BestBasisSearch(*content.plane, 4,
+                                  compress::WaveletBasis::kDaub4)
+            .value();
+    std::printf(
+        "%-12s %-12.0f %-12.0f %-12.0f %-12.0f %zu\n", content.name,
+        compress::L1Cost(*content.plane),
+        compress::PyramidCost(*content.plane, 4,
+                              compress::WaveletBasis::kDaub4)
+            .value(),
+        compress::UniformPacketCost(*content.plane, 4,
+                                    compress::WaveletBasis::kDaub4)
+            .value(),
+        best.cost, best.LeafCount());
+  }
+  std::printf("\n");
+}
+
+void BM_Encode(benchmark::State& state) {
+  media::Image ct = TestImage();
+  LayeredCodec codec;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.Encode(ct));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(ct.pixels().size()));
+}
+BENCHMARK(BM_Encode);
+
+void BM_DecodeLayers(benchmark::State& state) {
+  media::Image ct = TestImage();
+  Bytes stream = LayeredCodec().Encode(ct).value();
+  int layers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LayeredCodec::Decode(stream, layers));
+  }
+  state.counters["layers"] = layers;
+}
+BENCHMARK(BM_DecodeLayers)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_EncodeToBudget(benchmark::State& state) {
+  media::Image ct = TestImage();
+  LayeredCodec codec;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        codec.EncodeToBudget(ct, static_cast<size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_EncodeToBudget)->Arg(8000);
+
+void BM_BestBasisSearch(benchmark::State& state) {
+  media::Image ct = TestImage();
+  compress::Plane plane = compress::PlaneFromImage(ct);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compress::BestBasisSearch(
+        plane, static_cast<int>(state.range(0)),
+        compress::WaveletBasis::kDaub4));
+  }
+}
+BENCHMARK(BM_BestBasisSearch)->Arg(2)->Arg(4);
+
+void BM_DecodeThumbnail(benchmark::State& state) {
+  media::Image ct = TestImage();
+  Bytes stream = LayeredCodec().Encode(ct).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        LayeredCodec::DecodeThumbnail(stream,
+                                      static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_DecodeThumbnail)->Arg(1)->Arg(3);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure9();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,128 @@
+// F2 + A1 — Reproduces the paper's Figure 2 (the worked CP-net c1..c5
+// with its CPTs and implied optimal configurations) and the Section 4.1
+// claim that CP-nets "support fast algorithms for optimal configuration
+// determination": the topological sweep vs. exhaustive enumeration
+// ablation, swept over network size.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "common/rng.h"
+#include "cpnet/brute_force.h"
+#include "cpnet/cpnet.h"
+#include "doc/builder.h"
+
+namespace {
+
+using mmconf::Rng;
+using mmconf::cpnet::Assignment;
+using mmconf::cpnet::BruteForceOptimalCompletion;
+using mmconf::cpnet::CpNet;
+using mmconf::cpnet::ValueId;
+using mmconf::cpnet::VarId;
+
+void PrintFigure2() {
+  CpNet net = mmconf::doc::MakePaperFigure2Net();
+  std::printf("== Figure 2: the paper's example CP-network ==\n%s\n",
+              net.DebugString().c_str());
+  Assignment optimal = net.OptimalOutcome().value();
+  std::printf("optimal outcome (topological sweep): %s\n",
+              optimal.ToString().c_str());
+  std::printf("\n%-24s %s\n", "evidence", "optimal completion");
+  for (VarId v = 0; v < static_cast<VarId>(net.num_variables()); ++v) {
+    for (ValueId value = 0; value < net.DomainSize(v); ++value) {
+      Assignment evidence(net.num_variables());
+      evidence.Set(v, value);
+      Assignment completion = net.OptimalCompletion(evidence).value();
+      std::string label = net.VariableName(v) + "=" +
+                          net.ValueNames(v)[static_cast<size_t>(value)];
+      std::printf("%-24s %s\n", label.c_str(),
+                  completion.ToString().c_str());
+    }
+  }
+  std::printf("\n== A1: sweep vs exhaustive enumeration (binary domains,"
+              " time per query) ==\n");
+  std::printf("%-8s %-16s %-16s %s\n", "vars", "sweep(us)", "brute(us)",
+              "speedup");
+  for (int n : {4, 8, 12, 16, 20}) {
+    Rng rng(100 + static_cast<uint64_t>(n));
+    CpNet net_n = mmconf::doc::MakeRandomCpNet(n, 2, 2, rng);
+    Assignment evidence(net_n.num_variables());
+    // Time the sweep.
+    auto clock_us = [] {
+      return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+                 .count() /
+             1000.0;
+    };
+    double t0 = clock_us();
+    const int sweep_reps = 1000;
+    for (int rep = 0; rep < sweep_reps; ++rep) {
+      benchmark::DoNotOptimize(net_n.OptimalCompletion(evidence));
+    }
+    double sweep_us = (clock_us() - t0) / sweep_reps;
+    double brute_us = -1;
+    if (n <= 16) {
+      double t1 = clock_us();
+      benchmark::DoNotOptimize(
+          BruteForceOptimalCompletion(net_n, evidence));
+      brute_us = clock_us() - t1;
+    }
+    if (brute_us >= 0) {
+      std::printf("%-8d %-16.2f %-16.1f %.0fx\n", n, sweep_us, brute_us,
+                  brute_us / sweep_us);
+    } else {
+      std::printf("%-8d %-16.2f %-16s %s\n", n, sweep_us, "(intractable)",
+                  "-");
+    }
+  }
+  std::printf("\n");
+}
+
+void BM_SweepOptimalCompletion(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(42);
+  CpNet net = mmconf::doc::MakeRandomCpNet(n, 3, 3, rng);
+  Assignment evidence(net.num_variables());
+  evidence.Set(0, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.OptimalCompletion(evidence));
+  }
+  state.counters["vars"] = n;
+}
+BENCHMARK(BM_SweepOptimalCompletion)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_BruteForceCompletion(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(42);
+  CpNet net = mmconf::doc::MakeRandomCpNet(n, 2, 2, rng);
+  Assignment evidence(net.num_variables());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BruteForceOptimalCompletion(net, evidence));
+  }
+  state.counters["outcomes"] = static_cast<double>(1) * (1 << n);
+}
+BENCHMARK(BM_BruteForceCompletion)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_ImprovingFlips(benchmark::State& state) {
+  Rng rng(7);
+  CpNet net = mmconf::doc::MakeRandomCpNet(
+      static_cast<int>(state.range(0)), 3, 3, rng);
+  Assignment outcome = net.OptimalOutcome().value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.ImprovingFlips(outcome));
+  }
+}
+BENCHMARK(BM_ImprovingFlips)->Arg(32)->Arg(256);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

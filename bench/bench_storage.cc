@@ -1,0 +1,162 @@
+// F7 — The BLOB database schema (the paper's Fig. 7): store/fetch
+// throughput of the typed object tables + page-chained BLOB store across
+// payload sizes, plus a mixed workload resembling a live consultation
+// (images dominate bytes, texts dominate ops).
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/database.h"
+
+namespace {
+
+using namespace mmconf;
+using storage::DatabaseServer;
+using storage::ObjectRef;
+
+Bytes RandomBytes(size_t n, Rng& rng) {
+  Bytes data(n);
+  for (uint8_t& b : data) b = static_cast<uint8_t>(rng.Next());
+  return data;
+}
+
+void PrintFigure7() {
+  std::printf("== F7: BLOB store throughput vs payload size ==\n");
+  std::printf("%-12s %-14s %-14s\n", "size(KB)", "store(MB/s)",
+              "fetch(MB/s)");
+  for (size_t kb : {4, 64, 512, 4096}) {
+    DatabaseServer db;
+    db.RegisterStandardTypes().ok();
+    Rng rng(kb);
+    Bytes payload = RandomBytes(kb * 1024, rng);
+    auto now_us = [] {
+      return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+                 .count() /
+             1000.0;
+    };
+    const int reps = kb >= 4096 ? 20 : 100;
+    double t0 = now_us();
+    std::vector<ObjectRef> refs;
+    for (int i = 0; i < reps; ++i) {
+      refs.push_back(db.Store("Image",
+                              {{"FLD_QUALITY", int64_t{90}},
+                               {"FLD_TEXTS", std::string("t")},
+                               {"FLD_CM", std::string("c")}},
+                              {{"FLD_DATA", payload}})
+                         .value());
+    }
+    double store_s = (now_us() - t0) * 1e-6;
+    double t1 = now_us();
+    for (const ObjectRef& ref : refs) {
+      benchmark::DoNotOptimize(db.FetchBlob(ref, "FLD_DATA"));
+    }
+    double fetch_s = (now_us() - t1) * 1e-6;
+    double mb = static_cast<double>(payload.size()) * reps / (1 << 20);
+    std::printf("%-12zu %-14.1f %-14.1f\n", kb, mb / store_s,
+                mb / fetch_s);
+  }
+  std::printf("\n");
+}
+
+void BM_StoreImage(benchmark::State& state) {
+  DatabaseServer db;
+  db.RegisterStandardTypes().ok();
+  Rng rng(1);
+  Bytes payload = RandomBytes(static_cast<size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    auto ref = db.Store("Image",
+                        {{"FLD_QUALITY", int64_t{90}},
+                         {"FLD_TEXTS", std::string("t")},
+                         {"FLD_CM", std::string("c")}},
+                        {{"FLD_DATA", payload}})
+                   .value();
+    benchmark::DoNotOptimize(ref);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_StoreImage)->Arg(4096)->Arg(262144);
+
+void BM_FetchBlob(benchmark::State& state) {
+  DatabaseServer db;
+  db.RegisterStandardTypes().ok();
+  Rng rng(2);
+  Bytes payload = RandomBytes(static_cast<size_t>(state.range(0)), rng);
+  ObjectRef ref = db.Store("Image",
+                           {{"FLD_QUALITY", int64_t{90}},
+                            {"FLD_TEXTS", std::string("t")},
+                            {"FLD_CM", std::string("c")}},
+                           {{"FLD_DATA", payload}})
+                      .value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.FetchBlob(ref, "FLD_DATA"));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FetchBlob)->Arg(4096)->Arg(262144);
+
+void BM_FetchBlobRange(benchmark::State& state) {
+  DatabaseServer db;
+  db.RegisterStandardTypes().ok();
+  Rng rng(3);
+  Bytes payload = RandomBytes(1 << 20, rng);
+  ObjectRef ref = db.Store("Image",
+                           {{"FLD_QUALITY", int64_t{90}},
+                            {"FLD_TEXTS", std::string("t")},
+                            {"FLD_CM", std::string("c")}},
+                           {{"FLD_DATA", payload}})
+                      .value();
+  size_t offset = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        db.FetchBlobRange(ref, "FLD_DATA", offset, 16384));
+    offset = (offset + 16384) % (1 << 20);
+  }
+}
+BENCHMARK(BM_FetchBlobRange);
+
+void BM_MixedWorkload(benchmark::State& state) {
+  DatabaseServer db;
+  db.RegisterStandardTypes().ok();
+  Rng rng(4);
+  Bytes image = RandomBytes(262144, rng);
+  Bytes note = RandomBytes(512, rng);
+  std::vector<ObjectRef> texts;
+  for (int i = 0; i < 32; ++i) {
+    texts.push_back(db.Store("Text", {{"FLD_TITLE", std::string("n")}},
+                             {{"FLD_DATA", note}})
+                        .value());
+  }
+  for (auto _ : state) {
+    // 1 image store : 4 text fetches : 1 text update.
+    benchmark::DoNotOptimize(db.Store("Image",
+                                      {{"FLD_QUALITY", int64_t{1}},
+                                       {"FLD_TEXTS", std::string("t")},
+                                       {"FLD_CM", std::string("c")}},
+                                      {{"FLD_DATA", image}}));
+    for (int i = 0; i < 4; ++i) {
+      benchmark::DoNotOptimize(
+          db.FetchBlob(texts[rng.NextBelow(texts.size())], "FLD_DATA"));
+    }
+    db.Modify(texts[rng.NextBelow(texts.size())], {},
+              {{"FLD_DATA", note}})
+        .ok();
+  }
+}
+BENCHMARK(BM_MixedWorkload);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure7();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,151 @@
+// A3 — Online CP-net update (the paper's Section 4.2): the cost of the
+// derived operation-variable construction vs. rebuilding the preference
+// model from scratch, and global updates vs. per-viewer overlay
+// extensions ("the original CP-network should not be duplicated").
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "cpnet/update.h"
+#include "doc/builder.h"
+#include "doc/component.h"
+
+namespace {
+
+using namespace mmconf;
+using cpnet::CpNet;
+using cpnet::CpNetEditor;
+using cpnet::ViewerOverlay;
+
+double NowUs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+             .count() /
+         1000.0;
+}
+
+void PrintAblation() {
+  std::printf("== A3: operation-variable update vs full rebuild ==\n");
+  std::printf("%-8s %-22s %-22s %-22s\n", "vars", "op-variable(us)",
+              "overlay-extend(us)", "rebuild+revalidate(us)");
+  for (int n : {16, 64, 256, 1024}) {
+    Rng rng(static_cast<uint64_t>(n));
+    CpNet net = doc::MakeRandomCpNet(n, 2, 3, rng);
+
+    const int reps = 50;
+    // Global operation variable (includes revalidation of the whole net).
+    double t0 = NowUs();
+    CpNet scratch = net;
+    for (int i = 0; i < reps; ++i) {
+      CpNetEditor::AddOperationVariable(scratch, 0, 0,
+                                        "op" + std::to_string(i), "a", "p")
+          .value();
+    }
+    double op_us = (NowUs() - t0) / reps;
+
+    // Per-viewer overlay extension (no global revalidation at all).
+    ViewerOverlay overlay(&net);
+    double t1 = NowUs();
+    for (int i = 0; i < reps; ++i) {
+      overlay
+          .AddOperationVariable(0, 0, "op" + std::to_string(i), "a", "p")
+          .value();
+    }
+    double overlay_us = (NowUs() - t1) / reps;
+
+    // Full rebuild: copy the structure into a fresh net and revalidate —
+    // what a system without Section 4.2's incremental update would do.
+    double t2 = NowUs();
+    for (int i = 0; i < 5; ++i) {
+      Rng rebuild_rng(static_cast<uint64_t>(n));
+      CpNet rebuilt = doc::MakeRandomCpNet(n, 2, 3, rebuild_rng);
+      benchmark::DoNotOptimize(rebuilt);
+    }
+    double rebuild_us = (NowUs() - t2) / 5;
+
+    std::printf("%-8d %-22.1f %-22.2f %-22.1f\n", n, op_us, overlay_us,
+                rebuild_us);
+  }
+  std::printf("\n== A3: component removal (restriction policy) ==\n");
+  std::printf("%-8s %-18s\n", "vars", "remove+rebuild(us)");
+  for (int n : {16, 64, 256}) {
+    Rng rng(static_cast<uint64_t>(n) + 7);
+    CpNet net = doc::MakeRandomCpNet(n, 2, 2, rng);
+    double t0 = NowUs();
+    const int reps = 20;
+    for (int i = 0; i < reps; ++i) {
+      benchmark::DoNotOptimize(
+          CpNetEditor::RemoveComponent(net, n / 2, 0));
+    }
+    std::printf("%-8d %-18.1f\n", n, (NowUs() - t0) / reps);
+  }
+  std::printf("\n");
+}
+
+void BM_AddOperationVariable(benchmark::State& state) {
+  Rng rng(1);
+  CpNet net = doc::MakeRandomCpNet(static_cast<int>(state.range(0)), 2, 3,
+                                   rng);
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CpNetEditor::AddOperationVariable(
+        net, 0, 0, "op" + std::to_string(i++), "a", "p"));
+  }
+}
+BENCHMARK(BM_AddOperationVariable)->Arg(16)->Arg(256);
+
+void BM_OverlayAddOperation(benchmark::State& state) {
+  Rng rng(2);
+  CpNet net = doc::MakeRandomCpNet(static_cast<int>(state.range(0)), 2, 3,
+                                   rng);
+  ViewerOverlay overlay(&net);
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(overlay.AddOperationVariable(
+        0, 0, "op" + std::to_string(i++), "a", "p"));
+  }
+}
+BENCHMARK(BM_OverlayAddOperation)->Arg(16)->Arg(256);
+
+void BM_DocumentAddRemoveComponent(benchmark::State& state) {
+  // The full §4.2 document path: add a leaf (rebind + transplant) then
+  // remove it again.
+  doc::MultimediaDocument document =
+      doc::MakeMedicalRecordDocument().value();
+  int i = 0;
+  for (auto _ : state) {
+    std::string name = "MRI" + std::to_string(i++);
+    auto leaf = std::make_unique<doc::PrimitiveMultimediaComponent>(
+        name, doc::ContentRef{"Image", 9, 1024},
+        doc::ImagePresentations());
+    document.AddComponent("Imaging", std::move(leaf)).value();
+    document.RemoveComponent(name).ok();
+  }
+}
+BENCHMARK(BM_DocumentAddRemoveComponent);
+
+void BM_RemoveComponent(benchmark::State& state) {
+  Rng rng(3);
+  CpNet net = doc::MakeRandomCpNet(static_cast<int>(state.range(0)), 2, 2,
+                                   rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CpNetEditor::RemoveComponent(
+        net, static_cast<int>(state.range(0)) / 2, 0));
+  }
+}
+BENCHMARK(BM_RemoveComponent)->Arg(16)->Arg(128);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintAblation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,112 @@
+#include "audio/browser.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace mmconf::audio {
+
+using media::AudioClass;
+using media::AudioSegment;
+using media::AudioSignal;
+using media::Conversation;
+
+std::string BrowseReport::ToString() const {
+  std::ostringstream out;
+  out << "segments: " << segments.size() << " (speech " << speech_seconds
+      << "s, music " << music_seconds << "s, artifacts "
+      << artifact_seconds << "s, silence " << silence_seconds << "s)\n";
+  out << "speakers: " << num_speakers << "\n";
+  out << "keyword flags: " << keyword_flags.size();
+  for (const auto& [keyword, count] : keyword_histogram) {
+    out << "  kw" << keyword << " x" << count;
+  }
+  out << "\n";
+  return out.str();
+}
+
+namespace {
+
+AudioBrowser::Options DefaultBrowserOptions() {
+  AudioBrowser::Options options;
+  options.speakers.features.num_bands = 24;
+  return options;
+}
+
+}  // namespace
+
+AudioBrowser::AudioBrowser() : AudioBrowser(DefaultBrowserOptions()) {}
+
+AudioBrowser::AudioBrowser(Options options)
+    : options_(options),
+      segmenter_(options.segmenter),
+      speaker_spotter_(options.speakers),
+      word_spotter_(options.words) {}
+
+Status AudioBrowser::Train(const std::vector<Conversation>& corpus,
+                           Rng& rng) {
+  MMCONF_RETURN_IF_ERROR(segmenter_.TrainFromConversations(corpus, rng));
+  std::map<int, std::vector<AudioSignal>> by_speaker;
+  std::map<int, std::vector<AudioSignal>> by_keyword;
+  std::vector<AudioSignal> garbage;
+  std::set<int> watched(options_.watched_keywords.begin(),
+                        options_.watched_keywords.end());
+  for (const Conversation& conversation : corpus) {
+    for (const AudioSegment& segment : conversation.segments) {
+      if (segment.cls != AudioClass::kSpeech) continue;
+      AudioSignal span =
+          conversation.signal.Slice(segment.begin, segment.end);
+      if (segment.speaker >= 0) by_speaker[segment.speaker].push_back(span);
+      if (watched.count(segment.keyword) > 0) {
+        by_keyword[segment.keyword].push_back(span);
+      } else {
+        garbage.push_back(span);
+      }
+    }
+  }
+  MMCONF_RETURN_IF_ERROR(speaker_spotter_.Train(by_speaker, {}, rng));
+  MMCONF_RETURN_IF_ERROR(word_spotter_.Train(by_keyword, garbage, rng));
+  trained_ = true;
+  return Status::OK();
+}
+
+Result<BrowseReport> AudioBrowser::Browse(const AudioSignal& signal) const {
+  if (!trained_) {
+    return Status::FailedPrecondition("browser is not trained");
+  }
+  BrowseReport report;
+  MMCONF_ASSIGN_OR_RETURN(report.segments, segmenter_.Segment(signal));
+  const double rate = signal.sample_rate();
+  for (const AudioSegment& segment : report.segments) {
+    double seconds = static_cast<double>(segment.length()) / rate;
+    switch (segment.cls) {
+      case AudioClass::kSpeech:
+        report.speech_seconds += seconds;
+        break;
+      case AudioClass::kMusic:
+        report.music_seconds += seconds;
+        break;
+      case AudioClass::kArtifact:
+        report.artifact_seconds += seconds;
+        break;
+      case AudioClass::kSilence:
+        report.silence_seconds += seconds;
+        break;
+    }
+  }
+  MMCONF_ASSIGN_OR_RETURN(report.speaker_timeline,
+                          speaker_spotter_.Spot(signal, report.segments));
+  std::set<int> speakers;
+  for (const SpeakerDetection& detection : report.speaker_timeline) {
+    if (detection.speaker >= 0) speakers.insert(detection.speaker);
+  }
+  report.num_speakers = static_cast<int>(speakers.size());
+  MMCONF_ASSIGN_OR_RETURN(report.keyword_flags,
+                          word_spotter_.Spot(signal, report.segments));
+  for (const WordDetection& detection : report.keyword_flags) {
+    ++report.keyword_histogram[detection.keyword];
+  }
+  return report;
+}
+
+}  // namespace mmconf::audio

@@ -1,0 +1,83 @@
+#ifndef MMCONF_AUDIO_BROWSER_H_
+#define MMCONF_AUDIO_BROWSER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "audio/segmentation.h"
+#include "audio/speaker_spotting.h"
+#include "audio/word_spotting.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "media/synthetic.h"
+
+namespace mmconf::audio {
+
+/// Everything the tele-consulting questions need, in one pass: "it is
+/// often required to browse an audio file and answer questions such as:
+/// How many speakers participate in a given conversation? Who are the
+/// speakers? ... What is the subject of the talk?"
+struct BrowseReport {
+  /// Automatic segmentation of the recording.
+  std::vector<media::AudioSegment> segments;
+  /// Speech segments attributed to key speakers (speaker = -1 when no
+  /// key speaker cleared the threshold).
+  std::vector<SpeakerDetection> speaker_timeline;
+  /// Distinct key speakers heard.
+  int num_speakers = 0;
+  /// Watched-keyword flags.
+  std::vector<WordDetection> keyword_flags;
+  /// keyword id -> occurrences: the crude "subject of the talk" signal
+  /// (which watched topics dominate).
+  std::map<int, int> keyword_histogram;
+  /// Seconds of speech / music / artifacts / silence.
+  double speech_seconds = 0;
+  double music_seconds = 0;
+  double artifact_seconds = 0;
+  double silence_seconds = 0;
+
+  std::string ToString() const;
+};
+
+/// Facade over the voice module: one Train() from a labeled corpus, one
+/// Browse() per recording. Owns an AudioSegmenter, a SpeakerSpotter, and
+/// a WordSpotter configured consistently.
+class AudioBrowser {
+ public:
+  struct Options {
+    AudioSegmenter::Options segmenter;
+    SpeakerSpotter::Options speakers;
+    WordSpotter::Options words;
+    /// Keyword ids from the corpus ground truth to watch; everything
+    /// else trains the garbage model.
+    std::vector<int> watched_keywords = {0, 1};
+  };
+
+  AudioBrowser();
+  explicit AudioBrowser(Options options);
+
+  /// Trains all three tools from ground-truth-labeled conversations
+  /// (enrollment by speaker and keyword is cut from the labels).
+  Status Train(const std::vector<media::Conversation>& corpus, Rng& rng);
+
+  /// Full browse of a recording: segment, attribute speakers, spot the
+  /// watched keywords. FailedPrecondition before Train.
+  Result<BrowseReport> Browse(const media::AudioSignal& signal) const;
+
+  bool trained() const { return trained_; }
+  const AudioSegmenter& segmenter() const { return segmenter_; }
+  const SpeakerSpotter& speaker_spotter() const { return speaker_spotter_; }
+  const WordSpotter& word_spotter() const { return word_spotter_; }
+
+ private:
+  Options options_;
+  AudioSegmenter segmenter_;
+  SpeakerSpotter speaker_spotter_;
+  WordSpotter word_spotter_;
+  bool trained_ = false;
+};
+
+}  // namespace mmconf::audio
+
+#endif  // MMCONF_AUDIO_BROWSER_H_

@@ -1,0 +1,145 @@
+#include "audio/features.h"
+
+#include <cmath>
+
+namespace mmconf::audio {
+
+int FeatureDim(const FeatureOptions& options) {
+  return options.num_bands + 2;
+}
+
+size_t FrameCenter(const FeatureOptions& options, size_t frame_index) {
+  return frame_index * static_cast<size_t>(options.hop) +
+         static_cast<size_t>(options.frame_length) / 2;
+}
+
+size_t FrameIndexForSample(const FeatureOptions& options, size_t sample) {
+  return sample / static_cast<size_t>(options.hop);
+}
+
+void Fft(std::vector<double>& real, std::vector<double>& imag) {
+  const size_t n = real.size();
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) {
+      std::swap(real[i], real[j]);
+      std::swap(imag[i], imag[j]);
+    }
+  }
+  for (size_t len = 2; len <= n; len <<= 1) {
+    double angle = -2.0 * M_PI / static_cast<double>(len);
+    double wr = std::cos(angle), wi = std::sin(angle);
+    for (size_t i = 0; i < n; i += len) {
+      double cur_r = 1, cur_i = 0;
+      for (size_t k = 0; k < len / 2; ++k) {
+        size_t a = i + k, b = i + k + len / 2;
+        double tr = real[b] * cur_r - imag[b] * cur_i;
+        double ti = real[b] * cur_i + imag[b] * cur_r;
+        real[b] = real[a] - tr;
+        imag[b] = imag[a] - ti;
+        real[a] += tr;
+        imag[a] += ti;
+        double next_r = cur_r * wr - cur_i * wi;
+        cur_i = cur_r * wi + cur_i * wr;
+        cur_r = next_r;
+      }
+    }
+  }
+}
+
+Result<std::vector<FeatureVector>> ExtractFeatures(
+    const media::AudioSignal& signal, const FeatureOptions& options) {
+  if (options.frame_length <= 0 || options.hop <= 0 ||
+      options.num_bands <= 0) {
+    return Status::InvalidArgument("frame parameters must be positive");
+  }
+  if (options.min_hz <= 0 || options.max_hz <= options.min_hz ||
+      options.max_hz > signal.sample_rate() / 2.0) {
+    return Status::InvalidArgument("filter band range invalid for rate " +
+                                   std::to_string(signal.sample_rate()));
+  }
+  // FFT size: next power of two >= frame_length.
+  size_t fft_size = 1;
+  while (fft_size < static_cast<size_t>(options.frame_length)) fft_size <<= 1;
+
+  // Hamming window, computed once.
+  std::vector<double> window(static_cast<size_t>(options.frame_length));
+  for (size_t i = 0; i < window.size(); ++i) {
+    window[i] = 0.54 - 0.46 * std::cos(2.0 * M_PI * static_cast<double>(i) /
+                                       (window.size() - 1));
+  }
+
+  // Triangular filter bank: band centers linearly spaced over
+  // [min_hz, max_hz].
+  const double bin_hz =
+      static_cast<double>(signal.sample_rate()) / static_cast<double>(fft_size);
+  const int num_bins = static_cast<int>(fft_size) / 2;
+  std::vector<double> centers(static_cast<size_t>(options.num_bands) + 2);
+  for (size_t b = 0; b < centers.size(); ++b) {
+    centers[b] = options.min_hz + (options.max_hz - options.min_hz) *
+                                      static_cast<double>(b) /
+                                      (centers.size() - 1);
+  }
+
+  std::vector<FeatureVector> features;
+  const std::vector<float>& samples = signal.samples();
+  std::vector<double> real(fft_size), imag(fft_size);
+  for (size_t start = 0;
+       start + static_cast<size_t>(options.frame_length) <= samples.size();
+       start += static_cast<size_t>(options.hop)) {
+    // Window + zero-pad.
+    double energy = 0;
+    int zero_crossings = 0;
+    for (size_t i = 0; i < fft_size; ++i) {
+      if (i < window.size()) {
+        double s = samples[start + i];
+        real[i] = s * window[i];
+        energy += s * s;
+        if (i > 0 && (samples[start + i] >= 0) !=
+                         (samples[start + i - 1] >= 0)) {
+          ++zero_crossings;
+        }
+      } else {
+        real[i] = 0;
+      }
+      imag[i] = 0;
+    }
+    Fft(real, imag);
+    // Band energies.
+    FeatureVector feature;
+    feature.reserve(static_cast<size_t>(FeatureDim(options)));
+    for (int b = 1; b <= options.num_bands; ++b) {
+      double lo = centers[static_cast<size_t>(b - 1)];
+      double mid = centers[static_cast<size_t>(b)];
+      double hi = centers[static_cast<size_t>(b + 1)];
+      double band_energy = 0;
+      for (int bin = 0; bin < num_bins; ++bin) {
+        double hz = bin * bin_hz;
+        double weight = 0;
+        if (hz > lo && hz <= mid) {
+          weight = (hz - lo) / (mid - lo);
+        } else if (hz > mid && hz < hi) {
+          weight = (hi - hz) / (hi - mid);
+        }
+        if (weight > 0) {
+          double mag2 = real[static_cast<size_t>(bin)] *
+                            real[static_cast<size_t>(bin)] +
+                        imag[static_cast<size_t>(bin)] *
+                            imag[static_cast<size_t>(bin)];
+          band_energy += weight * mag2;
+        }
+      }
+      feature.push_back(std::log(band_energy + 1e-10));
+    }
+    feature.push_back(std::log(energy + 1e-10));
+    feature.push_back(static_cast<double>(zero_crossings) /
+                      static_cast<double>(options.frame_length));
+    features.push_back(std::move(feature));
+  }
+  return features;
+}
+
+}  // namespace mmconf::audio

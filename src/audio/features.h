@@ -1,0 +1,51 @@
+#ifndef MMCONF_AUDIO_FEATURES_H_
+#define MMCONF_AUDIO_FEATURES_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "media/audio.h"
+
+namespace mmconf::audio {
+
+/// One acoustic feature vector.
+using FeatureVector = std::vector<double>;
+
+/// Framing / analysis configuration.
+struct FeatureOptions {
+  int frame_length = 200;  ///< samples per frame (25 ms @ 8 kHz)
+  int hop = 80;            ///< frame advance (10 ms @ 8 kHz)
+  int num_bands = 12;      ///< triangular filter-bank channels
+  double min_hz = 100;
+  double max_hz = 3600;
+};
+
+/// Dimension of the vectors ExtractFeatures produces:
+/// num_bands log filter-bank energies + log frame energy + zero-crossing
+/// rate.
+int FeatureDim(const FeatureOptions& options);
+
+/// Short-time analysis front end shared by all CD-HMM users (the paper's
+/// segmentation, word spotting and speaker spotting all consume the same
+/// frame stream): Hamming-windowed frames -> magnitude spectrum (radix-2
+/// FFT) -> triangular filter bank -> log energies, plus log total energy
+/// and zero-crossing rate.
+///
+/// Returns one FeatureVector per complete frame; a signal shorter than
+/// one frame yields an empty sequence.
+Result<std::vector<FeatureVector>> ExtractFeatures(
+    const media::AudioSignal& signal, const FeatureOptions& options);
+
+/// Sample index of the center of frame `frame_index` under `options`.
+size_t FrameCenter(const FeatureOptions& options, size_t frame_index);
+
+/// Frame index whose window covers sample `sample` (by frame start).
+size_t FrameIndexForSample(const FeatureOptions& options, size_t sample);
+
+/// In-place radix-2 complex FFT; `real`/`imag` length must be a power of
+/// two. Exposed for tests.
+void Fft(std::vector<double>& real, std::vector<double>& imag);
+
+}  // namespace mmconf::audio
+
+#endif  // MMCONF_AUDIO_FEATURES_H_

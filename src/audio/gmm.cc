@@ -1,0 +1,214 @@
+#include "audio/gmm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mmconf::audio {
+
+double LogSumExp(const std::vector<double>& values) {
+  if (values.empty()) return -std::numeric_limits<double>::infinity();
+  double max_value = *std::max_element(values.begin(), values.end());
+  if (!std::isfinite(max_value)) return max_value;
+  double sum = 0;
+  for (double v : values) sum += std::exp(v - max_value);
+  return max_value + std::log(sum);
+}
+
+DiagGmm::DiagGmm(int num_components, int dim)
+    : dim_(dim),
+      weights_(static_cast<size_t>(num_components),
+               1.0 / std::max(1, num_components)),
+      means_(static_cast<size_t>(num_components),
+             FeatureVector(static_cast<size_t>(dim), 0.0)),
+      variances_(static_cast<size_t>(num_components),
+                 FeatureVector(static_cast<size_t>(dim), 1.0)) {}
+
+namespace {
+
+double LogGaussianDiag(const FeatureVector& x, const FeatureVector& mean,
+                       const FeatureVector& variance) {
+  double log_prob = -0.5 * static_cast<double>(x.size()) *
+                    std::log(2.0 * M_PI);
+  for (size_t d = 0; d < x.size(); ++d) {
+    double diff = x[d] - mean[d];
+    log_prob += -0.5 * std::log(variance[d]) -
+                0.5 * diff * diff / variance[d];
+  }
+  return log_prob;
+}
+
+}  // namespace
+
+std::vector<double> DiagGmm::ComponentLogJoint(const FeatureVector& x) const {
+  std::vector<double> joint(weights_.size());
+  for (size_t k = 0; k < weights_.size(); ++k) {
+    joint[k] = std::log(weights_[k] + 1e-300) +
+               LogGaussianDiag(x, means_[k], variances_[k]);
+  }
+  return joint;
+}
+
+double DiagGmm::LogLikelihood(const FeatureVector& x) const {
+  return LogSumExp(ComponentLogJoint(x));
+}
+
+double DiagGmm::AvgLogLikelihood(
+    const std::vector<FeatureVector>& xs) const {
+  if (xs.empty()) return -std::numeric_limits<double>::infinity();
+  double total = 0;
+  for (const FeatureVector& x : xs) total += LogLikelihood(x);
+  return total / static_cast<double>(xs.size());
+}
+
+Status DiagGmm::SetParameters(std::vector<double> weights,
+                              std::vector<FeatureVector> means,
+                              std::vector<FeatureVector> variances) {
+  if (weights.size() != means.size() || weights.size() != variances.size() ||
+      weights.empty()) {
+    return Status::InvalidArgument("parameter arrays size mismatch");
+  }
+  size_t dim = means.front().size();
+  for (size_t k = 0; k < means.size(); ++k) {
+    if (means[k].size() != dim || variances[k].size() != dim) {
+      return Status::InvalidArgument("inconsistent dimensions");
+    }
+    for (double& v : variances[k]) v = std::max(v, kVarianceFloor);
+  }
+  dim_ = static_cast<int>(dim);
+  weights_ = std::move(weights);
+  means_ = std::move(means);
+  variances_ = std::move(variances);
+  return Status::OK();
+}
+
+Status DiagGmm::Train(const std::vector<FeatureVector>& data, int iterations,
+                      Rng& rng) {
+  const size_t num_components = weights_.size();
+  if (num_components == 0) {
+    return Status::FailedPrecondition("model has no components");
+  }
+  if (data.size() < num_components) {
+    return Status::InvalidArgument(
+        "need at least " + std::to_string(num_components) +
+        " training vectors, got " + std::to_string(data.size()));
+  }
+  for (const FeatureVector& x : data) {
+    if (static_cast<int>(x.size()) != dim_) {
+      return Status::InvalidArgument("training vector dimension mismatch");
+    }
+  }
+
+  // K-means initialization from randomly chosen distinct points.
+  std::vector<size_t> indices(data.size());
+  for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  rng.Shuffle(indices);
+  for (size_t k = 0; k < num_components; ++k) means_[k] = data[indices[k]];
+  std::vector<int> cluster(data.size(), 0);
+  for (int pass = 0; pass < 10; ++pass) {
+    bool changed = false;
+    for (size_t i = 0; i < data.size(); ++i) {
+      int best = 0;
+      double best_distance = std::numeric_limits<double>::infinity();
+      for (size_t k = 0; k < num_components; ++k) {
+        double distance = 0;
+        for (size_t d = 0; d < data[i].size(); ++d) {
+          double diff = data[i][d] - means_[k][d];
+          distance += diff * diff;
+        }
+        if (distance < best_distance) {
+          best_distance = distance;
+          best = static_cast<int>(k);
+        }
+      }
+      if (cluster[i] != best) {
+        cluster[i] = best;
+        changed = true;
+      }
+    }
+    for (size_t k = 0; k < num_components; ++k) {
+      FeatureVector sum(static_cast<size_t>(dim_), 0.0);
+      size_t count = 0;
+      for (size_t i = 0; i < data.size(); ++i) {
+        if (cluster[i] == static_cast<int>(k)) {
+          for (size_t d = 0; d < sum.size(); ++d) sum[d] += data[i][d];
+          ++count;
+        }
+      }
+      if (count > 0) {
+        for (size_t d = 0; d < sum.size(); ++d) {
+          means_[k][d] = sum[d] / static_cast<double>(count);
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  // Initialize weights/variances from the clustering.
+  for (size_t k = 0; k < num_components; ++k) {
+    size_t count = 0;
+    FeatureVector variance(static_cast<size_t>(dim_), 0.0);
+    for (size_t i = 0; i < data.size(); ++i) {
+      if (cluster[i] == static_cast<int>(k)) {
+        ++count;
+        for (size_t d = 0; d < variance.size(); ++d) {
+          double diff = data[i][d] - means_[k][d];
+          variance[d] += diff * diff;
+        }
+      }
+    }
+    weights_[k] = std::max(
+        1e-6, static_cast<double>(count) / static_cast<double>(data.size()));
+    for (size_t d = 0; d < variance.size(); ++d) {
+      variances_[k][d] = std::max(
+          kVarianceFloor,
+          count > 1 ? variance[d] / static_cast<double>(count) : 1.0);
+    }
+  }
+
+  // EM refinement.
+  std::vector<std::vector<double>> responsibilities(
+      data.size(), std::vector<double>(num_components));
+  for (int iteration = 0; iteration < iterations; ++iteration) {
+    // E step.
+    for (size_t i = 0; i < data.size(); ++i) {
+      std::vector<double> joint = ComponentLogJoint(data[i]);
+      double norm = LogSumExp(joint);
+      for (size_t k = 0; k < num_components; ++k) {
+        responsibilities[i][k] = std::exp(joint[k] - norm);
+      }
+    }
+    // M step.
+    for (size_t k = 0; k < num_components; ++k) {
+      double total = 0;
+      FeatureVector mean(static_cast<size_t>(dim_), 0.0);
+      for (size_t i = 0; i < data.size(); ++i) {
+        total += responsibilities[i][k];
+        for (size_t d = 0; d < mean.size(); ++d) {
+          mean[d] += responsibilities[i][k] * data[i][d];
+        }
+      }
+      if (total < 1e-8) continue;  // Dead component: keep old parameters.
+      for (size_t d = 0; d < mean.size(); ++d) mean[d] /= total;
+      FeatureVector variance(static_cast<size_t>(dim_), 0.0);
+      for (size_t i = 0; i < data.size(); ++i) {
+        for (size_t d = 0; d < variance.size(); ++d) {
+          double diff = data[i][d] - mean[d];
+          variance[d] += responsibilities[i][k] * diff * diff;
+        }
+      }
+      for (size_t d = 0; d < variance.size(); ++d) {
+        variance[d] = std::max(kVarianceFloor, variance[d] / total);
+      }
+      weights_[k] = total / static_cast<double>(data.size());
+      means_[k] = std::move(mean);
+      variances_[k] = std::move(variance);
+    }
+    // Renormalize weights.
+    double weight_sum = 0;
+    for (double w : weights_) weight_sum += w;
+    for (double& w : weights_) w /= weight_sum;
+  }
+  return Status::OK();
+}
+
+}  // namespace mmconf::audio

@@ -1,0 +1,65 @@
+#ifndef MMCONF_AUDIO_GMM_H_
+#define MMCONF_AUDIO_GMM_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "audio/features.h"
+
+namespace mmconf::audio {
+
+/// Numerically stable log(sum(exp(v))) over a vector.
+double LogSumExp(const std::vector<double>& values);
+
+/// Diagonal-covariance Gaussian mixture model — the emission density of
+/// the CD-HMM ("Continuous Density Hidden Markov Model... the main tool
+/// by means of which the above algorithms was implemented") and the
+/// classifier behind speaker spotting.
+class DiagGmm {
+ public:
+  DiagGmm() = default;
+  /// Uninitialized model with `num_components` mixtures of dimension
+  /// `dim`; call Train or set parameters before scoring.
+  DiagGmm(int num_components, int dim);
+
+  int num_components() const { return static_cast<int>(weights_.size()); }
+  int dim() const { return dim_; }
+
+  /// log p(x) under the mixture. `x` must have dimension dim().
+  double LogLikelihood(const FeatureVector& x) const;
+
+  /// Mean log-likelihood per frame over a sequence.
+  double AvgLogLikelihood(const std::vector<FeatureVector>& xs) const;
+
+  /// log of component-wise joint densities log(w_k p_k(x)) for all k.
+  std::vector<double> ComponentLogJoint(const FeatureVector& x) const;
+
+  /// Fits the model with `iterations` of EM after deterministic k-means
+  /// initialization (seeded by `rng`). Variances are floored to keep the
+  /// model proper on degenerate data. InvalidArgument when `data` has
+  /// fewer vectors than components or inconsistent dimensions.
+  Status Train(const std::vector<FeatureVector>& data, int iterations,
+               Rng& rng);
+
+  /// Direct parameter access (used by HMM Baum-Welch updates and tests).
+  const std::vector<double>& weights() const { return weights_; }
+  const std::vector<FeatureVector>& means() const { return means_; }
+  const std::vector<FeatureVector>& variances() const { return variances_; }
+  Status SetParameters(std::vector<double> weights,
+                       std::vector<FeatureVector> means,
+                       std::vector<FeatureVector> variances);
+
+  static constexpr double kVarianceFloor = 1e-3;
+
+ private:
+  int dim_ = 0;
+  std::vector<double> weights_;
+  std::vector<FeatureVector> means_;
+  std::vector<FeatureVector> variances_;
+};
+
+}  // namespace mmconf::audio
+
+#endif  // MMCONF_AUDIO_GMM_H_

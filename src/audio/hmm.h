@@ -1,0 +1,90 @@
+#ifndef MMCONF_AUDIO_HMM_H_
+#define MMCONF_AUDIO_HMM_H_
+
+#include <vector>
+
+#include "audio/gmm.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace mmconf::audio {
+
+/// Result of Viterbi decoding.
+struct ViterbiResult {
+  std::vector<int> states;  ///< best state per frame
+  double log_likelihood = 0;
+};
+
+/// Continuous-Density Hidden Markov Model with diagonal-GMM emissions —
+/// the paper's core voice-processing tool ("The main tool by means of
+/// which the above algorithms was implemented is the Continuous Density
+/// Hidden Markov Model... It was used both for training and for matching
+/// purposes").
+///
+/// Supports two topologies: left-to-right (keyword models: each state may
+/// stay or advance one state) and ergodic (garbage / background models:
+/// all transitions allowed). Transition zeros are structural — Baum-Welch
+/// re-estimation preserves them.
+class Hmm {
+ public:
+  Hmm() = default;
+
+  /// Left-to-right model: state i transitions to i or i+1 only, entry in
+  /// state 0.
+  static Hmm LeftToRight(int num_states, int num_mixtures, int dim);
+
+  /// Fully connected model with uniform initial distribution.
+  static Hmm Ergodic(int num_states, int num_mixtures, int dim);
+
+  int num_states() const { return static_cast<int>(emissions_.size()); }
+  int dim() const { return dim_; }
+  const DiagGmm& emission(int state) const {
+    return emissions_[static_cast<size_t>(state)];
+  }
+  double log_transition(int from, int to) const {
+    return log_trans_[static_cast<size_t>(from)][static_cast<size_t>(to)];
+  }
+  double log_initial(int state) const {
+    return log_init_[static_cast<size_t>(state)];
+  }
+
+  /// log P(sequence | model), summed over all paths (forward algorithm).
+  /// -inf for an empty sequence.
+  Result<double> LogForward(const std::vector<FeatureVector>& seq) const;
+
+  /// Per-frame normalized forward score, the standard length-invariant
+  /// matching score for spotting.
+  Result<double> AvgLogForward(const std::vector<FeatureVector>& seq) const;
+
+  /// Most likely state path and its joint log-likelihood.
+  Result<ViterbiResult> Viterbi(const std::vector<FeatureVector>& seq) const;
+
+  /// Baum-Welch training over multiple observation sequences.
+  /// Initialization: every sequence is segmented uniformly across states
+  /// (left-to-right) or frames assigned round-robin (ergodic), each
+  /// state's GMM is trained on its share, then `iterations` of EM refine
+  /// transitions and emissions jointly. Sequences shorter than the state
+  /// count are skipped; at least one usable sequence is required.
+  Status Train(const std::vector<std::vector<FeatureVector>>& sequences,
+               int iterations, Rng& rng);
+
+ private:
+  Hmm(int num_states, int num_mixtures, int dim, bool left_to_right);
+
+  /// Forward/backward log-probability lattices.
+  Result<std::vector<std::vector<double>>> ForwardLattice(
+      const std::vector<FeatureVector>& seq) const;
+  std::vector<std::vector<double>> BackwardLattice(
+      const std::vector<FeatureVector>& seq) const;
+
+  int dim_ = 0;
+  bool left_to_right_ = false;
+  std::vector<DiagGmm> emissions_;
+  std::vector<double> log_init_;
+  std::vector<std::vector<double>> log_trans_;
+};
+
+}  // namespace mmconf::audio
+
+#endif  // MMCONF_AUDIO_HMM_H_

@@ -1,0 +1,147 @@
+#include "audio/segmentation.h"
+
+#include <algorithm>
+
+namespace mmconf::audio {
+
+using media::AudioClass;
+using media::AudioSegment;
+using media::AudioSignal;
+
+AudioSegmenter::AudioSegmenter() : AudioSegmenter(Options()) {}
+
+AudioSegmenter::AudioSegmenter(Options options)
+    : options_(std::move(options)) {}
+
+Status AudioSegmenter::Train(
+    const std::map<AudioClass, std::vector<AudioSignal>>& examples,
+    Rng& rng) {
+  models_.clear();
+  for (const auto& [cls, signals] : examples) {
+    std::vector<FeatureVector> data;
+    for (const AudioSignal& signal : signals) {
+      MMCONF_ASSIGN_OR_RETURN(std::vector<FeatureVector> features,
+                              ExtractFeatures(signal, options_.features));
+      data.insert(data.end(), features.begin(), features.end());
+    }
+    DiagGmm model(options_.mixtures_per_class,
+                  FeatureDim(options_.features));
+    Status trained = model.Train(data, options_.em_iterations, rng);
+    if (!trained.ok()) {
+      models_.clear();
+      return Status::InvalidArgument(
+          std::string("training class ") + AudioClassToString(cls) +
+          " failed: " + trained.message());
+    }
+    models_.emplace(cls, std::move(model));
+  }
+  if (models_.empty()) {
+    return Status::InvalidArgument("no training classes given");
+  }
+  return Status::OK();
+}
+
+Status AudioSegmenter::TrainFromConversations(
+    const std::vector<media::Conversation>& conversations, Rng& rng) {
+  std::map<AudioClass, std::vector<AudioSignal>> examples;
+  for (const media::Conversation& conv : conversations) {
+    for (const AudioSegment& segment : conv.segments) {
+      examples[segment.cls].push_back(
+          conv.signal.Slice(segment.begin, segment.end));
+    }
+  }
+  return Train(examples, rng);
+}
+
+Result<std::vector<AudioClass>> AudioSegmenter::ClassifyFrames(
+    const AudioSignal& signal) const {
+  if (models_.empty()) {
+    return Status::FailedPrecondition("segmenter is not trained");
+  }
+  MMCONF_ASSIGN_OR_RETURN(std::vector<FeatureVector> features,
+                          ExtractFeatures(signal, options_.features));
+  std::vector<AudioClass> labels;
+  labels.reserve(features.size());
+  for (const FeatureVector& x : features) {
+    AudioClass best = models_.begin()->first;
+    double best_score = -1e300;
+    for (const auto& [cls, model] : models_) {
+      double score = model.LogLikelihood(x);
+      if (score > best_score) {
+        best_score = score;
+        best = cls;
+      }
+    }
+    labels.push_back(best);
+  }
+  // Median smoothing (mode filter over a window, since labels are
+  // categorical).
+  if (options_.smoothing_radius > 0 && !labels.empty()) {
+    std::vector<AudioClass> smoothed(labels.size());
+    const int radius = options_.smoothing_radius;
+    for (size_t i = 0; i < labels.size(); ++i) {
+      int counts[4] = {0, 0, 0, 0};
+      for (int d = -radius; d <= radius; ++d) {
+        long j = static_cast<long>(i) + d;
+        if (j < 0 || j >= static_cast<long>(labels.size())) continue;
+        ++counts[static_cast<int>(labels[static_cast<size_t>(j)])];
+      }
+      int best = 0;
+      for (int c = 1; c < 4; ++c) {
+        if (counts[c] > counts[best]) best = c;
+      }
+      smoothed[i] = static_cast<AudioClass>(best);
+    }
+    labels = std::move(smoothed);
+  }
+  return labels;
+}
+
+Result<std::vector<AudioSegment>> AudioSegmenter::Segment(
+    const AudioSignal& signal) const {
+  MMCONF_ASSIGN_OR_RETURN(std::vector<AudioClass> labels,
+                          ClassifyFrames(signal));
+  std::vector<AudioSegment> segments;
+  if (labels.empty()) return segments;
+  const size_t hop = static_cast<size_t>(options_.features.hop);
+  size_t begin = 0;
+  for (size_t i = 1; i <= labels.size(); ++i) {
+    if (i == labels.size() || labels[i] != labels[begin]) {
+      AudioSegment segment;
+      segment.begin = begin * hop;
+      segment.end = i == labels.size() ? signal.size() : i * hop;
+      segment.cls = labels[begin];
+      segments.push_back(segment);
+      begin = i;
+    }
+  }
+  return segments;
+}
+
+namespace {
+
+AudioClass ClassAtSample(const std::vector<AudioSegment>& segments,
+                         size_t sample) {
+  for (const AudioSegment& segment : segments) {
+    if (sample >= segment.begin && sample < segment.end) return segment.cls;
+  }
+  return AudioClass::kSilence;
+}
+
+}  // namespace
+
+double SegmentationFrameAccuracy(const std::vector<AudioSegment>& hypothesis,
+                                 const std::vector<AudioSegment>& truth,
+                                 size_t total_samples) {
+  if (total_samples == 0) return 0;
+  // Sample every 40th point for speed; boundaries dominate error anyway.
+  size_t step = std::max<size_t>(1, total_samples / 20000);
+  size_t checked = 0, correct = 0;
+  for (size_t s = 0; s < total_samples; s += step) {
+    ++checked;
+    if (ClassAtSample(hypothesis, s) == ClassAtSample(truth, s)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(checked);
+}
+
+}  // namespace mmconf::audio

@@ -1,0 +1,75 @@
+#ifndef MMCONF_AUDIO_SEGMENTATION_H_
+#define MMCONF_AUDIO_SEGMENTATION_H_
+
+#include <map>
+#include <vector>
+
+#include "audio/features.h"
+#include "audio/gmm.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "media/audio.h"
+#include "media/synthetic.h"
+
+namespace mmconf::audio {
+
+/// Automatic segmentation of audio signals — the first function of the
+/// paper's voice module: "The segmentation algorithm is able to
+/// distinguish among signal and background noise and among the various
+/// types of signals present in the audio information. The audio data may
+/// contain speech, music, or audio artifacts, which are automatically
+/// segmented."
+///
+/// Implementation: one diagonal GMM per AudioClass over the shared
+/// front-end features, frame-wise maximum-likelihood classification,
+/// median smoothing, then run-length merging into segments.
+class AudioSegmenter {
+ public:
+  struct Options {
+    FeatureOptions features;
+    int mixtures_per_class = 4;
+    int em_iterations = 8;
+    int smoothing_radius = 5;  ///< frames of median smoothing each side
+  };
+
+  AudioSegmenter();
+  explicit AudioSegmenter(Options options);
+
+  /// Trains the per-class models from labeled signals. Every class that
+  /// appears in `examples` must have enough frames for its GMM.
+  Status Train(
+      const std::map<media::AudioClass, std::vector<media::AudioSignal>>&
+          examples,
+      Rng& rng);
+
+  /// Convenience: train from labeled conversations (uses their
+  /// ground-truth segments as supervision).
+  Status TrainFromConversations(
+      const std::vector<media::Conversation>& conversations, Rng& rng);
+
+  /// Segments a signal into class-labeled spans (speaker/keyword fields
+  /// are left at -1; they are filled by the spotting modules).
+  Result<std::vector<media::AudioSegment>> Segment(
+      const media::AudioSignal& signal) const;
+
+  /// Per-frame class decisions before merging (exposed for evaluation).
+  Result<std::vector<media::AudioClass>> ClassifyFrames(
+      const media::AudioSignal& signal) const;
+
+  const Options& options() const { return options_; }
+  bool trained() const { return !models_.empty(); }
+
+ private:
+  Options options_;
+  std::map<media::AudioClass, DiagGmm> models_;
+};
+
+/// Fraction of samples whose hypothesized class matches the ground truth
+/// (both segment lists must cover [0, total_samples)).
+double SegmentationFrameAccuracy(
+    const std::vector<media::AudioSegment>& hypothesis,
+    const std::vector<media::AudioSegment>& truth, size_t total_samples);
+
+}  // namespace mmconf::audio
+
+#endif  // MMCONF_AUDIO_SEGMENTATION_H_

@@ -1,0 +1,162 @@
+#include "audio/speaker_spotting.h"
+
+#include <algorithm>
+#include <set>
+
+namespace mmconf::audio {
+
+using media::AudioSegment;
+using media::AudioSignal;
+
+namespace {
+
+SpeakerSpotter::Options DefaultSpeakerOptions() {
+  SpeakerSpotter::Options options;
+  options.features.num_bands = 24;
+  return options;
+}
+
+}  // namespace
+
+SpeakerSpotter::SpeakerSpotter() : SpeakerSpotter(DefaultSpeakerOptions()) {}
+
+SpeakerSpotter::SpeakerSpotter(Options options)
+    : options_(std::move(options)) {}
+
+namespace {
+
+/// Makes features loudness-invariant: band energies become spectral
+/// *shape* (band minus total log-energy). Speaker identity lives in the
+/// vocal-tract spectrum, not in how loudly the utterance was recorded —
+/// text-independent spotting must not key on level.
+void NormalizeSpectralShape(std::vector<FeatureVector>& features,
+                            int num_bands) {
+  for (FeatureVector& f : features) {
+    double total = f[static_cast<size_t>(num_bands)];
+    for (int b = 0; b < num_bands; ++b) {
+      f[static_cast<size_t>(b)] -= total;
+    }
+  }
+}
+
+}  // namespace
+
+Status SpeakerSpotter::Train(
+    const std::map<int, std::vector<AudioSignal>>& enrollment,
+    const std::vector<AudioSignal>& background, Rng& rng) {
+  speaker_models_.clear();
+  std::vector<FeatureVector> pooled;
+  for (const auto& [speaker, utterances] : enrollment) {
+    std::vector<FeatureVector> data;
+    for (const AudioSignal& utterance : utterances) {
+      MMCONF_ASSIGN_OR_RETURN(std::vector<FeatureVector> features,
+                              ExtractFeatures(utterance, options_.features));
+      NormalizeSpectralShape(features, options_.features.num_bands);
+      data.insert(data.end(), features.begin(), features.end());
+    }
+    pooled.insert(pooled.end(), data.begin(), data.end());
+    DiagGmm model(options_.mixtures_per_speaker,
+                  FeatureDim(options_.features));
+    Status trained = model.Train(data, options_.em_iterations, rng);
+    if (!trained.ok()) {
+      speaker_models_.clear();
+      return Status::InvalidArgument("speaker " + std::to_string(speaker) +
+                                     ": " + trained.message());
+    }
+    speaker_models_.emplace(speaker, std::move(model));
+  }
+  if (speaker_models_.empty()) {
+    return Status::InvalidArgument("no enrollment data given");
+  }
+  for (const AudioSignal& signal : background) {
+    MMCONF_ASSIGN_OR_RETURN(std::vector<FeatureVector> features,
+                            ExtractFeatures(signal, options_.features));
+    NormalizeSpectralShape(features, options_.features.num_bands);
+    pooled.insert(pooled.end(), features.begin(), features.end());
+  }
+  background_ = DiagGmm(options_.background_mixtures,
+                        FeatureDim(options_.features));
+  Status trained = background_.Train(pooled, options_.em_iterations, rng);
+  if (!trained.ok()) {
+    speaker_models_.clear();
+    return Status::InvalidArgument("background model: " + trained.message());
+  }
+  return Status::OK();
+}
+
+Result<SpeakerDetection> SpeakerSpotter::ScoreSpan(const AudioSignal& signal,
+                                                   size_t begin,
+                                                   size_t end) const {
+  if (speaker_models_.empty()) {
+    return Status::FailedPrecondition("speaker spotter is not trained");
+  }
+  AudioSignal span = signal.Slice(begin, end);
+  MMCONF_ASSIGN_OR_RETURN(std::vector<FeatureVector> features,
+                          ExtractFeatures(span, options_.features));
+  if (features.empty()) {
+    return Status::InvalidArgument("span too short for one frame");
+  }
+  NormalizeSpectralShape(features, options_.features.num_bands);
+  double background_score = background_.AvgLogLikelihood(features);
+  SpeakerDetection detection;
+  detection.begin = begin;
+  detection.end = end;
+  detection.speaker = -1;
+  detection.score = -1e300;
+  for (const auto& [speaker, model] : speaker_models_) {
+    double llr = model.AvgLogLikelihood(features) - background_score;
+    if (llr > detection.score) {
+      detection.score = llr;
+      detection.speaker = speaker;
+    }
+  }
+  if (detection.score < options_.threshold) detection.speaker = -1;
+  return detection;
+}
+
+Result<std::vector<SpeakerDetection>> SpeakerSpotter::Spot(
+    const AudioSignal& signal,
+    const std::vector<AudioSegment>& segments) const {
+  std::vector<SpeakerDetection> detections;
+  for (const AudioSegment& segment : segments) {
+    if (segment.cls != media::AudioClass::kSpeech) continue;
+    Result<SpeakerDetection> detection =
+        ScoreSpan(signal, segment.begin, segment.end);
+    if (!detection.ok()) continue;  // Too short to score.
+    detections.push_back(*detection);
+  }
+  return detections;
+}
+
+Result<int> SpeakerSpotter::CountSpeakers(
+    const AudioSignal& signal,
+    const std::vector<AudioSegment>& segments) const {
+  MMCONF_ASSIGN_OR_RETURN(std::vector<SpeakerDetection> detections,
+                          Spot(signal, segments));
+  std::set<int> speakers;
+  for (const SpeakerDetection& detection : detections) {
+    if (detection.speaker >= 0) speakers.insert(detection.speaker);
+  }
+  return static_cast<int>(speakers.size());
+}
+
+double SpeakerSpottingAccuracy(const std::vector<SpeakerDetection>& detections,
+                               const std::vector<AudioSegment>& truth) {
+  int total = 0, correct = 0;
+  for (const AudioSegment& t : truth) {
+    if (t.cls != media::AudioClass::kSpeech || t.speaker < 0) continue;
+    ++total;
+    for (const SpeakerDetection& detection : detections) {
+      size_t lo = std::max(detection.begin, t.begin);
+      size_t hi = std::min(detection.end, t.end);
+      size_t overlap = hi > lo ? hi - lo : 0;
+      if (overlap * 2 > t.length()) {
+        if (detection.speaker == t.speaker) ++correct;
+        break;
+      }
+    }
+  }
+  return total > 0 ? static_cast<double>(correct) / total : 0.0;
+}
+
+}  // namespace mmconf::audio

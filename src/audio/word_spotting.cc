@@ -1,0 +1,165 @@
+#include "audio/word_spotting.h"
+
+#include <algorithm>
+
+namespace mmconf::audio {
+
+using media::AudioSegment;
+using media::AudioSignal;
+
+WordSpotter::WordSpotter() : WordSpotter(Options()) {}
+
+WordSpotter::WordSpotter(Options options) : options_(std::move(options)) {}
+
+Status WordSpotter::Train(
+    const std::map<int, std::vector<AudioSignal>>& examples,
+    const std::vector<AudioSignal>& garbage, Rng& rng) {
+  keyword_models_.clear();
+  const int dim = FeatureDim(options_.features);
+  for (const auto& [keyword, utterances] : examples) {
+    std::vector<std::vector<FeatureVector>> sequences;
+    for (const AudioSignal& utterance : utterances) {
+      MMCONF_ASSIGN_OR_RETURN(std::vector<FeatureVector> features,
+                              ExtractFeatures(utterance, options_.features));
+      if (!features.empty()) sequences.push_back(std::move(features));
+    }
+    Hmm model = Hmm::LeftToRight(options_.states_per_keyword,
+                                 options_.mixtures, dim);
+    Status trained = model.Train(sequences, options_.train_iterations, rng);
+    if (!trained.ok()) {
+      keyword_models_.clear();
+      return Status::InvalidArgument("keyword " + std::to_string(keyword) +
+                                     ": " + trained.message());
+    }
+    keyword_models_.emplace(keyword, std::move(model));
+  }
+  if (keyword_models_.empty()) {
+    return Status::InvalidArgument("no keyword examples given");
+  }
+  std::vector<std::vector<FeatureVector>> garbage_sequences;
+  for (const AudioSignal& signal : garbage) {
+    MMCONF_ASSIGN_OR_RETURN(std::vector<FeatureVector> features,
+                            ExtractFeatures(signal, options_.features));
+    if (!features.empty()) garbage_sequences.push_back(std::move(features));
+  }
+  garbage_model_ = Hmm::Ergodic(options_.garbage_states, options_.mixtures,
+                                dim);
+  Status trained =
+      garbage_model_.Train(garbage_sequences, options_.train_iterations, rng);
+  if (!trained.ok()) {
+    keyword_models_.clear();
+    return Status::InvalidArgument("garbage model: " + trained.message());
+  }
+  return Status::OK();
+}
+
+Result<WordDetection> WordSpotter::ScoreSpan(const AudioSignal& signal,
+                                             size_t begin, size_t end) const {
+  if (keyword_models_.empty()) {
+    return Status::FailedPrecondition("word spotter is not trained");
+  }
+  AudioSignal span = signal.Slice(begin, end);
+  MMCONF_ASSIGN_OR_RETURN(std::vector<FeatureVector> features,
+                          ExtractFeatures(span, options_.features));
+  if (features.empty()) {
+    return Status::InvalidArgument("span too short for one frame");
+  }
+  MMCONF_ASSIGN_OR_RETURN(double garbage_score,
+                          garbage_model_.AvgLogForward(features));
+  WordDetection detection;
+  detection.begin = begin;
+  detection.end = end;
+  detection.keyword = -1;
+  detection.score = -1e300;
+  for (const auto& [keyword, model] : keyword_models_) {
+    MMCONF_ASSIGN_OR_RETURN(double score, model.AvgLogForward(features));
+    double llr = score - garbage_score;
+    if (llr > detection.score) {
+      detection.score = llr;
+      detection.keyword = keyword;
+    }
+  }
+  if (detection.score < options_.threshold) detection.keyword = -1;
+  return detection;
+}
+
+Result<std::vector<WordDetection>> WordSpotter::Spot(
+    const AudioSignal& signal,
+    const std::vector<AudioSegment>& segments) const {
+  std::vector<WordDetection> detections;
+  for (const AudioSegment& segment : segments) {
+    if (segment.cls != media::AudioClass::kSpeech) continue;
+    Result<WordDetection> detection =
+        ScoreSpan(signal, segment.begin, segment.end);
+    if (!detection.ok()) continue;  // Span too short to score.
+    if (detection->keyword >= 0) detections.push_back(*detection);
+  }
+  return detections;
+}
+
+Result<std::vector<WordDetection>> WordSpotter::SpotSliding(
+    const AudioSignal& signal, double window_s, double hop_s) const {
+  if (window_s <= 0 || hop_s <= 0) {
+    return Status::InvalidArgument("window and hop must be positive");
+  }
+  const size_t window =
+      static_cast<size_t>(window_s * signal.sample_rate());
+  const size_t hop = static_cast<size_t>(hop_s * signal.sample_rate());
+  if (window == 0 || hop == 0 || signal.size() < window) {
+    return std::vector<WordDetection>{};
+  }
+  std::vector<WordDetection> flags;
+  for (size_t begin = 0; begin + window <= signal.size(); begin += hop) {
+    Result<WordDetection> detection =
+        ScoreSpan(signal, begin, begin + window);
+    if (!detection.ok()) continue;
+    if (detection->keyword >= 0) flags.push_back(*detection);
+  }
+  // Merge runs of overlapping flags for the same keyword, keeping the
+  // best-scoring window of each run.
+  std::vector<WordDetection> merged;
+  for (const WordDetection& flag : flags) {
+    if (!merged.empty() && merged.back().keyword == flag.keyword &&
+        flag.begin < merged.back().end) {
+      if (flag.score > merged.back().score) {
+        merged.back() = flag;
+      } else {
+        merged.back().end = std::max(merged.back().end, flag.end);
+      }
+    } else {
+      merged.push_back(flag);
+    }
+  }
+  return merged;
+}
+
+SpottingScore ScoreWordSpotting(const std::vector<WordDetection>& detections,
+                                const std::vector<AudioSegment>& truth) {
+  SpottingScore score;
+  std::vector<bool> truth_matched(truth.size(), false);
+  for (const WordDetection& detection : detections) {
+    bool matched = false;
+    for (size_t i = 0; i < truth.size(); ++i) {
+      const AudioSegment& t = truth[i];
+      if (t.keyword < 0 || t.keyword != detection.keyword) continue;
+      size_t lo = std::max(detection.begin, t.begin);
+      size_t hi = std::min(detection.end, t.end);
+      size_t overlap = hi > lo ? hi - lo : 0;
+      if (overlap * 2 > t.length()) {
+        matched = true;
+        if (!truth_matched[i]) {
+          truth_matched[i] = true;
+          ++score.true_detections;
+        }
+        break;
+      }
+    }
+    if (!matched) ++score.false_alarms;
+  }
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i].keyword >= 0 && !truth_matched[i]) ++score.misses;
+  }
+  return score;
+}
+
+}  // namespace mmconf::audio

@@ -1,0 +1,107 @@
+#ifndef MMCONF_AUDIO_WORD_SPOTTING_H_
+#define MMCONF_AUDIO_WORD_SPOTTING_H_
+
+#include <map>
+#include <vector>
+
+#include "audio/features.h"
+#include "audio/hmm.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "media/audio.h"
+
+namespace mmconf::audio {
+
+/// One word-spotting detection: keyword `keyword` claimed in samples
+/// [begin, end) with log-likelihood-ratio `score` against the garbage
+/// model.
+struct WordDetection {
+  size_t begin = 0;
+  size_t end = 0;
+  int keyword = -1;
+  double score = 0;
+};
+
+/// Keyword ("word") spotting per the paper: "Word spotting algorithms
+/// accept a list of keywords, and raise a flag when one of these words is
+/// present in the continuous speech data. Word spotting systems are
+/// usually based on keywords models and a 'garbage' model that models all
+/// speech that is not a keyword... This algorithm works well when the
+/// keywords list is a priori known and keyword models may be trained in
+/// advance."
+///
+/// Each keyword gets a left-to-right CD-HMM trained on example
+/// utterances; an ergodic CD-HMM trained on general speech is the garbage
+/// model. A span is flagged for keyword k when the per-frame forward
+/// score of model k beats the garbage model by at least `threshold`.
+class WordSpotter {
+ public:
+  struct Options {
+    FeatureOptions features;
+    int states_per_keyword = 6;
+    int mixtures = 2;
+    int garbage_states = 4;
+    int train_iterations = 4;
+    double threshold = 0.0;  ///< LLR acceptance threshold (per frame)
+  };
+
+  WordSpotter();
+  explicit WordSpotter(Options options);
+
+  /// Trains keyword models (`examples[k]` = utterances of keyword k) and
+  /// the garbage model (`garbage` = non-keyword speech).
+  Status Train(const std::map<int, std::vector<media::AudioSignal>>& examples,
+               const std::vector<media::AudioSignal>& garbage, Rng& rng);
+
+  /// Scores one candidate span: best keyword and its LLR against garbage.
+  /// A negative-LLR result means "no keyword" (keyword = -1).
+  Result<WordDetection> ScoreSpan(const media::AudioSignal& signal,
+                                  size_t begin, size_t end) const;
+
+  /// Runs ScoreSpan over every speech segment in `segments` and returns
+  /// the detections that clear the threshold.
+  Result<std::vector<WordDetection>> Spot(
+      const media::AudioSignal& signal,
+      const std::vector<media::AudioSegment>& segments) const;
+
+  /// Continuous spotting without prior segmentation ("raise a flag when
+  /// one of these words is present in the continuous speech data"):
+  /// slides a `window_s`-second window by `hop_s`, scores each window
+  /// against the keyword and garbage models, and merges overlapping
+  /// flags of the same keyword into one detection keeping the
+  /// best-scoring span. `window_s` should approximate the keyword
+  /// duration.
+  Result<std::vector<WordDetection>> SpotSliding(
+      const media::AudioSignal& signal, double window_s,
+      double hop_s) const;
+
+  bool trained() const { return !keyword_models_.empty(); }
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  std::map<int, Hmm> keyword_models_;
+  Hmm garbage_model_;
+};
+
+/// Spotting evaluation counters.
+struct SpottingScore {
+  int true_detections = 0;   ///< keyword present and correctly flagged
+  int false_alarms = 0;      ///< flag raised on wrong keyword / non-keyword
+  int misses = 0;            ///< keyword present but not flagged
+  double DetectionRate() const {
+    int total = true_detections + misses;
+    return total > 0 ? static_cast<double>(true_detections) / total : 0;
+  }
+};
+
+/// Scores detections against ground-truth segments (keyword >= 0 where a
+/// keyword was uttered). A detection matches if its span overlaps a truth
+/// span of the same keyword by more than half of the truth span.
+SpottingScore ScoreWordSpotting(
+    const std::vector<WordDetection>& detections,
+    const std::vector<media::AudioSegment>& truth);
+
+}  // namespace mmconf::audio
+
+#endif  // MMCONF_AUDIO_WORD_SPOTTING_H_

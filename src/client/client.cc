@@ -1,0 +1,56 @@
+#include "client/client.h"
+
+#include <algorithm>
+
+namespace mmconf::client {
+
+void ClientModule::HandleDeliveries(
+    const std::vector<net::Delivery>& deliveries) {
+  for (const net::Delivery& delivery : deliveries) {
+    if (delivery.to != node_) continue;
+    bytes_received_ += delivery.bytes;
+    ++deliveries_received_;
+    last_delivery_at_ = std::max(last_delivery_at_, delivery.delivered_at);
+  }
+}
+
+namespace {
+
+Status RenderNode(const doc::MultimediaDocument& document,
+                  const cpnet::Assignment& configuration,
+                  const doc::MultimediaComponent* node, int depth,
+                  std::string& out) {
+  MMCONF_ASSIGN_OR_RETURN(bool visible,
+                          document.IsVisible(configuration, node->name()));
+  MMCONF_ASSIGN_OR_RETURN(
+      doc::MMPresentation presentation,
+      document.PresentationFor(configuration, node->name()));
+  out.append(static_cast<size_t>(depth) * 2, ' ');
+  out += node->IsComposite() ? "+ " : "- ";
+  out += node->name();
+  out += "  [";
+  out += presentation.name;
+  out += visible ? "]" : "] (hidden)";
+  out += '\n';
+  if (const doc::CompositeMultimediaComponent* composite =
+          node->AsComposite()) {
+    for (const auto& child : composite->children()) {
+      MMCONF_RETURN_IF_ERROR(RenderNode(document, configuration,
+                                        child.get(), depth + 1, out));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::string> RenderDocumentView(
+    const doc::MultimediaDocument& document,
+    const cpnet::Assignment& configuration) {
+  std::string out;
+  MMCONF_RETURN_IF_ERROR(
+      RenderNode(document, configuration, &document.Content(), 0, out));
+  return out;
+}
+
+}  // namespace mmconf::client

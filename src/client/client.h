@@ -1,0 +1,51 @@
+#ifndef MMCONF_CLIENT_CLIENT_H_
+#define MMCONF_CLIENT_CLIENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "cpnet/assignment.h"
+#include "doc/document.h"
+#include "net/network.h"
+
+namespace mmconf::client {
+
+/// The client-module tier of Fig. 1: "responsible for displaying the
+/// multi-media documents as requested by the server" and for forwarding
+/// the viewer's interactions. In this reproduction the client renders a
+/// text-mode version of the paper's Fig. 5 GUI (document tree on the
+/// left, chosen presentation per component on the right) and keeps
+/// delivery statistics.
+class ClientModule {
+ public:
+  ClientModule(std::string viewer, net::NodeId node)
+      : viewer_(std::move(viewer)), node_(node) {}
+
+  const std::string& viewer() const { return viewer_; }
+  net::NodeId node() const { return node_; }
+
+  /// Ingests network deliveries addressed to this client.
+  void HandleDeliveries(const std::vector<net::Delivery>& deliveries);
+
+  size_t bytes_received() const { return bytes_received_; }
+  size_t deliveries_received() const { return deliveries_received_; }
+  MicrosT last_delivery_at() const { return last_delivery_at_; }
+
+ private:
+  std::string viewer_;
+  net::NodeId node_;
+  size_t bytes_received_ = 0;
+  size_t deliveries_received_ = 0;
+  MicrosT last_delivery_at_ = 0;
+};
+
+/// Renders the Fig. 5 client view as text: the hierarchical structure of
+/// the whole document (left side) with each component's current
+/// presentation form and visibility (right side).
+Result<std::string> RenderDocumentView(const doc::MultimediaDocument& document,
+                                       const cpnet::Assignment& configuration);
+
+}  // namespace mmconf::client
+
+#endif  // MMCONF_CLIENT_CLIENT_H_

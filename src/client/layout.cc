@@ -1,0 +1,130 @@
+#include "client/layout.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mmconf::client {
+
+using doc::MMPresentation;
+using doc::PresentationKind;
+using media::Rect;
+
+Rect NaturalSize(const MMPresentation& presentation) {
+  switch (presentation.kind) {
+    case PresentationKind::kHidden:
+      return {0, 0, 0, 0};
+    case PresentationKind::kImage:
+      return {0, 0, 256, 256};
+    case PresentationKind::kSegmentedImage:
+      return {0, 0, 256, 256};
+    case PresentationKind::kThumbnail: {
+      int drop = std::max(1, presentation.resolution_drop);
+      int side = std::max(16, 256 >> drop);
+      return {0, 0, side, side};
+    }
+    case PresentationKind::kIcon:
+      return {0, 0, 24, 24};
+    case PresentationKind::kText:
+      return {0, 0, 240, 120};
+    case PresentationKind::kAudio:
+      return {0, 0, 240, 48};
+    case PresentationKind::kAudioSummary:
+      return {0, 0, 240, 24};
+  }
+  return {0, 0, 0, 0};
+}
+
+Result<Layout> LayoutView(const doc::MultimediaDocument& document,
+                          const cpnet::Assignment& configuration,
+                          int viewport_width, int viewport_height) {
+  if (viewport_width <= 0 || viewport_height <= 0) {
+    return Status::InvalidArgument("viewport must be positive");
+  }
+  Layout layout;
+  layout.viewport_width = viewport_width;
+  layout.viewport_height = viewport_height;
+
+  // Collect the visible primitive content in document order.
+  struct Item {
+    std::string name;
+    MMPresentation presentation;
+    Rect natural;
+  };
+  std::vector<Item> items;
+  for (size_t i = 0; i < document.num_components(); ++i) {
+    const doc::MultimediaComponent* component = document.components()[i];
+    if (component->IsComposite()) continue;
+    MMCONF_ASSIGN_OR_RETURN(
+        bool visible, document.IsVisible(configuration, component->name()));
+    if (!visible) continue;
+    MMCONF_ASSIGN_OR_RETURN(
+        MMPresentation presentation,
+        document.PresentationFor(configuration, component->name()));
+    if (presentation.kind == PresentationKind::kHidden) continue;
+    items.push_back(
+        {component->name(), presentation, NaturalSize(presentation)});
+  }
+
+  // Shelf packing with stepwise shrink on overflow.
+  const int kGap = 8;
+  double scale = 1.0;
+  int x = kGap, y = kGap, shelf_height = 0;
+  for (size_t i = 0; i < items.size(); ++i) {
+    const Item& item = items[i];
+    int w = std::max(1, static_cast<int>(item.natural.width * scale));
+    int h = std::max(1, static_cast<int>(item.natural.height * scale));
+    // New shelf if the item does not fit horizontally.
+    if (x + w + kGap > viewport_width && x > kGap) {
+      x = kGap;
+      y += shelf_height + kGap;
+      shelf_height = 0;
+    }
+    // Vertical overflow: shrink everything placed so far and retry from
+    // scratch at the smaller scale (up to quarter size), else drop.
+    if (y + h + kGap > viewport_height ||
+        x + w + kGap > viewport_width) {
+      if (scale > 0.26) {
+        scale *= 0.5;
+        layout.placements.clear();
+        x = kGap;
+        y = kGap;
+        shelf_height = 0;
+        i = static_cast<size_t>(-1);  // restart loop
+        continue;
+      }
+      layout.everything_fits = false;
+      layout.dropped_components.push_back(item.name);
+      continue;
+    }
+    Placement placement;
+    placement.component = item.name;
+    placement.presentation = item.presentation;
+    placement.rect = {x, y, w, h};
+    placement.scale = scale;
+    layout.placements.push_back(std::move(placement));
+    x += w + kGap;
+    shelf_height = std::max(shelf_height, h);
+  }
+  return layout;
+}
+
+std::string LayoutToString(const Layout& layout) {
+  std::ostringstream out;
+  out << layout.viewport_width << "x" << layout.viewport_height
+      << " viewport, " << layout.placements.size() << " placements";
+  if (!layout.everything_fits) {
+    out << " (" << layout.dropped_components.size() << " dropped)";
+  }
+  out << "\n";
+  for (const Placement& placement : layout.placements) {
+    out << "  " << placement.component << " ["
+        << doc::PresentationKindToString(placement.presentation.kind)
+        << "] at (" << placement.rect.x << "," << placement.rect.y << ") "
+        << placement.rect.width << "x" << placement.rect.height;
+    if (placement.scale < 1.0) out << " @" << placement.scale;
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace mmconf::client

@@ -1,0 +1,58 @@
+#ifndef MMCONF_CLIENT_LAYOUT_H_
+#define MMCONF_CLIENT_LAYOUT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "cpnet/assignment.h"
+#include "doc/document.h"
+#include "media/image.h"
+
+namespace mmconf::client {
+
+/// Where one visible component lands in the client window.
+struct Placement {
+  std::string component;
+  doc::MMPresentation presentation;
+  media::Rect rect;   ///< position and final (possibly scaled) size
+  double scale = 1.0; ///< 1.0 = natural size, < 1 when shrunk to fit
+};
+
+/// Result of laying out a configuration.
+struct Layout {
+  std::vector<Placement> placements;
+  int viewport_width = 0;
+  int viewport_height = 0;
+  /// False when even fully shrunk content exceeded the viewport and
+  /// trailing components were dropped (reported, never silently).
+  bool everything_fits = true;
+  std::vector<std::string> dropped_components;
+};
+
+/// Natural on-screen size of a presentation form (the layout engine's
+/// sizing policy; roughly the paper's GUI proportions — images dominate,
+/// icons are glyphs, text gets a reading column).
+media::Rect NaturalSize(const doc::MMPresentation& presentation);
+
+/// Shelf-packs the visible content of `configuration` into a
+/// viewport_width x viewport_height window, in document (pre-order)
+/// order — the right-hand pane of the paper's Fig. 5 GUI under layout
+/// constraints (its cited ZyX line of work). Components are placed at
+/// natural size while they fit a shelf; when a shelf row overflows the
+/// viewport height, remaining content is scaled down stepwise (x0.5)
+/// and, if still overflowing at quarter size, dropped and reported.
+///
+/// Guarantees (tested): placements never overlap, never exceed the
+/// viewport, and contain exactly the visible non-hidden components
+/// unless dropped.
+Result<Layout> LayoutView(const doc::MultimediaDocument& document,
+                          const cpnet::Assignment& configuration,
+                          int viewport_width, int viewport_height);
+
+/// Renders a layout as a text sketch (one line per placement).
+std::string LayoutToString(const Layout& layout);
+
+}  // namespace mmconf::client
+
+#endif  // MMCONF_CLIENT_LAYOUT_H_

@@ -1,0 +1,5 @@
+#include "common/clock.h"
+
+// Clock is header-only; this translation unit exists so the target has a
+// stable archive member for the common library.
+namespace mmconf {}  // namespace mmconf

@@ -1,0 +1,37 @@
+#ifndef MMCONF_COMMON_CLOCK_H_
+#define MMCONF_COMMON_CLOCK_H_
+
+#include <cstdint>
+
+namespace mmconf {
+
+/// Microseconds of simulated time.
+using MicrosT = int64_t;
+
+/// Virtual clock driving the network simulator and the interaction server.
+/// Time only moves when the simulation advances it, so tests and benches
+/// observe identical timings on every run.
+class Clock {
+ public:
+  Clock() = default;
+
+  MicrosT NowMicros() const { return now_; }
+  double NowSeconds() const { return static_cast<double>(now_) * 1e-6; }
+
+  /// Moves time forward. `delta` must be non-negative.
+  void AdvanceMicros(MicrosT delta) {
+    if (delta > 0) now_ += delta;
+  }
+
+  /// Jumps to an absolute timestamp not before the current one.
+  void AdvanceTo(MicrosT t) {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  MicrosT now_ = 0;
+};
+
+}  // namespace mmconf
+
+#endif  // MMCONF_COMMON_CLOCK_H_

@@ -1,0 +1,92 @@
+#ifndef MMCONF_COMMON_RESULT_H_
+#define MMCONF_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace mmconf {
+
+/// A value-or-error holder, the Arrow/RocksDB idiom for fallible functions
+/// that produce a value. A `Result<T>` is either OK and holds a `T`, or
+/// holds a non-OK `Status`.
+///
+/// Usage:
+///   Result<Image> img = DecodeImage(bytes);
+///   if (!img.ok()) return img.status();
+///   Use(img.value());
+///
+/// or with the macro:
+///   MMCONF_ASSIGN_OR_RETURN(Image img, DecodeImage(bytes));
+template <typename T>
+class Result {
+ public:
+  /// Constructs an OK result holding `value`. Intentionally implicit so
+  /// functions can `return value;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+
+  /// Constructs an error result. `status` must not be OK. Intentionally
+  /// implicit so functions can `return Status::NotFound(...)`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The status; `Status::OK()` when a value is held.
+  const Status& status() const { return status_; }
+
+  /// Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  /// By value (moved out) on rvalue Results, so patterns like
+  /// `for (auto& x : Fn().value())` bind to a real object rather than a
+  /// reference into the dead temporary.
+  T value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when this holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : fallback; }
+
+ private:
+  Status status_;  // OK iff value_ holds.
+  std::optional<T> value_;
+};
+
+}  // namespace mmconf
+
+#define MMCONF_RESULT_CONCAT_INNER_(a, b) a##b
+#define MMCONF_RESULT_CONCAT_(a, b) MMCONF_RESULT_CONCAT_INNER_(a, b)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns its status from the
+/// enclosing function, otherwise moves the value into `lhs`.
+#define MMCONF_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  MMCONF_ASSIGN_OR_RETURN_IMPL_(                                       \
+      MMCONF_RESULT_CONCAT_(_mmconf_result_, __LINE__), lhs, rexpr)
+
+#define MMCONF_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+#endif  // MMCONF_COMMON_RESULT_H_

@@ -1,0 +1,172 @@
+#include "compress/best_basis.h"
+
+#include <cmath>
+
+#include "compress/wavelet_packet.h"
+
+namespace mmconf::compress {
+
+size_t BasisNode::LeafCount() const {
+  if (!split) return 1;
+  size_t count = 0;
+  for (const BasisNode& child : children) count += child.LeafCount();
+  return count;
+}
+
+int BasisNode::MaxDepth() const {
+  if (!split) return 0;
+  int deepest = 0;
+  for (const BasisNode& child : children) {
+    deepest = std::max(deepest, child.MaxDepth());
+  }
+  return deepest + 1;
+}
+
+double L1Cost(const Plane& plane) {
+  double cost = 0;
+  for (double v : plane.data) cost += std::abs(v);
+  return cost;
+}
+
+namespace {
+
+/// One 2D analysis/synthesis step confined to the region
+/// [x0, x0+w) x [y0, y0+h) of `plane`.
+Status TransformRegion(Plane& plane, int x0, int y0, int w, int h,
+                       WaveletBasis basis, bool forward) {
+  std::vector<double> line;
+  line.resize(static_cast<size_t>(w));
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      line[static_cast<size_t>(x)] = plane.at(x0 + x, y0 + y);
+    }
+    MMCONF_RETURN_IF_ERROR(forward ? DwtStep(line, basis)
+                                   : IdwtStep(line, basis));
+    for (int x = 0; x < w; ++x) {
+      plane.at(x0 + x, y0 + y) = line[static_cast<size_t>(x)];
+    }
+  }
+  line.resize(static_cast<size_t>(h));
+  for (int x = 0; x < w; ++x) {
+    for (int y = 0; y < h; ++y) {
+      line[static_cast<size_t>(y)] = plane.at(x0 + x, y0 + y);
+    }
+    MMCONF_RETURN_IF_ERROR(forward ? DwtStep(line, basis)
+                                   : IdwtStep(line, basis));
+    for (int y = 0; y < h; ++y) {
+      plane.at(x0 + x, y0 + y) = line[static_cast<size_t>(y)];
+    }
+  }
+  return Status::OK();
+}
+
+Plane ExtractRegion(const Plane& plane, int x0, int y0, int w, int h) {
+  Plane out(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) out.at(x, y) = plane.at(x0 + x, y0 + y);
+  }
+  return out;
+}
+
+Result<BasisNode> Search(const Plane& tile, int depth_left,
+                         WaveletBasis basis) {
+  BasisNode node;
+  node.cost = L1Cost(tile);
+  if (depth_left == 0 || tile.width < 2 || tile.height < 2 ||
+      tile.width % 2 != 0 || tile.height % 2 != 0) {
+    return node;
+  }
+  Plane analyzed = tile;
+  MMCONF_RETURN_IF_ERROR(TransformRegion(analyzed, 0, 0, analyzed.width,
+                                         analyzed.height, basis,
+                                         /*forward=*/true));
+  const int hw = tile.width / 2;
+  const int hh = tile.height / 2;
+  const int offsets[4][2] = {{0, 0}, {hw, 0}, {0, hh}, {hw, hh}};
+  std::vector<BasisNode> children;
+  double split_cost = 0;
+  for (const auto& offset : offsets) {
+    Plane quadrant =
+        ExtractRegion(analyzed, offset[0], offset[1], hw, hh);
+    MMCONF_ASSIGN_OR_RETURN(BasisNode child,
+                            Search(quadrant, depth_left - 1, basis));
+    split_cost += child.cost;
+    children.push_back(std::move(child));
+  }
+  if (split_cost < node.cost) {
+    node.split = true;
+    node.cost = split_cost;
+    node.children = std::move(children);
+  }
+  return node;
+}
+
+Status ApplyRegion(Plane& plane, const BasisNode& node, int x0, int y0,
+                   int w, int h, WaveletBasis basis, bool forward) {
+  if (!node.split) return Status::OK();
+  if (node.children.size() != 4) {
+    return Status::InvalidArgument("split basis node needs 4 children");
+  }
+  const int hw = w / 2;
+  const int hh = h / 2;
+  const int offsets[4][2] = {{0, 0}, {hw, 0}, {0, hh}, {hw, hh}};
+  if (forward) {
+    MMCONF_RETURN_IF_ERROR(
+        TransformRegion(plane, x0, y0, w, h, basis, true));
+    for (int q = 0; q < 4; ++q) {
+      MMCONF_RETURN_IF_ERROR(ApplyRegion(plane, node.children[q],
+                                         x0 + offsets[q][0],
+                                         y0 + offsets[q][1], hw, hh, basis,
+                                         true));
+    }
+  } else {
+    for (int q = 0; q < 4; ++q) {
+      MMCONF_RETURN_IF_ERROR(ApplyRegion(plane, node.children[q],
+                                         x0 + offsets[q][0],
+                                         y0 + offsets[q][1], hw, hh, basis,
+                                         false));
+    }
+    MMCONF_RETURN_IF_ERROR(
+        TransformRegion(plane, x0, y0, w, h, basis, false));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<BasisNode> BestBasisSearch(const Plane& plane, int max_depth,
+                                  WaveletBasis basis) {
+  if (max_depth < 0 || max_depth > MaxPacketDepth(plane.width,
+                                                  plane.height)) {
+    return Status::InvalidArgument("max_depth infeasible for plane size");
+  }
+  return Search(plane, max_depth, basis);
+}
+
+Status ApplyBestBasis(Plane& plane, const BasisNode& tree,
+                      WaveletBasis basis) {
+  return ApplyRegion(plane, tree, 0, 0, plane.width, plane.height, basis,
+                     /*forward=*/true);
+}
+
+Status InvertBestBasis(Plane& plane, const BasisNode& tree,
+                       WaveletBasis basis) {
+  return ApplyRegion(plane, tree, 0, 0, plane.width, plane.height, basis,
+                     /*forward=*/false);
+}
+
+Result<double> UniformPacketCost(const Plane& plane, int depth,
+                                 WaveletBasis basis) {
+  Plane analyzed = plane;
+  MMCONF_RETURN_IF_ERROR(WaveletPacket2D(analyzed, depth, basis));
+  return L1Cost(analyzed);
+}
+
+Result<double> PyramidCost(const Plane& plane, int levels,
+                           WaveletBasis basis) {
+  Plane analyzed = plane;
+  MMCONF_RETURN_IF_ERROR(Dwt2D(analyzed, levels, basis));
+  return L1Cost(analyzed);
+}
+
+}  // namespace mmconf::compress

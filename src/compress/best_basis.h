@@ -1,0 +1,64 @@
+#ifndef MMCONF_COMPRESS_BEST_BASIS_H_
+#define MMCONF_COMPRESS_BEST_BASIS_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "compress/plane.h"
+#include "compress/wavelet.h"
+
+namespace mmconf::compress {
+
+/// A node of the chosen wavelet-packet basis tree. `split == false` means
+/// the subband is kept as-is (a basis leaf); `split == true` means one
+/// more 2D analysis step is applied and the four quadrant children are
+/// refined recursively (child order: LL, HL, LH, HH).
+struct BasisNode {
+  bool split = false;
+  double cost = 0;  ///< l1 cost of the subtree under the chosen basis
+  std::vector<BasisNode> children;  ///< size 4 when split
+
+  /// Number of leaves of this subtree (1 when !split).
+  size_t LeafCount() const;
+  /// Depth of the deepest split below (0 when !split).
+  int MaxDepth() const;
+};
+
+/// Additive sparsity cost driving the search: sum of |coefficient|.
+/// Orthonormal steps preserve l2, so a lower l1 means energy packed into
+/// fewer coefficients — fewer bits after dead-zone quantization.
+double L1Cost(const Plane& plane);
+
+/// The Coifman–Wickerhauser best-basis algorithm over the 2D
+/// wavelet-packet family ("By selecting different wavelet and wavelet
+/// packet or local cosine bases, we allow different features to be
+/// discovered in the image"): bottom-up dynamic programming that keeps a
+/// subband unsplit exactly when no further analysis lowers the l1 cost.
+/// `max_depth` bounds the tree (and must be feasible for the plane's
+/// dimensions).
+Result<BasisNode> BestBasisSearch(const Plane& plane, int max_depth,
+                                  WaveletBasis basis);
+
+/// Transforms `plane` in place into the coefficients of the chosen basis.
+Status ApplyBestBasis(Plane& plane, const BasisNode& tree,
+                      WaveletBasis basis);
+
+/// Inverse of ApplyBestBasis.
+Status InvertBestBasis(Plane& plane, const BasisNode& tree,
+                       WaveletBasis basis);
+
+/// Cost of representing `plane` in a *uniform* packet basis of `depth`
+/// (depth 0 = identity). Reference point for tests and the ablation
+/// bench: BestBasisSearch's cost is <= every uniform depth.
+Result<double> UniformPacketCost(const Plane& plane, int depth,
+                                 WaveletBasis basis);
+
+/// Cost of the Mallat pyramid of `levels` (also a member of the packet
+/// family: only the LL child ever splits).
+Result<double> PyramidCost(const Plane& plane, int levels,
+                           WaveletBasis basis);
+
+}  // namespace mmconf::compress
+
+#endif  // MMCONF_COMPRESS_BEST_BASIS_H_

@@ -1,0 +1,119 @@
+#include "compress/bitstream.h"
+
+namespace mmconf::compress {
+
+void BitWriter::PutBit(bool bit) {
+  current_ = static_cast<uint8_t>((current_ << 1) | (bit ? 1 : 0));
+  if (++bit_pos_ == 8) {
+    bytes_.push_back(current_);
+    current_ = 0;
+    bit_pos_ = 0;
+  }
+}
+
+void BitWriter::PutBits(uint32_t value, int count) {
+  for (int i = count - 1; i >= 0; --i) PutBit((value >> i) & 1);
+}
+
+void BitWriter::PutUExpGolomb(uint32_t value) {
+  // code(v) = unary(len(v+1)-1) ++ binary(v+1 without leading 1)
+  uint64_t v = static_cast<uint64_t>(value) + 1;
+  int len = 0;
+  for (uint64_t t = v; t > 1; t >>= 1) ++len;
+  for (int i = 0; i < len; ++i) PutBit(false);
+  PutBit(true);
+  for (int i = len - 1; i >= 0; --i) PutBit((v >> i) & 1);
+}
+
+void BitWriter::PutSExpGolomb(int32_t value) {
+  uint32_t zigzag = value >= 0 ? static_cast<uint32_t>(value) << 1
+                               : (static_cast<uint32_t>(-(value + 1)) << 1) | 1;
+  PutUExpGolomb(zigzag);
+}
+
+Bytes BitWriter::Finish() {
+  while (bit_pos_ != 0) PutBit(false);
+  return std::move(bytes_);
+}
+
+Result<bool> BitReader::GetBit() {
+  size_t byte = pos_ >> 3;
+  if (byte >= bytes_.size()) {
+    return Status::Corruption("bitstream exhausted");
+  }
+  bool bit = (bytes_[byte] >> (7 - (pos_ & 7))) & 1;
+  ++pos_;
+  return bit;
+}
+
+Result<uint32_t> BitReader::GetBits(int count) {
+  uint32_t value = 0;
+  for (int i = 0; i < count; ++i) {
+    MMCONF_ASSIGN_OR_RETURN(bool bit, GetBit());
+    value = (value << 1) | (bit ? 1 : 0);
+  }
+  return value;
+}
+
+Result<uint32_t> BitReader::GetUExpGolomb() {
+  int zeros = 0;
+  while (true) {
+    MMCONF_ASSIGN_OR_RETURN(bool bit, GetBit());
+    if (bit) break;
+    if (++zeros > 32) return Status::Corruption("exp-golomb code too long");
+  }
+  uint64_t v = 1;
+  for (int i = 0; i < zeros; ++i) {
+    MMCONF_ASSIGN_OR_RETURN(bool bit, GetBit());
+    v = (v << 1) | (bit ? 1 : 0);
+  }
+  return static_cast<uint32_t>(v - 1);
+}
+
+Result<int32_t> BitReader::GetSExpGolomb() {
+  MMCONF_ASSIGN_OR_RETURN(uint32_t zigzag, GetUExpGolomb());
+  if (zigzag & 1) {
+    return -static_cast<int32_t>(zigzag >> 1) - 1;
+  }
+  return static_cast<int32_t>(zigzag >> 1);
+}
+
+Bytes EncodeCoefficients(const std::vector<int32_t>& coefficients) {
+  BitWriter w;
+  w.PutBits(static_cast<uint32_t>(coefficients.size()), 32);
+  size_t i = 0;
+  while (i < coefficients.size()) {
+    uint32_t run = 0;
+    while (i < coefficients.size() && coefficients[i] == 0) {
+      ++run;
+      ++i;
+    }
+    w.PutUExpGolomb(run);
+    if (i < coefficients.size()) {
+      // Nonzero value, biased away from zero since zero is run-coded.
+      int32_t v = coefficients[i++];
+      w.PutSExpGolomb(v > 0 ? v - 1 : v + 1);
+      w.PutBit(v > 0);
+    }
+  }
+  return w.Finish();
+}
+
+Result<std::vector<int32_t>> DecodeCoefficients(const Bytes& bytes) {
+  BitReader r(bytes);
+  MMCONF_ASSIGN_OR_RETURN(uint32_t n, r.GetBits(32));
+  std::vector<int32_t> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    MMCONF_ASSIGN_OR_RETURN(uint32_t run, r.GetUExpGolomb());
+    if (run > n - out.size()) return Status::Corruption("zero run overflow");
+    out.insert(out.end(), run, 0);
+    if (out.size() == n) break;
+    MMCONF_ASSIGN_OR_RETURN(int32_t biased, r.GetSExpGolomb());
+    MMCONF_ASSIGN_OR_RETURN(bool positive, r.GetBit());
+    out.push_back(positive ? biased + 1 : biased - 1);
+  }
+  return out;
+}
+
+}  // namespace mmconf::compress

@@ -1,0 +1,64 @@
+#ifndef MMCONF_COMPRESS_BITSTREAM_H_
+#define MMCONF_COMPRESS_BITSTREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace mmconf::compress {
+
+/// Bit-level writer used by the coefficient coder.
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  void PutBit(bool bit);
+  /// Writes `count` low bits of `value`, most significant first.
+  void PutBits(uint32_t value, int count);
+  /// Unsigned Exp-Golomb code.
+  void PutUExpGolomb(uint32_t value);
+  /// Signed Exp-Golomb code (zigzag mapping).
+  void PutSExpGolomb(int32_t value);
+
+  /// Flushes partial byte (zero padded) and returns the stream.
+  Bytes Finish();
+
+  size_t bit_count() const { return bytes_.size() * 8 + bit_pos_; }
+
+ private:
+  Bytes bytes_;
+  uint8_t current_ = 0;
+  int bit_pos_ = 0;  // bits used in current_
+};
+
+/// Bit-level reader; all reads are bounds-checked.
+class BitReader {
+ public:
+  explicit BitReader(const Bytes& bytes) : bytes_(bytes) {}
+
+  Result<bool> GetBit();
+  Result<uint32_t> GetBits(int count);
+  Result<uint32_t> GetUExpGolomb();
+  Result<int32_t> GetSExpGolomb();
+
+  size_t bits_consumed() const { return pos_; }
+
+ private:
+  const Bytes& bytes_;
+  size_t pos_ = 0;  // bit position
+};
+
+/// Encodes a coefficient array with zero-run + Exp-Golomb coding: a run
+/// length of zeros (unsigned EG) followed by the next nonzero value
+/// (signed EG), terminated by the array length in the header. This is the
+/// library's stand-in for the arithmetic coders production codecs use —
+/// simple, deterministic, and strictly decodable.
+Bytes EncodeCoefficients(const std::vector<int32_t>& coefficients);
+Result<std::vector<int32_t>> DecodeCoefficients(const Bytes& bytes);
+
+}  // namespace mmconf::compress
+
+#endif  // MMCONF_COMPRESS_BITSTREAM_H_

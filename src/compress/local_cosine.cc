@@ -1,0 +1,83 @@
+#include "compress/local_cosine.h"
+
+#include <array>
+#include <cmath>
+
+namespace mmconf::compress {
+
+namespace {
+
+constexpr int kN = kLocalCosineBlock;
+
+/// Orthonormal DCT-II basis matrix, built once.
+const std::array<std::array<double, kN>, kN>& DctMatrix() {
+  static const std::array<std::array<double, kN>, kN> matrix = [] {
+    std::array<std::array<double, kN>, kN> m{};
+    for (int k = 0; k < kN; ++k) {
+      double scale = k == 0 ? std::sqrt(1.0 / kN) : std::sqrt(2.0 / kN);
+      for (int n = 0; n < kN; ++n) {
+        m[k][n] = scale * std::cos(M_PI * (n + 0.5) * k / kN);
+      }
+    }
+    return m;
+  }();
+  return matrix;
+}
+
+Status CheckDims(const Plane& plane) {
+  if (plane.width % kN != 0 || plane.height % kN != 0) {
+    return Status::InvalidArgument(
+        "local cosine transform needs dimensions divisible by " +
+        std::to_string(kN) + ", got " + std::to_string(plane.width) + "x" +
+        std::to_string(plane.height));
+  }
+  return Status::OK();
+}
+
+void TransformBlock(Plane& plane, int bx, int by, bool forward) {
+  const auto& dct = DctMatrix();
+  std::array<std::array<double, kN>, kN> tmp{}, out{};
+  // Rows: tmp = (D * block^T)^T i.e. apply along x.
+  for (int y = 0; y < kN; ++y) {
+    for (int k = 0; k < kN; ++k) {
+      double acc = 0;
+      for (int n = 0; n < kN; ++n) {
+        acc += (forward ? dct[k][n] : dct[n][k]) * plane.at(bx + n, by + y);
+      }
+      tmp[y][k] = acc;
+    }
+  }
+  // Columns.
+  for (int x = 0; x < kN; ++x) {
+    for (int k = 0; k < kN; ++k) {
+      double acc = 0;
+      for (int n = 0; n < kN; ++n) {
+        acc += (forward ? dct[k][n] : dct[n][k]) * tmp[n][x];
+      }
+      out[k][x] = acc;
+    }
+  }
+  for (int y = 0; y < kN; ++y) {
+    for (int x = 0; x < kN; ++x) plane.at(bx + x, by + y) = out[y][x];
+  }
+}
+
+Status TransformAll(Plane& plane, bool forward) {
+  MMCONF_RETURN_IF_ERROR(CheckDims(plane));
+  for (int by = 0; by < plane.height; by += kN) {
+    for (int bx = 0; bx < plane.width; bx += kN) {
+      TransformBlock(plane, bx, by, forward);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status LocalCosine2D(Plane& plane) { return TransformAll(plane, true); }
+
+Status InverseLocalCosine2D(Plane& plane) {
+  return TransformAll(plane, false);
+}
+
+}  // namespace mmconf::compress

@@ -1,0 +1,27 @@
+#ifndef MMCONF_COMPRESS_LOCAL_COSINE_H_
+#define MMCONF_COMPRESS_LOCAL_COSINE_H_
+
+#include "common/status.h"
+#include "compress/plane.h"
+
+namespace mmconf::compress {
+
+/// Block size of the local cosine transform.
+inline constexpr int kLocalCosineBlock = 8;
+
+/// Blockwise orthonormal DCT-II — the "local cosine" basis of the paper's
+/// residual layers (Averbuch, Aharoni, Coifman & Israeli 1993 use local
+/// cosine to fight blocking artifacts; here it gives the codec a third
+/// basis family whose artifacts differ from the wavelet bases, so each
+/// residual layer "can encode and compensate for the artifacts created by
+/// the quantization of the coefficients of the previous bases").
+///
+/// Plane dimensions must be multiples of kLocalCosineBlock.
+Status LocalCosine2D(Plane& plane);
+
+/// Inverse of LocalCosine2D.
+Status InverseLocalCosine2D(Plane& plane);
+
+}  // namespace mmconf::compress
+
+#endif  // MMCONF_COMPRESS_LOCAL_COSINE_H_

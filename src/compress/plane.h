@@ -1,0 +1,50 @@
+#ifndef MMCONF_COMPRESS_PLANE_H_
+#define MMCONF_COMPRESS_PLANE_H_
+
+#include <vector>
+
+#include "media/image.h"
+
+namespace mmconf::compress {
+
+/// Row-major plane of doubles — the working representation for all
+/// transforms in the codec.
+struct Plane {
+  int width = 0;
+  int height = 0;
+  std::vector<double> data;
+
+  Plane() = default;
+  Plane(int w, int h) : width(w), height(h), data(static_cast<size_t>(w) * h) {}
+
+  double& at(int x, int y) { return data[static_cast<size_t>(y) * width + x]; }
+  double at(int x, int y) const {
+    return data[static_cast<size_t>(y) * width + x];
+  }
+};
+
+/// Converts an image's pixel plane (annotations are not included — the
+/// codec compresses the scan; overlays travel as vector data).
+inline Plane PlaneFromImage(const media::Image& image) {
+  Plane plane(image.width(), image.height());
+  for (size_t i = 0; i < plane.data.size(); ++i) {
+    plane.data[i] = static_cast<double>(image.pixels()[i]);
+  }
+  return plane;
+}
+
+/// Converts back to an image, clamping to [0, 255].
+inline media::Image ImageFromPlane(const Plane& plane) {
+  media::Image image =
+      media::Image::Create(plane.width, plane.height).value();
+  for (size_t i = 0; i < plane.data.size(); ++i) {
+    double v = plane.data[i];
+    image.mutable_pixels()[i] =
+        static_cast<uint8_t>(v < 0 ? 0 : (v > 255 ? 255 : v + 0.5));
+  }
+  return image;
+}
+
+}  // namespace mmconf::compress
+
+#endif  // MMCONF_COMPRESS_PLANE_H_

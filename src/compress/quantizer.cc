@@ -1,0 +1,35 @@
+#include "compress/quantizer.h"
+
+#include <cmath>
+
+namespace mmconf::compress {
+
+std::vector<int32_t> Quantize(const Plane& plane, double step) {
+  std::vector<int32_t> out(plane.data.size());
+  for (size_t i = 0; i < plane.data.size(); ++i) {
+    double v = plane.data[i] / step;
+    out[i] = static_cast<int32_t>(v < 0 ? -std::floor(-v) : std::floor(v));
+  }
+  return out;
+}
+
+Result<Plane> Dequantize(const std::vector<int32_t>& coefficients, int width,
+                         int height, double step) {
+  if (coefficients.size() != static_cast<size_t>(width) * height) {
+    return Status::InvalidArgument("coefficient count does not match plane");
+  }
+  Plane plane(width, height);
+  for (size_t i = 0; i < coefficients.size(); ++i) {
+    int32_t q = coefficients[i];
+    if (q == 0) {
+      plane.data[i] = 0;
+    } else if (q > 0) {
+      plane.data[i] = (q + 0.5) * step;
+    } else {
+      plane.data[i] = (q - 0.5) * step;
+    }
+  }
+  return plane;
+}
+
+}  // namespace mmconf::compress

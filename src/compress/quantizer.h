@@ -1,0 +1,23 @@
+#ifndef MMCONF_COMPRESS_QUANTIZER_H_
+#define MMCONF_COMPRESS_QUANTIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "compress/plane.h"
+
+namespace mmconf::compress {
+
+/// Uniform dead-zone quantizer. The dead zone (values with |x| < step map
+/// to 0) is what makes transform coefficients sparse and the zero-run
+/// coder effective.
+std::vector<int32_t> Quantize(const Plane& plane, double step);
+
+/// Midpoint reconstruction of Quantize output.
+Result<Plane> Dequantize(const std::vector<int32_t>& coefficients, int width,
+                         int height, double step);
+
+}  // namespace mmconf::compress
+
+#endif  // MMCONF_COMPRESS_QUANTIZER_H_

@@ -1,0 +1,163 @@
+#include "compress/wavelet.h"
+
+#include <cmath>
+
+namespace mmconf::compress {
+
+namespace {
+
+struct FilterPair {
+  std::vector<double> low;
+  std::vector<double> high;
+};
+
+FilterPair FiltersFor(WaveletBasis basis) {
+  switch (basis) {
+    case WaveletBasis::kHaar: {
+      const double s = 1.0 / std::sqrt(2.0);
+      return {{s, s}, {s, -s}};
+    }
+    case WaveletBasis::kDaub4: {
+      const double s3 = std::sqrt(3.0);
+      const double norm = 4.0 * std::sqrt(2.0);
+      std::vector<double> low = {(1 + s3) / norm, (3 + s3) / norm,
+                                 (3 - s3) / norm, (1 - s3) / norm};
+      // g[k] = (-1)^k * h[L-1-k]
+      std::vector<double> high(low.size());
+      for (size_t k = 0; k < low.size(); ++k) {
+        high[k] = (k % 2 == 0 ? 1.0 : -1.0) * low[low.size() - 1 - k];
+      }
+      return {std::move(low), std::move(high)};
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+Status DwtStep(std::vector<double>& signal, WaveletBasis basis) {
+  const size_t n = signal.size();
+  if (n < 2 || n % 2 != 0) {
+    return Status::InvalidArgument("DWT step needs even length >= 2, got " +
+                                   std::to_string(n));
+  }
+  FilterPair filters = FiltersFor(basis);
+  const size_t half = n / 2;
+  std::vector<double> out(n);
+  for (size_t k = 0; k < half; ++k) {
+    double a = 0, d = 0;
+    for (size_t m = 0; m < filters.low.size(); ++m) {
+      double x = signal[(2 * k + m) % n];
+      a += filters.low[m] * x;
+      d += filters.high[m] * x;
+    }
+    out[k] = a;
+    out[half + k] = d;
+  }
+  signal = std::move(out);
+  return Status::OK();
+}
+
+Status IdwtStep(std::vector<double>& signal, WaveletBasis basis) {
+  const size_t n = signal.size();
+  if (n < 2 || n % 2 != 0) {
+    return Status::InvalidArgument("IDWT step needs even length >= 2");
+  }
+  FilterPair filters = FiltersFor(basis);
+  const size_t half = n / 2;
+  std::vector<double> out(n, 0.0);
+  for (size_t k = 0; k < half; ++k) {
+    for (size_t m = 0; m < filters.low.size(); ++m) {
+      size_t idx = (2 * k + m) % n;
+      out[idx] += filters.low[m] * signal[k] +
+                  filters.high[m] * signal[half + k];
+    }
+  }
+  signal = std::move(out);
+  return Status::OK();
+}
+
+int MaxDwtLevels(int width, int height) {
+  int levels = 0;
+  while (width % 2 == 0 && height % 2 == 0 && width >= 2 && height >= 2) {
+    width /= 2;
+    height /= 2;
+    ++levels;
+  }
+  return levels;
+}
+
+namespace {
+
+Status Transform2DLevel(Plane& plane, int w, int h, WaveletBasis basis,
+                        bool forward) {
+  // Rows.
+  std::vector<double> row(static_cast<size_t>(w));
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) row[static_cast<size_t>(x)] = plane.at(x, y);
+    MMCONF_RETURN_IF_ERROR(forward ? DwtStep(row, basis)
+                                   : IdwtStep(row, basis));
+    for (int x = 0; x < w; ++x) plane.at(x, y) = row[static_cast<size_t>(x)];
+  }
+  // Columns.
+  std::vector<double> col(static_cast<size_t>(h));
+  for (int x = 0; x < w; ++x) {
+    for (int y = 0; y < h; ++y) col[static_cast<size_t>(y)] = plane.at(x, y);
+    MMCONF_RETURN_IF_ERROR(forward ? DwtStep(col, basis)
+                                   : IdwtStep(col, basis));
+    for (int y = 0; y < h; ++y) plane.at(x, y) = col[static_cast<size_t>(y)];
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Dwt2D(Plane& plane, int levels, WaveletBasis basis) {
+  if (levels < 0 || levels > MaxDwtLevels(plane.width, plane.height)) {
+    return Status::InvalidArgument(
+        "cannot apply " + std::to_string(levels) + " DWT levels to " +
+        std::to_string(plane.width) + "x" + std::to_string(plane.height));
+  }
+  int w = plane.width, h = plane.height;
+  for (int level = 0; level < levels; ++level) {
+    MMCONF_RETURN_IF_ERROR(
+        Transform2DLevel(plane, w, h, basis, /*forward=*/true));
+    w /= 2;
+    h /= 2;
+  }
+  return Status::OK();
+}
+
+Status Idwt2D(Plane& plane, int levels, WaveletBasis basis) {
+  if (levels < 0 || levels > MaxDwtLevels(plane.width, plane.height)) {
+    return Status::InvalidArgument("invalid level count");
+  }
+  for (int level = levels - 1; level >= 0; --level) {
+    int w = plane.width >> level;
+    int h = plane.height >> level;
+    MMCONF_RETURN_IF_ERROR(
+        Transform2DLevel(plane, w, h, basis, /*forward=*/false));
+  }
+  return Status::OK();
+}
+
+Result<Plane> ReconstructAtScale(const Plane& analyzed, int levels,
+                                 int scale_log2, WaveletBasis basis) {
+  if (scale_log2 < 0 || scale_log2 > levels) {
+    return Status::InvalidArgument("scale must be within [0, levels]");
+  }
+  int w = analyzed.width >> scale_log2;
+  int h = analyzed.height >> scale_log2;
+  Plane sub(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) sub.at(x, y) = analyzed.at(x, y);
+  }
+  MMCONF_RETURN_IF_ERROR(Idwt2D(sub, levels - scale_log2, basis));
+  // Each 2D analysis level scales the LL band by 2 (orthonormal filters),
+  // so the coarse reconstruction sits 2^scale above pixel range.
+  double scale = std::pow(2.0, -scale_log2);
+  for (double& v : sub.data) v *= scale;
+  return sub;
+}
+
+}  // namespace mmconf::compress

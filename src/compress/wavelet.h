@@ -1,0 +1,46 @@
+#ifndef MMCONF_COMPRESS_WAVELET_H_
+#define MMCONF_COMPRESS_WAVELET_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "compress/plane.h"
+
+namespace mmconf::compress {
+
+/// Orthonormal wavelet family used by the base layer.
+enum class WaveletBasis : uint8_t {
+  kHaar = 0,
+  kDaub4 = 1,
+};
+
+/// One-level 1D analysis with periodic boundary handling: `signal` (even
+/// length) becomes [approx | detail], each of half length.
+Status DwtStep(std::vector<double>& signal, WaveletBasis basis);
+/// Inverse of DwtStep.
+Status IdwtStep(std::vector<double>& signal, WaveletBasis basis);
+
+/// Maximum number of 2D DWT levels applicable to a width x height plane
+/// (each level requires both current dimensions to be even).
+int MaxDwtLevels(int width, int height);
+
+/// Multi-level 2D Mallat decomposition in place: after `levels` steps, the
+/// top-left (w/2^levels x h/2^levels) region holds the coarsest
+/// approximation (LL) and the remaining regions hold detail subbands.
+Status Dwt2D(Plane& plane, int levels, WaveletBasis basis);
+/// Inverse of Dwt2D.
+Status Idwt2D(Plane& plane, int levels, WaveletBasis basis);
+
+/// Reconstructs only the lowest `target_levels` of an analyzed plane,
+/// producing the coarse approximation at 1/2^(levels-target_levels) the
+/// original resolution, rescaled into pixel range. This is the
+/// multi-resolution path ("the compression and transfer of images in
+/// various degrees of resolution"): a client with little bandwidth can
+/// synthesize a faithful thumbnail from the coefficient prefix.
+Result<Plane> ReconstructAtScale(const Plane& analyzed, int levels,
+                                 int scale_log2, WaveletBasis basis);
+
+}  // namespace mmconf::compress
+
+#endif  // MMCONF_COMPRESS_WAVELET_H_

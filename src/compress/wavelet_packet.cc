@@ -1,0 +1,75 @@
+#include "compress/wavelet_packet.h"
+
+#include <vector>
+
+namespace mmconf::compress {
+
+int MaxPacketDepth(int width, int height) { return MaxDwtLevels(width, height); }
+
+namespace {
+
+/// Applies one analysis/synthesis step to every (tw x th) tile of the
+/// plane.
+Status TransformTiles(Plane& plane, int tw, int th, WaveletBasis basis,
+                      bool forward) {
+  std::vector<double> line;
+  for (int ty = 0; ty < plane.height; ty += th) {
+    for (int tx = 0; tx < plane.width; tx += tw) {
+      // Rows of the tile.
+      line.resize(static_cast<size_t>(tw));
+      for (int y = 0; y < th; ++y) {
+        for (int x = 0; x < tw; ++x) {
+          line[static_cast<size_t>(x)] = plane.at(tx + x, ty + y);
+        }
+        MMCONF_RETURN_IF_ERROR(forward ? DwtStep(line, basis)
+                                       : IdwtStep(line, basis));
+        for (int x = 0; x < tw; ++x) {
+          plane.at(tx + x, ty + y) = line[static_cast<size_t>(x)];
+        }
+      }
+      // Columns of the tile.
+      line.resize(static_cast<size_t>(th));
+      for (int x = 0; x < tw; ++x) {
+        for (int y = 0; y < th; ++y) {
+          line[static_cast<size_t>(y)] = plane.at(tx + x, ty + y);
+        }
+        MMCONF_RETURN_IF_ERROR(forward ? DwtStep(line, basis)
+                                       : IdwtStep(line, basis));
+        for (int y = 0; y < th; ++y) {
+          plane.at(tx + x, ty + y) = line[static_cast<size_t>(y)];
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WaveletPacket2D(Plane& plane, int depth, WaveletBasis basis) {
+  if (depth < 0 || depth > MaxPacketDepth(plane.width, plane.height)) {
+    return Status::InvalidArgument("invalid packet depth " +
+                                   std::to_string(depth));
+  }
+  for (int level = 0; level < depth; ++level) {
+    MMCONF_RETURN_IF_ERROR(TransformTiles(plane, plane.width >> level,
+                                          plane.height >> level, basis,
+                                          /*forward=*/true));
+  }
+  return Status::OK();
+}
+
+Status InverseWaveletPacket2D(Plane& plane, int depth, WaveletBasis basis) {
+  if (depth < 0 || depth > MaxPacketDepth(plane.width, plane.height)) {
+    return Status::InvalidArgument("invalid packet depth " +
+                                   std::to_string(depth));
+  }
+  for (int level = depth - 1; level >= 0; --level) {
+    MMCONF_RETURN_IF_ERROR(TransformTiles(plane, plane.width >> level,
+                                          plane.height >> level, basis,
+                                          /*forward=*/false));
+  }
+  return Status::OK();
+}
+
+}  // namespace mmconf::compress

@@ -1,0 +1,26 @@
+#ifndef MMCONF_COMPRESS_WAVELET_PACKET_H_
+#define MMCONF_COMPRESS_WAVELET_PACKET_H_
+
+#include "common/status.h"
+#include "compress/plane.h"
+#include "compress/wavelet.h"
+
+namespace mmconf::compress {
+
+/// Full (uniform) 2D wavelet-packet decomposition: unlike the Mallat
+/// pyramid, *every* subband — detail bands included — is re-analyzed at
+/// each depth, yielding 4^depth equal tiles. The paper's layered codec
+/// uses packet bases for the residual layers because residuals after the
+/// wavelet base layer are oscillatory, which packets represent sparsely.
+Status WaveletPacket2D(Plane& plane, int depth, WaveletBasis basis);
+
+/// Inverse of WaveletPacket2D.
+Status InverseWaveletPacket2D(Plane& plane, int depth, WaveletBasis basis);
+
+/// Maximum depth for the given dimensions (every tile must keep even
+/// dimensions at each step).
+int MaxPacketDepth(int width, int height);
+
+}  // namespace mmconf::compress
+
+#endif  // MMCONF_COMPRESS_WAVELET_PACKET_H_

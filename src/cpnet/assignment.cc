@@ -1,0 +1,55 @@
+#include "cpnet/assignment.h"
+
+#include <algorithm>
+
+namespace mmconf::cpnet {
+
+bool Assignment::IsComplete() const {
+  return std::none_of(values_.begin(), values_.end(),
+                      [](ValueId v) { return v == kUnassigned; });
+}
+
+size_t Assignment::AssignedCount() const {
+  return static_cast<size_t>(
+      std::count_if(values_.begin(), values_.end(),
+                    [](ValueId v) { return v != kUnassigned; }));
+}
+
+bool Assignment::Extends(const Assignment& other) const {
+  if (other.size() != size()) return false;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (other.values_[i] != kUnassigned &&
+        other.values_[i] != values_[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Assignment::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ' ';
+    if (values_[i] == kUnassigned) {
+      out += '*';
+    } else {
+      out += std::to_string(values_[i]);
+    }
+  }
+  out += ']';
+  return out;
+}
+
+bool operator==(const Assignment& a, const Assignment& b) {
+  return a.values() == b.values();
+}
+
+bool operator!=(const Assignment& a, const Assignment& b) {
+  return !(a == b);
+}
+
+bool operator<(const Assignment& a, const Assignment& b) {
+  return a.values() < b.values();
+}
+
+}  // namespace mmconf::cpnet

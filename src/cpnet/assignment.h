@@ -1,0 +1,69 @@
+#ifndef MMCONF_CPNET_ASSIGNMENT_H_
+#define MMCONF_CPNET_ASSIGNMENT_H_
+
+#include <string>
+#include <vector>
+
+namespace mmconf::cpnet {
+
+/// Index of a CP-net variable. In the presentation model each variable is
+/// one document component.
+using VarId = int;
+
+/// Index of a value within a variable's domain. In the presentation model
+/// each value is one presentation option of the component (e.g. flat /
+/// segmented / hidden for a CT image).
+using ValueId = int;
+
+/// Marker for "unassigned" in partial assignments.
+inline constexpr ValueId kUnassigned = -1;
+
+/// An assignment of values to the variables of a CP-net. A *full*
+/// assignment (every variable set) is an outcome — one complete
+/// presentation configuration of the document. A *partial* assignment is
+/// evidence: the viewers' explicit choices that the optimal completion
+/// must respect.
+class Assignment {
+ public:
+  Assignment() = default;
+  /// Creates an all-unassigned partial assignment over `num_vars`.
+  explicit Assignment(size_t num_vars)
+      : values_(num_vars, kUnassigned) {}
+  /// Wraps explicit values (kUnassigned entries allowed).
+  explicit Assignment(std::vector<ValueId> values)
+      : values_(std::move(values)) {}
+
+  size_t size() const { return values_.size(); }
+
+  ValueId Get(VarId v) const { return values_[static_cast<size_t>(v)]; }
+  void Set(VarId v, ValueId value) {
+    values_[static_cast<size_t>(v)] = value;
+  }
+  void Clear(VarId v) { values_[static_cast<size_t>(v)] = kUnassigned; }
+
+  bool IsAssigned(VarId v) const { return Get(v) != kUnassigned; }
+  /// True when every variable is assigned (the assignment is an outcome).
+  bool IsComplete() const;
+  /// Number of assigned variables.
+  size_t AssignedCount() const;
+
+  /// True if every assignment made in `other` matches this one. Both must
+  /// have the same size.
+  bool Extends(const Assignment& other) const;
+
+  const std::vector<ValueId>& values() const { return values_; }
+
+  /// "[0 1 * 2]" style rendering (* = unassigned).
+  std::string ToString() const;
+
+ private:
+  std::vector<ValueId> values_;
+};
+
+bool operator==(const Assignment& a, const Assignment& b);
+bool operator!=(const Assignment& a, const Assignment& b);
+bool operator<(const Assignment& a, const Assignment& b);
+
+}  // namespace mmconf::cpnet
+
+#endif  // MMCONF_CPNET_ASSIGNMENT_H_

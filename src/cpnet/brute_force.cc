@@ -1,0 +1,157 @@
+#include "cpnet/brute_force.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+namespace mmconf::cpnet {
+
+Result<std::vector<Assignment>> EnumerateCompletions(
+    const CpNet& net, const Assignment& evidence) {
+  if (evidence.size() != net.num_variables()) {
+    return Status::InvalidArgument("evidence size mismatch");
+  }
+  std::vector<VarId> free_vars;
+  for (size_t v = 0; v < net.num_variables(); ++v) {
+    if (!evidence.IsAssigned(static_cast<VarId>(v))) {
+      free_vars.push_back(static_cast<VarId>(v));
+    }
+  }
+  std::vector<Assignment> outcomes;
+  Assignment current = evidence;
+  // Odometer enumeration over the free variables.
+  std::vector<ValueId> digits(free_vars.size(), 0);
+  while (true) {
+    for (size_t i = 0; i < free_vars.size(); ++i) {
+      current.Set(free_vars[i], digits[i]);
+    }
+    outcomes.push_back(current);
+    size_t pos = free_vars.size();
+    while (pos > 0) {
+      --pos;
+      if (++digits[pos] < net.DomainSize(free_vars[pos])) break;
+      digits[pos] = 0;
+      if (pos == 0) return outcomes;
+    }
+    if (free_vars.empty()) return outcomes;
+  }
+}
+
+Result<Assignment> BruteForceOptimalCompletion(const CpNet& net,
+                                               const Assignment& evidence) {
+  MMCONF_ASSIGN_OR_RETURN(std::vector<Assignment> outcomes,
+                          EnumerateCompletions(net, evidence));
+  for (const Assignment& outcome : outcomes) {
+    MMCONF_ASSIGN_OR_RETURN(std::vector<Flip> flips,
+                            net.ImprovingFlips(outcome));
+    bool blocked = false;
+    for (const Flip& flip : flips) {
+      // Flips on evidence variables are not available to the optimizer —
+      // the viewer pinned those values.
+      if (!evidence.IsAssigned(flip.var)) {
+        blocked = true;
+        break;
+      }
+    }
+    if (!blocked) return outcome;
+  }
+  return Status::Internal(
+      "no flip-free completion found; CP-net is not consistent");
+}
+
+Result<OutcomeRelation> CompareOutcomes(const CpNet& net,
+                                        const Assignment& a,
+                                        const Assignment& b,
+                                        size_t max_nodes) {
+  if (a == b) return OutcomeRelation::kEqual;
+  MMCONF_ASSIGN_OR_RETURN(Dominance a_over_b,
+                          DominanceQuery(net, a, b, max_nodes));
+  if (a_over_b == Dominance::kDominates) {
+    return OutcomeRelation::kFirstPreferred;
+  }
+  MMCONF_ASSIGN_OR_RETURN(Dominance b_over_a,
+                          DominanceQuery(net, b, a, max_nodes));
+  if (b_over_a == Dominance::kDominates) {
+    return OutcomeRelation::kSecondPreferred;
+  }
+  if (a_over_b == Dominance::kAborted || b_over_a == Dominance::kAborted) {
+    return OutcomeRelation::kUnknown;
+  }
+  return OutcomeRelation::kIncomparable;
+}
+
+Result<std::vector<Assignment>> FindImprovingSequence(
+    const CpNet& net, const Assignment& better, const Assignment& worse,
+    size_t max_nodes) {
+  if (!better.IsComplete() || !worse.IsComplete() ||
+      better.size() != net.num_variables() ||
+      worse.size() != net.num_variables()) {
+    return Status::InvalidArgument(
+        "improving-sequence query requires two full outcomes");
+  }
+  if (better == worse) {
+    return Status::NotFound("outcomes are equal; strict dominance fails");
+  }
+  std::deque<Assignment> frontier{worse};
+  std::map<Assignment, Assignment> predecessor;  // child -> parent
+  predecessor.emplace(worse, worse);
+  while (!frontier.empty()) {
+    if (predecessor.size() > max_nodes) {
+      return Status::ResourceExhausted("flip-search node budget exhausted");
+    }
+    Assignment current = std::move(frontier.front());
+    frontier.pop_front();
+    MMCONF_ASSIGN_OR_RETURN(std::vector<Flip> flips,
+                            net.ImprovingFlips(current));
+    for (const Flip& flip : flips) {
+      Assignment next = current;
+      next.Set(flip.var, flip.better);
+      if (predecessor.count(next) > 0) continue;
+      predecessor.emplace(next, current);
+      if (next == better) {
+        std::vector<Assignment> path{next};
+        Assignment walk = current;
+        while (!(predecessor.at(walk) == walk)) {
+          path.push_back(walk);
+          walk = predecessor.at(walk);
+        }
+        path.push_back(worse);
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      frontier.push_back(std::move(next));
+    }
+  }
+  return Status::NotFound("no improving flip sequence exists");
+}
+
+Result<Dominance> DominanceQuery(const CpNet& net, const Assignment& better,
+                                 const Assignment& worse,
+                                 size_t max_nodes) {
+  if (!better.IsComplete() || !worse.IsComplete() ||
+      better.size() != net.num_variables() ||
+      worse.size() != net.num_variables()) {
+    return Status::InvalidArgument(
+        "dominance query requires two full outcomes");
+  }
+  if (better == worse) return Dominance::kNotDominates;  // Strict order.
+  std::deque<Assignment> frontier{worse};
+  std::set<Assignment> visited{worse};
+  while (!frontier.empty()) {
+    if (visited.size() > max_nodes) return Dominance::kAborted;
+    Assignment current = std::move(frontier.front());
+    frontier.pop_front();
+    MMCONF_ASSIGN_OR_RETURN(std::vector<Flip> flips,
+                            net.ImprovingFlips(current));
+    for (const Flip& flip : flips) {
+      Assignment next = current;
+      next.Set(flip.var, flip.better);
+      if (next == better) return Dominance::kDominates;
+      if (visited.insert(next).second) frontier.push_back(std::move(next));
+    }
+  }
+  return Dominance::kNotDominates;
+}
+
+}  // namespace mmconf::cpnet

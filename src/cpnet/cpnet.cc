@@ -1,0 +1,298 @@
+#include "cpnet/cpnet.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace mmconf::cpnet {
+
+VarId CpNet::AddVariable(std::string name,
+                         std::vector<std::string> value_names) {
+  Variable var;
+  var.name = std::move(name);
+  var.value_names = std::move(value_names);
+  var.cpt = Cpt({}, static_cast<int>(var.value_names.size()));
+  variables_.push_back(std::move(var));
+  validated_ = false;
+  return static_cast<VarId>(variables_.size() - 1);
+}
+
+Status CpNet::CheckVar(VarId v) const {
+  if (v < 0 || static_cast<size_t>(v) >= variables_.size()) {
+    return Status::OutOfRange("no variable with id " + std::to_string(v));
+  }
+  return Status::OK();
+}
+
+Status CpNet::SetParents(VarId v, std::vector<VarId> parents) {
+  MMCONF_RETURN_IF_ERROR(CheckVar(v));
+  std::vector<int> parent_domains;
+  for (size_t i = 0; i < parents.size(); ++i) {
+    MMCONF_RETURN_IF_ERROR(CheckVar(parents[i]));
+    if (parents[i] == v) {
+      return Status::InvalidArgument("variable cannot be its own parent");
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (parents[j] == parents[i]) {
+        return Status::InvalidArgument("duplicate parent " +
+                                       std::to_string(parents[i]));
+      }
+    }
+    parent_domains.push_back(DomainSize(parents[i]));
+  }
+  Variable& var = variables_[static_cast<size_t>(v)];
+  var.parents = std::move(parents);
+  var.cpt = Cpt(std::move(parent_domains),
+                static_cast<int>(var.value_names.size()));
+  validated_ = false;
+  return Status::OK();
+}
+
+Status CpNet::SetPreference(VarId v,
+                            const std::vector<ValueId>& parent_values,
+                            PreferenceRanking ranking) {
+  MMCONF_RETURN_IF_ERROR(CheckVar(v));
+  validated_ = false;
+  return variables_[static_cast<size_t>(v)].cpt.SetRanking(
+      parent_values, std::move(ranking));
+}
+
+Status CpNet::SetUnconditionalPreference(VarId v,
+                                         const PreferenceRanking& ranking) {
+  MMCONF_RETURN_IF_ERROR(CheckVar(v));
+  validated_ = false;
+  return variables_[static_cast<size_t>(v)].cpt.SetAllRankings(ranking);
+}
+
+Status CpNet::Validate() {
+  // Kahn's algorithm for a topological order; a leftover node means a
+  // cycle.
+  const size_t n = variables_.size();
+  std::vector<int> in_degree(n, 0);
+  for (const Variable& var : variables_) {
+    for (VarId p : var.parents) {
+      (void)p;
+    }
+  }
+  // in_degree counts parents (edges parent -> child).
+  for (size_t v = 0; v < n; ++v) {
+    in_degree[v] = static_cast<int>(variables_[v].parents.size());
+  }
+  std::vector<VarId> order;
+  order.reserve(n);
+  std::vector<VarId> frontier;
+  for (size_t v = 0; v < n; ++v) {
+    if (in_degree[v] == 0) frontier.push_back(static_cast<VarId>(v));
+  }
+  // Children adjacency.
+  std::vector<std::vector<VarId>> children(n);
+  for (size_t v = 0; v < n; ++v) {
+    for (VarId p : variables_[v].parents) {
+      children[static_cast<size_t>(p)].push_back(static_cast<VarId>(v));
+    }
+  }
+  while (!frontier.empty()) {
+    VarId v = frontier.back();
+    frontier.pop_back();
+    order.push_back(v);
+    for (VarId c : children[static_cast<size_t>(v)]) {
+      if (--in_degree[static_cast<size_t>(c)] == 0) frontier.push_back(c);
+    }
+  }
+  if (order.size() != n) {
+    return Status::InvalidArgument(
+        "CP-net has a dependency cycle among its variables");
+  }
+  for (size_t v = 0; v < n; ++v) {
+    if (variables_[v].value_names.empty()) {
+      return Status::InvalidArgument("variable \"" + variables_[v].name +
+                                     "\" has an empty domain");
+    }
+    if (!variables_[v].cpt.IsComplete()) {
+      return Status::InvalidArgument(
+          "variable \"" + variables_[v].name + "\" is missing rankings for " +
+          std::to_string(variables_[v].cpt.MissingRows().size()) +
+          " CPT row(s)");
+    }
+  }
+  topo_order_ = std::move(order);
+  validated_ = true;
+  return Status::OK();
+}
+
+const std::string& CpNet::VariableName(VarId v) const {
+  return variables_[static_cast<size_t>(v)].name;
+}
+
+Result<VarId> CpNet::FindVariable(const std::string& name) const {
+  for (size_t v = 0; v < variables_.size(); ++v) {
+    if (variables_[v].name == name) return static_cast<VarId>(v);
+  }
+  return Status::NotFound("no variable named \"" + name + "\"");
+}
+
+int CpNet::DomainSize(VarId v) const {
+  return static_cast<int>(variables_[static_cast<size_t>(v)].value_names
+                              .size());
+}
+
+const std::vector<std::string>& CpNet::ValueNames(VarId v) const {
+  return variables_[static_cast<size_t>(v)].value_names;
+}
+
+const std::vector<VarId>& CpNet::Parents(VarId v) const {
+  return variables_[static_cast<size_t>(v)].parents;
+}
+
+std::vector<VarId> CpNet::Children(VarId v) const {
+  std::vector<VarId> children;
+  for (size_t c = 0; c < variables_.size(); ++c) {
+    const std::vector<VarId>& parents = variables_[c].parents;
+    if (std::find(parents.begin(), parents.end(), v) != parents.end()) {
+      children.push_back(static_cast<VarId>(c));
+    }
+  }
+  return children;
+}
+
+const Cpt& CpNet::CptOf(VarId v) const {
+  return variables_[static_cast<size_t>(v)].cpt;
+}
+
+size_t CpNet::ConfigurationSpaceSize() const {
+  size_t total = 1;
+  for (const Variable& var : variables_) {
+    size_t d = var.value_names.size();
+    if (d != 0 && total > std::numeric_limits<size_t>::max() / d) {
+      return std::numeric_limits<size_t>::max();
+    }
+    total *= d;
+  }
+  return total;
+}
+
+Result<std::vector<VarId>> CpNet::TopologicalOrder() const {
+  if (!validated_) {
+    return Status::FailedPrecondition("CP-net not validated");
+  }
+  return topo_order_;
+}
+
+Result<size_t> CpNet::RowFor(VarId v, const Assignment& outcome) const {
+  const Variable& var = variables_[static_cast<size_t>(v)];
+  std::vector<ValueId> parent_values;
+  parent_values.reserve(var.parents.size());
+  for (VarId p : var.parents) {
+    if (!outcome.IsAssigned(p)) {
+      return Status::FailedPrecondition(
+          "parent \"" + VariableName(p) + "\" of \"" + var.name +
+          "\" is unassigned");
+    }
+    parent_values.push_back(outcome.Get(p));
+  }
+  return var.cpt.RowIndex(parent_values);
+}
+
+Result<Assignment> CpNet::OptimalOutcome() const {
+  return OptimalCompletion(Assignment(variables_.size()));
+}
+
+Result<Assignment> CpNet::OptimalCompletion(
+    const Assignment& evidence) const {
+  if (!validated_) {
+    return Status::FailedPrecondition("CP-net not validated");
+  }
+  if (evidence.size() != variables_.size()) {
+    return Status::InvalidArgument(
+        "evidence covers " + std::to_string(evidence.size()) +
+        " variables, network has " + std::to_string(variables_.size()));
+  }
+  Assignment outcome = evidence;
+  for (VarId v : topo_order_) {
+    ValueId fixed = evidence.Get(v);
+    if (fixed != kUnassigned) {
+      if (fixed < 0 || fixed >= DomainSize(v)) {
+        return Status::OutOfRange("evidence value " + std::to_string(fixed) +
+                                  " outside domain of \"" + VariableName(v) +
+                                  "\"");
+      }
+      continue;  // Viewer's explicit choice is frozen.
+    }
+    MMCONF_ASSIGN_OR_RETURN(size_t row, RowFor(v, outcome));
+    MMCONF_ASSIGN_OR_RETURN(
+        ValueId best, variables_[static_cast<size_t>(v)].cpt.BestValue(row));
+    outcome.Set(v, best);
+  }
+  return outcome;
+}
+
+Result<ValueId> CpNet::PreferredValue(VarId v,
+                                      const Assignment& outcome) const {
+  MMCONF_RETURN_IF_ERROR(CheckVar(v));
+  MMCONF_ASSIGN_OR_RETURN(size_t row, RowFor(v, outcome));
+  return variables_[static_cast<size_t>(v)].cpt.BestValue(row);
+}
+
+Result<std::vector<Flip>> CpNet::ImprovingFlips(
+    const Assignment& outcome) const {
+  if (!validated_) {
+    return Status::FailedPrecondition("CP-net not validated");
+  }
+  if (!outcome.IsComplete() || outcome.size() != variables_.size()) {
+    return Status::InvalidArgument("outcome must assign every variable");
+  }
+  std::vector<Flip> flips;
+  for (size_t v = 0; v < variables_.size(); ++v) {
+    MMCONF_ASSIGN_OR_RETURN(size_t row,
+                            RowFor(static_cast<VarId>(v), outcome));
+    const Cpt& cpt = variables_[v].cpt;
+    MMCONF_ASSIGN_OR_RETURN(int current_rank,
+                            cpt.RankOf(row, outcome.Get(static_cast<VarId>(v))));
+    MMCONF_ASSIGN_OR_RETURN(PreferenceRanking ranking, cpt.Ranking(row));
+    for (int r = 0; r < current_rank; ++r) {
+      flips.push_back({static_cast<VarId>(v), ranking[static_cast<size_t>(r)]});
+    }
+  }
+  return flips;
+}
+
+Result<bool> CpNet::IsOptimal(const Assignment& outcome) const {
+  MMCONF_ASSIGN_OR_RETURN(std::vector<Flip> flips, ImprovingFlips(outcome));
+  return flips.empty();
+}
+
+std::string CpNet::DebugString() const {
+  std::string out;
+  for (size_t v = 0; v < variables_.size(); ++v) {
+    const Variable& var = variables_[v];
+    out += var.name + " {";
+    for (size_t i = 0; i < var.value_names.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += var.value_names[i];
+    }
+    out += "}";
+    if (!var.parents.empty()) {
+      out += " <- ";
+      for (size_t i = 0; i < var.parents.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += VariableName(var.parents[i]);
+      }
+    }
+    out += '\n';
+    for (size_t row = 0; row < var.cpt.num_rows(); ++row) {
+      Result<PreferenceRanking> ranking = var.cpt.Ranking(row);
+      out += "  row " + std::to_string(row) + ": ";
+      if (!ranking.ok()) {
+        out += "(unset)\n";
+        continue;
+      }
+      for (size_t i = 0; i < ranking->size(); ++i) {
+        if (i > 0) out += " > ";
+        out += var.value_names[static_cast<size_t>((*ranking)[i])];
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace mmconf::cpnet

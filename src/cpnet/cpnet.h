@@ -1,0 +1,130 @@
+#ifndef MMCONF_CPNET_CPNET_H_
+#define MMCONF_CPNET_CPNET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "cpnet/assignment.h"
+#include "cpnet/cpt.h"
+
+namespace mmconf::cpnet {
+
+/// An improving flip: changing `var` from its current value to `better`
+/// yields a strictly preferred outcome, all else equal.
+struct Flip {
+  VarId var;
+  ValueId better;
+};
+
+/// A CP-network (Boutilier et al. [6], as used by the paper's presentation
+/// module): a DAG over variables where each node carries a table of
+/// conditional preference rankings over its own domain given its parents'
+/// values, interpreted ceteris paribus.
+///
+/// Build protocol: AddVariable for every variable, SetParents + CPT
+/// rankings, then Validate() once; the query methods require a validated
+/// (acyclic, CPT-complete) network and return FailedPrecondition
+/// otherwise.
+class CpNet {
+ public:
+  CpNet() = default;
+
+  CpNet(const CpNet&) = default;
+  CpNet& operator=(const CpNet&) = default;
+  CpNet(CpNet&&) = default;
+  CpNet& operator=(CpNet&&) = default;
+
+  /// Adds a variable with the given domain value names (domain size =
+  /// value_names.size(), which must be >= 1). Returns its id. Invalidates
+  /// any previous Validate().
+  VarId AddVariable(std::string name, std::vector<std::string> value_names);
+
+  /// Sets the parents Pi(v) and resets v's CPT to an empty table over the
+  /// new parent list. Parents must be distinct existing variables != v.
+  Status SetParents(VarId v, std::vector<VarId> parents);
+
+  /// Sets one CPT row of `v`: given the parent values (in SetParents
+  /// order), `ranking` lists v's domain from most to least preferred.
+  Status SetPreference(VarId v, const std::vector<ValueId>& parent_values,
+                       PreferenceRanking ranking);
+
+  /// Sets every CPT row of `v` to `ranking` (unconditional preference).
+  Status SetUnconditionalPreference(VarId v,
+                                    const PreferenceRanking& ranking);
+
+  /// Checks the network is well formed: parent references valid, graph
+  /// acyclic, every CPT row ranked. On success caches the topological
+  /// order used by the query methods.
+  Status Validate();
+  bool validated() const { return validated_; }
+
+  size_t num_variables() const { return variables_.size(); }
+  const std::string& VariableName(VarId v) const;
+  /// NotFound if no variable carries `name`.
+  Result<VarId> FindVariable(const std::string& name) const;
+  int DomainSize(VarId v) const;
+  const std::vector<std::string>& ValueNames(VarId v) const;
+  const std::vector<VarId>& Parents(VarId v) const;
+  /// Variables that list `v` as a parent.
+  std::vector<VarId> Children(VarId v) const;
+  const Cpt& CptOf(VarId v) const;
+
+  /// Size of the full configuration space (product of domain sizes),
+  /// saturating at SIZE_MAX.
+  size_t ConfigurationSpaceSize() const;
+
+  /// Topological order over variables (parents before children).
+  /// Requires Validate().
+  Result<std::vector<VarId>> TopologicalOrder() const;
+
+  /// The unique preferentially optimal outcome: sweep variables in
+  /// topological order setting each to its most preferred value given its
+  /// parents (the paper's Section 4.1 "forward sweep"). Requires
+  /// Validate().
+  Result<Assignment> OptimalOutcome() const;
+
+  /// Best completion of the partial assignment `evidence`: assigned
+  /// variables are frozen (the viewers' choices), all others are swept as
+  /// in OptimalOutcome. This is the constrained-optimization primitive
+  /// behind reconfigPresentation. Requires Validate().
+  Result<Assignment> OptimalCompletion(const Assignment& evidence) const;
+
+  /// Most preferred value of `v` given the parent values found in
+  /// `outcome` (which must assign all parents of v).
+  Result<ValueId> PreferredValue(VarId v, const Assignment& outcome) const;
+
+  /// All improving flips available from `outcome` (a full assignment).
+  /// Empty iff `outcome` is the optimum consistent with itself; for a
+  /// validated acyclic net the unique global optimum is the only
+  /// flip-free outcome.
+  Result<std::vector<Flip>> ImprovingFlips(const Assignment& outcome) const;
+
+  /// True when no improving flip exists from `outcome`.
+  Result<bool> IsOptimal(const Assignment& outcome) const;
+
+  /// Human-readable dump (variable list, parents, CPT rows).
+  std::string DebugString() const;
+
+ private:
+  struct Variable {
+    std::string name;
+    std::vector<std::string> value_names;
+    std::vector<VarId> parents;
+    Cpt cpt;
+  };
+
+  Status CheckVar(VarId v) const;
+  Result<size_t> RowFor(VarId v, const Assignment& outcome) const;
+
+  friend class CpNetEditor;  // online-update operations (update.h)
+
+  std::vector<Variable> variables_;
+  std::vector<VarId> topo_order_;
+  bool validated_ = false;
+};
+
+}  // namespace mmconf::cpnet
+
+#endif  // MMCONF_CPNET_CPNET_H_

@@ -1,0 +1,126 @@
+#include "cpnet/cpt.h"
+
+#include <algorithm>
+
+namespace mmconf::cpnet {
+
+namespace {
+
+size_t NumRowsFor(const std::vector<int>& parent_domain_sizes) {
+  size_t rows = 1;
+  for (int d : parent_domain_sizes) rows *= static_cast<size_t>(d);
+  return rows;
+}
+
+}  // namespace
+
+Cpt::Cpt(std::vector<int> parent_domain_sizes, int domain_size)
+    : parent_domain_sizes_(std::move(parent_domain_sizes)),
+      domain_size_(domain_size),
+      rankings_(NumRowsFor(parent_domain_sizes_)) {}
+
+Result<size_t> Cpt::RowIndex(
+    const std::vector<ValueId>& parent_values) const {
+  if (parent_values.size() != parent_domain_sizes_.size()) {
+    return Status::InvalidArgument(
+        "expected " + std::to_string(parent_domain_sizes_.size()) +
+        " parent values, got " + std::to_string(parent_values.size()));
+  }
+  size_t row = 0;
+  for (size_t i = 0; i < parent_values.size(); ++i) {
+    ValueId v = parent_values[i];
+    if (v < 0 || v >= parent_domain_sizes_[i]) {
+      return Status::OutOfRange("parent value " + std::to_string(v) +
+                                " outside domain of size " +
+                                std::to_string(parent_domain_sizes_[i]));
+    }
+    row = row * static_cast<size_t>(parent_domain_sizes_[i]) +
+          static_cast<size_t>(v);
+  }
+  return row;
+}
+
+std::vector<ValueId> Cpt::RowValues(size_t row) const {
+  std::vector<ValueId> values(parent_domain_sizes_.size());
+  for (size_t i = parent_domain_sizes_.size(); i-- > 0;) {
+    size_t d = static_cast<size_t>(parent_domain_sizes_[i]);
+    values[i] = static_cast<ValueId>(row % d);
+    row /= d;
+  }
+  return values;
+}
+
+Status Cpt::SetRanking(size_t row, PreferenceRanking ranking) {
+  if (row >= rankings_.size()) {
+    return Status::OutOfRange("row " + std::to_string(row) + " of " +
+                              std::to_string(rankings_.size()));
+  }
+  if (ranking.size() != static_cast<size_t>(domain_size_)) {
+    return Status::InvalidArgument(
+        "ranking must order all " + std::to_string(domain_size_) +
+        " domain values, got " + std::to_string(ranking.size()));
+  }
+  std::vector<bool> seen(static_cast<size_t>(domain_size_), false);
+  for (ValueId v : ranking) {
+    if (v < 0 || v >= domain_size_ || seen[static_cast<size_t>(v)]) {
+      return Status::InvalidArgument("ranking is not a permutation");
+    }
+    seen[static_cast<size_t>(v)] = true;
+  }
+  rankings_[row] = std::move(ranking);
+  return Status::OK();
+}
+
+Status Cpt::SetRanking(const std::vector<ValueId>& parent_values,
+                       PreferenceRanking ranking) {
+  MMCONF_ASSIGN_OR_RETURN(size_t row, RowIndex(parent_values));
+  return SetRanking(row, std::move(ranking));
+}
+
+Status Cpt::SetAllRankings(const PreferenceRanking& ranking) {
+  for (size_t row = 0; row < rankings_.size(); ++row) {
+    MMCONF_RETURN_IF_ERROR(SetRanking(row, ranking));
+  }
+  return Status::OK();
+}
+
+Result<PreferenceRanking> Cpt::Ranking(size_t row) const {
+  if (row >= rankings_.size()) {
+    return Status::OutOfRange("row " + std::to_string(row));
+  }
+  if (rankings_[row].empty()) {
+    return Status::FailedPrecondition("CPT row " + std::to_string(row) +
+                                      " has no ranking");
+  }
+  return rankings_[row];
+}
+
+Result<ValueId> Cpt::BestValue(size_t row) const {
+  MMCONF_ASSIGN_OR_RETURN(PreferenceRanking ranking, Ranking(row));
+  return ranking.front();
+}
+
+Result<int> Cpt::RankOf(size_t row, ValueId value) const {
+  MMCONF_ASSIGN_OR_RETURN(PreferenceRanking ranking, Ranking(row));
+  auto it = std::find(ranking.begin(), ranking.end(), value);
+  if (it == ranking.end()) {
+    return Status::InvalidArgument("value " + std::to_string(value) +
+                                   " not in domain");
+  }
+  return static_cast<int>(it - ranking.begin());
+}
+
+bool Cpt::IsComplete() const {
+  return std::none_of(rankings_.begin(), rankings_.end(),
+                      [](const PreferenceRanking& r) { return r.empty(); });
+}
+
+std::vector<size_t> Cpt::MissingRows() const {
+  std::vector<size_t> missing;
+  for (size_t row = 0; row < rankings_.size(); ++row) {
+    if (rankings_[row].empty()) missing.push_back(row);
+  }
+  return missing;
+}
+
+}  // namespace mmconf::cpnet

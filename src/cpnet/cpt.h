@@ -1,0 +1,78 @@
+#ifndef MMCONF_CPNET_CPT_H_
+#define MMCONF_CPNET_CPT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "cpnet/assignment.h"
+
+namespace mmconf::cpnet {
+
+/// A total preference order over one variable's domain: value ids listed
+/// from most preferred to least preferred. Must be a permutation of the
+/// domain.
+using PreferenceRanking = std::vector<ValueId>;
+
+/// Conditional preference table of one CP-net variable (the paper's
+/// CPT(v)): for each assignment to the variable's parents Pi(v), a total
+/// preference ranking over the variable's own domain, interpreted ceteris
+/// paribus.
+///
+/// Parent assignments are indexed in mixed-radix order: the first parent
+/// is the most significant digit.
+class Cpt {
+ public:
+  Cpt() = default;
+
+  /// `parent_domain_sizes[i]` is the domain size of the i-th parent;
+  /// `domain_size` is the owning variable's domain size.
+  Cpt(std::vector<int> parent_domain_sizes, int domain_size);
+
+  int domain_size() const { return domain_size_; }
+  size_t num_rows() const { return rankings_.size(); }
+  const std::vector<int>& parent_domain_sizes() const {
+    return parent_domain_sizes_;
+  }
+
+  /// Converts explicit parent values to a row index. Values must be in
+  /// range and the count must match the parent list.
+  Result<size_t> RowIndex(const std::vector<ValueId>& parent_values) const;
+
+  /// Inverse of RowIndex.
+  std::vector<ValueId> RowValues(size_t row) const;
+
+  /// Sets the ranking for one row. InvalidArgument unless `ranking` is a
+  /// permutation of the domain.
+  Status SetRanking(size_t row, PreferenceRanking ranking);
+  Status SetRanking(const std::vector<ValueId>& parent_values,
+                    PreferenceRanking ranking);
+
+  /// Sets every row to the same ranking (unconditional preference).
+  Status SetAllRankings(const PreferenceRanking& ranking);
+
+  /// Ranking for a row; FailedPrecondition if that row was never set.
+  Result<PreferenceRanking> Ranking(size_t row) const;
+
+  /// Most preferred value for a row.
+  Result<ValueId> BestValue(size_t row) const;
+
+  /// Position of `value` in the row's ranking (0 = most preferred).
+  Result<int> RankOf(size_t row, ValueId value) const;
+
+  /// True when every row has a ranking.
+  bool IsComplete() const;
+  /// Rows that still lack a ranking.
+  std::vector<size_t> MissingRows() const;
+
+ private:
+  std::vector<int> parent_domain_sizes_;
+  int domain_size_ = 0;
+  /// rankings_[row] is empty until set.
+  std::vector<PreferenceRanking> rankings_;
+};
+
+}  // namespace mmconf::cpnet
+
+#endif  // MMCONF_CPNET_CPT_H_

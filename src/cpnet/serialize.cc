@@ -1,0 +1,187 @@
+#include "cpnet/serialize.h"
+
+#include <sstream>
+
+namespace mmconf::cpnet {
+
+std::string ToText(const CpNet& net) {
+  std::ostringstream out;
+  out << "cpnet 1\n";
+  for (size_t v = 0; v < net.num_variables(); ++v) {
+    VarId var = static_cast<VarId>(v);
+    out << "var " << net.VariableName(var) << ' ' << net.DomainSize(var);
+    for (const std::string& name : net.ValueNames(var)) out << ' ' << name;
+    out << '\n';
+  }
+  for (size_t v = 0; v < net.num_variables(); ++v) {
+    VarId var = static_cast<VarId>(v);
+    if (net.Parents(var).empty()) continue;
+    out << "parents " << net.VariableName(var);
+    for (VarId p : net.Parents(var)) out << ' ' << net.VariableName(p);
+    out << '\n';
+  }
+  for (size_t v = 0; v < net.num_variables(); ++v) {
+    VarId var = static_cast<VarId>(v);
+    const Cpt& cpt = net.CptOf(var);
+    const std::vector<VarId>& parents = net.Parents(var);
+    for (size_t row = 0; row < cpt.num_rows(); ++row) {
+      Result<PreferenceRanking> ranking = cpt.Ranking(row);
+      if (!ranking.ok()) continue;  // Unset rows are omitted.
+      out << "pref " << net.VariableName(var) << " [";
+      std::vector<ValueId> parent_values = cpt.RowValues(row);
+      for (size_t i = 0; i < parent_values.size(); ++i) {
+        if (i > 0) out << ' ';
+        out << net.ValueNames(parents[i])[static_cast<size_t>(
+            parent_values[i])];
+      }
+      out << "] :";
+      for (ValueId value : *ranking) {
+        out << ' ' << net.ValueNames(var)[static_cast<size_t>(value)];
+      }
+      out << '\n';
+    }
+  }
+  out << "end\n";
+  return out.str();
+}
+
+namespace {
+
+Result<ValueId> LookupValue(const CpNet& net, VarId var,
+                            const std::string& value_name) {
+  const std::vector<std::string>& names = net.ValueNames(var);
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == value_name) return static_cast<ValueId>(i);
+  }
+  return Status::InvalidArgument("variable \"" + net.VariableName(var) +
+                                 "\" has no value \"" + value_name + "\"");
+}
+
+}  // namespace
+
+Result<CpNet> FromText(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  CpNet net;
+  bool saw_header = false;
+  bool saw_end = false;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::istringstream tokens(line);
+    std::string keyword;
+    if (!(tokens >> keyword) || keyword.empty() || keyword[0] == '#') {
+      continue;
+    }
+    auto error = [&](const std::string& msg) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": " + msg);
+    };
+    if (keyword == "cpnet") {
+      int version = 0;
+      if (!(tokens >> version) || version != 1) {
+        return error("unsupported cpnet version");
+      }
+      saw_header = true;
+    } else if (keyword == "var") {
+      if (!saw_header) return error("var before header");
+      std::string name;
+      int k = 0;
+      if (!(tokens >> name >> k) || k < 1) return error("malformed var");
+      std::vector<std::string> value_names;
+      std::string value;
+      while (tokens >> value) value_names.push_back(value);
+      if (static_cast<int>(value_names.size()) != k) {
+        return error("var declares " + std::to_string(k) + " values, lists " +
+                     std::to_string(value_names.size()));
+      }
+      if (net.FindVariable(name).ok()) {
+        return error("duplicate variable \"" + name + "\"");
+      }
+      net.AddVariable(name, std::move(value_names));
+    } else if (keyword == "parents") {
+      std::string name;
+      if (!(tokens >> name)) return error("malformed parents");
+      Result<VarId> var = net.FindVariable(name);
+      if (!var.ok()) return error("unknown variable \"" + name + "\"");
+      std::vector<VarId> parents;
+      std::string parent_name;
+      while (tokens >> parent_name) {
+        Result<VarId> parent = net.FindVariable(parent_name);
+        if (!parent.ok()) {
+          return error("unknown parent \"" + parent_name + "\"");
+        }
+        parents.push_back(*parent);
+      }
+      Status st = net.SetParents(*var, std::move(parents));
+      if (!st.ok()) return error(st.message());
+    } else if (keyword == "pref") {
+      std::string name;
+      if (!(tokens >> name)) return error("malformed pref");
+      Result<VarId> var = net.FindVariable(name);
+      if (!var.ok()) return error("unknown variable \"" + name + "\"");
+      std::string token;
+      if (!(tokens >> token) || token.empty() || token[0] != '[') {
+        return error("expected [parent values]");
+      }
+      // Collect tokens until the one ending with ']'.
+      std::vector<std::string> parent_tokens;
+      if (token != "[") {
+        token.erase(0, 1);  // strip '['
+        if (!token.empty() && token.back() == ']') {
+          token.pop_back();
+          if (!token.empty()) parent_tokens.push_back(token);
+          token = "]";
+        } else if (!token.empty()) {
+          parent_tokens.push_back(token);
+        }
+      }
+      while (token != "]" &&
+             !(token.size() > 1 && token.back() == ']')) {
+        if (!(tokens >> token)) return error("unterminated parent list");
+        if (token == "]") break;
+        if (token.back() == ']') {
+          token.pop_back();
+          if (!token.empty()) parent_tokens.push_back(token);
+          break;
+        }
+        parent_tokens.push_back(token);
+      }
+      const std::vector<VarId>& parents = net.Parents(*var);
+      if (parent_tokens.size() != parents.size()) {
+        return error("pref lists " + std::to_string(parent_tokens.size()) +
+                     " parent values, variable has " +
+                     std::to_string(parents.size()) + " parents");
+      }
+      std::vector<ValueId> parent_values;
+      for (size_t i = 0; i < parent_tokens.size(); ++i) {
+        Result<ValueId> value = LookupValue(net, parents[i],
+                                            parent_tokens[i]);
+        if (!value.ok()) return error(value.status().message());
+        parent_values.push_back(*value);
+      }
+      std::string colon;
+      if (!(tokens >> colon) || colon != ":") return error("expected ':'");
+      PreferenceRanking ranking;
+      std::string value_name;
+      while (tokens >> value_name) {
+        Result<ValueId> value = LookupValue(net, *var, value_name);
+        if (!value.ok()) return error(value.status().message());
+        ranking.push_back(*value);
+      }
+      Status st = net.SetPreference(*var, parent_values, std::move(ranking));
+      if (!st.ok()) return error(st.message());
+    } else if (keyword == "end") {
+      saw_end = true;
+      break;
+    } else {
+      return error("unknown keyword \"" + keyword + "\"");
+    }
+  }
+  if (!saw_header) return Status::InvalidArgument("missing cpnet header");
+  if (!saw_end) return Status::InvalidArgument("missing end marker");
+  MMCONF_RETURN_IF_ERROR(net.Validate());
+  return net;
+}
+
+}  // namespace mmconf::cpnet

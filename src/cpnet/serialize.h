@@ -1,0 +1,30 @@
+#ifndef MMCONF_CPNET_SERIALIZE_H_
+#define MMCONF_CPNET_SERIALIZE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "cpnet/cpnet.h"
+
+namespace mmconf::cpnet {
+
+/// Serializes a CP-net to a line-oriented text form. The description of
+/// the author's preferences "becomes a static part of the multimedia
+/// document" — this is the format the document layer stores alongside the
+/// component tree and ships to interaction servers.
+///
+///   cpnet 1
+///   var <name> <k> <value-name>...      (one per variable, in id order)
+///   parents <var-name> <parent-name>...
+///   pref <var-name> [<parent-value-name>...] : <value-name>...
+///   end
+///
+/// Variable and value names must not contain whitespace.
+std::string ToText(const CpNet& net);
+
+/// Parses the ToText format and validates the result.
+Result<CpNet> FromText(const std::string& text);
+
+}  // namespace mmconf::cpnet
+
+#endif  // MMCONF_CPNET_SERIALIZE_H_

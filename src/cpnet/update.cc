@@ -1,0 +1,215 @@
+#include "cpnet/update.h"
+
+#include <algorithm>
+
+namespace mmconf::cpnet {
+
+Result<VarId> CpNetEditor::AddComponent(CpNet& net, std::string name,
+                                        std::vector<std::string> value_names,
+                                        PreferenceRanking ranking) {
+  if (value_names.empty()) {
+    return Status::InvalidArgument("component needs a non-empty domain");
+  }
+  VarId v = net.AddVariable(std::move(name), std::move(value_names));
+  MMCONF_RETURN_IF_ERROR(net.SetUnconditionalPreference(v, ranking));
+  MMCONF_RETURN_IF_ERROR(net.Validate());
+  return v;
+}
+
+Result<CpNetEditor::RemovalResult> CpNetEditor::RemoveComponent(
+    const CpNet& net, VarId v, ValueId restriction_value) {
+  if (v < 0 || static_cast<size_t>(v) >= net.num_variables()) {
+    return Status::OutOfRange("no variable with id " + std::to_string(v));
+  }
+  if (restriction_value < 0 || restriction_value >= net.DomainSize(v)) {
+    return Status::OutOfRange("restriction value outside domain of \"" +
+                              net.VariableName(v) + "\"");
+  }
+
+  RemovalResult result;
+  result.old_to_new.assign(net.num_variables(), kUnassigned);
+  // Rebuild all surviving variables with compacted ids.
+  for (size_t old_v = 0; old_v < net.num_variables(); ++old_v) {
+    if (static_cast<VarId>(old_v) == v) continue;
+    result.old_to_new[old_v] = result.net.AddVariable(
+        net.VariableName(static_cast<VarId>(old_v)),
+        net.ValueNames(static_cast<VarId>(old_v)));
+  }
+  for (size_t old_v = 0; old_v < net.num_variables(); ++old_v) {
+    if (static_cast<VarId>(old_v) == v) continue;
+    VarId new_v = result.old_to_new[old_v];
+    const std::vector<VarId>& old_parents =
+        net.Parents(static_cast<VarId>(old_v));
+    // Position of `v` within this variable's parent list, if present.
+    int removed_pos = -1;
+    std::vector<VarId> new_parents;
+    for (size_t i = 0; i < old_parents.size(); ++i) {
+      if (old_parents[i] == v) {
+        removed_pos = static_cast<int>(i);
+      } else {
+        new_parents.push_back(result.old_to_new[old_parents[i]]);
+      }
+    }
+    MMCONF_RETURN_IF_ERROR(result.net.SetParents(new_v, new_parents));
+
+    // Copy CPT rows. When `v` was a parent, keep only the rows where
+    // v == restriction_value.
+    const Cpt& old_cpt = net.CptOf(static_cast<VarId>(old_v));
+    for (size_t row = 0; row < old_cpt.num_rows(); ++row) {
+      std::vector<ValueId> old_values = old_cpt.RowValues(row);
+      std::vector<ValueId> new_values;
+      bool keep = true;
+      for (size_t i = 0; i < old_values.size(); ++i) {
+        if (static_cast<int>(i) == removed_pos) {
+          if (old_values[i] != restriction_value) keep = false;
+        } else {
+          new_values.push_back(old_values[i]);
+        }
+      }
+      if (!keep) continue;
+      MMCONF_ASSIGN_OR_RETURN(PreferenceRanking ranking,
+                              old_cpt.Ranking(row));
+      MMCONF_RETURN_IF_ERROR(
+          result.net.SetPreference(new_v, new_values, std::move(ranking)));
+    }
+  }
+  MMCONF_RETURN_IF_ERROR(result.net.Validate());
+  return result;
+}
+
+Result<VarId> CpNetEditor::AddOperationVariable(CpNet& net, VarId target,
+                                                ValueId trigger_value,
+                                                std::string op_name,
+                                                std::string applied_name,
+                                                std::string plain_name) {
+  if (target < 0 || static_cast<size_t>(target) >= net.num_variables()) {
+    return Status::OutOfRange("no variable with id " +
+                              std::to_string(target));
+  }
+  if (trigger_value < 0 || trigger_value >= net.DomainSize(target)) {
+    return Status::OutOfRange("trigger value outside domain of \"" +
+                              net.VariableName(target) + "\"");
+  }
+  VarId op = net.AddVariable(std::move(op_name),
+                             {std::move(applied_name), std::move(plain_name)});
+  MMCONF_RETURN_IF_ERROR(net.SetParents(op, {target}));
+  // Value 0 = applied (e.g. segmented), value 1 = plain (e.g. flat).
+  // Applied is preferred exactly when the parent presents at the value it
+  // had when the viewer performed the operation.
+  for (ValueId pv = 0; pv < net.DomainSize(target); ++pv) {
+    PreferenceRanking ranking =
+        (pv == trigger_value) ? PreferenceRanking{0, 1}
+                              : PreferenceRanking{1, 0};
+    MMCONF_RETURN_IF_ERROR(net.SetPreference(op, {pv}, std::move(ranking)));
+  }
+  MMCONF_RETURN_IF_ERROR(net.Validate());
+  return op;
+}
+
+Result<VarId> ViewerOverlay::AddVariable(
+    std::string name, std::vector<std::string> value_names,
+    std::vector<ParentRef> parents,
+    std::vector<PreferenceRanking> rankings) {
+  if (value_names.empty()) {
+    return Status::InvalidArgument("overlay variable needs a domain");
+  }
+  std::vector<int> parent_domains;
+  for (const ParentRef& ref : parents) {
+    if (ref.in_overlay) {
+      if (ref.id < 0 || static_cast<size_t>(ref.id) >= variables_.size()) {
+        return Status::InvalidArgument(
+            "overlay parent must be an earlier overlay variable");
+      }
+      parent_domains.push_back(
+          static_cast<int>(variables_[static_cast<size_t>(ref.id)]
+                               .value_names.size()));
+    } else {
+      if (ref.id < 0 ||
+          static_cast<size_t>(ref.id) >= base_->num_variables()) {
+        return Status::OutOfRange("no base variable with id " +
+                                  std::to_string(ref.id));
+      }
+      parent_domains.push_back(base_->DomainSize(ref.id));
+    }
+  }
+  OverlayVariable var;
+  var.name = std::move(name);
+  var.value_names = std::move(value_names);
+  var.parents = std::move(parents);
+  var.cpt = Cpt(parent_domains, static_cast<int>(var.value_names.size()));
+  if (rankings.size() != var.cpt.num_rows()) {
+    return Status::InvalidArgument(
+        "expected " + std::to_string(var.cpt.num_rows()) +
+        " rankings, got " + std::to_string(rankings.size()));
+  }
+  for (size_t row = 0; row < rankings.size(); ++row) {
+    MMCONF_RETURN_IF_ERROR(var.cpt.SetRanking(row, std::move(rankings[row])));
+  }
+  variables_.push_back(std::move(var));
+  return static_cast<VarId>(variables_.size() - 1);
+}
+
+Result<VarId> ViewerOverlay::AddOperationVariable(VarId base_target,
+                                                  ValueId trigger_value,
+                                                  std::string op_name,
+                                                  std::string applied_name,
+                                                  std::string plain_name) {
+  if (base_target < 0 ||
+      static_cast<size_t>(base_target) >= base_->num_variables()) {
+    return Status::OutOfRange("no base variable with id " +
+                              std::to_string(base_target));
+  }
+  int parent_domain = base_->DomainSize(base_target);
+  if (trigger_value < 0 || trigger_value >= parent_domain) {
+    return Status::OutOfRange("trigger value outside parent domain");
+  }
+  std::vector<PreferenceRanking> rankings;
+  for (ValueId pv = 0; pv < parent_domain; ++pv) {
+    rankings.push_back(pv == trigger_value ? PreferenceRanking{0, 1}
+                                           : PreferenceRanking{1, 0});
+  }
+  return AddVariable(std::move(op_name),
+                     {std::move(applied_name), std::move(plain_name)},
+                     {{false, base_target}}, std::move(rankings));
+}
+
+Result<Assignment> ViewerOverlay::OptimalCompletion(
+    const Assignment& base_outcome, const Assignment& evidence) const {
+  if (base_outcome.size() != base_->num_variables() ||
+      !base_outcome.IsComplete()) {
+    return Status::InvalidArgument(
+        "base outcome must be a full assignment over the base network");
+  }
+  if (evidence.size() != variables_.size()) {
+    return Status::InvalidArgument("overlay evidence size mismatch");
+  }
+  Assignment outcome = evidence;
+  // Overlay variables were added parents-first, so index order is a
+  // topological order.
+  for (size_t v = 0; v < variables_.size(); ++v) {
+    if (outcome.IsAssigned(static_cast<VarId>(v))) {
+      if (outcome.Get(static_cast<VarId>(v)) >=
+          static_cast<ValueId>(variables_[v].value_names.size())) {
+        return Status::OutOfRange("overlay evidence value out of domain");
+      }
+      continue;
+    }
+    std::vector<ValueId> parent_values;
+    for (const ParentRef& ref : variables_[v].parents) {
+      parent_values.push_back(ref.in_overlay ? outcome.Get(ref.id)
+                                             : base_outcome.Get(ref.id));
+    }
+    MMCONF_ASSIGN_OR_RETURN(size_t row,
+                            variables_[v].cpt.RowIndex(parent_values));
+    MMCONF_ASSIGN_OR_RETURN(ValueId best, variables_[v].cpt.BestValue(row));
+    outcome.Set(static_cast<VarId>(v), best);
+  }
+  return outcome;
+}
+
+Result<Assignment> ViewerOverlay::OptimalCompletion(
+    const Assignment& base_outcome) const {
+  return OptimalCompletion(base_outcome, Assignment(variables_.size()));
+}
+
+}  // namespace mmconf::cpnet

@@ -1,0 +1,128 @@
+#ifndef MMCONF_CPNET_UPDATE_H_
+#define MMCONF_CPNET_UPDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "cpnet/assignment.h"
+#include "cpnet/cpnet.h"
+
+namespace mmconf::cpnet {
+
+/// Online update operations of the paper's Section 4.2. A multimedia
+/// document "may be updated online by any of the current viewers": adding
+/// a component, removing a component, and performing an operation on a
+/// component — each with a policy for updating the document's CP-network
+/// without asking the viewer to edit preference tables.
+class CpNetEditor {
+ public:
+  /// Adds a component variable with an unconditional preference ranking —
+  /// the "simple yet reasonable" policy for viewer-added components (the
+  /// author never ranked them, so the new component depends on nothing
+  /// and nothing depends on it). Revalidates the network.
+  static Result<VarId> AddComponent(CpNet& net, std::string name,
+                                    std::vector<std::string> value_names,
+                                    PreferenceRanking ranking);
+
+  /// Result of removing a component: the rebuilt network plus the mapping
+  /// from old variable ids to new ones (removed variable maps to
+  /// kUnassigned).
+  struct RemovalResult {
+    CpNet net;
+    std::vector<VarId> old_to_new;
+  };
+
+  /// Removes component `v`. Children of `v` keep only the CPT rows where
+  /// `v` took `restriction_value` — the removed component is absent, so
+  /// conditional preferences are restricted to that context (the paper's
+  /// removal policy, with the natural restriction being the component's
+  /// "hidden" value). Revalidates the returned network.
+  static Result<RemovalResult> RemoveComponent(const CpNet& net, VarId v,
+                                               ValueId restriction_value);
+
+  /// The paper's operation-variable construction (Section 4.2, worked for
+  /// segmentation of an X-ray): after a viewer performs an operation on
+  /// component `target` while it is presented at `trigger_value`, add a
+  /// variable named `op_name` with domain {`applied_name`, `plain_name`},
+  /// whose single parent is `target`, preferring the applied form iff the
+  /// parent presents at `trigger_value`. "The domain of the variable ci
+  /// remains unchanged, and thus we should not revisit the CP-tables" —
+  /// no existing table is touched. Revalidates the network.
+  static Result<VarId> AddOperationVariable(CpNet& net, VarId target,
+                                            ValueId trigger_value,
+                                            std::string op_name,
+                                            std::string applied_name,
+                                            std::string plain_name);
+};
+
+/// A per-viewer extension of a shared CP-network (Section 4.2: if the
+/// viewer decides her operation matters only to herself, "this change
+/// will be saved as an extension of the CP-network for this particular
+/// viewer. Note that the original CP-network should not be duplicated,
+/// and only the new variables with the corresponding CP-tables should be
+/// saved separately").
+///
+/// The overlay holds only the viewer's private variables; their parents
+/// may be base-network variables or earlier overlay variables. Optimal
+/// completion of an overlay variable is computed against the base outcome
+/// already configured by the shared network.
+class ViewerOverlay {
+ public:
+  /// `base` must remain alive and unmodified (structurally) while the
+  /// overlay is in use; it must be validated.
+  explicit ViewerOverlay(const CpNet* base) : base_(base) {}
+
+  /// Reference to a parent of an overlay variable.
+  struct ParentRef {
+    bool in_overlay = false;  ///< false: base variable, true: overlay var
+    VarId id = 0;
+  };
+
+  /// Adds a private variable. Overlay parents must already exist (id <
+  /// current overlay size) — this keeps the overlay acyclic by
+  /// construction. Rankings are supplied per parent-assignment row in
+  /// mixed-radix order over the parents as given.
+  Result<VarId> AddVariable(std::string name,
+                            std::vector<std::string> value_names,
+                            std::vector<ParentRef> parents,
+                            std::vector<PreferenceRanking> rankings);
+
+  /// The paper's operation-variable construction scoped to this viewer.
+  Result<VarId> AddOperationVariable(VarId base_target,
+                                     ValueId trigger_value,
+                                     std::string op_name,
+                                     std::string applied_name,
+                                     std::string plain_name);
+
+  size_t size() const { return variables_.size(); }
+  const std::string& VariableName(VarId v) const {
+    return variables_[static_cast<size_t>(v)].name;
+  }
+  const std::vector<std::string>& ValueNames(VarId v) const {
+    return variables_[static_cast<size_t>(v)].value_names;
+  }
+
+  /// Computes the preferred values of all overlay variables given the
+  /// configured base outcome (full assignment over the base net) and
+  /// `evidence` over overlay variables (may be empty / partial).
+  Result<Assignment> OptimalCompletion(const Assignment& base_outcome,
+                                       const Assignment& evidence) const;
+  Result<Assignment> OptimalCompletion(const Assignment& base_outcome) const;
+
+ private:
+  struct OverlayVariable {
+    std::string name;
+    std::vector<std::string> value_names;
+    std::vector<ParentRef> parents;
+    Cpt cpt;
+  };
+
+  const CpNet* base_;
+  std::vector<OverlayVariable> variables_;
+};
+
+}  // namespace mmconf::cpnet
+
+#endif  // MMCONF_CPNET_UPDATE_H_

@@ -1,0 +1,150 @@
+#include "doc/authoring.h"
+
+#include <algorithm>
+#include <set>
+
+namespace mmconf::doc {
+
+using cpnet::Cpt;
+using cpnet::PreferenceRanking;
+using cpnet::ValueId;
+using cpnet::VarId;
+
+const char* LintSeverityToString(LintSeverity severity) {
+  switch (severity) {
+    case LintSeverity::kInfo:
+      return "info";
+    case LintSeverity::kWarning:
+      return "warning";
+    case LintSeverity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+bool AuthoringReport::HasErrors() const {
+  return std::any_of(findings.begin(), findings.end(),
+                     [](const LintFinding& finding) {
+                       return finding.severity == LintSeverity::kError;
+                     });
+}
+
+size_t AuthoringReport::CountAtLeast(LintSeverity severity) const {
+  return static_cast<size_t>(std::count_if(
+      findings.begin(), findings.end(), [&](const LintFinding& finding) {
+        return static_cast<int>(finding.severity) >=
+               static_cast<int>(severity);
+      }));
+}
+
+std::string AuthoringReport::ToString() const {
+  std::string out;
+  for (const LintFinding& finding : findings) {
+    out += LintSeverityToString(finding.severity);
+    out += ": ";
+    if (!finding.component.empty()) {
+      out += finding.component;
+      out += ": ";
+    }
+    out += finding.message;
+    out += '\n';
+  }
+  return out;
+}
+
+Result<AuthoringReport> LintDocument(const MultimediaDocument& document,
+                                     size_t max_rows) {
+  const cpnet::CpNet& net = document.net();
+  if (!net.validated()) {
+    return Status::FailedPrecondition(
+        "document must be finalized before linting");
+  }
+  AuthoringReport report;
+  for (size_t i = 0; i < document.num_components(); ++i) {
+    const MultimediaComponent* component = document.components()[i];
+    VarId var = static_cast<VarId>(i);
+    const Cpt& cpt = net.CptOf(var);
+    const std::vector<std::string>& value_names = net.ValueNames(var);
+
+    // Which values ever top a row? Is any ranking distinct?
+    std::set<ValueId> top_values;
+    bool all_rows_equal = true;
+    PreferenceRanking first_ranking;
+    for (size_t row = 0; row < cpt.num_rows(); ++row) {
+      MMCONF_ASSIGN_OR_RETURN(PreferenceRanking ranking, cpt.Ranking(row));
+      top_values.insert(ranking.front());
+      if (row == 0) {
+        first_ranking = ranking;
+      } else if (ranking != first_ranking) {
+        all_rows_equal = false;
+      }
+    }
+
+    for (size_t v = 0; v < value_names.size(); ++v) {
+      if (top_values.count(static_cast<ValueId>(v)) == 0) {
+        report.findings.push_back(
+            {LintSeverity::kWarning, component->name(),
+             "presentation \"" + value_names[v] +
+                 "\" is never optimal in any context; only an explicit "
+                 "viewer choice can surface it"});
+      }
+    }
+
+    // Effectively hidden: the hidden value tops every row.
+    const PrimitiveMultimediaComponent* primitive = component->AsPrimitive();
+    if (primitive != nullptr) {
+      int hidden_value = -1;
+      for (size_t v = 0; v < primitive->presentations().size(); ++v) {
+        if (primitive->presentations()[v].kind == PresentationKind::kHidden) {
+          hidden_value = static_cast<int>(v);
+        }
+      }
+      if (hidden_value >= 0 && top_values.size() == 1 &&
+          *top_values.begin() == hidden_value) {
+        report.findings.push_back(
+            {LintSeverity::kWarning, component->name(),
+             "\"hidden\" tops every parent context; the component never "
+             "appears without viewer intervention"});
+      }
+    }
+
+    if (cpt.num_rows() > max_rows) {
+      report.findings.push_back(
+          {LintSeverity::kWarning, component->name(),
+           "CPT has " + std::to_string(cpt.num_rows()) +
+               " parent contexts (> " + std::to_string(max_rows) +
+               "); consider fewer preference parents"});
+    }
+
+    if (all_rows_equal && !net.Parents(var).empty()) {
+      report.findings.push_back(
+          {LintSeverity::kInfo, component->name(),
+           "every parent context carries the same ranking; the declared "
+           "parents are preferentially irrelevant"});
+    }
+  }
+  return report;
+}
+
+std::vector<std::string> DescribeMissingRows(const cpnet::CpNet& net,
+                                             VarId var) {
+  std::vector<std::string> out;
+  const Cpt& cpt = net.CptOf(var);
+  const std::vector<VarId>& parents = net.Parents(var);
+  for (size_t row : cpt.MissingRows()) {
+    std::vector<ValueId> values = cpt.RowValues(row);
+    std::string description;
+    for (size_t i = 0; i < parents.size(); ++i) {
+      if (i > 0) description += ", ";
+      description += net.VariableName(parents[i]);
+      description += '=';
+      description +=
+          net.ValueNames(parents[i])[static_cast<size_t>(values[i])];
+    }
+    if (description.empty()) description = "(unconditional)";
+    out.push_back(std::move(description));
+  }
+  return out;
+}
+
+}  // namespace mmconf::doc

@@ -1,0 +1,66 @@
+#ifndef MMCONF_DOC_AUTHORING_H_
+#define MMCONF_DOC_AUTHORING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "cpnet/cpnet.h"
+#include "doc/document.h"
+
+namespace mmconf::doc {
+
+/// Severity of an authoring finding.
+enum class LintSeverity : int {
+  kInfo = 0,
+  kWarning = 1,
+  kError = 2,
+};
+
+const char* LintSeverityToString(LintSeverity severity);
+
+/// One finding of the authoring linter.
+struct LintFinding {
+  LintSeverity severity = LintSeverity::kInfo;
+  std::string component;  ///< variable the finding concerns ("" = global)
+  std::string message;
+};
+
+/// Result of linting a document's preference specification.
+struct AuthoringReport {
+  std::vector<LintFinding> findings;
+
+  bool HasErrors() const;
+  size_t CountAtLeast(LintSeverity severity) const;
+  std::string ToString() const;
+};
+
+/// Static analysis of an authored preference model — the "advanced
+/// authoring tool" the paper lists as future work. Checks, per component:
+///
+///  - *unreachable presentations* (warning): a presentation option that is
+///    not top-ranked in any CPT row can never be chosen by the optimizer;
+///    only an explicit viewer choice surfaces it. Often an authoring
+///    oversight.
+///  - *effectively hidden* (warning): "hidden" tops every row — the
+///    component can never appear without viewer intervention, which
+///    contradicts including it in the document.
+///  - *CPT blow-up* (warning): more than `max_rows` parent contexts; the
+///    elicitation burden grows multiplicatively with parents.
+///  - *constant rankings* (info): every row carries the same ranking —
+///    the declared parents are preferentially irrelevant and could be
+///    dropped (cheaper reconfiguration).
+///
+/// The document must be finalized (errors otherwise).
+Result<AuthoringReport> LintDocument(const MultimediaDocument& document,
+                                     size_t max_rows = 64);
+
+/// Elicitation helper for incremental authoring: rows of `var` that still
+/// lack a ranking, rendered with parent value names (e.g.
+/// "CT=flat, XRay=hidden"). Empty when the CPT is complete.
+std::vector<std::string> DescribeMissingRows(const cpnet::CpNet& net,
+                                             cpnet::VarId var);
+
+}  // namespace mmconf::doc
+
+#endif  // MMCONF_DOC_AUTHORING_H_

@@ -1,0 +1,277 @@
+#include "doc/builder.h"
+
+#include <algorithm>
+
+namespace mmconf::doc {
+
+using cpnet::CpNet;
+using cpnet::PreferenceRanking;
+using cpnet::ValueId;
+using cpnet::VarId;
+
+TreeBuilder::TreeBuilder(std::string root_name)
+    : root_(std::make_unique<CompositeMultimediaComponent>(
+          std::move(root_name))) {}
+
+CompositeMultimediaComponent* TreeBuilder::FindComposite(
+    const std::string& name, MultimediaComponent* node) {
+  if (node == nullptr || !node->IsComposite()) return nullptr;
+  auto* composite = static_cast<CompositeMultimediaComponent*>(node);
+  if (composite->name() == name) return composite;
+  for (const auto& child : composite->children()) {
+    if (CompositeMultimediaComponent* found =
+            FindComposite(name, child.get())) {
+      return found;
+    }
+  }
+  return nullptr;
+}
+
+TreeBuilder& TreeBuilder::Group(const std::string& parent,
+                                const std::string& name) {
+  if (!deferred_error_.ok()) return *this;
+  CompositeMultimediaComponent* target = FindComposite(parent, root_.get());
+  if (target == nullptr) {
+    deferred_error_ =
+        Status::NotFound("no composite named \"" + parent + "\"");
+    return *this;
+  }
+  target->AddChild(std::make_unique<CompositeMultimediaComponent>(name));
+  return *this;
+}
+
+TreeBuilder& TreeBuilder::Leaf(const std::string& parent,
+                               const std::string& name, ContentRef content,
+                               std::vector<MMPresentation> presentations) {
+  if (!deferred_error_.ok()) return *this;
+  CompositeMultimediaComponent* target = FindComposite(parent, root_.get());
+  if (target == nullptr) {
+    deferred_error_ =
+        Status::NotFound("no composite named \"" + parent + "\"");
+    return *this;
+  }
+  target->AddChild(std::make_unique<PrimitiveMultimediaComponent>(
+      name, std::move(content), std::move(presentations)));
+  return *this;
+}
+
+Result<MultimediaDocument> TreeBuilder::Build() {
+  MMCONF_RETURN_IF_ERROR(deferred_error_);
+  return MultimediaDocument::Create(std::move(root_));
+}
+
+std::vector<MMPresentation> ImagePresentations() {
+  return {
+      {"flat", PresentationKind::kImage, 0},
+      {"segmented", PresentationKind::kSegmentedImage, 0},
+      {"thumbnail", PresentationKind::kThumbnail, 2},
+      {"icon", PresentationKind::kIcon, 0},
+      {"hidden", PresentationKind::kHidden, 0},
+  };
+}
+
+std::vector<MMPresentation> AudioPresentations() {
+  return {
+      {"audio", PresentationKind::kAudio, 0},
+      {"summary", PresentationKind::kAudioSummary, 0},
+      {"hidden", PresentationKind::kHidden, 0},
+  };
+}
+
+std::vector<MMPresentation> TextPresentations() {
+  return {
+      {"text", PresentationKind::kText, 0},
+      {"hidden", PresentationKind::kHidden, 0},
+  };
+}
+
+Result<MultimediaDocument> MakeMedicalRecordDocument(
+    size_t content_bytes_scale) {
+  const size_t kImageBytes = 262144 * content_bytes_scale;
+  const size_t kAudioBytes = 96000 * content_bytes_scale;
+  const size_t kTextBytes = 2048 * content_bytes_scale;
+
+  TreeBuilder builder("MedicalRecord");
+  builder.Group("MedicalRecord", "Imaging")
+      .Leaf("Imaging", "CT", {"Image", 1, kImageBytes},
+            ImagePresentations())
+      .Leaf("Imaging", "XRay", {"Image", 2, kImageBytes},
+            ImagePresentations())
+      .Group("MedicalRecord", "Consultations")
+      .Leaf("Consultations", "ExpertVoice", {"Audio", 1, kAudioBytes},
+            AudioPresentations())
+      .Leaf("Consultations", "WardNotes", {"Text", 1, kTextBytes},
+            TextPresentations())
+      .Group("MedicalRecord", "Labs")
+      .Leaf("Labs", "TestResults", {"Text", 2, kTextBytes},
+            TextPresentations())
+      .Leaf("Labs", "TrendGraph", {"Image", 3, kImageBytes / 4},
+            ImagePresentations());
+  MMCONF_ASSIGN_OR_RETURN(MultimediaDocument document, builder.Build());
+
+  // Author preferences (Section 4 running example).
+  // The CT is the centerpiece: prefer it flat, then segmented.
+  MMCONF_RETURN_IF_ERROR(document.SetUnconditionalPreferenceByName(
+      "CT", {"flat", "segmented", "thumbnail", "icon", "hidden"}));
+  // "if a CT image is presented, then a correlated X-ray image is
+  // preferred by the author to be hidden, or to be presented as a small
+  // icon."
+  MMCONF_RETURN_IF_ERROR(document.SetParentsByName("XRay", {"CT"}));
+  for (const char* ct_shown : {"flat", "segmented", "thumbnail"}) {
+    MMCONF_RETURN_IF_ERROR(document.SetPreferenceByName(
+        "XRay", {ct_shown},
+        {"hidden", "icon", "thumbnail", "flat", "segmented"}));
+  }
+  for (const char* ct_absent : {"icon", "hidden"}) {
+    MMCONF_RETURN_IF_ERROR(document.SetPreferenceByName(
+        "XRay", {ct_absent},
+        {"flat", "segmented", "thumbnail", "icon", "hidden"}));
+  }
+  // "the author of the document may prefer to present a CT image together
+  // with a voice fragment of expertise": voice follows the CT.
+  MMCONF_RETURN_IF_ERROR(document.SetParentsByName("ExpertVoice", {"CT"}));
+  for (const char* ct_shown : {"flat", "segmented", "thumbnail"}) {
+    MMCONF_RETURN_IF_ERROR(document.SetPreferenceByName(
+        "ExpertVoice", {ct_shown}, {"audio", "summary", "hidden"}));
+  }
+  for (const char* ct_absent : {"icon", "hidden"}) {
+    MMCONF_RETURN_IF_ERROR(document.SetPreferenceByName(
+        "ExpertVoice", {ct_absent}, {"summary", "hidden", "audio"}));
+  }
+  // The trend graph accompanies the test results.
+  MMCONF_RETURN_IF_ERROR(
+      document.SetParentsByName("TrendGraph", {"TestResults"}));
+  MMCONF_RETURN_IF_ERROR(document.SetPreferenceByName(
+      "TrendGraph", {"text"},
+      {"flat", "thumbnail", "segmented", "icon", "hidden"}));
+  MMCONF_RETURN_IF_ERROR(document.SetPreferenceByName(
+      "TrendGraph", {"hidden"},
+      {"hidden", "icon", "thumbnail", "flat", "segmented"}));
+  MMCONF_RETURN_IF_ERROR(document.Finalize());
+  return document;
+}
+
+CpNet MakePaperFigure2Net() {
+  CpNet net;
+  VarId c1 = net.AddVariable("c1", {"c1_1", "c1_2"});
+  VarId c2 = net.AddVariable("c2", {"c2_1", "c2_2"});
+  VarId c3 = net.AddVariable("c3", {"c3_1", "c3_2"});
+  VarId c4 = net.AddVariable("c4", {"c4_1", "c4_2"});
+  VarId c5 = net.AddVariable("c5", {"c5_1", "c5_2"});
+  net.SetUnconditionalPreference(c1, {0, 1}).ok();
+  net.SetUnconditionalPreference(c2, {1, 0}).ok();
+  net.SetParents(c3, {c1, c2}).ok();
+  // (c1_1 ^ c2_1) v (c1_2 ^ c2_2) : c3_1 > c3_2
+  net.SetPreference(c3, {0, 0}, {0, 1}).ok();
+  net.SetPreference(c3, {1, 1}, {0, 1}).ok();
+  // (c1_1 ^ c2_2) v (c1_2 ^ c2_1) : c3_2 > c3_1
+  net.SetPreference(c3, {0, 1}, {1, 0}).ok();
+  net.SetPreference(c3, {1, 0}, {1, 0}).ok();
+  net.SetParents(c4, {c3}).ok();
+  net.SetPreference(c4, {0}, {0, 1}).ok();
+  net.SetPreference(c4, {1}, {1, 0}).ok();
+  net.SetParents(c5, {c3}).ok();
+  net.SetPreference(c5, {0}, {0, 1}).ok();
+  net.SetPreference(c5, {1}, {1, 0}).ok();
+  net.Validate().ok();
+  return net;
+}
+
+CpNet MakeRandomCpNet(int num_vars, int max_parents, int max_domain,
+                      Rng& rng) {
+  CpNet net;
+  for (int v = 0; v < num_vars; ++v) {
+    int domain = static_cast<int>(rng.UniformInt(2, std::max(2, max_domain)));
+    std::vector<std::string> values;
+    for (int k = 0; k < domain; ++k) {
+      values.push_back("v" + std::to_string(v) + "_" + std::to_string(k));
+    }
+    net.AddVariable("x" + std::to_string(v), std::move(values));
+  }
+  for (int v = 1; v < num_vars; ++v) {
+    int parents = static_cast<int>(
+        rng.UniformInt(0, std::min(v, std::max(0, max_parents))));
+    std::vector<VarId> chosen;
+    std::vector<VarId> pool;
+    for (int p = 0; p < v; ++p) pool.push_back(p);
+    rng.Shuffle(pool);
+    chosen.assign(pool.begin(), pool.begin() + parents);
+    net.SetParents(v, chosen).ok();
+  }
+  for (int v = 0; v < num_vars; ++v) {
+    const cpnet::Cpt& cpt = net.CptOf(v);
+    int domain = net.DomainSize(v);
+    for (size_t row = 0; row < cpt.num_rows(); ++row) {
+      PreferenceRanking ranking(static_cast<size_t>(domain));
+      for (int k = 0; k < domain; ++k) {
+        ranking[static_cast<size_t>(k)] = k;
+      }
+      rng.Shuffle(ranking);
+      net.SetPreference(v, cpt.RowValues(row), std::move(ranking)).ok();
+    }
+  }
+  net.Validate().ok();
+  return net;
+}
+
+Result<MultimediaDocument> MakeRandomDocument(int num_groups, int num_leaves,
+                                              Rng& rng) {
+  TreeBuilder builder("Root");
+  std::vector<std::string> groups = {"Root"};
+  for (int g = 0; g < num_groups; ++g) {
+    std::string name = "Group" + std::to_string(g);
+    builder.Group(groups[rng.NextBelow(groups.size())], name);
+    groups.push_back(name);
+  }
+  for (int leaf = 0; leaf < num_leaves; ++leaf) {
+    std::string name = "Leaf" + std::to_string(leaf);
+    std::vector<MMPresentation> presentations;
+    switch (rng.NextBelow(3)) {
+      case 0:
+        presentations = ImagePresentations();
+        break;
+      case 1:
+        presentations = AudioPresentations();
+        break;
+      default:
+        presentations = TextPresentations();
+        break;
+    }
+    ContentRef content{"Image", static_cast<uint64_t>(leaf + 1),
+                       static_cast<size_t>(rng.UniformInt(4096, 524288))};
+    builder.Leaf(groups[rng.NextBelow(groups.size())], name,
+                 std::move(content), std::move(presentations));
+  }
+  MMCONF_ASSIGN_OR_RETURN(MultimediaDocument document, builder.Build());
+
+  // Random conditional author preferences: each leaf may depend on one
+  // earlier leaf.
+  const auto& components = document.components();
+  std::vector<std::string> leaf_names;
+  for (const MultimediaComponent* component : components) {
+    if (!component->IsComposite()) leaf_names.push_back(component->name());
+  }
+  for (size_t i = 1; i < leaf_names.size(); ++i) {
+    if (!rng.Chance(0.5)) continue;
+    const std::string& child = leaf_names[i];
+    const std::string& parent = leaf_names[rng.NextBelow(i)];
+    MMCONF_RETURN_IF_ERROR(document.SetParentsByName(child, {parent}));
+    MMCONF_ASSIGN_OR_RETURN(const MultimediaComponent* parent_component,
+                            document.Find(parent));
+    MMCONF_ASSIGN_OR_RETURN(const MultimediaComponent* child_component,
+                            document.Find(child));
+    std::vector<std::string> child_domain =
+        child_component->DomainValueNames();
+    for (const std::string& parent_value :
+         parent_component->DomainValueNames()) {
+      std::vector<std::string> ranking = child_domain;
+      rng.Shuffle(ranking);
+      MMCONF_RETURN_IF_ERROR(
+          document.SetPreferenceByName(child, {parent_value}, ranking));
+    }
+  }
+  MMCONF_RETURN_IF_ERROR(document.Finalize());
+  return document;
+}
+
+}  // namespace mmconf::doc

@@ -1,0 +1,59 @@
+#include "doc/component.h"
+
+#include <algorithm>
+
+namespace mmconf::doc {
+
+bool CompositeMultimediaComponent::RemoveChild(const std::string& name) {
+  auto it = std::find_if(
+      children_.begin(), children_.end(),
+      [&](const std::unique_ptr<MultimediaComponent>& child) {
+        return child->name() == name;
+      });
+  if (it == children_.end()) return false;
+  children_.erase(it);
+  return true;
+}
+
+std::vector<std::string> PrimitiveMultimediaComponent::DomainValueNames()
+    const {
+  std::vector<std::string> names;
+  names.reserve(presentations_.size());
+  for (const MMPresentation& presentation : presentations_) {
+    names.push_back(presentation.name);
+  }
+  return names;
+}
+
+Result<MMPresentation> PrimitiveMultimediaComponent::PresentationAt(
+    int value) const {
+  if (value < 0 || static_cast<size_t>(value) >= presentations_.size()) {
+    return Status::OutOfRange("component \"" + name() +
+                              "\" has no presentation option " +
+                              std::to_string(value));
+  }
+  return presentations_[static_cast<size_t>(value)];
+}
+
+namespace {
+
+void FlattenInto(const MultimediaComponent* node,
+                 std::vector<const MultimediaComponent*>& out) {
+  out.push_back(node);
+  if (const CompositeMultimediaComponent* composite = node->AsComposite()) {
+    for (const auto& child : composite->children()) {
+      FlattenInto(child.get(), out);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<const MultimediaComponent*> FlattenTree(
+    const MultimediaComponent* root) {
+  std::vector<const MultimediaComponent*> out;
+  if (root != nullptr) FlattenInto(root, out);
+  return out;
+}
+
+}  // namespace mmconf::doc

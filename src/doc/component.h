@@ -1,0 +1,131 @@
+#ifndef MMCONF_DOC_COMPONENT_H_
+#define MMCONF_DOC_COMPONENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "doc/presentation.h"
+
+namespace mmconf::doc {
+
+/// Where a primitive component's actual content lives. The paper stores
+/// all components as BLOBs in typed object tables and fetches them on
+/// demand ("all the components of the record can be retrieved from their
+/// actual storage on demand"); the document model keeps only this
+/// reference plus the content size used for delivery planning.
+struct ContentRef {
+  std::string media_type;    ///< catalog type, e.g. "Image", "Audio"
+  uint64_t object_id = 0;    ///< row id in the type's object table
+  size_t content_bytes = 0;  ///< full payload size (cost-model input)
+};
+
+class CompositeMultimediaComponent;
+class PrimitiveMultimediaComponent;
+
+/// Abstract node of the hierarchical component structure (the paper's
+/// Fig. 6: MultimediaComponent with ground specifications
+/// CompositeMultimediaComponent and PrimitiveMultimediaComponent).
+/// Every component has a document-unique name (the CP-net variable name)
+/// and a presentation domain.
+class MultimediaComponent {
+ public:
+  explicit MultimediaComponent(std::string name) : name_(std::move(name)) {}
+  virtual ~MultimediaComponent() = default;
+
+  MultimediaComponent(const MultimediaComponent&) = delete;
+  MultimediaComponent& operator=(const MultimediaComponent&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  virtual bool IsComposite() const = 0;
+
+  /// Names of the presentation options, in domain order. Composite
+  /// components are restricted to binary domains ("it only can be either
+  /// presented or hidden").
+  virtual std::vector<std::string> DomainValueNames() const = 0;
+
+  /// Downcasts; return nullptr on kind mismatch.
+  virtual const CompositeMultimediaComponent* AsComposite() const {
+    return nullptr;
+  }
+  virtual const PrimitiveMultimediaComponent* AsPrimitive() const {
+    return nullptr;
+  }
+
+ private:
+  std::string name_;
+};
+
+/// Internal node: a named grouping of sub-components (e.g. "Imaging"
+/// containing CT and X-ray). Domain: {presented, hidden}.
+class CompositeMultimediaComponent : public MultimediaComponent {
+ public:
+  /// Domain value indices of the fixed composite domain.
+  static constexpr int kPresented = 0;
+  static constexpr int kHidden = 1;
+
+  explicit CompositeMultimediaComponent(std::string name)
+      : MultimediaComponent(std::move(name)) {}
+
+  bool IsComposite() const override { return true; }
+  std::vector<std::string> DomainValueNames() const override {
+    return {"presented", "hidden"};
+  }
+  const CompositeMultimediaComponent* AsComposite() const override {
+    return this;
+  }
+
+  void AddChild(std::unique_ptr<MultimediaComponent> child) {
+    children_.push_back(std::move(child));
+  }
+  /// Detaches the direct child with `name`; false if no such child.
+  bool RemoveChild(const std::string& name);
+  const std::vector<std::unique_ptr<MultimediaComponent>>& children() const {
+    return children_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<MultimediaComponent>> children_;
+};
+
+/// Leaf node: actual content with a list of alternative presentations.
+class PrimitiveMultimediaComponent : public MultimediaComponent {
+ public:
+  /// `presentations` must be non-empty; the first option is the implicit
+  /// "most natural" form, but the author's CP-net decides what is shown.
+  PrimitiveMultimediaComponent(std::string name, ContentRef content,
+                               std::vector<MMPresentation> presentations)
+      : MultimediaComponent(std::move(name)),
+        content_(std::move(content)),
+        presentations_(std::move(presentations)) {}
+
+  bool IsComposite() const override { return false; }
+  std::vector<std::string> DomainValueNames() const override;
+  const PrimitiveMultimediaComponent* AsPrimitive() const override {
+    return this;
+  }
+
+  const ContentRef& content() const { return content_; }
+  const std::vector<MMPresentation>& presentations() const {
+    return presentations_;
+  }
+
+  /// Presentation option by domain value index.
+  Result<MMPresentation> PresentationAt(int value) const;
+
+ private:
+  ContentRef content_;
+  std::vector<MMPresentation> presentations_;
+};
+
+/// Depth-first (pre-order) traversal collecting raw pointers; the order
+/// defines the component indices the document binds to CP-net variables.
+std::vector<const MultimediaComponent*> FlattenTree(
+    const MultimediaComponent* root);
+
+}  // namespace mmconf::doc
+
+#endif  // MMCONF_DOC_COMPONENT_H_

@@ -1,0 +1,539 @@
+#include "doc/document.h"
+
+#include <algorithm>
+
+#include "cpnet/serialize.h"
+#include "cpnet/update.h"
+
+namespace mmconf::doc {
+
+using cpnet::Assignment;
+using cpnet::kUnassigned;
+using cpnet::ValueId;
+using cpnet::VarId;
+
+Status MultimediaDocument::BindTree() {
+  flat_ = FlattenTree(root_.get());
+  if (flat_.empty()) {
+    return Status::InvalidArgument("document has no components");
+  }
+  by_name_.clear();
+  parent_index_.assign(flat_.size(), -1);
+  // Recompute parent indices by walking composites.
+  std::map<const MultimediaComponent*, int> index_of;
+  for (size_t i = 0; i < flat_.size(); ++i) {
+    index_of[flat_[i]] = static_cast<int>(i);
+  }
+  for (size_t i = 0; i < flat_.size(); ++i) {
+    if (const CompositeMultimediaComponent* composite =
+            flat_[i]->AsComposite()) {
+      for (const auto& child : composite->children()) {
+        parent_index_[static_cast<size_t>(index_of[child.get()])] =
+            static_cast<int>(i);
+      }
+    }
+  }
+  for (const MultimediaComponent* component : flat_) {
+    if (by_name_.count(component->name()) > 0) {
+      return Status::InvalidArgument("duplicate component name \"" +
+                                     component->name() + "\"");
+    }
+    std::vector<std::string> domain = component->DomainValueNames();
+    if (domain.empty()) {
+      return Status::InvalidArgument("component \"" + component->name() +
+                                     "\" has no presentation options");
+    }
+    VarId var = net_.AddVariable(component->name(), domain);
+    by_name_.emplace(component->name(), var);
+    // Default author preference: domain order.
+    cpnet::PreferenceRanking ranking(domain.size());
+    for (size_t k = 0; k < domain.size(); ++k) {
+      ranking[k] = static_cast<ValueId>(k);
+    }
+    MMCONF_RETURN_IF_ERROR(net_.SetUnconditionalPreference(var, ranking));
+  }
+  return net_.Validate();
+}
+
+Result<MultimediaDocument> MultimediaDocument::Create(
+    std::unique_ptr<MultimediaComponent> root) {
+  if (root == nullptr) {
+    return Status::InvalidArgument("document root must not be null");
+  }
+  MultimediaDocument document;
+  document.root_ = std::move(root);
+  MMCONF_RETURN_IF_ERROR(document.BindTree());
+  return document;
+}
+
+Result<VarId> MultimediaDocument::VarOf(
+    const std::string& component_name) const {
+  auto it = by_name_.find(component_name);
+  if (it != by_name_.end()) return it->second;
+  // Extension variables (operation variables, bandwidth tuning) are not
+  // components but are addressable for evidence purposes.
+  Result<VarId> extension = net_.FindVariable(component_name);
+  if (extension.ok()) return extension;
+  return Status::NotFound("no component named \"" + component_name + "\"");
+}
+
+Result<const MultimediaComponent*> MultimediaDocument::Find(
+    const std::string& component_name) const {
+  MMCONF_ASSIGN_OR_RETURN(VarId var, VarOf(component_name));
+  if (static_cast<size_t>(var) >= flat_.size()) {
+    return Status::NotFound("\"" + component_name +
+                            "\" is an extension variable, not a component");
+  }
+  return flat_[static_cast<size_t>(var)];
+}
+
+Status MultimediaDocument::SetParentsByName(
+    const std::string& component, const std::vector<std::string>& parents) {
+  MMCONF_ASSIGN_OR_RETURN(VarId var, VarOf(component));
+  std::vector<VarId> parent_vars;
+  for (const std::string& parent : parents) {
+    MMCONF_ASSIGN_OR_RETURN(VarId parent_var, VarOf(parent));
+    parent_vars.push_back(parent_var);
+  }
+  return net_.SetParents(var, parent_vars);
+}
+
+namespace {
+
+Result<ValueId> ValueByName(const cpnet::CpNet& net, VarId var,
+                            const std::string& value_name) {
+  const std::vector<std::string>& names = net.ValueNames(var);
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == value_name) return static_cast<ValueId>(i);
+  }
+  return Status::InvalidArgument("component \"" + net.VariableName(var) +
+                                 "\" has no presentation \"" + value_name +
+                                 "\"");
+}
+
+}  // namespace
+
+Status MultimediaDocument::SetPreferenceByName(
+    const std::string& component,
+    const std::vector<std::string>& parent_values,
+    const std::vector<std::string>& ranking) {
+  MMCONF_ASSIGN_OR_RETURN(VarId var, VarOf(component));
+  const std::vector<VarId>& parents = net_.Parents(var);
+  if (parent_values.size() != parents.size()) {
+    return Status::InvalidArgument(
+        "component \"" + component + "\" has " +
+        std::to_string(parents.size()) + " parents, got " +
+        std::to_string(parent_values.size()) + " values");
+  }
+  std::vector<ValueId> parent_ids;
+  for (size_t i = 0; i < parents.size(); ++i) {
+    MMCONF_ASSIGN_OR_RETURN(ValueId value,
+                            ValueByName(net_, parents[i], parent_values[i]));
+    parent_ids.push_back(value);
+  }
+  cpnet::PreferenceRanking ranking_ids;
+  for (const std::string& value_name : ranking) {
+    MMCONF_ASSIGN_OR_RETURN(ValueId value,
+                            ValueByName(net_, var, value_name));
+    ranking_ids.push_back(value);
+  }
+  return net_.SetPreference(var, parent_ids, std::move(ranking_ids));
+}
+
+Status MultimediaDocument::SetUnconditionalPreferenceByName(
+    const std::string& component, const std::vector<std::string>& ranking) {
+  MMCONF_ASSIGN_OR_RETURN(VarId var, VarOf(component));
+  cpnet::PreferenceRanking ranking_ids;
+  for (const std::string& value_name : ranking) {
+    MMCONF_ASSIGN_OR_RETURN(ValueId value,
+                            ValueByName(net_, var, value_name));
+    ranking_ids.push_back(value);
+  }
+  return net_.SetUnconditionalPreference(var, ranking_ids);
+}
+
+Status MultimediaDocument::Finalize() { return net_.Validate(); }
+
+Result<Assignment> MultimediaDocument::DefaultPresentation() const {
+  return net_.OptimalOutcome();
+}
+
+Result<Assignment> MultimediaDocument::EvidenceFrom(
+    const std::vector<ViewerChoice>& events) const {
+  Assignment evidence(net_.num_variables());
+  for (const ViewerChoice& event : events) {
+    MMCONF_ASSIGN_OR_RETURN(VarId var, VarOf(event.component));
+    if (event.presentation.empty()) {
+      evidence.Clear(var);
+      continue;
+    }
+    MMCONF_ASSIGN_OR_RETURN(ValueId value,
+                            ValueByName(net_, var, event.presentation));
+    evidence.Set(var, value);
+  }
+  return evidence;
+}
+
+Result<Assignment> MultimediaDocument::ReconfigPresentation(
+    const std::vector<ViewerChoice>& events) const {
+  MMCONF_ASSIGN_OR_RETURN(Assignment evidence, EvidenceFrom(events));
+  return net_.OptimalCompletion(evidence);
+}
+
+Result<MMPresentation> MultimediaDocument::PresentationFor(
+    const Assignment& configuration,
+    const std::string& component_name) const {
+  MMCONF_ASSIGN_OR_RETURN(VarId var, VarOf(component_name));
+  if (configuration.size() != net_.num_variables() ||
+      !configuration.IsAssigned(var)) {
+    return Status::InvalidArgument(
+        "configuration does not assign component \"" + component_name +
+        "\"");
+  }
+  ValueId value = configuration.Get(var);
+  if (static_cast<size_t>(var) >= flat_.size()) {
+    // Extension variable: report its chosen value as a pseudo
+    // presentation so callers can render it uniformly.
+    MMPresentation pseudo;
+    pseudo.name = net_.ValueNames(var)[static_cast<size_t>(value)];
+    pseudo.kind = PresentationKind::kText;
+    return pseudo;
+  }
+  const MultimediaComponent* component = flat_[static_cast<size_t>(var)];
+  if (const PrimitiveMultimediaComponent* primitive =
+          component->AsPrimitive()) {
+    return primitive->PresentationAt(value);
+  }
+  MMPresentation pseudo;
+  pseudo.name = net_.ValueNames(var)[static_cast<size_t>(value)];
+  pseudo.kind = value == CompositeMultimediaComponent::kHidden
+                    ? PresentationKind::kHidden
+                    : PresentationKind::kText;
+  return pseudo;
+}
+
+Result<bool> MultimediaDocument::IsVisible(
+    const Assignment& configuration,
+    const std::string& component_name) const {
+  MMCONF_ASSIGN_OR_RETURN(VarId var, VarOf(component_name));
+  if (configuration.size() != net_.num_variables()) {
+    return Status::InvalidArgument("configuration size mismatch");
+  }
+  if (static_cast<size_t>(var) >= flat_.size()) {
+    return true;  // Extension variables carry no content to hide.
+  }
+  int index = var;
+  while (index >= 0) {
+    const MultimediaComponent* component =
+        flat_[static_cast<size_t>(index)];
+    if (!configuration.IsAssigned(index)) {
+      return Status::InvalidArgument("configuration does not assign \"" +
+                                     component->name() + "\"");
+    }
+    ValueId value = configuration.Get(index);
+    if (component->IsComposite()) {
+      if (value == CompositeMultimediaComponent::kHidden) return false;
+    } else {
+      const PrimitiveMultimediaComponent* primitive =
+          component->AsPrimitive();
+      MMCONF_ASSIGN_OR_RETURN(MMPresentation presentation,
+                              primitive->PresentationAt(value));
+      if (presentation.kind == PresentationKind::kHidden) return false;
+    }
+    index = parent_index_[static_cast<size_t>(index)];
+  }
+  return true;
+}
+
+Result<size_t> MultimediaDocument::DeliveryCostBytes(
+    const Assignment& configuration) const {
+  size_t total = 0;
+  for (size_t i = 0; i < flat_.size(); ++i) {
+    const PrimitiveMultimediaComponent* primitive = flat_[i]->AsPrimitive();
+    if (primitive == nullptr) continue;
+    MMCONF_ASSIGN_OR_RETURN(bool visible,
+                            IsVisible(configuration, primitive->name()));
+    if (!visible) continue;
+    MMCONF_ASSIGN_OR_RETURN(
+        MMPresentation presentation,
+        PresentationFor(configuration, primitive->name()));
+    total += PresentationCostBytes(presentation,
+                                   primitive->content().content_bytes);
+  }
+  return total;
+}
+
+namespace {
+
+/// Mutable search for a composite by name.
+CompositeMultimediaComponent* FindCompositeMutable(
+    MultimediaComponent* node, const std::string& name) {
+  if (node == nullptr || !node->IsComposite()) return nullptr;
+  auto* composite = static_cast<CompositeMultimediaComponent*>(node);
+  if (composite->name() == name) return composite;
+  for (const auto& child : composite->children()) {
+    if (CompositeMultimediaComponent* found =
+            FindCompositeMutable(child.get(), name)) {
+      return found;
+    }
+  }
+  return nullptr;
+}
+
+/// Copies parents and CPT rankings from `from` into `to`, matching
+/// variables by name. Variables of `from` absent from `to` (extension
+/// variables) are appended first, so every parent reference resolves.
+/// `to` variables with no counterpart (or a changed domain) keep their
+/// current defaults.
+Status TransplantPreferences(const cpnet::CpNet& from, cpnet::CpNet& to) {
+  for (size_t f = 0; f < from.num_variables(); ++f) {
+    VarId from_var = static_cast<VarId>(f);
+    if (!to.FindVariable(from.VariableName(from_var)).ok()) {
+      to.AddVariable(from.VariableName(from_var),
+                     from.ValueNames(from_var));
+    }
+  }
+  for (size_t f = 0; f < from.num_variables(); ++f) {
+    VarId from_var = static_cast<VarId>(f);
+    MMCONF_ASSIGN_OR_RETURN(VarId to_var,
+                            to.FindVariable(from.VariableName(from_var)));
+    if (to.ValueNames(to_var) != from.ValueNames(from_var)) {
+      continue;  // Domain changed: keep the fresh defaults.
+    }
+    std::vector<VarId> parents;
+    for (VarId from_parent : from.Parents(from_var)) {
+      MMCONF_ASSIGN_OR_RETURN(
+          VarId to_parent,
+          to.FindVariable(from.VariableName(from_parent)));
+      parents.push_back(to_parent);
+    }
+    MMCONF_RETURN_IF_ERROR(to.SetParents(to_var, parents));
+    const cpnet::Cpt& cpt = from.CptOf(from_var);
+    for (size_t row = 0; row < cpt.num_rows(); ++row) {
+      MMCONF_ASSIGN_OR_RETURN(cpnet::PreferenceRanking ranking,
+                              cpt.Ranking(row));
+      MMCONF_RETURN_IF_ERROR(
+          to.SetPreference(to_var, cpt.RowValues(row), std::move(ranking)));
+    }
+  }
+  return to.Validate();
+}
+
+}  // namespace
+
+Result<VarId> MultimediaDocument::AddComponent(
+    const std::string& parent_composite,
+    std::unique_ptr<PrimitiveMultimediaComponent> component) {
+  if (component == nullptr) {
+    return Status::InvalidArgument("component must not be null");
+  }
+  if (VarOf(component->name()).ok()) {
+    return Status::AlreadyExists("component \"" + component->name() +
+                                 "\" already exists");
+  }
+  CompositeMultimediaComponent* parent =
+      FindCompositeMutable(root_.get(), parent_composite);
+  if (parent == nullptr) {
+    return Status::NotFound("no composite named \"" + parent_composite +
+                            "\"");
+  }
+  std::string name = component->name();
+  parent->AddChild(std::move(component));
+  cpnet::CpNet old_net = std::move(net_);
+  net_ = cpnet::CpNet();
+  MMCONF_RETURN_IF_ERROR(BindTree());
+  MMCONF_RETURN_IF_ERROR(TransplantPreferences(old_net, net_));
+  return VarOf(name);
+}
+
+Status MultimediaDocument::RemoveComponent(
+    const std::string& component_name) {
+  MMCONF_ASSIGN_OR_RETURN(const MultimediaComponent* component,
+                          Find(component_name));
+  if (component == root_.get()) {
+    return Status::InvalidArgument("cannot remove the document root");
+  }
+  if (const CompositeMultimediaComponent* composite =
+          component->AsComposite()) {
+    if (!composite->children().empty()) {
+      return Status::FailedPrecondition(
+          "remove the children of \"" + component_name + "\" first");
+    }
+  }
+  // Restriction value: the component's hidden presentation, else 0.
+  MMCONF_ASSIGN_OR_RETURN(VarId var, VarOf(component_name));
+  cpnet::ValueId restriction = 0;
+  if (const PrimitiveMultimediaComponent* primitive =
+          component->AsPrimitive()) {
+    for (size_t v = 0; v < primitive->presentations().size(); ++v) {
+      if (primitive->presentations()[v].kind == PresentationKind::kHidden) {
+        restriction = static_cast<cpnet::ValueId>(v);
+      }
+    }
+  } else {
+    restriction = CompositeMultimediaComponent::kHidden;
+  }
+  MMCONF_ASSIGN_OR_RETURN(
+      cpnet::CpNetEditor::RemovalResult removal,
+      cpnet::CpNetEditor::RemoveComponent(net_, var, restriction));
+
+  // Detach the node from its parent composite.
+  int parent_flat = parent_index_[static_cast<size_t>(var)];
+  CompositeMultimediaComponent* parent = FindCompositeMutable(
+      root_.get(), flat_[static_cast<size_t>(parent_flat)]->name());
+  if (parent == nullptr || !parent->RemoveChild(component_name)) {
+    return Status::Internal("component tree inconsistent while removing \"" +
+                            component_name + "\"");
+  }
+
+  // Rebind; the compacted net's variable order equals the new pre-order
+  // (a leaf removal preserves the relative order of everything else), so
+  // the edited net replaces the fresh defaults via transplant.
+  cpnet::CpNet edited = std::move(removal.net);
+  net_ = cpnet::CpNet();
+  MMCONF_RETURN_IF_ERROR(BindTree());
+  return TransplantPreferences(edited, net_);
+}
+
+Result<VarId> MultimediaDocument::AddOperationVariable(
+    const std::string& component, const std::string& trigger_presentation,
+    const std::string& op_name) {
+  MMCONF_ASSIGN_OR_RETURN(VarId var, VarOf(component));
+  MMCONF_ASSIGN_OR_RETURN(ValueId trigger,
+                          ValueByName(net_, var, trigger_presentation));
+  if (by_name_.count(op_name) > 0 || net_.FindVariable(op_name).ok()) {
+    return Status::AlreadyExists("variable \"" + op_name +
+                                 "\" already exists");
+  }
+  return cpnet::CpNetEditor::AddOperationVariable(
+      net_, var, trigger, op_name, "applied", "plain");
+}
+
+Result<MultimediaDocument::ConfigurationDelta>
+MultimediaDocument::DiffConfigurations(const Assignment& before,
+                                       const Assignment& after) const {
+  if (after.size() != net_.num_variables() || !after.IsComplete()) {
+    return Status::InvalidArgument(
+        "`after` must be a full assignment over the current network");
+  }
+  ConfigurationDelta delta;
+  for (size_t i = 0; i < flat_.size(); ++i) {
+    VarId var = static_cast<VarId>(i);
+    bool changed = i >= before.size() || !before.IsAssigned(var) ||
+                   before.Get(var) != after.Get(var);
+    if (!changed) continue;
+    const MultimediaComponent* component = flat_[i];
+    delta.changed_components.push_back(component->name());
+    MMCONF_ASSIGN_OR_RETURN(bool visible,
+                            IsVisible(after, component->name()));
+    if (!visible || component->IsComposite()) continue;
+    MMCONF_ASSIGN_OR_RETURN(MMPresentation presentation,
+                            PresentationFor(after, component->name()));
+    delta.redisplay_cost_bytes += PresentationCostBytes(
+        presentation, component->AsPrimitive()->content().content_bytes);
+  }
+  return delta;
+}
+
+namespace {
+
+void EncodeComponent(const MultimediaComponent* component, ByteWriter& w) {
+  if (const CompositeMultimediaComponent* composite =
+          component->AsComposite()) {
+    w.PutU8(0);  // composite tag
+    w.PutString(composite->name());
+    w.PutVarint(composite->children().size());
+    for (const auto& child : composite->children()) {
+      EncodeComponent(child.get(), w);
+    }
+  } else {
+    const PrimitiveMultimediaComponent* primitive = component->AsPrimitive();
+    w.PutU8(1);  // primitive tag
+    w.PutString(primitive->name());
+    w.PutString(primitive->content().media_type);
+    w.PutU64(primitive->content().object_id);
+    w.PutU64(primitive->content().content_bytes);
+    w.PutVarint(primitive->presentations().size());
+    for (const MMPresentation& presentation : primitive->presentations()) {
+      w.PutString(presentation.name);
+      w.PutU8(static_cast<uint8_t>(presentation.kind));
+      w.PutI32(presentation.resolution_drop);
+    }
+  }
+}
+
+Result<std::unique_ptr<MultimediaComponent>> DecodeComponent(ByteReader& r,
+                                                             int depth) {
+  if (depth > 64) return Status::Corruption("component tree too deep");
+  MMCONF_ASSIGN_OR_RETURN(uint8_t tag, r.GetU8());
+  MMCONF_ASSIGN_OR_RETURN(std::string name, r.GetString());
+  if (tag == 0) {
+    auto composite = std::make_unique<CompositeMultimediaComponent>(name);
+    MMCONF_ASSIGN_OR_RETURN(uint64_t count, r.GetVarint());
+    for (uint64_t i = 0; i < count; ++i) {
+      MMCONF_ASSIGN_OR_RETURN(std::unique_ptr<MultimediaComponent> child,
+                              DecodeComponent(r, depth + 1));
+      composite->AddChild(std::move(child));
+    }
+    return std::unique_ptr<MultimediaComponent>(std::move(composite));
+  }
+  if (tag != 1) return Status::Corruption("bad component tag");
+  ContentRef content;
+  MMCONF_ASSIGN_OR_RETURN(content.media_type, r.GetString());
+  MMCONF_ASSIGN_OR_RETURN(content.object_id, r.GetU64());
+  MMCONF_ASSIGN_OR_RETURN(uint64_t content_bytes, r.GetU64());
+  content.content_bytes = content_bytes;
+  MMCONF_ASSIGN_OR_RETURN(uint64_t count, r.GetVarint());
+  std::vector<MMPresentation> presentations;
+  for (uint64_t i = 0; i < count; ++i) {
+    MMPresentation presentation;
+    MMCONF_ASSIGN_OR_RETURN(presentation.name, r.GetString());
+    MMCONF_ASSIGN_OR_RETURN(uint8_t kind, r.GetU8());
+    if (kind > static_cast<uint8_t>(PresentationKind::kAudioSummary)) {
+      return Status::Corruption("bad presentation kind");
+    }
+    presentation.kind = static_cast<PresentationKind>(kind);
+    MMCONF_ASSIGN_OR_RETURN(presentation.resolution_drop, r.GetI32());
+    presentations.push_back(std::move(presentation));
+  }
+  return std::unique_ptr<MultimediaComponent>(
+      std::make_unique<PrimitiveMultimediaComponent>(
+          name, std::move(content), std::move(presentations)));
+}
+
+}  // namespace
+
+Bytes MultimediaDocument::Encode() const {
+  ByteWriter w;
+  w.PutU32(0x4d4d4443);  // "MMDC"
+  EncodeComponent(root_.get(), w);
+  w.PutString(cpnet::ToText(net_));
+  return w.Take();
+}
+
+Result<MultimediaDocument> MultimediaDocument::Decode(const Bytes& bytes) {
+  ByteReader r(bytes);
+  MMCONF_ASSIGN_OR_RETURN(uint32_t magic, r.GetU32());
+  if (magic != 0x4d4d4443) return Status::Corruption("bad document magic");
+  MMCONF_ASSIGN_OR_RETURN(std::unique_ptr<MultimediaComponent> root,
+                          DecodeComponent(r, 0));
+  MMCONF_ASSIGN_OR_RETURN(std::string net_text, r.GetString());
+  MMCONF_ASSIGN_OR_RETURN(MultimediaDocument document,
+                          Create(std::move(root)));
+  MMCONF_ASSIGN_OR_RETURN(cpnet::CpNet net, cpnet::FromText(net_text));
+  // The serialized net replaces the default one; the leading variables
+  // must match the tree binding (operation variables may follow).
+  if (net.num_variables() < document.net_.num_variables()) {
+    return Status::Corruption("CP-net does not match component tree");
+  }
+  for (size_t v = 0; v < document.net_.num_variables(); ++v) {
+    if (net.VariableName(static_cast<VarId>(v)) !=
+        document.net_.VariableName(static_cast<VarId>(v))) {
+      return Status::Corruption("CP-net variable order mismatch");
+    }
+  }
+  document.net_ = std::move(net);
+  return document;
+}
+
+}  // namespace mmconf::doc

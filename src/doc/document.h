@@ -1,0 +1,196 @@
+#ifndef MMCONF_DOC_DOCUMENT_H_
+#define MMCONF_DOC_DOCUMENT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "cpnet/cpnet.h"
+#include "doc/component.h"
+
+namespace mmconf::doc {
+
+/// One viewer choice: an explicit selection of a presentation form for a
+/// component ("By a choice of a viewer we mean its explicit specification
+/// of the presentation form for some component"). An empty presentation
+/// releases the viewer's earlier choice for the component.
+struct ViewerChoice {
+  std::string component;
+  std::string presentation;  ///< domain value name; "" = release choice
+};
+
+/// A multimedia document: the hierarchical component tree
+/// (MultimediaComponent) plus the author's preference specification over
+/// its presentation (CPNetwork) — the paper's MultimediaDocument class,
+/// whose interface this mirrors:
+///
+///   paper                      | here
+///   ---------------------------+------------------------------------
+///   getContent()               | Content()
+///   defaultPresentation()      | DefaultPresentation()
+///   reconfigPresentation(evts) | ReconfigPresentation(evts)
+///
+/// CP-net binding: components are numbered in depth-first pre-order;
+/// component i is CP-net variable i; a component's domain values are its
+/// presentation option names ({presented, hidden} for composites).
+class MultimediaDocument {
+ public:
+  /// Builds a document over `root`. Every component gets a CP-net
+  /// variable with a default unconditional preference (domain order —
+  /// composites prefer presented, primitives prefer their first listed
+  /// option). Author preferences are then refined via SetParentsByName /
+  /// SetPreferenceByName. Fails if component names are not unique.
+  static Result<MultimediaDocument> Create(
+      std::unique_ptr<MultimediaComponent> root);
+
+  MultimediaDocument(MultimediaDocument&&) = default;
+  MultimediaDocument& operator=(MultimediaDocument&&) = default;
+
+  /// Accessor to the component tree (paper: getContent).
+  const MultimediaComponent& Content() const { return *root_; }
+
+  /// Components in depth-first order; index = CP-net variable id.
+  const std::vector<const MultimediaComponent*>& components() const {
+    return flat_;
+  }
+  size_t num_components() const { return flat_.size(); }
+
+  Result<cpnet::VarId> VarOf(const std::string& component_name) const;
+  Result<const MultimediaComponent*> Find(
+      const std::string& component_name) const;
+
+  const cpnet::CpNet& net() const { return net_; }
+
+  /// --- Author preference elicitation (done off-line, once, by the
+  /// document authors) ---
+
+  /// Declares that the preferences over `component`'s presentations
+  /// depend on the presentations of `parents` (the CP-net arc set
+  /// Pi(component)). Resets previously set rankings of `component`.
+  Status SetParentsByName(const std::string& component,
+                          const std::vector<std::string>& parents);
+
+  /// Sets the preference ranking of `component` for one assignment of
+  /// its parents, all by name.
+  Status SetPreferenceByName(const std::string& component,
+                             const std::vector<std::string>& parent_values,
+                             const std::vector<std::string>& ranking);
+
+  /// Sets the same ranking for every parent assignment.
+  Status SetUnconditionalPreferenceByName(
+      const std::string& component, const std::vector<std::string>& ranking);
+
+  /// Revalidates the CP-net after elicitation; must be called (and
+  /// succeed) before the query methods.
+  Status Finalize();
+
+  /// --- Presentation queries ---
+
+  /// Optimal presentation with no viewer choices (paper:
+  /// defaultPresentation, delegated to the CP-net).
+  Result<cpnet::Assignment> DefaultPresentation() const;
+
+  /// Optimal presentation given the viewers' recent choices (paper:
+  /// reconfigPresentation(eventList)). Later choices on the same
+  /// component win; released choices are dropped.
+  Result<cpnet::Assignment> ReconfigPresentation(
+      const std::vector<ViewerChoice>& events) const;
+
+  /// Converts choice events to the CP-net evidence they pin.
+  Result<cpnet::Assignment> EvidenceFrom(
+      const std::vector<ViewerChoice>& events) const;
+
+  /// Presentation option a configuration selects for a primitive
+  /// component; composites report a pseudo-presentation (kImage-less
+  /// "presented" or kHidden).
+  Result<MMPresentation> PresentationFor(
+      const cpnet::Assignment& configuration,
+      const std::string& component_name) const;
+
+  /// True when the component and all its ancestors are shown under
+  /// `configuration` (a composite hides its whole subtree).
+  Result<bool> IsVisible(const cpnet::Assignment& configuration,
+                         const std::string& component_name) const;
+
+  /// Total bytes needed to deliver the visible content of
+  /// `configuration` (the Section 4.4 cost model).
+  Result<size_t> DeliveryCostBytes(
+      const cpnet::Assignment& configuration) const;
+
+  /// What changed between two configurations, from the delivery
+  /// perspective: the components whose presentation differs, and the
+  /// bytes needed to redisplay the ones now visible ("the hierarchical
+  /// structure of the object permits sending only the relevant parts of
+  /// the object for redisplay"). `before` may be shorter than `after`
+  /// when extension variables were added in between; components beyond
+  /// `before` count as changed.
+  struct ConfigurationDelta {
+    std::vector<std::string> changed_components;
+    size_t redisplay_cost_bytes = 0;
+  };
+  Result<ConfigurationDelta> DiffConfigurations(
+      const cpnet::Assignment& before, const cpnet::Assignment& after) const;
+
+  /// Section 4.2 "Adding a component": appends `component` as the last
+  /// child of the named composite. The new component receives the
+  /// default unconditional preference over its presentations (the
+  /// paper's "simple yet reasonable" policy — the author never ranked
+  /// it); every existing preference, operation variable, and tuning
+  /// variable is preserved. Component variable ids are re-bound
+  /// (pre-order), so external ViewerOverlays must be rebuilt afterwards.
+  /// Returns the new component's variable id.
+  Result<cpnet::VarId> AddComponent(
+      const std::string& parent_composite,
+      std::unique_ptr<PrimitiveMultimediaComponent> component);
+
+  /// Section 4.2 "Removing a component": removes the named primitive
+  /// component (the root and non-empty composites cannot be removed).
+  /// Components whose preferences conditioned on it keep only the rows
+  /// where it took its hidden presentation (or its first option when it
+  /// has none) — the removed component is absent, so conditional
+  /// preferences restrict to that context. Variable ids are re-bound.
+  Status RemoveComponent(const std::string& component_name);
+
+  /// Online update of Section 4.2: after a viewer performs `op_name`
+  /// (e.g. "CT.segmentation") on `component` while it presented as
+  /// `trigger_presentation`, appends a derived operation variable to the
+  /// CP-net preferring the applied form exactly when the component
+  /// presents at the trigger value. The new variable is NOT a component
+  /// (components() is unchanged); configurations simply grow by one
+  /// variable. Returns the new variable id.
+  Result<cpnet::VarId> AddOperationVariable(
+      const std::string& component, const std::string& trigger_presentation,
+      const std::string& op_name);
+
+  /// Number of CP-net variables (components + operation variables).
+  size_t num_variables() const { return net_.num_variables(); }
+
+  /// Serialization for BLOB storage (tree + CP-net text).
+  Bytes Encode() const;
+  static Result<MultimediaDocument> Decode(const Bytes& bytes);
+
+ private:
+  MultimediaDocument() = default;
+
+  Status BindTree();
+
+  // The Section 4.4 tuning extension rewires CPTs of heavy components in
+  // place; it preserves the component-variable binding (ids and domains
+  // unchanged), which is the invariant this class protects.
+  friend Result<cpnet::VarId> AddBandwidthTuning(
+      MultimediaDocument& document, const std::string& tuning_name);
+
+  std::unique_ptr<MultimediaComponent> root_;
+  std::vector<const MultimediaComponent*> flat_;
+  std::vector<int> parent_index_;  ///< flat index of parent, -1 for root
+  std::map<std::string, cpnet::VarId> by_name_;
+  cpnet::CpNet net_;
+};
+
+}  // namespace mmconf::doc
+
+#endif  // MMCONF_DOC_DOCUMENT_H_

@@ -1,0 +1,61 @@
+#include "doc/presentation.h"
+
+namespace mmconf::doc {
+
+const char* PresentationKindToString(PresentationKind kind) {
+  switch (kind) {
+    case PresentationKind::kHidden:
+      return "hidden";
+    case PresentationKind::kText:
+      return "text";
+    case PresentationKind::kImage:
+      return "image";
+    case PresentationKind::kSegmentedImage:
+      return "segmented-image";
+    case PresentationKind::kThumbnail:
+      return "thumbnail";
+    case PresentationKind::kIcon:
+      return "icon";
+    case PresentationKind::kAudio:
+      return "audio";
+    case PresentationKind::kAudioSummary:
+      return "audio-summary";
+  }
+  return "unknown";
+}
+
+bool operator==(const MMPresentation& a, const MMPresentation& b) {
+  return a.name == b.name && a.kind == b.kind &&
+         a.resolution_drop == b.resolution_drop;
+}
+
+size_t PresentationCostBytes(const MMPresentation& presentation,
+                             size_t full_content_bytes) {
+  switch (presentation.kind) {
+    case PresentationKind::kHidden:
+      return 0;
+    case PresentationKind::kIcon:
+      return 256;  // fixed glyph payload
+    case PresentationKind::kText:
+      return full_content_bytes;
+    case PresentationKind::kImage:
+      return full_content_bytes;
+    case PresentationKind::kSegmentedImage:
+      // Segmentation overlay adds roughly a label plane.
+      return full_content_bytes + full_content_bytes / 4;
+    case PresentationKind::kThumbnail: {
+      int drop = presentation.resolution_drop > 0
+                     ? presentation.resolution_drop
+                     : 1;
+      size_t divisor = static_cast<size_t>(1) << (2 * drop);
+      return full_content_bytes / divisor + 64;
+    }
+    case PresentationKind::kAudio:
+      return full_content_bytes;
+    case PresentationKind::kAudioSummary:
+      return full_content_bytes / 16 + 128;
+  }
+  return full_content_bytes;
+}
+
+}  // namespace mmconf::doc

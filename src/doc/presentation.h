@@ -1,0 +1,49 @@
+#ifndef MMCONF_DOC_PRESENTATION_H_
+#define MMCONF_DOC_PRESENTATION_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mmconf::doc {
+
+/// Kind of a presentation option — the ground specifications of the
+/// paper's abstract MMPresentation class ("Text, JPGImage,
+/// SegmentedJPGImage, etc."), extended with the multi-resolution and
+/// hidden forms the presentation module chooses among.
+enum class PresentationKind : uint8_t {
+  kHidden = 0,      ///< component not shown at all
+  kText,            ///< textual rendering
+  kImage,           ///< full-resolution flat image
+  kSegmentedImage,  ///< image with segmentation overlay
+  kThumbnail,       ///< reduced-resolution image
+  kIcon,            ///< minimal placeholder ("presented as a small icon")
+  kAudio,           ///< playable audio fragment
+  kAudioSummary,    ///< segment/speaker summary instead of full audio
+};
+
+const char* PresentationKindToString(PresentationKind kind);
+
+/// One option for presenting a component's content. A primitive
+/// component's domain is its list of MMPresentations; the CP-net variable
+/// bound to the component ranges over exactly these options, in order.
+struct MMPresentation {
+  std::string name;  ///< domain value name, e.g. "flat", "segmented"
+  PresentationKind kind = PresentationKind::kHidden;
+  /// Resolution reduction for kThumbnail (image side divided by
+  /// 2^resolution_drop); 0 otherwise.
+  int resolution_drop = 0;
+};
+
+bool operator==(const MMPresentation& a, const MMPresentation& b);
+
+/// Approximate bytes a presentation costs to deliver, given the
+/// component's full-content byte size. This is the cost model the
+/// pre-fetching and bandwidth-adaptation logic plans with (Section 4.4):
+/// hidden/icon cost (almost) nothing, thumbnails cost geometrically less
+/// than full images, summaries cost a fraction of the full audio.
+size_t PresentationCostBytes(const MMPresentation& presentation,
+                             size_t full_content_bytes);
+
+}  // namespace mmconf::doc
+
+#endif  // MMCONF_DOC_PRESENTATION_H_

@@ -1,0 +1,176 @@
+#include "doc/tuning.h"
+
+#include <algorithm>
+
+namespace mmconf::doc {
+
+using cpnet::Cpt;
+using cpnet::PreferenceRanking;
+using cpnet::ValueId;
+using cpnet::VarId;
+
+const char* BandwidthLevelToString(BandwidthLevel level) {
+  switch (level) {
+    case BandwidthLevel::kHigh:
+      return "high";
+    case BandwidthLevel::kMedium:
+      return "medium";
+    case BandwidthLevel::kLow:
+      return "low";
+  }
+  return "unknown";
+}
+
+BandwidthLevel ClassifyBandwidth(double bytes_per_second) {
+  // A ~256 KB full image within 2 s needs ~128 KB/s; within 20 s, ~13
+  // KB/s. Below that, only icon-class payloads stay interactive.
+  if (bytes_per_second >= 128e3) return BandwidthLevel::kHigh;
+  if (bytes_per_second >= 13e3) return BandwidthLevel::kMedium;
+  return BandwidthLevel::kLow;
+}
+
+namespace {
+
+/// True when a presentation is cheap enough to survive a congested link.
+bool IsCheap(const MMPresentation& presentation) {
+  switch (presentation.kind) {
+    case PresentationKind::kHidden:
+    case PresentationKind::kIcon:
+    case PresentationKind::kThumbnail:
+    case PresentationKind::kAudioSummary:
+    case PresentationKind::kText:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// True when the component's domain contains a full-cost media
+/// presentation — the "bandwidth/buffer consuming components" the paper
+/// conditions on the tuning variable.
+bool IsHeavy(const PrimitiveMultimediaComponent& primitive) {
+  for (const MMPresentation& presentation : primitive.presentations()) {
+    if (!IsCheap(presentation)) return true;
+  }
+  return false;
+}
+
+/// Medium template: stable-partition the author's ranking so cheap
+/// presentations come first, preserving relative order within each class.
+PreferenceRanking MediumTemplate(const PreferenceRanking& author,
+                                 const PrimitiveMultimediaComponent& comp) {
+  PreferenceRanking out;
+  for (ValueId v : author) {
+    if (IsCheap(comp.presentations()[static_cast<size_t>(v)])) {
+      out.push_back(v);
+    }
+  }
+  for (ValueId v : author) {
+    if (!IsCheap(comp.presentations()[static_cast<size_t>(v)])) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+/// Low template: ascending delivery cost; author order breaks ties.
+PreferenceRanking LowTemplate(const PreferenceRanking& author,
+                              const PrimitiveMultimediaComponent& comp) {
+  PreferenceRanking out = author;
+  std::stable_sort(out.begin(), out.end(), [&](ValueId a, ValueId b) {
+    size_t full = comp.content().content_bytes;
+    return PresentationCostBytes(
+               comp.presentations()[static_cast<size_t>(a)], full) <
+           PresentationCostBytes(
+               comp.presentations()[static_cast<size_t>(b)], full);
+  });
+  return out;
+}
+
+}  // namespace
+
+Result<VarId> AddBandwidthTuning(MultimediaDocument& document,
+                                 const std::string& tuning_name) {
+  cpnet::CpNet& net = document.net_;
+  if (net.FindVariable(tuning_name).ok()) {
+    return Status::AlreadyExists("variable \"" + tuning_name +
+                                 "\" already exists");
+  }
+  VarId tuning = net.AddVariable(tuning_name, {"high", "medium", "low"});
+  // The link is assumed good until measured otherwise.
+  MMCONF_RETURN_IF_ERROR(net.SetUnconditionalPreference(tuning, {0, 1, 2}));
+
+  for (size_t i = 0; i < document.num_components(); ++i) {
+    const MultimediaComponent* component = document.components()[i];
+    const PrimitiveMultimediaComponent* primitive = component->AsPrimitive();
+    if (primitive == nullptr || !IsHeavy(*primitive)) continue;
+    VarId var = static_cast<VarId>(i);
+
+    // Snapshot the author's CPT, then rebuild with the tuning variable
+    // appended to the parent list (least significant digit of the row
+    // index, so old rows map contiguously).
+    const Cpt old_cpt = net.CptOf(var);
+    std::vector<VarId> parents = net.Parents(var);
+    parents.push_back(tuning);
+    MMCONF_RETURN_IF_ERROR(net.SetParents(var, parents));
+    for (size_t row = 0; row < old_cpt.num_rows(); ++row) {
+      MMCONF_ASSIGN_OR_RETURN(PreferenceRanking author,
+                              old_cpt.Ranking(row));
+      std::vector<ValueId> parent_values = old_cpt.RowValues(row);
+      parent_values.push_back(0);  // high
+      MMCONF_RETURN_IF_ERROR(net.SetPreference(var, parent_values, author));
+      parent_values.back() = 1;  // medium
+      MMCONF_RETURN_IF_ERROR(net.SetPreference(
+          var, parent_values, MediumTemplate(author, *primitive)));
+      parent_values.back() = 2;  // low
+      MMCONF_RETURN_IF_ERROR(net.SetPreference(
+          var, parent_values, LowTemplate(author, *primitive)));
+    }
+  }
+  MMCONF_RETURN_IF_ERROR(net.Validate());
+  return tuning;
+}
+
+ViewerChoice TuningChoice(const std::string& tuning_name,
+                          BandwidthLevel level) {
+  return {tuning_name, BandwidthLevelToString(level)};
+}
+
+Result<size_t> TranscodedDeliveryCost(
+    const MultimediaDocument& document,
+    const cpnet::Assignment& configuration, BandwidthLevel level) {
+  size_t total = 0;
+  for (size_t i = 0; i < document.num_components(); ++i) {
+    const MultimediaComponent* component = document.components()[i];
+    const PrimitiveMultimediaComponent* primitive = component->AsPrimitive();
+    if (primitive == nullptr) continue;
+    MMCONF_ASSIGN_OR_RETURN(
+        bool visible, document.IsVisible(configuration, component->name()));
+    if (!visible) continue;
+    MMCONF_ASSIGN_OR_RETURN(
+        MMPresentation configured,
+        document.PresentationFor(configuration, component->name()));
+    if (configured.kind == PresentationKind::kHidden) continue;
+    total += TranscodedPresentationCost(*primitive, configured, level);
+  }
+  return total;
+}
+
+size_t TranscodedPresentationCost(
+    const PrimitiveMultimediaComponent& primitive,
+    const MMPresentation& configured, BandwidthLevel level) {
+  const size_t full = primitive.content().content_bytes;
+  size_t cost = PresentationCostBytes(configured, full);
+  if (level == BandwidthLevel::kHigh) return cost;
+  // Cheapest non-hidden rendition available in the domain (medium only
+  // considers the cheap class; low considers everything).
+  size_t cheapest = cost;
+  for (const MMPresentation& option : primitive.presentations()) {
+    if (option.kind == PresentationKind::kHidden) continue;
+    if (level == BandwidthLevel::kMedium && !IsCheap(option)) continue;
+    cheapest = std::min(cheapest, PresentationCostBytes(option, full));
+  }
+  return cheapest;
+}
+
+}  // namespace mmconf::doc

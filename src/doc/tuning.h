@@ -1,0 +1,83 @@
+#ifndef MMCONF_DOC_TUNING_H_
+#define MMCONF_DOC_TUNING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "cpnet/cpnet.h"
+#include "doc/document.h"
+
+namespace mmconf::doc {
+
+/// Network condition levels a tuned document reacts to.
+enum class BandwidthLevel : int {
+  kHigh = 0,    ///< LAN / workstation: richest presentations win
+  kMedium = 1,  ///< broadband: drop to thumbnails where the author allows
+  kLow = 2,     ///< modem / congested: icons and summaries only
+};
+
+const char* BandwidthLevelToString(BandwidthLevel level);
+
+/// Classifies a measured link into a level. Thresholds follow the cost
+/// model: a level is "enough" when a full image (256 KB class) ships
+/// within ~2 s.
+BandwidthLevel ClassifyBandwidth(double bytes_per_second);
+
+/// The paper's Section 4.4 first alternative, implemented: "if the above
+/// parameters are measurable, then we can add corresponding 'tuning'
+/// variables into the preference model of the document presentation, and
+/// to condition on them the preferential ordering of the presentation
+/// alternatives for various bandwidth/buffer consuming components. Such
+/// model extension can be done automatically, according to some
+/// predefined ordering templates."
+///
+/// AddBandwidthTuning appends one root variable named `tuning_name` with
+/// domain {high, medium, low} to the document's CP-net and rewires every
+/// *heavy* primitive component (image/audio presentations) so its parents
+/// gain the tuning variable, with the ordering templates:
+///
+///   high   : the author's original ranking, unchanged
+///   medium : cheap presentations (thumbnail/icon/summary/hidden) are
+///            promoted above full-cost ones, preserving relative order
+///   low    : ranking sorted by ascending delivery cost
+///
+/// Text-only and composite components are left untouched. Returns the
+/// tuning variable id. The document must be finalized; it is revalidated
+/// before returning.
+Result<cpnet::VarId> AddBandwidthTuning(MultimediaDocument& document,
+                                        const std::string& tuning_name);
+
+/// Pins the tuning variable in an evidence set: returns the choice event
+/// that fixes it at `level` (viewers never set this variable; the client
+/// runtime measures the link and pins it).
+ViewerChoice TuningChoice(const std::string& tuning_name,
+                          BandwidthLevel level);
+
+/// The Section 4.4 closing note, made concrete: "the pre-fetching option
+/// allows the use of various transcoding formats of the multimedia
+/// objects according to the communication bandwidth and the client's
+/// software." The room's *shared* configuration stays one truth; what
+/// each partner's wire carries is a transcoded rendition of it:
+///
+///   high   : every visible presentation ships as configured
+///   medium : heavy presentations ship as their cheapest *visible*
+///            sibling in the component's domain (thumbnail / summary /
+///            icon class), cheap ones ship as configured
+///   low    : everything ships as its cheapest non-hidden option
+///
+/// Returns the bytes delivered to a `level` client for `configuration`.
+Result<size_t> TranscodedDeliveryCost(const MultimediaDocument& document,
+                                      const cpnet::Assignment& configuration,
+                                      BandwidthLevel level);
+
+/// Bytes one component costs a `level` client when it presents as
+/// `configured` (the per-component unit TranscodedDeliveryCost sums;
+/// exposed so the interaction server can price per-client deltas).
+size_t TranscodedPresentationCost(
+    const PrimitiveMultimediaComponent& primitive,
+    const MMPresentation& configured, BandwidthLevel level);
+
+}  // namespace mmconf::doc
+
+#endif  // MMCONF_DOC_TUNING_H_

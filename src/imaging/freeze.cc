@@ -1,0 +1,62 @@
+#include "imaging/freeze.h"
+
+namespace mmconf::imaging {
+
+Status FreezeRegistry::Freeze(const std::string& object_key,
+                              const std::string& partner) {
+  auto it = holders_.find(object_key);
+  if (it != holders_.end()) {
+    if (it->second == partner) return Status::OK();
+    return Status::FailedPrecondition("object \"" + object_key +
+                                      "\" is frozen by " + it->second);
+  }
+  holders_.emplace(object_key, partner);
+  return Status::OK();
+}
+
+Status FreezeRegistry::Release(const std::string& object_key,
+                               const std::string& partner) {
+  auto it = holders_.find(object_key);
+  if (it == holders_.end()) {
+    return Status::NotFound("object \"" + object_key + "\" is not frozen");
+  }
+  if (it->second != partner) {
+    return Status::FailedPrecondition("freeze on \"" + object_key +
+                                      "\" is held by " + it->second +
+                                      ", not " + partner);
+  }
+  holders_.erase(it);
+  return Status::OK();
+}
+
+Status FreezeRegistry::CheckMutable(const std::string& object_key,
+                                    const std::string& partner) const {
+  auto it = holders_.find(object_key);
+  if (it == holders_.end() || it->second == partner) return Status::OK();
+  return Status::FailedPrecondition("object \"" + object_key +
+                                    "\" is frozen by " + it->second);
+}
+
+bool FreezeRegistry::IsFrozen(const std::string& object_key) const {
+  return holders_.count(object_key) > 0;
+}
+
+std::string FreezeRegistry::HolderOf(const std::string& object_key) const {
+  auto it = holders_.find(object_key);
+  return it == holders_.end() ? std::string() : it->second;
+}
+
+int FreezeRegistry::ReleaseAllHeldBy(const std::string& partner) {
+  int released = 0;
+  for (auto it = holders_.begin(); it != holders_.end();) {
+    if (it->second == partner) {
+      it = holders_.erase(it);
+      ++released;
+    } else {
+      ++it;
+    }
+  }
+  return released;
+}
+
+}  // namespace mmconf::imaging

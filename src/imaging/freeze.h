@@ -1,0 +1,50 @@
+#ifndef MMCONF_IMAGING_FREEZE_H_
+#define MMCONF_IMAGING_FREEZE_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+namespace mmconf::imaging {
+
+/// The paper's "Freezing of Multimedia Objects (by one partner from the
+/// rest) and releasing the freeze": an advisory exclusive lock registry.
+/// While an object is frozen by a partner, mutating operations from other
+/// partners are rejected with FailedPrecondition; the holder (and only
+/// the holder) releases it.
+class FreezeRegistry {
+ public:
+  FreezeRegistry() = default;
+
+  /// Freezes `object_key` on behalf of `partner`. Re-freezing by the same
+  /// holder is a no-op; FailedPrecondition if another partner holds it.
+  Status Freeze(const std::string& object_key, const std::string& partner);
+
+  /// Releases the freeze. FailedPrecondition if `partner` is not the
+  /// holder; NotFound if the object is not frozen.
+  Status Release(const std::string& object_key, const std::string& partner);
+
+  /// OK when `partner` may mutate the object (unfrozen, or frozen by
+  /// `partner` themselves); FailedPrecondition naming the holder
+  /// otherwise.
+  Status CheckMutable(const std::string& object_key,
+                      const std::string& partner) const;
+
+  bool IsFrozen(const std::string& object_key) const;
+  /// Holder of the freeze, or empty string when unfrozen.
+  std::string HolderOf(const std::string& object_key) const;
+
+  /// Releases everything held by `partner` (used when a client leaves a
+  /// room). Returns the number of freezes released.
+  int ReleaseAllHeldBy(const std::string& partner);
+
+  size_t frozen_count() const { return holders_.size(); }
+
+ private:
+  std::map<std::string, std::string> holders_;  // object key -> partner
+};
+
+}  // namespace mmconf::imaging
+
+#endif  // MMCONF_IMAGING_FREEZE_H_

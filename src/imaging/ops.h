@@ -1,0 +1,99 @@
+#ifndef MMCONF_IMAGING_OPS_H_
+#define MMCONF_IMAGING_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "media/image.h"
+
+namespace mmconf::imaging {
+
+/// The paper's image-processing module: "Zooming of a selected part of
+/// image. Deleting of text elements and line elements. Adding
+/// Segmentation grid with possibility to fill different segments of the
+/// segmentation with different colors or patterns." All operations are
+/// pure (input image -> output image) so the interaction server can apply
+/// them, persist the result, and propagate deltas to every room member.
+
+/// Zooms region `region` of `image` to `out_width` x `out_height` using
+/// bilinear interpolation. The region must be non-empty and inside the
+/// image bounds.
+Result<media::Image> Zoom(const media::Image& image, media::Rect region,
+                          int out_width, int out_height);
+
+/// Fill style for one segment of a segmentation.
+enum class FillPattern : uint8_t {
+  kNone = 0,     ///< leave pixels untouched
+  kSolid,        ///< constant intensity
+  kHatch,        ///< diagonal hatching blended over the pixels
+  kChecker,      ///< checkerboard blend
+};
+
+/// One segment of a segmentation overlay: which label it covers and how
+/// to render it.
+struct SegmentStyle {
+  FillPattern pattern = FillPattern::kNone;
+  uint8_t intensity = 200;
+};
+
+/// Result of Segment(): a label per pixel plus the label count.
+struct Segmentation {
+  int width = 0;
+  int height = 0;
+  int num_segments = 0;
+  std::vector<int> labels;  ///< row-major, in [0, num_segments)
+
+  int LabelAt(int x, int y) const {
+    return labels[static_cast<size_t>(y) * width + x];
+  }
+};
+
+/// Segments the image into `num_segments` intensity classes by 1D k-means
+/// on the gray histogram (Lloyd's algorithm, deterministic
+/// evenly-spaced initialization). This is the "Segmentation grid" the
+/// paper's module adds to CT images.
+Result<Segmentation> Segment(const media::Image& image, int num_segments);
+
+/// Renders a segmentation over an image: each segment styled per
+/// `styles[label]` (styles shorter than num_segments leave remaining
+/// segments untouched), plus grid lines along segment boundaries when
+/// `draw_boundaries` is set.
+Result<media::Image> ApplySegmentation(const media::Image& image,
+                                       const Segmentation& segmentation,
+                                       const std::vector<SegmentStyle>& styles,
+                                       bool draw_boundaries);
+
+/// Convenience: Segment + ApplySegmentation with a default style cycle —
+/// produces the "segmented form" presentation option of a CT component.
+Result<media::Image> SegmentedView(const media::Image& image,
+                                   int num_segments);
+
+/// Downscales by a power of two with box averaging (the "small icon"
+/// presentation option).
+Result<media::Image> Downscale(const media::Image& image, int factor);
+
+/// Intensity statistics of a region — the measurement companion of the
+/// zoom/segmentation tools (a physician inspecting a lesion reads its
+/// density, not just its outline).
+struct RegionStats {
+  double mean = 0;
+  double stddev = 0;
+  uint8_t min = 255;
+  uint8_t max = 0;
+  long pixels = 0;
+};
+
+/// Computes statistics over `region`, which must be non-empty and inside
+/// the image.
+Result<RegionStats> ComputeRegionStats(const media::Image& image,
+                                       media::Rect region);
+
+/// Contrast-stretches the image by histogram equalization (standard CDF
+/// remapping) — useful before segmenting low-contrast scans.
+Result<media::Image> EqualizeHistogram(const media::Image& image);
+
+}  // namespace mmconf::imaging
+
+#endif  // MMCONF_IMAGING_OPS_H_

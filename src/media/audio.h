@@ -1,0 +1,81 @@
+#ifndef MMCONF_MEDIA_AUDIO_H_
+#define MMCONF_MEDIA_AUDIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace mmconf::media {
+
+/// Class of content occupying a span of an audio signal. These are the
+/// categories the paper's voice module segments automatically: "speech,
+/// music, or audio artifacts" plus background noise, with speech further
+/// attributed to a speaker.
+enum class AudioClass : uint8_t {
+  kSilence = 0,
+  kSpeech,
+  kMusic,
+  kArtifact,
+};
+
+const char* AudioClassToString(AudioClass c);
+
+/// Ground-truth or hypothesized labeling of a span [begin, end) in samples.
+/// `speaker` is >= 0 for speech segments that carry speaker identity, -1
+/// otherwise. `keyword` is the keyword id uttered in the segment, -1 if
+/// none (used by word-spotting evaluation).
+struct AudioSegment {
+  size_t begin = 0;
+  size_t end = 0;
+  AudioClass cls = AudioClass::kSilence;
+  int speaker = -1;
+  int keyword = -1;
+
+  size_t length() const { return end - begin; }
+};
+
+bool operator==(const AudioSegment& a, const AudioSegment& b);
+
+/// Mono PCM audio signal. Samples are float in [-1, 1]; the paper's voice
+/// fragments (conversation recordings, dictated expertise) are represented
+/// as AudioSignal values stored as BLOBs.
+class AudioSignal {
+ public:
+  AudioSignal() = default;
+  AudioSignal(std::vector<float> samples, int sample_rate)
+      : samples_(std::move(samples)), sample_rate_(sample_rate) {}
+
+  const std::vector<float>& samples() const { return samples_; }
+  std::vector<float>& mutable_samples() { return samples_; }
+  int sample_rate() const { return sample_rate_; }
+  size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double DurationSeconds() const {
+    return sample_rate_ > 0
+               ? static_cast<double>(samples_.size()) / sample_rate_
+               : 0.0;
+  }
+
+  /// Extracts samples [begin, end); clamps to the signal length.
+  AudioSignal Slice(size_t begin, size_t end) const;
+
+  /// Appends another signal; sample rates must match (InvalidArgument
+  /// otherwise).
+  Status Append(const AudioSignal& other);
+
+  /// 16-bit PCM serialization for BLOB storage / transfer.
+  Bytes Encode() const;
+  static Result<AudioSignal> Decode(const Bytes& bytes);
+
+ private:
+  std::vector<float> samples_;
+  int sample_rate_ = 16000;
+};
+
+}  // namespace mmconf::media
+
+#endif  // MMCONF_MEDIA_AUDIO_H_

@@ -1,0 +1,259 @@
+#include "media/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mmconf::media {
+
+namespace {
+
+struct Ellipse {
+  double cx, cy, rx, ry;
+  uint8_t level;
+};
+
+void FillEllipse(Image& img, const Ellipse& e) {
+  int x0 = std::max(0, static_cast<int>(e.cx - e.rx - 1));
+  int x1 = std::min(img.width() - 1, static_cast<int>(e.cx + e.rx + 1));
+  int y0 = std::max(0, static_cast<int>(e.cy - e.ry - 1));
+  int y1 = std::min(img.height() - 1, static_cast<int>(e.cy + e.ry + 1));
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      double dx = (x - e.cx) / e.rx;
+      double dy = (y - e.cy) / e.ry;
+      if (dx * dx + dy * dy <= 1.0) img.set(x, y, e.level);
+    }
+  }
+}
+
+/// A second-order resonator (two-pole bandpass), the classic formant
+/// synthesis building block.
+class Resonator {
+ public:
+  Resonator(double center_hz, double bandwidth_hz, int sample_rate) {
+    double r = std::exp(-M_PI * bandwidth_hz / sample_rate);
+    double theta = 2.0 * M_PI * center_hz / sample_rate;
+    a1_ = 2.0 * r * std::cos(theta);
+    a2_ = -r * r;
+    gain_ = 1.0 - r;
+  }
+
+  double Step(double x) {
+    double y = gain_ * x + a1_ * y1_ + a2_ * y2_;
+    y2_ = y1_;
+    y1_ = y;
+    return y;
+  }
+
+ private:
+  double a1_, a2_, gain_;
+  double y1_ = 0, y2_ = 0;
+};
+
+/// Deterministic per-phone formant multipliers: phone p scales formant k
+/// by a fixed factor so every (speaker, phone) pair has a distinct,
+/// reproducible spectrum.
+double PhoneFormantScale(int phone, int formant_index) {
+  // Spread factors over [0.7, 1.5].
+  uint32_t h = static_cast<uint32_t>(phone * 2654435761u +
+                                     formant_index * 40503u + 12345u);
+  h ^= h >> 13;
+  h *= 0x5bd1e995u;
+  h ^= h >> 15;
+  return 0.7 + 0.8 * (static_cast<double>(h % 1000) / 999.0);
+}
+
+}  // namespace
+
+Image MakePhantomCt(const PhantomOptions& options, Rng& rng) {
+  Image img = Image::Create(options.width, options.height, 8).value();
+  double w = options.width, h = options.height;
+  // Body outline.
+  FillEllipse(img, {w / 2, h / 2, w * 0.45, h * 0.42, 70});
+  FillEllipse(img, {w / 2, h / 2, w * 0.42, h * 0.39, 110});
+  // Internal structures with varied intensity.
+  for (int i = 0; i < options.num_structures; ++i) {
+    Ellipse e;
+    e.rx = rng.Uniform(w * 0.03, w * 0.14);
+    e.ry = rng.Uniform(h * 0.03, h * 0.14);
+    e.cx = rng.Uniform(w * 0.25, w * 0.75);
+    e.cy = rng.Uniform(h * 0.25, h * 0.75);
+    e.level = static_cast<uint8_t>(rng.UniformInt(140, 240));
+    FillEllipse(img, e);
+  }
+  // Acquisition noise.
+  if (options.noise_stddev > 0) {
+    for (uint8_t& p : img.mutable_pixels()) {
+      double v = p + rng.Gaussian(0, options.noise_stddev);
+      p = static_cast<uint8_t>(std::clamp(v, 0.0, 255.0));
+    }
+  }
+  return img;
+}
+
+std::vector<SpeakerProfile> MakeSpeakers(int count, Rng& rng) {
+  std::vector<SpeakerProfile> speakers;
+  speakers.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    SpeakerProfile s;
+    s.id = i;
+    // Pitches spread across 90..260 Hz with jitter, formant stacks offset
+    // per speaker so spectra are separable.
+    s.pitch_hz = 90 + 170.0 * i / std::max(1, count - 1) + rng.Uniform(-5, 5);
+    double base = 420 + 160.0 * (i % 4) + rng.Uniform(-20, 20);
+    s.formants_hz = {base, base * 2.6 + rng.Uniform(-40, 40),
+                     base * 4.9 + rng.Uniform(-60, 60)};
+    s.formant_bandwidth_hz = rng.Uniform(90, 150);
+    speakers.push_back(s);
+  }
+  return speakers;
+}
+
+std::vector<Word> MakeVocabulary(int count, int phones_per_word,
+                                 int num_phones, Rng& rng) {
+  std::vector<Word> vocab;
+  vocab.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    Word w;
+    w.id = i;
+    for (int p = 0; p < phones_per_word; ++p) {
+      w.phones.push_back(
+          static_cast<int>(rng.NextBelow(static_cast<uint64_t>(num_phones))));
+    }
+    vocab.push_back(std::move(w));
+  }
+  return vocab;
+}
+
+AudioSignal Synthesize(const Word& word, const SpeakerProfile& speaker,
+                       const UtteranceOptions& options, Rng& rng) {
+  const int rate = options.sample_rate;
+  const int phone_len = static_cast<int>(options.phone_duration_s * rate);
+  std::vector<float> samples;
+  samples.reserve(word.phones.size() * phone_len);
+
+  double phase = 0;
+  for (int phone : word.phones) {
+    // Formant filters for this (speaker, phone) pair.
+    std::vector<Resonator> filters;
+    for (size_t k = 0; k < speaker.formants_hz.size(); ++k) {
+      double hz = speaker.formants_hz[k] *
+                  PhoneFormantScale(phone, static_cast<int>(k));
+      hz = std::min(hz, rate * 0.45);
+      filters.emplace_back(hz, speaker.formant_bandwidth_hz, rate);
+    }
+    for (int n = 0; n < phone_len; ++n) {
+      // Glottal source: impulse train with aspiration noise.
+      phase += speaker.pitch_hz / rate;
+      double src = 0;
+      if (phase >= 1.0) {
+        phase -= 1.0;
+        src = 1.0;
+      }
+      src += rng.Gaussian(0, 0.02);
+      double y = 0;
+      for (Resonator& f : filters) y += f.Step(src);
+      y = y / static_cast<double>(filters.size());
+      // Linear attack/release envelope to avoid clicks at phone
+      // boundaries (full amplitude across the middle 80% of the phone).
+      double t = static_cast<double>(n) / phone_len;
+      double env =
+          std::min(1.0, 10.0 * t) * std::min(1.0, 10.0 * (1.0 - t));
+      samples.push_back(static_cast<float>(y * env));
+    }
+  }
+  // Normalize the voiced signal to a healthy level, then add channel
+  // noise — keeps the SNR of the corpus realistic and independent of the
+  // resonator gains.
+  float peak = 1e-6f;
+  for (float s : samples) peak = std::max(peak, std::abs(s));
+  const float target = 0.5f;
+  for (float& s : samples) {
+    double v = s * target / peak + rng.Gaussian(0, options.noise_level);
+    s = static_cast<float>(std::clamp(v, -1.0, 1.0));
+  }
+  return AudioSignal(std::move(samples), rate);
+}
+
+AudioSignal SynthesizeMusic(double duration_s, int sample_rate, Rng& rng) {
+  int n = static_cast<int>(duration_s * sample_rate);
+  std::vector<float> samples(n);
+  // A sustained triad with slow vibrato: strongly harmonic, low-variance
+  // envelope — separable from both speech (pitch pulses) and noise.
+  double root = rng.Uniform(220, 440);
+  double freqs[3] = {root, root * 5 / 4, root * 3 / 2};
+  for (int i = 0; i < n; ++i) {
+    double t = static_cast<double>(i) / sample_rate;
+    double vibrato = 1.0 + 0.004 * std::sin(2 * M_PI * 5 * t);
+    double y = 0;
+    for (double f : freqs) y += std::sin(2 * M_PI * f * vibrato * t);
+    samples[i] = static_cast<float>(0.25 * y / 3 + rng.Gaussian(0, 0.005));
+  }
+  return AudioSignal(std::move(samples), sample_rate);
+}
+
+AudioSignal SynthesizeArtifact(double duration_s, int sample_rate, Rng& rng) {
+  int n = static_cast<int>(duration_s * sample_rate);
+  std::vector<float> samples(n, 0.0f);
+  // Broadband click bursts.
+  int bursts = std::max(1, n / (sample_rate / 8));
+  for (int b = 0; b < bursts; ++b) {
+    int start = static_cast<int>(rng.NextBelow(std::max(1, n - 40)));
+    for (int i = 0; i < 40 && start + i < n; ++i) {
+      samples[start + i] =
+          static_cast<float>(rng.Gaussian(0, 0.6) * std::exp(-i / 8.0));
+    }
+  }
+  return AudioSignal(std::move(samples), sample_rate);
+}
+
+AudioSignal SynthesizeSilence(double duration_s, int sample_rate, Rng& rng) {
+  int n = static_cast<int>(duration_s * sample_rate);
+  std::vector<float> samples(n);
+  for (float& s : samples) s = static_cast<float>(rng.Gaussian(0, 0.002));
+  return AudioSignal(std::move(samples), sample_rate);
+}
+
+Conversation MakeConversation(const std::vector<SpeakerProfile>& speakers,
+                              const std::vector<Word>& vocab,
+                              const ConversationOptions& options, Rng& rng) {
+  Conversation conv;
+  const int rate = options.utterance.sample_rate;
+  conv.signal = AudioSignal({}, rate);
+
+  auto append_segment = [&](const AudioSignal& sig, AudioClass cls,
+                            int speaker, int keyword) {
+    size_t begin = conv.signal.size();
+    // Append never fails here: every generated piece uses `rate`.
+    conv.signal.Append(sig).ok();
+    conv.segments.push_back({begin, conv.signal.size(), cls, speaker,
+                             keyword});
+  };
+
+  append_segment(SynthesizeSilence(options.gap_duration_s, rate, rng),
+                 AudioClass::kSilence, -1, -1);
+  for (int turn = 0; turn < options.num_turns; ++turn) {
+    if (rng.Chance(options.music_probability)) {
+      append_segment(SynthesizeMusic(0.8, rate, rng), AudioClass::kMusic, -1,
+                     -1);
+      append_segment(SynthesizeSilence(options.gap_duration_s, rate, rng),
+                     AudioClass::kSilence, -1, -1);
+    }
+    if (rng.Chance(options.artifact_probability)) {
+      append_segment(SynthesizeArtifact(0.3, rate, rng),
+                     AudioClass::kArtifact, -1, -1);
+    }
+    const SpeakerProfile& speaker =
+        speakers[rng.NextBelow(speakers.size())];
+    for (int wi = 0; wi < options.words_per_turn; ++wi) {
+      const Word& word = vocab[rng.NextBelow(vocab.size())];
+      append_segment(Synthesize(word, speaker, options.utterance, rng),
+                     AudioClass::kSpeech, speaker.id, word.id);
+    }
+    append_segment(SynthesizeSilence(options.gap_duration_s, rate, rng),
+                   AudioClass::kSilence, -1, -1);
+  }
+  return conv;
+}
+
+}  // namespace mmconf::media

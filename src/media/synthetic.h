@@ -1,0 +1,99 @@
+#ifndef MMCONF_MEDIA_SYNTHETIC_H_
+#define MMCONF_MEDIA_SYNTHETIC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "media/audio.h"
+#include "media/image.h"
+
+namespace mmconf::media {
+
+/// Synthetic stand-ins for the paper's clinical media. The paper evaluates
+/// on real CT scans and recorded consultations which we do not have; these
+/// generators produce media with the same structural properties (smooth
+/// anatomy-like regions with edges for the codec; speaker-discriminable
+/// spectra and keyword patterns for the voice module), with ground truth
+/// attached so accuracy is measurable.
+
+/// Parameters for a phantom "CT slice": a large body ellipse containing
+/// several internal structures plus mild acquisition noise.
+struct PhantomOptions {
+  int width = 256;
+  int height = 256;
+  int num_structures = 5;   ///< internal ellipses ("organs"/"lesions")
+  double noise_stddev = 4;  ///< additive Gaussian noise, gray levels
+};
+
+/// Generates a phantom CT-like image.
+Image MakePhantomCt(const PhantomOptions& options, Rng& rng);
+
+/// Describes one synthetic speaker: a glottal pitch and a set of vocal
+/// tract resonances ("formants") that make the speaker's spectrum
+/// discriminable from others.
+struct SpeakerProfile {
+  int id = 0;
+  double pitch_hz = 120;
+  std::vector<double> formants_hz;  ///< resonance center frequencies
+  double formant_bandwidth_hz = 120;
+};
+
+/// Creates `count` well-separated speaker profiles.
+std::vector<SpeakerProfile> MakeSpeakers(int count, Rng& rng);
+
+/// A synthetic "word" is a sequence of phone ids; each phone selects a
+/// deterministic formant perturbation pattern, so different words are
+/// spectrally distinguishable while remaining speaker dependent.
+struct Word {
+  int id = 0;
+  std::vector<int> phones;
+};
+
+/// Creates a vocabulary of `count` words of `phones_per_word` phones drawn
+/// from `num_phones` distinct phones.
+std::vector<Word> MakeVocabulary(int count, int phones_per_word,
+                                 int num_phones, Rng& rng);
+
+/// Options for rendering an utterance.
+struct UtteranceOptions {
+  int sample_rate = 8000;
+  double phone_duration_s = 0.12;
+  double noise_level = 0.01;
+};
+
+/// Renders `word` spoken by `speaker`.
+AudioSignal Synthesize(const Word& word, const SpeakerProfile& speaker,
+                       const UtteranceOptions& options, Rng& rng);
+
+/// Renders non-speech content.
+AudioSignal SynthesizeMusic(double duration_s, int sample_rate, Rng& rng);
+AudioSignal SynthesizeArtifact(double duration_s, int sample_rate, Rng& rng);
+AudioSignal SynthesizeSilence(double duration_s, int sample_rate, Rng& rng);
+
+/// A full labeled "consultation recording": alternating segments of
+/// silence / speech (with speaker + word ids) / music / artifacts, with
+/// ground-truth segment labels. This stands in for the paper's browsable
+/// audio files ("How many speakers participate? Who are the speakers?").
+struct Conversation {
+  AudioSignal signal;
+  std::vector<AudioSegment> segments;  ///< ground truth, sorted by begin
+};
+
+struct ConversationOptions {
+  int num_turns = 12;             ///< speech turns
+  int words_per_turn = 3;
+  double music_probability = 0.1;     ///< chance of a music interlude
+  double artifact_probability = 0.1;  ///< chance of a click/burst
+  double gap_duration_s = 0.15;       ///< silence between turns
+  UtteranceOptions utterance;
+};
+
+/// Generates a conversation among `speakers` using words from `vocab`.
+Conversation MakeConversation(const std::vector<SpeakerProfile>& speakers,
+                              const std::vector<Word>& vocab,
+                              const ConversationOptions& options, Rng& rng);
+
+}  // namespace mmconf::media
+
+#endif  // MMCONF_MEDIA_SYNTHETIC_H_

@@ -1,0 +1,123 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mmconf::net {
+
+NodeId Network::AddNode(std::string name) {
+  node_names_.push_back(std::move(name));
+  return static_cast<NodeId>(node_names_.size() - 1);
+}
+
+const std::string& Network::NodeName(NodeId node) const {
+  return node_names_[static_cast<size_t>(node)];
+}
+
+Status Network::CheckNode(NodeId node) const {
+  if (node < 0 || static_cast<size_t>(node) >= node_names_.size()) {
+    return Status::OutOfRange("no node with id " + std::to_string(node));
+  }
+  return Status::OK();
+}
+
+Status Network::SetLink(NodeId from, NodeId to, const LinkSpec& spec) {
+  MMCONF_RETURN_IF_ERROR(CheckNode(from));
+  MMCONF_RETURN_IF_ERROR(CheckNode(to));
+  if (spec.bandwidth_bytes_per_sec <= 0 || spec.latency_micros < 0) {
+    return Status::InvalidArgument("link needs positive bandwidth and "
+                                   "non-negative latency");
+  }
+  links_[{from, to}].spec = spec;
+  return Status::OK();
+}
+
+Status Network::SetDuplexLink(NodeId a, NodeId b, const LinkSpec& spec) {
+  MMCONF_RETURN_IF_ERROR(SetLink(a, b, spec));
+  return SetLink(b, a, spec);
+}
+
+Result<LinkSpec> Network::GetLink(NodeId from, NodeId to) const {
+  auto it = links_.find({from, to});
+  if (it == links_.end()) {
+    return Status::NotFound("no link " + std::to_string(from) + " -> " +
+                            std::to_string(to));
+  }
+  return it->second.spec;
+}
+
+bool Network::HasLink(NodeId from, NodeId to) const {
+  return links_.count({from, to}) > 0;
+}
+
+Status Network::RemoveLink(NodeId from, NodeId to) {
+  if (links_.erase({from, to}) == 0) {
+    return Status::NotFound("no link " + std::to_string(from) + " -> " +
+                            std::to_string(to));
+  }
+  return Status::OK();
+}
+
+void Network::Partition(NodeId a, NodeId b) {
+  links_.erase({a, b});
+  links_.erase({b, a});
+}
+
+Result<MicrosT> Network::Send(NodeId from, NodeId to, size_t bytes,
+                              std::string tag, Bytes payload) {
+  MMCONF_RETURN_IF_ERROR(CheckNode(from));
+  MMCONF_RETURN_IF_ERROR(CheckNode(to));
+  auto it = links_.find({from, to});
+  if (it == links_.end()) {
+    return Status::NotFound("no link " + NodeName(from) + " -> " +
+                            NodeName(to));
+  }
+  LinkState& link = it->second;
+  MicrosT now = clock_->NowMicros();
+  MicrosT start = std::max(now, link.free_at);
+  MicrosT transfer_micros = static_cast<MicrosT>(
+      std::ceil(static_cast<double>(bytes) /
+                link.spec.bandwidth_bytes_per_sec * 1e6));
+  MicrosT delivered_at = start + transfer_micros + link.spec.latency_micros;
+  link.free_at = start + transfer_micros;
+  link.bytes_sent += bytes;
+  total_bytes_ += bytes;
+
+  Delivery delivery;
+  delivery.from = from;
+  delivery.to = to;
+  delivery.bytes = bytes;
+  delivery.tag = std::move(tag);
+  delivery.payload = std::move(payload);
+  delivery.sent_at = now;
+  delivery.delivered_at = delivered_at;
+  auto pos = std::upper_bound(
+      pending_.begin(), pending_.end(), delivered_at,
+      [](MicrosT t, const Delivery& d) { return t < d.delivered_at; });
+  pending_.insert(pos, std::move(delivery));
+  return delivered_at;
+}
+
+std::vector<Delivery> Network::AdvanceUntilIdle() {
+  if (pending_.empty()) return {};
+  return AdvanceTo(pending_.back().delivered_at);
+}
+
+std::vector<Delivery> Network::AdvanceTo(MicrosT t) {
+  clock_->AdvanceTo(t);
+  std::vector<Delivery> due;
+  auto cut = std::upper_bound(
+      pending_.begin(), pending_.end(), t,
+      [](MicrosT time, const Delivery& d) { return time < d.delivered_at; });
+  due.assign(std::make_move_iterator(pending_.begin()),
+             std::make_move_iterator(cut));
+  pending_.erase(pending_.begin(), cut);
+  return due;
+}
+
+size_t Network::BytesSent(NodeId from, NodeId to) const {
+  auto it = links_.find({from, to});
+  return it == links_.end() ? 0 : it->second.bytes_sent;
+}
+
+}  // namespace mmconf::net

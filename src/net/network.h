@@ -1,0 +1,112 @@
+#ifndef MMCONF_NET_NETWORK_H_
+#define MMCONF_NET_NETWORK_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace mmconf::net {
+
+/// Node in the simulated network (a client site, the interaction server,
+/// or the database server).
+using NodeId = int;
+
+/// Directed link characteristics. Transfers on a link are serialized:
+/// a message occupies the link for size/bandwidth seconds, then rides the
+/// propagation latency. This is the bandwidth model behind the paper's
+/// Section 4.4 concerns ("communication bandwidth limitations").
+struct LinkSpec {
+  double bandwidth_bytes_per_sec = 1e6;
+  MicrosT latency_micros = 20000;
+};
+
+/// A delivered message.
+struct Delivery {
+  NodeId from = 0;
+  NodeId to = 0;
+  size_t bytes = 0;
+  std::string tag;
+  Bytes payload;
+  MicrosT sent_at = 0;
+  MicrosT delivered_at = 0;
+};
+
+/// Deterministic virtual-time network simulator. All time comes from the
+/// shared Clock; Send() schedules a delivery, Advance*() moves the clock
+/// and returns what arrived. The paper runs clients, interaction server
+/// and Oracle on separate Internet sites; this simulator reproduces the
+/// timing-relevant behaviour (bandwidth serialization, latency,
+/// per-client asymmetry) in-process and reproducibly.
+class Network {
+ public:
+  explicit Network(Clock* clock) : clock_(clock) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Adds a node; returns its id.
+  NodeId AddNode(std::string name);
+  const std::string& NodeName(NodeId node) const;
+  size_t num_nodes() const { return node_names_.size(); }
+
+  /// Sets the directed link from -> to. Overwrites any existing spec.
+  Status SetLink(NodeId from, NodeId to, const LinkSpec& spec);
+  /// Sets both directions.
+  Status SetDuplexLink(NodeId a, NodeId b, const LinkSpec& spec);
+  Result<LinkSpec> GetLink(NodeId from, NodeId to) const;
+  bool HasLink(NodeId from, NodeId to) const;
+
+  /// Tears down the directed link (failure injection: a partitioned or
+  /// crashed peer). In-flight deliveries already scheduled still arrive;
+  /// subsequent Sends fail with NotFound. NotFound if no such link.
+  Status RemoveLink(NodeId from, NodeId to);
+  /// Tears down both directions (either missing direction is ignored).
+  void Partition(NodeId a, NodeId b);
+
+  /// Schedules a transfer of `bytes` (payload may be smaller or empty —
+  /// `bytes` is what occupies the wire, e.g. an encoded image the caller
+  /// does not want to copy). Returns the delivery timestamp.
+  /// NotFound if no link exists.
+  Result<MicrosT> Send(NodeId from, NodeId to, size_t bytes, std::string tag,
+                       Bytes payload = {});
+
+  /// Advances the clock just past the last scheduled delivery and
+  /// returns all deliveries in timestamp order.
+  std::vector<Delivery> AdvanceUntilIdle();
+
+  /// Advances the clock to `t`, returning deliveries due at or before it.
+  std::vector<Delivery> AdvanceTo(MicrosT t);
+
+  /// Deliveries pending (scheduled but not yet collected).
+  size_t pending() const { return pending_.size(); }
+
+  /// Total bytes ever sent on from->to (0 if never used).
+  size_t BytesSent(NodeId from, NodeId to) const;
+  size_t TotalBytesSent() const { return total_bytes_; }
+
+  Clock* clock() const { return clock_; }
+
+ private:
+  struct LinkState {
+    LinkSpec spec;
+    MicrosT free_at = 0;  ///< when the wire finishes its current transfer
+    size_t bytes_sent = 0;
+  };
+
+  Status CheckNode(NodeId node) const;
+
+  Clock* clock_;
+  std::vector<std::string> node_names_;
+  std::map<std::pair<NodeId, NodeId>, LinkState> links_;
+  std::vector<Delivery> pending_;  // kept sorted by delivered_at
+  size_t total_bytes_ = 0;
+};
+
+}  // namespace mmconf::net
+
+#endif  // MMCONF_NET_NETWORK_H_

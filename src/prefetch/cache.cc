@@ -1,0 +1,87 @@
+#include "prefetch/cache.h"
+
+#include <algorithm>
+
+namespace mmconf::prefetch {
+
+const char* CachePolicyToString(CachePolicy policy) {
+  switch (policy) {
+    case CachePolicy::kNone:
+      return "none";
+    case CachePolicy::kLru:
+      return "lru";
+    case CachePolicy::kPreference:
+      return "preference";
+  }
+  return "unknown";
+}
+
+std::string CacheKey(const std::string& component,
+                     const std::string& presentation) {
+  return component + "/" + presentation;
+}
+
+bool ClientCache::Lookup(const std::string& key) {
+  if (policy_ == CachePolicy::kNone) {
+    ++stats_.misses;
+    return false;
+  }
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  lru_.erase(it->second.lru_position);
+  lru_.push_front(key);
+  it->second.lru_position = lru_.begin();
+  return true;
+}
+
+void ClientCache::Evict() {
+  if (entries_.empty()) return;
+  std::string victim;
+  if (policy_ == CachePolicy::kPreference) {
+    // Lowest score goes first; ties broken by LRU order (back of list).
+    double worst = 0;
+    bool first = true;
+    for (const auto& [key, entry] : entries_) {
+      if (first || entry.score < worst) {
+        worst = entry.score;
+        victim = key;
+        first = false;
+      }
+    }
+  } else {
+    victim = lru_.back();
+  }
+  auto it = entries_.find(victim);
+  used_ -= it->second.bytes;
+  lru_.erase(it->second.lru_position);
+  entries_.erase(it);
+  ++stats_.evictions;
+}
+
+Status ClientCache::Insert(const std::string& key, size_t bytes,
+                           double score) {
+  if (policy_ == CachePolicy::kNone) return Status::OK();
+  if (bytes > capacity_) {
+    return Status::ResourceExhausted("entry of " + std::to_string(bytes) +
+                                     " bytes exceeds cache capacity " +
+                                     std::to_string(capacity_));
+  }
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    used_ -= it->second.bytes;
+    lru_.erase(it->second.lru_position);
+    entries_.erase(it);
+  }
+  while (used_ + bytes > capacity_) Evict();
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{bytes, score, lru_.begin()});
+  used_ += bytes;
+  ++stats_.insertions;
+  return Status::OK();
+}
+
+}  // namespace mmconf::prefetch

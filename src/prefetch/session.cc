@@ -1,0 +1,81 @@
+#include "prefetch/session.h"
+
+#include <algorithm>
+
+namespace mmconf::prefetch {
+
+using cpnet::Assignment;
+using cpnet::VarId;
+
+PrefetchSession::PrefetchSession(const doc::MultimediaDocument* document,
+                                 net::Network* network,
+                                 net::NodeId server_node,
+                                 net::NodeId client_node, Options options)
+    : document_(document),
+      network_(network),
+      server_node_(server_node),
+      client_node_(client_node),
+      predictor_(document),
+      cache_(options.buffer_bytes, options.policy),
+      prefetch_batch_bytes_(options.prefetch_batch_bytes) {}
+
+Result<MicrosT> PrefetchSession::OnConfiguration(const Assignment& next) {
+  if (next.size() != document_->num_variables() || !next.IsComplete()) {
+    return Status::InvalidArgument(
+        "configuration must be a full assignment");
+  }
+  MicrosT delivered = network_->clock()->NowMicros();
+  // 1. On-demand phase: everything newly visible (or changed form) is
+  // requested; misses occupy the wire.
+  for (size_t i = 0; i < document_->num_components(); ++i) {
+    const doc::MultimediaComponent* component = document_->components()[i];
+    if (component->IsComposite()) continue;
+    VarId var = static_cast<VarId>(i);
+    if (has_current_ && current_.Get(var) == next.Get(var)) continue;
+    MMCONF_ASSIGN_OR_RETURN(bool visible,
+                            document_->IsVisible(next, component->name()));
+    if (!visible) continue;
+    MMCONF_ASSIGN_OR_RETURN(
+        doc::MMPresentation presentation,
+        document_->PresentationFor(next, component->name()));
+    if (presentation.kind == doc::PresentationKind::kHidden) continue;
+    size_t cost = doc::PresentationCostBytes(
+        presentation, component->AsPrimitive()->content().content_bytes);
+    std::string key = CacheKey(component->name(), presentation.name);
+    if (!cache_.Lookup(key)) {
+      MMCONF_ASSIGN_OR_RETURN(
+          MicrosT arrival,
+          network_->Send(server_node_, client_node_, cost,
+                         "on-demand:" + key));
+      delivered = std::max(delivered, arrival);
+      on_demand_bytes_ += cost;
+      cache_.Insert(key, cost, 0.0).ok();
+    }
+  }
+  current_ = next;
+  has_current_ = true;
+  // 2. Prefetch phase (preference policy): ship the predictor's plan in
+  // the background; the wire serializes it after the on-demand traffic.
+  if (cache_.policy() == CachePolicy::kPreference) {
+    MMCONF_ASSIGN_OR_RETURN(std::vector<PrefetchCandidate> ranked,
+                            predictor_.RankCandidates(next));
+    size_t budget =
+        std::min(cache_.capacity_bytes(), prefetch_batch_bytes_);
+    for (const PrefetchCandidate& candidate :
+         PlanWithinBudget(std::move(ranked), budget)) {
+      std::string key =
+          CacheKey(candidate.component, candidate.presentation);
+      if (cache_.Contains(key)) continue;
+      MMCONF_RETURN_IF_ERROR(
+          network_
+              ->Send(server_node_, client_node_, candidate.cost_bytes,
+                     "prefetch:" + key)
+              .status());
+      prefetched_bytes_ += candidate.cost_bytes;
+      cache_.Insert(key, candidate.cost_bytes, candidate.score).ok();
+    }
+  }
+  return delivered;
+}
+
+}  // namespace mmconf::prefetch

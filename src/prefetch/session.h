@@ -1,0 +1,71 @@
+#ifndef MMCONF_PREFETCH_SESSION_H_
+#define MMCONF_PREFETCH_SESSION_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "cpnet/assignment.h"
+#include "doc/document.h"
+#include "net/network.h"
+#include "prefetch/cache.h"
+#include "prefetch/predictor.h"
+
+namespace mmconf::prefetch {
+
+/// One client's Section 4.4 delivery loop, assembled from the predictor,
+/// the byte-bounded buffer, and the simulated downlink: on every shared
+/// reconfiguration the session requests the newly visible presentations
+/// (buffer hits are free; misses ride the wire), then — under the
+/// preference policy — refills the buffer with the predictor's plan
+/// using idle bandwidth ("we download components most likely to be
+/// requested by the user, using the user's buffer as a cache").
+class PrefetchSession {
+ public:
+  struct Options {
+    size_t buffer_bytes = 1 << 20;
+    CachePolicy policy = CachePolicy::kPreference;
+    /// Per-update cap on background prefetch traffic. Prefetch shares
+    /// the downlink with on-demand transfers (FIFO wire), so an
+    /// unbounded plan would queue ahead of the user's *next* request;
+    /// bounding each batch to roughly (think time x bandwidth) keeps
+    /// prefetch inside the idle gaps — "using the user's buffer as a
+    /// cache" without taxing the foreground.
+    size_t prefetch_batch_bytes = 256 << 10;
+  };
+
+  /// `document` must be finalized; `network` needs a server->client
+  /// link. All pointers must outlive the session.
+  PrefetchSession(const doc::MultimediaDocument* document,
+                  net::Network* network, net::NodeId server_node,
+                  net::NodeId client_node, Options options);
+
+  /// Applies a configuration change: requests every presentation that
+  /// became visible (or changed form), counting buffer hits/misses and
+  /// scheduling misses on the downlink; then prefetches the predictor's
+  /// plan into the buffer. Returns the timestamp at which the on-demand
+  /// portion of the view is fully delivered (the user-visible response
+  /// time; prefetch traffic is scheduled after it).
+  Result<MicrosT> OnConfiguration(const cpnet::Assignment& next);
+
+  const CacheStats& stats() const { return cache_.stats(); }
+  size_t bytes_fetched_on_demand() const { return on_demand_bytes_; }
+  size_t bytes_prefetched() const { return prefetched_bytes_; }
+  const cpnet::Assignment& current() const { return current_; }
+
+ private:
+  const doc::MultimediaDocument* document_;
+  net::Network* network_;
+  net::NodeId server_node_;
+  net::NodeId client_node_;
+  PrefetchPredictor predictor_;
+  ClientCache cache_;
+  cpnet::Assignment current_;
+  size_t prefetch_batch_bytes_;
+  bool has_current_ = false;
+  size_t on_demand_bytes_ = 0;
+  size_t prefetched_bytes_ = 0;
+};
+
+}  // namespace mmconf::prefetch
+
+#endif  // MMCONF_PREFETCH_SESSION_H_

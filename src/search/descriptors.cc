@@ -1,0 +1,137 @@
+#include "search/descriptors.h"
+
+#include <cmath>
+
+namespace mmconf::search {
+
+Result<Descriptor> DescribeImage(const media::Image& image) {
+  if (image.empty()) {
+    return Status::InvalidArgument("cannot describe an empty image");
+  }
+  Descriptor descriptor(kImageDescriptorDim, 0.0);
+  const double n = static_cast<double>(image.pixels().size());
+  // 16-bin normalized histogram.
+  for (uint8_t p : image.pixels()) {
+    descriptor[static_cast<size_t>(p / 16)] += 1.0;
+  }
+  for (int b = 0; b < 16; ++b) descriptor[static_cast<size_t>(b)] /= n;
+  // Mean and standard deviation (scaled to [0,1]).
+  double mean = 0;
+  for (uint8_t p : image.pixels()) mean += p;
+  mean /= n;
+  double variance = 0;
+  for (uint8_t p : image.pixels()) {
+    variance += (p - mean) * (p - mean);
+  }
+  variance /= n;
+  descriptor[16] = mean / 255.0;
+  descriptor[17] = std::sqrt(variance) / 255.0;
+  // Texture: mean absolute horizontal gradient.
+  double gradient = 0;
+  long gradient_count = 0;
+  for (int y = 0; y < image.height(); ++y) {
+    for (int x = 1; x < image.width(); ++x) {
+      gradient += std::abs(static_cast<int>(image.at(x, y)) -
+                           static_cast<int>(image.at(x - 1, y)));
+      ++gradient_count;
+    }
+  }
+  descriptor[18] =
+      gradient_count > 0 ? gradient / gradient_count / 255.0 : 0.0;
+  // Foreground fraction.
+  long bright = 0;
+  for (uint8_t p : image.pixels()) {
+    if (p >= 128) ++bright;
+  }
+  descriptor[19] = static_cast<double>(bright) / n;
+  return descriptor;
+}
+
+Result<Descriptor> DescribeAudio(const media::AudioSignal& signal) {
+  if (signal.empty()) {
+    return Status::InvalidArgument("cannot describe an empty signal");
+  }
+  Descriptor descriptor(kAudioDescriptorDim, 0.0);
+  const std::vector<float>& samples = signal.samples();
+  const size_t n = samples.size();
+
+  // Coarse spectral shape from 8 band energies over 50% overlapping
+  // 256-sample windows, via a Goertzel-style projection at band centers.
+  const int kBands = 8;
+  const size_t window = 256;
+  size_t windows = 0;
+  std::vector<double> band_energy(kBands, 0.0);
+  for (size_t start = 0; start + window <= n; start += window / 2) {
+    ++windows;
+    for (int b = 0; b < kBands; ++b) {
+      double hz = (b + 0.5) * signal.sample_rate() / 2.0 / kBands;
+      double w = 2.0 * M_PI * hz / signal.sample_rate();
+      double re = 0, im = 0;
+      for (size_t i = 0; i < window; ++i) {
+        re += samples[start + i] * std::cos(w * static_cast<double>(i));
+        im += samples[start + i] * std::sin(w * static_cast<double>(i));
+      }
+      band_energy[static_cast<size_t>(b)] += re * re + im * im;
+    }
+  }
+  if (windows > 0) {
+    for (int b = 0; b < kBands; ++b) {
+      descriptor[static_cast<size_t>(b)] =
+          std::log(band_energy[static_cast<size_t>(b)] /
+                       static_cast<double>(windows) +
+                   1e-9);
+    }
+  }
+  // Temporal statistics.
+  double energy = 0;
+  int zero_crossings = 0;
+  long quiet = 0;
+  for (size_t i = 0; i < n; ++i) {
+    energy += static_cast<double>(samples[i]) * samples[i];
+    if (i > 0 && (samples[i] >= 0) != (samples[i - 1] >= 0)) {
+      ++zero_crossings;
+    }
+    if (std::abs(samples[i]) < 0.01) ++quiet;
+  }
+  double rms = std::sqrt(energy / static_cast<double>(n));
+  descriptor[8] = rms;
+  descriptor[9] = static_cast<double>(zero_crossings) /
+                  static_cast<double>(n);
+  // Energy variance over 1024-sample blocks (rhythm / dynamics).
+  std::vector<double> block_rms;
+  for (size_t start = 0; start + 1024 <= n; start += 1024) {
+    double block_energy = 0;
+    for (size_t i = 0; i < 1024; ++i) {
+      block_energy +=
+          static_cast<double>(samples[start + i]) * samples[start + i];
+    }
+    block_rms.push_back(std::sqrt(block_energy / 1024.0));
+  }
+  if (!block_rms.empty()) {
+    double block_mean = 0;
+    for (double v : block_rms) block_mean += v;
+    block_mean /= static_cast<double>(block_rms.size());
+    double block_variance = 0;
+    for (double v : block_rms) {
+      block_variance += (v - block_mean) * (v - block_mean);
+    }
+    descriptor[10] =
+        std::sqrt(block_variance / static_cast<double>(block_rms.size()));
+  }
+  descriptor[11] = static_cast<double>(quiet) / static_cast<double>(n);
+  return descriptor;
+}
+
+Result<double> DescriptorDistance(const Descriptor& a, const Descriptor& b) {
+  if (a.size() != b.size() || a.empty()) {
+    return Status::InvalidArgument("descriptor dimensions differ");
+  }
+  double sum = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace mmconf::search

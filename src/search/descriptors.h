@@ -1,0 +1,44 @@
+#ifndef MMCONF_SEARCH_DESCRIPTORS_H_
+#define MMCONF_SEARCH_DESCRIPTORS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "media/audio.h"
+#include "media/image.h"
+
+namespace mmconf::search {
+
+/// Fixed-length feature vector summarizing a media object for similarity
+/// retrieval — the "access structures that represent the relevant
+/// 'features' of the data" of the multimedia-database literature the
+/// paper builds on, powering the intro scenario: "some of them would like
+/// to consider similar cases either from the same database or from other
+/// medical databases."
+using Descriptor = std::vector<double>;
+
+/// Dimension of image descriptors: 16 histogram bins + 4 moment/texture
+/// statistics.
+inline constexpr int kImageDescriptorDim = 20;
+
+/// Image descriptor: normalized 16-bin intensity histogram, mean and
+/// standard deviation of intensity, mean absolute horizontal gradient
+/// (texture), and foreground fraction (pixels above half intensity).
+/// Deterministic and rotation-insensitive enough for "similar case"
+/// retrieval over CT-like images.
+Result<Descriptor> DescribeImage(const media::Image& image);
+
+/// Dimension of audio descriptors: 8 spectral-band energy means + 4
+/// temporal statistics.
+inline constexpr int kAudioDescriptorDim = 12;
+
+/// Audio descriptor: mean log energy in 8 linear bands plus overall RMS,
+/// zero-crossing rate, energy variance, and silence fraction.
+Result<Descriptor> DescribeAudio(const media::AudioSignal& signal);
+
+/// Euclidean distance between two descriptors of equal dimension.
+Result<double> DescriptorDistance(const Descriptor& a, const Descriptor& b);
+
+}  // namespace mmconf::search
+
+#endif  // MMCONF_SEARCH_DESCRIPTORS_H_

@@ -1,0 +1,102 @@
+#include "search/similarity_index.h"
+
+#include <algorithm>
+
+namespace mmconf::search {
+
+using storage::ObjectRef;
+
+Status SimilarityIndex::AddImage(const ObjectRef& ref,
+                                 const std::string& blob_field) {
+  MMCONF_ASSIGN_OR_RETURN(Bytes payload, db_->FetchBlob(ref, blob_field));
+  MMCONF_ASSIGN_OR_RETURN(media::Image image, media::Image::Decode(payload));
+  MMCONF_ASSIGN_OR_RETURN(Descriptor descriptor, DescribeImage(image));
+  image_index_[ref] = std::move(descriptor);
+  return Status::OK();
+}
+
+Status SimilarityIndex::AddAudio(const ObjectRef& ref,
+                                 const std::string& blob_field) {
+  MMCONF_ASSIGN_OR_RETURN(Bytes payload, db_->FetchBlob(ref, blob_field));
+  MMCONF_ASSIGN_OR_RETURN(media::AudioSignal signal,
+                          media::AudioSignal::Decode(payload));
+  MMCONF_ASSIGN_OR_RETURN(Descriptor descriptor, DescribeAudio(signal));
+  audio_index_[ref] = std::move(descriptor);
+  return Status::OK();
+}
+
+Result<int> SimilarityIndex::AddAllImages(const std::string& type,
+                                          const std::string& blob_field) {
+  MMCONF_ASSIGN_OR_RETURN(std::vector<ObjectRef> refs, db_->List(type));
+  int indexed = 0;
+  for (const ObjectRef& ref : refs) {
+    if (AddImage(ref, blob_field).ok()) ++indexed;
+  }
+  return indexed;
+}
+
+Result<int> SimilarityIndex::AddAllAudio(const std::string& type,
+                                         const std::string& blob_field) {
+  MMCONF_ASSIGN_OR_RETURN(std::vector<ObjectRef> refs, db_->List(type));
+  int indexed = 0;
+  for (const ObjectRef& ref : refs) {
+    if (AddAudio(ref, blob_field).ok()) ++indexed;
+  }
+  return indexed;
+}
+
+Status SimilarityIndex::Remove(const ObjectRef& ref) {
+  if (image_index_.erase(ref) > 0 || audio_index_.erase(ref) > 0) {
+    return Status::OK();
+  }
+  return Status::NotFound("object not indexed");
+}
+
+Result<std::vector<SimilarityHit>> SimilarityIndex::NearestIn(
+    const std::map<ObjectRef, Descriptor>& index, const Descriptor& query,
+    int k, const ObjectRef* exclude) {
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  std::vector<SimilarityHit> hits;
+  for (const auto& [ref, descriptor] : index) {
+    if (exclude != nullptr && ref == *exclude) continue;
+    MMCONF_ASSIGN_OR_RETURN(double distance,
+                            DescriptorDistance(query, descriptor));
+    hits.push_back({ref, distance});
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const SimilarityHit& a, const SimilarityHit& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.ref < b.ref;
+            });
+  if (hits.size() > static_cast<size_t>(k)) {
+    hits.resize(static_cast<size_t>(k));
+  }
+  return hits;
+}
+
+Result<std::vector<SimilarityHit>> SimilarityIndex::QueryImage(
+    const media::Image& query, int k) const {
+  MMCONF_ASSIGN_OR_RETURN(Descriptor descriptor, DescribeImage(query));
+  return NearestIn(image_index_, descriptor, k, nullptr);
+}
+
+Result<std::vector<SimilarityHit>> SimilarityIndex::QueryAudio(
+    const media::AudioSignal& query, int k) const {
+  MMCONF_ASSIGN_OR_RETURN(Descriptor descriptor, DescribeAudio(query));
+  return NearestIn(audio_index_, descriptor, k, nullptr);
+}
+
+Result<std::vector<SimilarityHit>> SimilarityIndex::QuerySimilarTo(
+    const ObjectRef& ref, int k) const {
+  auto image_it = image_index_.find(ref);
+  if (image_it != image_index_.end()) {
+    return NearestIn(image_index_, image_it->second, k, &ref);
+  }
+  auto audio_it = audio_index_.find(ref);
+  if (audio_it != audio_index_.end()) {
+    return NearestIn(audio_index_, audio_it->second, k, &ref);
+  }
+  return Status::NotFound("object not indexed");
+}
+
+}  // namespace mmconf::search

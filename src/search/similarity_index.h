@@ -1,0 +1,79 @@
+#ifndef MMCONF_SEARCH_SIMILARITY_INDEX_H_
+#define MMCONF_SEARCH_SIMILARITY_INDEX_H_
+
+#include <map>
+#include <vector>
+
+#include "common/result.h"
+#include "search/descriptors.h"
+#include "storage/database.h"
+
+namespace mmconf::search {
+
+/// A retrieved object with its distance to the query.
+struct SimilarityHit {
+  storage::ObjectRef ref;
+  double distance = 0;
+};
+
+/// Content-based "similar cases" retrieval over the object database —
+/// the intro scenario: "a group of physicians... While discussing the
+/// case, some of them would like to consider similar cases either from
+/// the same database or from other medical databases."
+///
+/// Descriptors are computed once on Add and searched linearly (the
+/// catalog scale of a consultation archive); descriptors are stored
+/// per-ObjectRef, so the index survives object mutation only until
+/// Refresh()/re-Add.
+class SimilarityIndex {
+ public:
+  /// `db` must outlive the index.
+  explicit SimilarityIndex(const storage::DatabaseServer* db) : db_(db) {}
+
+  /// Indexes one stored image object (decodes `blob_field` as an Image
+  /// and describes it).
+  Status AddImage(const storage::ObjectRef& ref,
+                  const std::string& blob_field = "FLD_DATA");
+
+  /// Indexes one stored audio object.
+  Status AddAudio(const storage::ObjectRef& ref,
+                  const std::string& blob_field = "FLD_DATA");
+
+  /// Indexes every object of `type` whose blob decodes as the expected
+  /// media; returns how many were indexed.
+  Result<int> AddAllImages(const std::string& type = "Image",
+                           const std::string& blob_field = "FLD_DATA");
+  Result<int> AddAllAudio(const std::string& type = "Audio",
+                          const std::string& blob_field = "FLD_DATA");
+
+  /// Removes an object from the index. NotFound if absent.
+  Status Remove(const storage::ObjectRef& ref);
+
+  size_t size() const { return image_index_.size() + audio_index_.size(); }
+
+  /// k nearest indexed images to a query image (ascending distance).
+  Result<std::vector<SimilarityHit>> QueryImage(const media::Image& query,
+                                                int k) const;
+
+  /// k nearest indexed audio objects to a query signal.
+  Result<std::vector<SimilarityHit>> QueryAudio(
+      const media::AudioSignal& query, int k) const;
+
+  /// k nearest neighbours of an already-indexed object (excluding
+  /// itself) — "similar cases from the same database".
+  Result<std::vector<SimilarityHit>> QuerySimilarTo(
+      const storage::ObjectRef& ref, int k) const;
+
+ private:
+  static Result<std::vector<SimilarityHit>> NearestIn(
+      const std::map<storage::ObjectRef, Descriptor>& index,
+      const Descriptor& query, int k, const storage::ObjectRef* exclude);
+
+  const storage::DatabaseServer* db_;
+  std::map<storage::ObjectRef, Descriptor> image_index_;
+  std::map<storage::ObjectRef, Descriptor> audio_index_;
+};
+
+}  // namespace mmconf::search
+
+#endif  // MMCONF_SEARCH_SIMILARITY_INDEX_H_

@@ -1,0 +1,124 @@
+#include "search/text_index.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+namespace mmconf::search {
+
+using storage::ObjectRef;
+
+std::vector<std::string> Tokenize(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current += static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c)));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+Status TextIndex::AddText(const ObjectRef& ref,
+                          const std::string& blob_field) {
+  MMCONF_ASSIGN_OR_RETURN(Bytes payload, db_->FetchBlob(ref, blob_field));
+  std::string text(payload.begin(), payload.end());
+  std::vector<std::string> tokens = Tokenize(text);
+  // Re-adding replaces the previous contents.
+  Remove(ref).ok();
+  DocumentStats stats;
+  stats.length = tokens.size();
+  documents_[ref] = stats;
+  for (const std::string& token : tokens) {
+    ++postings_[token][ref];
+  }
+  return Status::OK();
+}
+
+Result<int> TextIndex::AddAllTexts(const std::string& type,
+                                   const std::string& blob_field) {
+  MMCONF_ASSIGN_OR_RETURN(std::vector<ObjectRef> refs, db_->List(type));
+  int indexed = 0;
+  for (const ObjectRef& ref : refs) {
+    if (AddText(ref, blob_field).ok()) ++indexed;
+  }
+  return indexed;
+}
+
+Status TextIndex::Remove(const ObjectRef& ref) {
+  if (documents_.erase(ref) == 0) {
+    return Status::NotFound("document not indexed");
+  }
+  for (auto it = postings_.begin(); it != postings_.end();) {
+    it->second.erase(ref);
+    if (it->second.empty()) {
+      it = postings_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<TextHit>> TextIndex::Query(const std::string& query,
+                                              int k) const {
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  std::vector<std::string> terms = Tokenize(query);
+  if (terms.empty()) {
+    return Status::InvalidArgument("query has no searchable terms");
+  }
+  const double num_documents = static_cast<double>(documents_.size());
+  std::map<ObjectRef, double> scores;
+  for (const std::string& term : terms) {
+    auto posting = postings_.find(term);
+    if (posting == postings_.end()) continue;
+    double idf = std::log(
+        (num_documents + 1.0) /
+        (static_cast<double>(posting->second.size()) + 1.0));
+    for (const auto& [ref, term_frequency] : posting->second) {
+      double length =
+          static_cast<double>(documents_.at(ref).length) + 1.0;
+      scores[ref] += (term_frequency / length) * idf;
+    }
+  }
+  std::vector<TextHit> hits;
+  hits.reserve(scores.size());
+  for (const auto& [ref, score] : scores) hits.push_back({ref, score});
+  std::sort(hits.begin(), hits.end(), [](const TextHit& a, const TextHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.ref < b.ref;
+  });
+  if (hits.size() > static_cast<size_t>(k)) {
+    hits.resize(static_cast<size_t>(k));
+  }
+  return hits;
+}
+
+Result<std::vector<ObjectRef>> TextIndex::QueryAll(
+    const std::string& query) const {
+  std::vector<std::string> terms = Tokenize(query);
+  if (terms.empty()) {
+    return Status::InvalidArgument("query has no searchable terms");
+  }
+  std::vector<ObjectRef> out;
+  for (const auto& [ref, stats] : documents_) {
+    bool all = true;
+    for (const std::string& term : terms) {
+      auto posting = postings_.find(term);
+      if (posting == postings_.end() ||
+          posting->second.count(ref) == 0) {
+        all = false;
+        break;
+      }
+    }
+    if (all) out.push_back(ref);
+  }
+  return out;
+}
+
+}  // namespace mmconf::search

@@ -1,0 +1,70 @@
+#ifndef MMCONF_SEARCH_TEXT_INDEX_H_
+#define MMCONF_SEARCH_TEXT_INDEX_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/database.h"
+
+namespace mmconf::search {
+
+/// A ranked text-retrieval hit.
+struct TextHit {
+  storage::ObjectRef ref;
+  double score = 0;  ///< TF-IDF relevance, higher is better
+};
+
+/// Tokenizes text into lowercase alphanumeric terms (everything else is a
+/// separator). Exposed for tests.
+std::vector<std::string> Tokenize(const std::string& text);
+
+/// Keyword retrieval over stored text objects — the intro scenario:
+/// "some of them may like to support their views with articles from
+/// databases on the web, whether from known sources or from dynamically
+/// searched sites." Implements a classic inverted index with TF-IDF
+/// ranking over the database's Text objects.
+class TextIndex {
+ public:
+  /// `db` must outlive the index.
+  explicit TextIndex(const storage::DatabaseServer* db) : db_(db) {}
+
+  /// Indexes one stored text object (the blob is interpreted as UTF-8 /
+  /// ASCII text).
+  Status AddText(const storage::ObjectRef& ref,
+                 const std::string& blob_field = "FLD_DATA");
+
+  /// Indexes every object of `type`; returns how many were indexed.
+  Result<int> AddAllTexts(const std::string& type = "Text",
+                          const std::string& blob_field = "FLD_DATA");
+
+  /// Removes a document from the index.
+  Status Remove(const storage::ObjectRef& ref);
+
+  size_t num_documents() const { return documents_.size(); }
+  size_t num_terms() const { return postings_.size(); }
+
+  /// Top-k documents for a free-text query, ranked by summed TF-IDF of
+  /// the query terms. Documents matching no term are omitted; ties break
+  /// on ObjectRef order for determinism.
+  Result<std::vector<TextHit>> Query(const std::string& query, int k) const;
+
+  /// Documents containing *all* query terms (boolean AND), unranked.
+  Result<std::vector<storage::ObjectRef>> QueryAll(
+      const std::string& query) const;
+
+ private:
+  struct DocumentStats {
+    size_t length = 0;  ///< total terms
+  };
+
+  const storage::DatabaseServer* db_;
+  std::map<storage::ObjectRef, DocumentStats> documents_;
+  /// term -> (doc -> term frequency)
+  std::map<std::string, std::map<storage::ObjectRef, int>> postings_;
+};
+
+}  // namespace mmconf::search
+
+#endif  // MMCONF_SEARCH_TEXT_INDEX_H_

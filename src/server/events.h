@@ -1,0 +1,54 @@
+#ifndef MMCONF_SERVER_EVENTS_H_
+#define MMCONF_SERVER_EVENTS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+#include "media/image.h"
+
+namespace mmconf::server {
+
+/// Kinds of user actions the interaction server tracks ("The interaction
+/// server also keeps track of user actions and transfer them to the
+/// presentation module, since such actions may change the way
+/// presentation will be done").
+enum class ActionType : uint8_t {
+  kJoin = 0,
+  kLeave,
+  kChoice,         ///< explicit presentation selection for a component
+  kReleaseChoice,  ///< withdraw an earlier selection
+  kAnnotateText,   ///< write text on an image ("one user writes some text
+                   ///< on an image... the others can see the text")
+  kAnnotateLine,
+  kDeleteElement,  ///< delete a text/line element
+  kZoom,           ///< zoom a selected part of an image
+  kSegmentOp,      ///< perform segmentation on an image component
+  kFreeze,
+  kReleaseFreeze,
+};
+
+const char* ActionTypeToString(ActionType type);
+
+/// One user action, as recorded in a room's action log and forwarded to
+/// the presentation module.
+struct UserAction {
+  ActionType type = ActionType::kJoin;
+  std::string viewer;
+  std::string component;
+  /// kChoice: the selected presentation (domain value name).
+  std::string presentation;
+  /// kAnnotateText: text; kDeleteElement: element kind "text"/"line".
+  std::string text;
+  /// Annotation coordinates / zoom region.
+  media::Rect region;
+  /// kDeleteElement: id of the element to remove.
+  int element_id = 0;
+  /// kSegmentOp: number of segments.
+  int num_segments = 4;
+  MicrosT timestamp = 0;
+};
+
+}  // namespace mmconf::server
+
+#endif  // MMCONF_SERVER_EVENTS_H_

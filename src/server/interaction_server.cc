@@ -1,0 +1,259 @@
+#include "server/interaction_server.h"
+
+#include <algorithm>
+
+#include "doc/tuning.h"
+
+namespace mmconf::server {
+
+using doc::MultimediaDocument;
+using storage::DatabaseServer;
+using storage::FieldType;
+using storage::MediaTypeEntry;
+using storage::ObjectRef;
+
+InteractionServer::InteractionServer(DatabaseServer* db,
+                                     net::Network* network,
+                                     net::NodeId server_node,
+                                     net::NodeId db_node)
+    : db_(db),
+      network_(network),
+      server_node_(server_node),
+      db_node_(db_node) {}
+
+Status InteractionServer::RegisterDocumentType() {
+  if (db_->catalog().HasType("Document")) return Status::OK();
+  MediaTypeEntry entry{"Document", "application/x-mm-document", "read-write",
+                       "DOCUMENT_OBJECTS_TABLE",
+                       "multimedia documents: component tree + CP-net"};
+  return db_->RegisterType(entry, {{"FLD_NAME", FieldType::kString},
+                                   {"FLD_DATA", FieldType::kBlob}});
+}
+
+Result<ObjectRef> InteractionServer::StoreDocument(
+    const MultimediaDocument& document, const std::string& name) {
+  MMCONF_RETURN_IF_ERROR(RegisterDocumentType());
+  Bytes encoded = document.Encode();
+  // The store travels over the server -> db link.
+  MMCONF_RETURN_IF_ERROR(
+      network_->Send(server_node_, db_node_, encoded.size(), "store-doc")
+          .status());
+  return db_->Store("Document", {{"FLD_NAME", name}},
+                    {{"FLD_DATA", std::move(encoded)}});
+}
+
+Result<Room*> InteractionServer::OpenRoom(const std::string& room_id,
+                                          const ObjectRef& document_ref) {
+  if (rooms_.count(room_id) > 0) {
+    return Status::AlreadyExists("room \"" + room_id + "\" already open");
+  }
+  MMCONF_ASSIGN_OR_RETURN(Bytes encoded,
+                          db_->FetchBlob(document_ref, "FLD_DATA"));
+  // The fetch travels over the db -> server link.
+  MMCONF_RETURN_IF_ERROR(
+      network_->Send(db_node_, server_node_, encoded.size(), "fetch-doc")
+          .status());
+  MMCONF_ASSIGN_OR_RETURN(MultimediaDocument document,
+                          MultimediaDocument::Decode(encoded));
+  return OpenRoomWithDocument(room_id, std::move(document));
+}
+
+Result<Room*> InteractionServer::OpenRoomWithDocument(
+    const std::string& room_id, MultimediaDocument document) {
+  if (rooms_.count(room_id) > 0) {
+    return Status::AlreadyExists("room \"" + room_id + "\" already open");
+  }
+  auto room = std::make_unique<Room>(room_id, std::move(document));
+  Room* raw = room.get();
+  rooms_.emplace(room_id, std::move(room));
+  endpoints_[room_id] = {};
+  return raw;
+}
+
+Result<Room*> InteractionServer::GetRoom(const std::string& room_id) {
+  auto it = rooms_.find(room_id);
+  if (it == rooms_.end()) {
+    return Status::NotFound("no room \"" + room_id + "\"");
+  }
+  return it->second.get();
+}
+
+Status InteractionServer::CloseRoom(const std::string& room_id) {
+  if (rooms_.erase(room_id) == 0) {
+    return Status::NotFound("no room \"" + room_id + "\"");
+  }
+  endpoints_.erase(room_id);
+  return Status::OK();
+}
+
+doc::BandwidthLevel InteractionServer::LevelFor(net::NodeId client) const {
+  Result<net::LinkSpec> link = network_->GetLink(server_node_, client);
+  if (!link.ok()) return doc::BandwidthLevel::kLow;
+  return doc::ClassifyBandwidth(link->bandwidth_bytes_per_sec);
+}
+
+Result<ObjectRef> InteractionServer::ArchiveRoomLog(
+    const std::string& room_id) {
+  MMCONF_ASSIGN_OR_RETURN(Room * room, GetRoom(room_id));
+  std::string minutes = room->RenderActionLog();
+  MMCONF_RETURN_IF_ERROR(
+      network_->Send(server_node_, db_node_, minutes.size(), "archive-log")
+          .status());
+  return db_->Store("Text",
+                    {{"FLD_TITLE", "minutes:" + room_id}},
+                    {{"FLD_DATA", Bytes(minutes.begin(), minutes.end())}});
+}
+
+Result<MicrosT> InteractionServer::Join(const std::string& room_id,
+                                        const ClientEndpoint& client) {
+  MMCONF_ASSIGN_OR_RETURN(Room * room, GetRoom(room_id));
+  MMCONF_RETURN_IF_ERROR(room->Join(client.viewer));
+  endpoints_[room_id][client.viewer] = client.node;
+  // Ship the current presentation, transcoded for the member's downlink
+  // (§4.4: "various transcoding formats of the multimedia objects
+  // according to the communication bandwidth").
+  MMCONF_ASSIGN_OR_RETURN(
+      size_t cost,
+      doc::TranscodedDeliveryCost(room->document(), room->configuration(),
+                                  LevelFor(client.node)));
+  MMCONF_ASSIGN_OR_RETURN(
+      MicrosT delivered,
+      network_->Send(server_node_, client.node, cost, "initial-content"));
+  bytes_propagated_ += cost;
+  return delivered;
+}
+
+Status InteractionServer::Leave(const std::string& room_id,
+                                const std::string& viewer) {
+  MMCONF_ASSIGN_OR_RETURN(Room * room, GetRoom(room_id));
+  MMCONF_ASSIGN_OR_RETURN(ReconfigResult result, room->Leave(viewer));
+  endpoints_[room_id].erase(viewer);
+  return Propagate(room, result, viewer);
+}
+
+Status InteractionServer::Propagate(Room* room, const ReconfigResult& result,
+                                    const std::string& origin) {
+  if (result.changed_components.empty()) return Status::OK();
+  std::vector<std::string> unreachable;
+  for (const auto& [viewer, node] : endpoints_[room->id()]) {
+    if (viewer == origin) continue;
+    // Per-client delta: the changed components, transcoded for this
+    // member's downlink.
+    doc::BandwidthLevel level = LevelFor(node);
+    size_t delta_bytes = 0;
+    for (const std::string& changed : result.changed_components) {
+      Result<const doc::MultimediaComponent*> component =
+          room->document().Find(changed);
+      if (!component.ok() || (*component)->IsComposite()) continue;
+      Result<bool> visible =
+          room->document().IsVisible(result.configuration, changed);
+      if (!visible.ok() || !*visible) continue;
+      Result<doc::MMPresentation> presentation =
+          room->document().PresentationFor(result.configuration, changed);
+      if (!presentation.ok() ||
+          presentation->kind == doc::PresentationKind::kHidden) {
+        continue;
+      }
+      delta_bytes += doc::TranscodedPresentationCost(
+          *(*component)->AsPrimitive(), *presentation, level);
+    }
+    Status sent = network_
+                      ->Send(server_node_, node, delta_bytes,
+                             "presentation-delta")
+                      .status();
+    if (sent.IsNotFound()) {
+      // Partitioned / crashed client: evict it below rather than wedging
+      // the whole room.
+      unreachable.push_back(viewer);
+      continue;
+    }
+    MMCONF_RETURN_IF_ERROR(sent);
+    bytes_propagated_ += delta_bytes;
+  }
+  for (const std::string& viewer : unreachable) {
+    endpoints_[room->id()].erase(viewer);
+    // Their pinned choices are released; the resulting reconfiguration
+    // reaches the survivors on their next delta.
+    room->Leave(viewer).status().ok();
+  }
+  return Status::OK();
+}
+
+Result<ReconfigResult> InteractionServer::SubmitChoice(
+    const std::string& room_id, const std::string& viewer,
+    const std::string& component, const std::string& presentation) {
+  MMCONF_ASSIGN_OR_RETURN(Room * room, GetRoom(room_id));
+  MMCONF_ASSIGN_OR_RETURN(ReconfigResult result,
+                          room->SubmitChoice(viewer, component,
+                                             presentation));
+  MMCONF_RETURN_IF_ERROR(Propagate(room, result, viewer));
+  UserAction action;
+  action.type = presentation.empty() ? ActionType::kReleaseChoice
+                                     : ActionType::kChoice;
+  action.viewer = viewer;
+  action.component = component;
+  action.presentation = presentation;
+  FireTriggers(room, action);
+  return result;
+}
+
+Result<ReconfigResult> InteractionServer::ApplyOperation(
+    const std::string& room_id, const UserAction& action,
+    bool globally_important) {
+  MMCONF_ASSIGN_OR_RETURN(Room * room, GetRoom(room_id));
+  MMCONF_ASSIGN_OR_RETURN(ReconfigResult result,
+                          room->ApplyOperation(action, globally_important));
+  MMCONF_RETURN_IF_ERROR(Propagate(room, result, action.viewer));
+  FireTriggers(room, action);
+  return result;
+}
+
+Result<MicrosT> InteractionServer::Broadcast(const std::string& room_id,
+                                             const std::string& tag,
+                                             size_t bytes) {
+  MMCONF_ASSIGN_OR_RETURN(Room * room, GetRoom(room_id));
+  (void)room;
+  MicrosT latest = 0;
+  for (const auto& [viewer, node] : endpoints_[room_id]) {
+    MMCONF_ASSIGN_OR_RETURN(MicrosT delivered,
+                            network_->Send(server_node_, node, bytes, tag));
+    latest = std::max(latest, delivered);
+    bytes_propagated_ += bytes;
+  }
+  return latest;
+}
+
+int InteractionServer::RegisterTrigger(ActionType type, Trigger trigger) {
+  int id = next_trigger_id_++;
+  triggers_.push_back({id, type, std::move(trigger)});
+  return id;
+}
+
+Status InteractionServer::RemoveTrigger(int trigger_id) {
+  for (auto it = triggers_.begin(); it != triggers_.end(); ++it) {
+    if (it->id == trigger_id) {
+      triggers_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no trigger with id " +
+                          std::to_string(trigger_id));
+}
+
+void InteractionServer::FireTriggers(Room* room, const UserAction& action) {
+  // Snapshot ids so a trigger that removes itself is safe.
+  std::vector<int> due;
+  for (const RegisteredTrigger& registered : triggers_) {
+    if (registered.type == action.type) due.push_back(registered.id);
+  }
+  for (int id : due) {
+    for (const RegisteredTrigger& registered : triggers_) {
+      if (registered.id == id) {
+        registered.trigger(*this, *room, action);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace mmconf::server

@@ -1,0 +1,155 @@
+#ifndef MMCONF_SERVER_INTERACTION_SERVER_H_
+#define MMCONF_SERVER_INTERACTION_SERVER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "doc/document.h"
+#include "doc/tuning.h"
+#include "net/network.h"
+#include "server/room.h"
+#include "storage/database.h"
+
+namespace mmconf::server {
+
+/// Network location of a room member.
+struct ClientEndpoint {
+  std::string viewer;
+  net::NodeId node = 0;
+};
+
+/// The interaction-server tier of the paper's Fig. 1: "responsible for
+/// the cooperative work in the system. It also calls the presentation
+/// module when needed. The interaction server keeps track of all objects
+/// in and out of shared rooms. If a client makes a change on a
+/// multi-media object, that change is immediately propagated to other
+/// clients in the room. The interaction server also calls the database
+/// server to fetch and store objects."
+///
+/// Documents live in the database as BLOBs (type "Document"); rooms hold
+/// decoded working copies; presentation changes are propagated over the
+/// simulated network with only the changed components' bytes.
+class InteractionServer {
+ public:
+  /// `db` and `network` must outlive the server. `server_node` /
+  /// `db_node` are this server's and the database's network locations
+  /// (the server->db link models the JDBC hop).
+  InteractionServer(storage::DatabaseServer* db, net::Network* network,
+                    net::NodeId server_node, net::NodeId db_node);
+
+  InteractionServer(const InteractionServer&) = delete;
+  InteractionServer& operator=(const InteractionServer&) = delete;
+
+  /// Registers the "Document" media type (idempotent).
+  Status RegisterDocumentType();
+
+  /// Persists a document as a BLOB object; returns its reference.
+  Result<storage::ObjectRef> StoreDocument(
+      const doc::MultimediaDocument& document, const std::string& name);
+
+  /// Opens a room on a stored document (the Fig. 4a use case "Retrieving
+  /// a document"): fetches the BLOB over the server<->db link, decodes
+  /// it, and creates the room. AlreadyExists if the room id is taken.
+  Result<Room*> OpenRoom(const std::string& room_id,
+                         const storage::ObjectRef& document_ref);
+
+  /// Opens a room on an in-memory document (no database hop).
+  Result<Room*> OpenRoomWithDocument(const std::string& room_id,
+                                     doc::MultimediaDocument document);
+
+  Result<Room*> GetRoom(const std::string& room_id);
+  Status CloseRoom(const std::string& room_id);
+
+  /// Persists the room's consultation minutes (rendered action log) as a
+  /// Text object in the database — the intro scenario's "results of the
+  /// discussions ... stored ... for future search and reference". The
+  /// returned object indexes like any other note (search::TextIndex).
+  Result<storage::ObjectRef> ArchiveRoomLog(const std::string& room_id);
+  size_t num_rooms() const { return rooms_.size(); }
+
+  /// Adds a member and ships them the full current presentation; returns
+  /// the simulated delivery timestamp of their initial content.
+  Result<MicrosT> Join(const std::string& room_id,
+                       const ClientEndpoint& client);
+
+  /// Removes a member and propagates any resulting reconfiguration.
+  Status Leave(const std::string& room_id, const std::string& viewer);
+
+  /// Applies a viewer's presentation choice; propagates the delta to
+  /// every *other* member ("each one of them sees the actions of the
+  /// other"). Returns the reconfiguration (with delta size).
+  Result<ReconfigResult> SubmitChoice(const std::string& room_id,
+                                      const std::string& viewer,
+                                      const std::string& component,
+                                      const std::string& presentation);
+
+  /// Applies an image/audio operation in a room, persists content changes
+  /// to the database when `persist` names a blob column, and propagates
+  /// the delta.
+  Result<ReconfigResult> ApplyOperation(const std::string& room_id,
+                                        const UserAction& action,
+                                        bool globally_important);
+
+  /// --- Broadcasting and dynamic event triggers (the paper's Section 6
+  /// future work: "integrating broadcasting and dynamic event triggers
+  /// into the system") ---
+
+  /// Pushes an out-of-band message of `bytes` to every member of a room
+  /// (announcements, pointers to new findings). Returns the latest
+  /// delivery timestamp, or 0 for an empty room.
+  Result<MicrosT> Broadcast(const std::string& room_id,
+                            const std::string& tag, size_t bytes);
+
+  /// Callback fired after an action of the registered type is applied in
+  /// any room. Triggers observe the room (post-action state) and may use
+  /// the server, e.g. to Broadcast — but must not re-enter the action
+  /// that fired them.
+  using Trigger =
+      std::function<void(InteractionServer&, Room&, const UserAction&)>;
+
+  /// Registers a trigger for an action type; multiple triggers per type
+  /// fire in registration order. Returns an id for RemoveTrigger.
+  int RegisterTrigger(ActionType type, Trigger trigger);
+  Status RemoveTrigger(int trigger_id);
+  size_t num_triggers() const { return triggers_.size(); }
+
+  /// Total bytes this server pushed to clients so far.
+  size_t bytes_propagated() const { return bytes_propagated_; }
+
+ private:
+  /// Sends `result`'s delta to every member except `origin` (empty
+  /// origin = everyone, used for initial join payloads elsewhere).
+  Status Propagate(Room* room, const ReconfigResult& result,
+                   const std::string& origin);
+
+  void FireTriggers(Room* room, const UserAction& action);
+
+  /// Classifies a member's downlink for transcoding (kLow when the link
+  /// is unknown/partitioned).
+  doc::BandwidthLevel LevelFor(net::NodeId client) const;
+
+  struct RegisteredTrigger {
+    int id;
+    ActionType type;
+    Trigger trigger;
+  };
+
+  storage::DatabaseServer* db_;
+  net::Network* network_;
+  net::NodeId server_node_;
+  net::NodeId db_node_;
+  std::map<std::string, std::unique_ptr<Room>> rooms_;
+  std::map<std::string, std::map<std::string, net::NodeId>> endpoints_;
+  std::vector<RegisteredTrigger> triggers_;
+  int next_trigger_id_ = 1;
+  size_t bytes_propagated_ = 0;
+};
+
+}  // namespace mmconf::server
+
+#endif  // MMCONF_SERVER_INTERACTION_SERVER_H_

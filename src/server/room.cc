@@ -1,0 +1,302 @@
+#include "server/room.h"
+
+#include <algorithm>
+
+namespace mmconf::server {
+
+using cpnet::Assignment;
+using doc::MultimediaDocument;
+using doc::ViewerChoice;
+
+const char* ActionTypeToString(ActionType type) {
+  switch (type) {
+    case ActionType::kJoin:
+      return "join";
+    case ActionType::kLeave:
+      return "leave";
+    case ActionType::kChoice:
+      return "choice";
+    case ActionType::kReleaseChoice:
+      return "release-choice";
+    case ActionType::kAnnotateText:
+      return "annotate-text";
+    case ActionType::kAnnotateLine:
+      return "annotate-line";
+    case ActionType::kDeleteElement:
+      return "delete-element";
+    case ActionType::kZoom:
+      return "zoom";
+    case ActionType::kSegmentOp:
+      return "segment";
+    case ActionType::kFreeze:
+      return "freeze";
+    case ActionType::kReleaseFreeze:
+      return "release-freeze";
+  }
+  return "unknown";
+}
+
+Room::Room(std::string id, MultimediaDocument document)
+    : id_(std::move(id)), document_(std::move(document)) {
+  Result<Assignment> initial = document_.DefaultPresentation();
+  configuration_ = initial.ok()
+                       ? std::move(initial).value()
+                       : Assignment(document_.num_variables());
+}
+
+std::vector<std::string> Room::members() const {
+  std::vector<std::string> names;
+  names.reserve(choices_.size());
+  for (const auto& [viewer, viewer_choices] : choices_) {
+    names.push_back(viewer);
+  }
+  return names;
+}
+
+bool Room::HasMember(const std::string& viewer) const {
+  return choices_.count(viewer) > 0;
+}
+
+Status Room::Join(const std::string& viewer) {
+  if (HasMember(viewer)) {
+    return Status::AlreadyExists("viewer \"" + viewer +
+                                 "\" is already in room " + id_);
+  }
+  choices_.emplace(viewer, std::map<std::string, TimedChoice>());
+  UserAction action;
+  action.type = ActionType::kJoin;
+  action.viewer = viewer;
+  action_log_.push_back(action);
+  return Status::OK();
+}
+
+Result<ReconfigResult> Room::Leave(const std::string& viewer) {
+  auto it = choices_.find(viewer);
+  if (it == choices_.end()) {
+    return Status::NotFound("viewer \"" + viewer + "\" is not in room " +
+                            id_);
+  }
+  choices_.erase(it);
+  overlays_.erase(viewer);
+  freezes_.ReleaseAllHeldBy(viewer);
+  UserAction action;
+  action.type = ActionType::kLeave;
+  action.viewer = viewer;
+  action_log_.push_back(action);
+  return Reconfigure();
+}
+
+std::vector<ViewerChoice> Room::AllChoices() const {
+  // Flatten in global submission order: if two partners pinned the same
+  // component, the later submission wins in EvidenceFrom.
+  std::vector<std::pair<uint64_t, ViewerChoice>> timed;
+  for (const auto& [viewer, viewer_choices] : choices_) {
+    for (const auto& [component, choice] : viewer_choices) {
+      timed.push_back({choice.sequence, {component, choice.presentation}});
+    }
+  }
+  std::sort(timed.begin(), timed.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<ViewerChoice> all;
+  all.reserve(timed.size());
+  for (auto& [sequence, choice] : timed) {
+    all.push_back(std::move(choice));
+  }
+  return all;
+}
+
+Result<ReconfigResult> Room::Reconfigure() {
+  MMCONF_ASSIGN_OR_RETURN(Assignment next,
+                          document_.ReconfigPresentation(AllChoices()));
+  // Delta: only components (not operation variables) whose presentation
+  // changed trigger redisplay traffic.
+  MMCONF_ASSIGN_OR_RETURN(
+      doc::MultimediaDocument::ConfigurationDelta delta,
+      document_.DiffConfigurations(configuration_, next));
+  ReconfigResult result;
+  result.configuration = next;
+  result.changed_components = std::move(delta.changed_components);
+  result.delta_cost_bytes = delta.redisplay_cost_bytes;
+  configuration_ = std::move(next);
+  return result;
+}
+
+Result<ReconfigResult> Room::SubmitChoice(const std::string& viewer,
+                                          const std::string& component,
+                                          const std::string& presentation) {
+  auto it = choices_.find(viewer);
+  if (it == choices_.end()) {
+    return Status::NotFound("viewer \"" + viewer + "\" is not in room " +
+                            id_);
+  }
+  // Validate the component (and value, when choosing).
+  MMCONF_RETURN_IF_ERROR(document_.VarOf(component).status());
+  UserAction action;
+  action.viewer = viewer;
+  action.component = component;
+  action.presentation = presentation;
+  if (presentation.empty()) {
+    it->second.erase(component);
+    action.type = ActionType::kReleaseChoice;
+  } else {
+    // Reject unknown presentation names before recording the choice.
+    MMCONF_RETURN_IF_ERROR(
+        document_.EvidenceFrom({{component, presentation}}).status());
+    it->second[component] = {presentation, next_sequence_++};
+    action.type = ActionType::kChoice;
+  }
+  action_log_.push_back(action);
+  return Reconfigure();
+}
+
+Result<ReconfigResult> Room::ApplyOperation(const UserAction& action,
+                                            bool globally_important) {
+  if (!HasMember(action.viewer)) {
+    return Status::NotFound("viewer \"" + action.viewer +
+                            "\" is not in room " + id_);
+  }
+  MMCONF_RETURN_IF_ERROR(
+      freezes_.CheckMutable(action.component, action.viewer));
+  MMCONF_ASSIGN_OR_RETURN(const doc::MultimediaComponent* component,
+                          document_.Find(action.component));
+  if (component->IsComposite()) {
+    return Status::InvalidArgument("operations apply to primitive "
+                                   "components only");
+  }
+  action_log_.push_back(action);
+
+  // Section 4.2: segmentation-style operations extend the preference
+  // model, globally or per viewer.
+  if (action.type == ActionType::kSegmentOp ||
+      action.type == ActionType::kZoom) {
+    // The component's current presentation is the trigger value.
+    MMCONF_ASSIGN_OR_RETURN(
+        doc::MMPresentation current,
+        document_.PresentationFor(configuration_, action.component));
+    std::string op_name = action.component + "." +
+                          ActionTypeToString(action.type) + "#" +
+                          std::to_string(action_log_.size());
+    if (globally_important) {
+      MMCONF_RETURN_IF_ERROR(
+          document_
+              .AddOperationVariable(action.component, current.name, op_name)
+              .status());
+    } else {
+      MMCONF_ASSIGN_OR_RETURN(cpnet::ViewerOverlay * overlay,
+                              OverlayFor(action.viewer));
+      MMCONF_ASSIGN_OR_RETURN(cpnet::VarId var,
+                              document_.VarOf(action.component));
+      cpnet::ValueId trigger = configuration_.Get(var);
+      MMCONF_RETURN_IF_ERROR(
+          overlay
+              ->AddOperationVariable(var, trigger, op_name, "applied",
+                                     "plain")
+              .status());
+    }
+  }
+  return Reconfigure();
+}
+
+Result<ReconfigResult> Room::AddComponent(
+    const std::string& viewer, const std::string& parent_composite,
+    std::unique_ptr<doc::PrimitiveMultimediaComponent> component) {
+  if (!HasMember(viewer)) {
+    return Status::NotFound("viewer \"" + viewer + "\" is not in room " +
+                            id_);
+  }
+  MMCONF_RETURN_IF_ERROR(
+      document_.AddComponent(parent_composite, std::move(component))
+          .status());
+  overlays_.clear();  // Rebinding invalidated overlay variable ids.
+  // The old configuration's variable ids are stale after rebinding:
+  // treat the structural change as a full redisplay.
+  configuration_ = cpnet::Assignment(document_.num_variables());
+  return Reconfigure();
+}
+
+Result<ReconfigResult> Room::RemoveComponent(const std::string& viewer,
+                                             const std::string& component) {
+  if (!HasMember(viewer)) {
+    return Status::NotFound("viewer \"" + viewer + "\" is not in room " +
+                            id_);
+  }
+  MMCONF_RETURN_IF_ERROR(freezes_.CheckMutable(component, viewer));
+  MMCONF_RETURN_IF_ERROR(document_.RemoveComponent(component));
+  // Drop state that referenced the removed component.
+  for (auto& [member, member_choices] : choices_) {
+    member_choices.erase(component);
+  }
+  if (freezes_.HolderOf(component) == viewer) {
+    freezes_.Release(component, viewer).ok();
+  }
+  overlays_.clear();
+  configuration_ = cpnet::Assignment(document_.num_variables());
+  return Reconfigure();
+}
+
+Status Room::Freeze(const std::string& viewer,
+                    const std::string& component) {
+  if (!HasMember(viewer)) {
+    return Status::NotFound("viewer \"" + viewer + "\" is not in room " +
+                            id_);
+  }
+  MMCONF_RETURN_IF_ERROR(document_.VarOf(component).status());
+  MMCONF_RETURN_IF_ERROR(freezes_.Freeze(component, viewer));
+  UserAction action;
+  action.type = ActionType::kFreeze;
+  action.viewer = viewer;
+  action.component = component;
+  action_log_.push_back(action);
+  return Status::OK();
+}
+
+Status Room::ReleaseFreeze(const std::string& viewer,
+                           const std::string& component) {
+  MMCONF_RETURN_IF_ERROR(freezes_.Release(component, viewer));
+  UserAction action;
+  action.type = ActionType::kReleaseFreeze;
+  action.viewer = viewer;
+  action.component = component;
+  action_log_.push_back(action);
+  return Status::OK();
+}
+
+std::string Room::RenderActionLog() const {
+  std::string out = "consultation log for room " + id_ + "\n";
+  for (const UserAction& action : action_log_) {
+    out += ActionTypeToString(action.type);
+    out += ' ';
+    out += action.viewer;
+    if (!action.component.empty()) {
+      out += ' ';
+      out += action.component;
+    }
+    if (!action.presentation.empty()) {
+      out += " as ";
+      out += action.presentation;
+    }
+    if (!action.text.empty()) {
+      out += ": ";
+      out += action.text;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Result<cpnet::ViewerOverlay*> Room::OverlayFor(const std::string& viewer) {
+  if (!HasMember(viewer)) {
+    return Status::NotFound("viewer \"" + viewer + "\" is not in room " +
+                            id_);
+  }
+  auto it = overlays_.find(viewer);
+  if (it == overlays_.end()) {
+    it = overlays_
+             .emplace(viewer, std::make_unique<cpnet::ViewerOverlay>(
+                                  &document_.net()))
+             .first;
+  }
+  return it->second.get();
+}
+
+}  // namespace mmconf::server

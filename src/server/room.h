@@ -1,0 +1,137 @@
+#ifndef MMCONF_SERVER_ROOM_H_
+#define MMCONF_SERVER_ROOM_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "cpnet/assignment.h"
+#include "cpnet/update.h"
+#include "doc/document.h"
+#include "imaging/freeze.h"
+#include "server/events.h"
+
+namespace mmconf::server {
+
+/// Outcome of an action that may change the shared presentation: the new
+/// optimal configuration, which components changed presentation, and the
+/// bytes needed to redisplay just those components ("the hierarchical
+/// structure of the object permits sending only the relevant parts of the
+/// object for redisplay by the client").
+struct ReconfigResult {
+  cpnet::Assignment configuration;
+  std::vector<std::string> changed_components;
+  size_t delta_cost_bytes = 0;
+};
+
+/// A shared "room": the set of partners examining one multimedia
+/// document together. The room owns the document, the per-viewer choice
+/// state, the freeze registry, and the action log (the paper's "large
+/// memory buffer which maintains the changes made on the changed
+/// objects").
+class Room {
+ public:
+  /// Takes ownership of the document; it must be finalized.
+  Room(std::string id, doc::MultimediaDocument document);
+
+  // Not copyable or movable: viewer overlays hold pointers into the
+  // owned document's CP-net. Hold rooms by unique_ptr.
+  Room(const Room&) = delete;
+  Room& operator=(const Room&) = delete;
+  Room(Room&&) = delete;
+  Room& operator=(Room&&) = delete;
+
+  const std::string& id() const { return id_; }
+  const doc::MultimediaDocument& document() const { return document_; }
+  const cpnet::Assignment& configuration() const { return configuration_; }
+  const std::vector<UserAction>& action_log() const { return action_log_; }
+
+  /// Renders the action log as searchable text, one line per action —
+  /// the consultation minutes ("The results of the discussions ... may
+  /// be stored in the file or in other locations for future search and
+  /// reference").
+  std::string RenderActionLog() const;
+  std::vector<std::string> members() const;
+  bool HasMember(const std::string& viewer) const;
+
+  /// Adds a partner; the initial presentation they receive is the current
+  /// room configuration. AlreadyExists on duplicate join.
+  Status Join(const std::string& viewer);
+
+  /// Removes a partner, releasing their choices and freezes; the shared
+  /// configuration is re-optimized without their constraints.
+  Result<ReconfigResult> Leave(const std::string& viewer);
+
+  /// Applies a viewer's explicit presentation choice and recomputes the
+  /// optimal shared configuration (the Fig. 4b use case: "determine the
+  /// optimal presentations... return the specification of the updated
+  /// optimal presentation"). An empty `presentation` releases the
+  /// viewer's earlier choice on that component.
+  Result<ReconfigResult> SubmitChoice(const std::string& viewer,
+                                      const std::string& component,
+                                      const std::string& presentation);
+
+  /// Records an operation on a component (zoom, annotation, deletion,
+  /// segmentation). If `globally_important` (the §4.2 decision "the
+  /// viewer can decide about the importance of this operation for the
+  /// rest of the viewers"), the document's CP-net is extended for
+  /// everyone; otherwise only this viewer's private overlay grows.
+  /// The freeze registry is consulted first.
+  Result<ReconfigResult> ApplyOperation(const UserAction& action,
+                                        bool globally_important);
+
+  /// Section 4.2 online updates at room scope: a viewer adds or removes
+  /// a document component mid-consultation. The CP-net is rebound, so
+  /// every per-viewer overlay is reset (their private operation
+  /// variables referenced the old variable ids); choices and freezes on
+  /// a removed component are dropped. Returns the reconfiguration.
+  Result<ReconfigResult> AddComponent(
+      const std::string& viewer, const std::string& parent_composite,
+      std::unique_ptr<doc::PrimitiveMultimediaComponent> component);
+  Result<ReconfigResult> RemoveComponent(const std::string& viewer,
+                                         const std::string& component);
+
+  /// Freeze / release of a component by a partner.
+  Status Freeze(const std::string& viewer, const std::string& component);
+  Status ReleaseFreeze(const std::string& viewer,
+                       const std::string& component);
+  bool IsFrozen(const std::string& component) const {
+    return freezes_.IsFrozen(component);
+  }
+
+  /// The viewer's private overlay (per-viewer CP-net extension), created
+  /// on demand.
+  Result<cpnet::ViewerOverlay*> OverlayFor(const std::string& viewer);
+
+  /// Flattened choice events of every member, newest last.
+  std::vector<doc::ViewerChoice> AllChoices() const;
+
+ private:
+  /// Recomputes the configuration from all members' choices, producing
+  /// the delta against the previous configuration.
+  Result<ReconfigResult> Reconfigure();
+
+  struct TimedChoice {
+    std::string presentation;
+    uint64_t sequence = 0;  ///< global submission order within the room
+  };
+
+  std::string id_;
+  doc::MultimediaDocument document_;
+  cpnet::Assignment configuration_;
+  /// viewer -> (component -> latest choice). Choices are flattened in
+  /// submission order so that when two partners pin the same component,
+  /// the most recent submission wins regardless of viewer names.
+  std::map<std::string, std::map<std::string, TimedChoice>> choices_;
+  uint64_t next_sequence_ = 1;
+  std::map<std::string, std::unique_ptr<cpnet::ViewerOverlay>> overlays_;
+  imaging::FreezeRegistry freezes_;
+  std::vector<UserAction> action_log_;
+};
+
+}  // namespace mmconf::server
+
+#endif  // MMCONF_SERVER_ROOM_H_

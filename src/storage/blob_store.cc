@@ -1,0 +1,166 @@
+#include "storage/blob_store.h"
+
+#include <algorithm>
+
+namespace mmconf::storage {
+
+uint32_t BlobStore::AllocPage() {
+  if (!free_pages_.empty()) {
+    uint32_t index = free_pages_.back();
+    free_pages_.pop_back();
+    return index;
+  }
+  pages_.emplace_back();
+  return static_cast<uint32_t>(pages_.size() - 1);
+}
+
+void BlobStore::WritePage(uint32_t index, const uint8_t* data, size_t n) {
+  Page& page = pages_[index];
+  page.data.assign(data, data + n);
+  page.crc = Crc32c(data, n);
+}
+
+Result<const BlobStore::Page*> BlobStore::CheckedPage(uint32_t index) const {
+  if (index >= pages_.size()) {
+    return Status::Corruption("page index out of range");
+  }
+  const Page& page = pages_[index];
+  if (Crc32c(page.data.data(), page.data.size()) != page.crc) {
+    return Status::Corruption("page " + std::to_string(index) +
+                              " failed checksum");
+  }
+  return &page;
+}
+
+Result<BlobId> BlobStore::Put(const Bytes& data) {
+  BlobId id = next_id_++;
+  BlobMeta meta;
+  meta.size = data.size();
+  size_t offset = 0;
+  while (offset < data.size()) {
+    size_t n = std::min(kPagePayload, data.size() - offset);
+    uint32_t page = AllocPage();
+    WritePage(page, data.data() + offset, n);
+    meta.page_indices.push_back(page);
+    offset += n;
+  }
+  blobs_.emplace(id, std::move(meta));
+  return id;
+}
+
+Result<Bytes> BlobStore::Get(BlobId id) const {
+  auto it = blobs_.find(id);
+  if (it == blobs_.end()) {
+    return Status::NotFound("blob " + std::to_string(id));
+  }
+  Bytes out;
+  out.reserve(it->second.size);
+  for (uint32_t index : it->second.page_indices) {
+    MMCONF_ASSIGN_OR_RETURN(const Page* page, CheckedPage(index));
+    out.insert(out.end(), page->data.begin(), page->data.end());
+  }
+  if (out.size() != it->second.size) {
+    return Status::Corruption("blob " + std::to_string(id) +
+                              " size mismatch");
+  }
+  return out;
+}
+
+Result<Bytes> BlobStore::GetRange(BlobId id, size_t offset,
+                                  size_t length) const {
+  auto it = blobs_.find(id);
+  if (it == blobs_.end()) {
+    return Status::NotFound("blob " + std::to_string(id));
+  }
+  const BlobMeta& meta = it->second;
+  if (offset >= meta.size) return Bytes{};
+  size_t end = std::min(meta.size, offset + length);
+  Bytes out;
+  out.reserve(end - offset);
+  size_t first_page = offset / kPagePayload;
+  size_t last_page = (end - 1) / kPagePayload;
+  for (size_t p = first_page; p <= last_page; ++p) {
+    MMCONF_ASSIGN_OR_RETURN(const Page* page,
+                            CheckedPage(meta.page_indices[p]));
+    size_t page_begin = p * kPagePayload;
+    size_t lo = offset > page_begin ? offset - page_begin : 0;
+    size_t hi = std::min(page->data.size(), end - page_begin);
+    out.insert(out.end(), page->data.begin() + lo, page->data.begin() + hi);
+  }
+  return out;
+}
+
+Status BlobStore::Update(BlobId id, const Bytes& data) {
+  auto it = blobs_.find(id);
+  if (it == blobs_.end()) {
+    return Status::NotFound("blob " + std::to_string(id));
+  }
+  // Release old pages, then write fresh (shadow-write semantics: meta is
+  // swapped only after all pages are written).
+  BlobMeta fresh;
+  fresh.size = data.size();
+  size_t offset = 0;
+  std::vector<uint32_t> released = std::move(it->second.page_indices);
+  free_pages_.insert(free_pages_.end(), released.begin(), released.end());
+  while (offset < data.size()) {
+    size_t n = std::min(kPagePayload, data.size() - offset);
+    uint32_t page = AllocPage();
+    WritePage(page, data.data() + offset, n);
+    fresh.page_indices.push_back(page);
+    offset += n;
+  }
+  it->second = std::move(fresh);
+  return Status::OK();
+}
+
+Status BlobStore::Delete(BlobId id) {
+  auto it = blobs_.find(id);
+  if (it == blobs_.end()) {
+    return Status::NotFound("blob " + std::to_string(id));
+  }
+  free_pages_.insert(free_pages_.end(), it->second.page_indices.begin(),
+                     it->second.page_indices.end());
+  blobs_.erase(it);
+  return Status::OK();
+}
+
+Result<size_t> BlobStore::SizeOf(BlobId id) const {
+  auto it = blobs_.find(id);
+  if (it == blobs_.end()) {
+    return Status::NotFound("blob " + std::to_string(id));
+  }
+  return it->second.size;
+}
+
+Status BlobStore::VerifyAllPages() const {
+  for (const auto& [id, meta] : blobs_) {
+    for (uint32_t index : meta.page_indices) {
+      Result<const Page*> page = CheckedPage(index);
+      if (!page.ok()) {
+        return Status::Corruption("blob " + std::to_string(id) + ": " +
+                                  page.status().message());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status BlobStore::CorruptForTesting(BlobId id, size_t byte_offset) {
+  auto it = blobs_.find(id);
+  if (it == blobs_.end()) {
+    return Status::NotFound("blob " + std::to_string(id));
+  }
+  size_t page_index = byte_offset / kPagePayload;
+  size_t in_page = byte_offset % kPagePayload;
+  if (page_index >= it->second.page_indices.size()) {
+    return Status::OutOfRange("offset past end of blob");
+  }
+  Page& page = pages_[it->second.page_indices[page_index]];
+  if (in_page >= page.data.size()) {
+    return Status::OutOfRange("offset past end of page payload");
+  }
+  page.data[in_page] ^= 0xff;  // CRC intentionally left stale.
+  return Status::OK();
+}
+
+}  // namespace mmconf::storage

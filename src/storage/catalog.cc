@@ -1,0 +1,57 @@
+#include "storage/catalog.h"
+
+namespace mmconf::storage {
+
+Status Catalog::RegisterType(const MediaTypeEntry& entry,
+                             std::vector<FieldDef> table_schema) {
+  if (types_.count(entry.type_name) > 0) {
+    return Status::AlreadyExists("media type \"" + entry.type_name +
+                                 "\" already registered");
+  }
+  if (entry.type_name.empty() || entry.table_name.empty()) {
+    return Status::InvalidArgument("type and table names must be non-empty");
+  }
+  types_.emplace(entry.type_name, entry);
+  tables_.emplace(entry.type_name, std::make_unique<ObjectTable>(
+                                       entry.table_name,
+                                       std::move(table_schema)));
+  return Status::OK();
+}
+
+bool Catalog::HasType(const std::string& type_name) const {
+  return types_.count(type_name) > 0;
+}
+
+Result<MediaTypeEntry> Catalog::GetType(const std::string& type_name) const {
+  auto it = types_.find(type_name);
+  if (it == types_.end()) {
+    return Status::NotFound("media type \"" + type_name + "\"");
+  }
+  return it->second;
+}
+
+std::vector<MediaTypeEntry> Catalog::ListTypes() const {
+  std::vector<MediaTypeEntry> out;
+  out.reserve(types_.size());
+  for (const auto& [name, entry] : types_) out.push_back(entry);
+  return out;
+}
+
+Result<ObjectTable*> Catalog::TableFor(const std::string& type_name) {
+  auto it = tables_.find(type_name);
+  if (it == tables_.end()) {
+    return Status::NotFound("media type \"" + type_name + "\"");
+  }
+  return it->second.get();
+}
+
+Result<const ObjectTable*> Catalog::TableFor(
+    const std::string& type_name) const {
+  auto it = tables_.find(type_name);
+  if (it == tables_.end()) {
+    return Status::NotFound("media type \"" + type_name + "\"");
+  }
+  return static_cast<const ObjectTable*>(it->second.get());
+}
+
+}  // namespace mmconf::storage

@@ -1,0 +1,59 @@
+#ifndef MMCONF_STORAGE_CATALOG_H_
+#define MMCONF_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/object_table.h"
+
+namespace mmconf::storage {
+
+/// One row of the paper's MULTIMEDIA_OBJECTS_TABLE: a supported media type
+/// with its MIME, access policy, description, and the name of the object
+/// table holding objects of that type.
+struct MediaTypeEntry {
+  std::string type_name;    ///< e.g. "Image", "Audio"
+  std::string mime;         ///< e.g. "image/x-mm-raster"
+  std::string access_type;  ///< e.g. "read-write", "read-only"
+  std::string table_name;   ///< object table for this type
+  std::string description;
+};
+
+/// The catalog of supported multimedia types — the paper's main
+/// MULTIMEDIA_OBJECTS_TABLE. "This approach was adopted in order to allow
+/// addition of new data types as the system evolves": registering a type
+/// creates its object table with its own schema at runtime.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Registers a new media type and creates its object table.
+  /// AlreadyExists if the type is known.
+  Status RegisterType(const MediaTypeEntry& entry,
+                      std::vector<FieldDef> table_schema);
+
+  bool HasType(const std::string& type_name) const;
+  Result<MediaTypeEntry> GetType(const std::string& type_name) const;
+
+  /// All registered types, sorted by name.
+  std::vector<MediaTypeEntry> ListTypes() const;
+
+  /// Object table backing a type; NotFound if the type is unregistered.
+  Result<ObjectTable*> TableFor(const std::string& type_name);
+  Result<const ObjectTable*> TableFor(const std::string& type_name) const;
+
+ private:
+  std::map<std::string, MediaTypeEntry> types_;
+  std::map<std::string, std::unique_ptr<ObjectTable>> tables_;
+};
+
+}  // namespace mmconf::storage
+
+#endif  // MMCONF_STORAGE_CATALOG_H_

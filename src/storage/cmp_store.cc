@@ -1,0 +1,94 @@
+#include "storage/cmp_store.h"
+
+#include <algorithm>
+
+#include "compress/layered_codec.h"
+
+namespace mmconf::storage {
+
+Result<ObjectRef> CmpObjectStore::StoreStream(const std::string& filename,
+                                              const Bytes& stream) {
+  MMCONF_ASSIGN_OR_RETURN(compress::StreamInfo info,
+                          compress::LayeredCodec::Inspect(stream));
+  Bytes header(stream.begin(),
+               stream.begin() + static_cast<long>(info.header_bytes));
+  Bytes payload(stream.begin() + static_cast<long>(info.header_bytes),
+                stream.begin() + static_cast<long>(info.total_bytes));
+  // Taken before the moves below: argument evaluation order must not be
+  // able to read a moved-from vector's size.
+  const int64_t payload_size = static_cast<int64_t>(payload.size());
+  return db_->Store(
+      "Cmp",
+      {{"FLD_FILENAME", filename},
+       {"FLD_FILESIZE", payload_size},
+       {"FLD_CURRENTPOSITION", int64_t{0}}},
+      {{"FLD_HEADER", std::move(header)}, {"FLD_DATA", std::move(payload)}});
+}
+
+Result<Bytes> CmpObjectStore::FetchHeader(const ObjectRef& ref) const {
+  return db_->FetchBlob(ref, "FLD_HEADER");
+}
+
+Result<size_t> CmpObjectStore::Position(const ObjectRef& ref) const {
+  MMCONF_ASSIGN_OR_RETURN(ObjectRecord record, db_->FetchRecord(ref));
+  auto it = record.fields.find("FLD_CURRENTPOSITION");
+  if (it == record.fields.end() || TypeOf(it->second) != FieldType::kInt64) {
+    return Status::InvalidArgument("object is not a Cmp record");
+  }
+  return static_cast<size_t>(std::get<int64_t>(it->second));
+}
+
+Result<size_t> CmpObjectStore::PayloadSize(const ObjectRef& ref) const {
+  MMCONF_ASSIGN_OR_RETURN(ObjectRecord record, db_->FetchRecord(ref));
+  auto it = record.fields.find("FLD_FILESIZE");
+  if (it == record.fields.end() || TypeOf(it->second) != FieldType::kInt64) {
+    return Status::InvalidArgument("object is not a Cmp record");
+  }
+  return static_cast<size_t>(std::get<int64_t>(it->second));
+}
+
+Result<bool> CmpObjectStore::Complete(const ObjectRef& ref) const {
+  MMCONF_ASSIGN_OR_RETURN(size_t position, Position(ref));
+  MMCONF_ASSIGN_OR_RETURN(size_t total, PayloadSize(ref));
+  return position >= total;
+}
+
+Result<Bytes> CmpObjectStore::FetchNext(const ObjectRef& ref,
+                                        size_t budget) {
+  MMCONF_ASSIGN_OR_RETURN(size_t position, Position(ref));
+  MMCONF_ASSIGN_OR_RETURN(size_t total, PayloadSize(ref));
+  if (position >= total || budget == 0) return Bytes{};
+  size_t take = std::min(budget, total - position);
+  MMCONF_ASSIGN_OR_RETURN(Bytes chunk,
+                          db_->FetchBlobRange(ref, "FLD_DATA", position,
+                                              take));
+  MMCONF_RETURN_IF_ERROR(db_->Modify(
+      ref,
+      {{"FLD_CURRENTPOSITION", static_cast<int64_t>(position + take)}},
+      {}));
+  return chunk;
+}
+
+Status CmpObjectStore::Reset(const ObjectRef& ref) {
+  MMCONF_RETURN_IF_ERROR(Position(ref).status());  // type check
+  return db_->Modify(ref, {{"FLD_CURRENTPOSITION", int64_t{0}}}, {});
+}
+
+Result<Bytes> CmpObjectStore::AssemblePrefix(const ObjectRef& ref,
+                                             size_t position) const {
+  MMCONF_ASSIGN_OR_RETURN(Bytes prefix, FetchHeader(ref));
+  if (position > 0) {
+    MMCONF_ASSIGN_OR_RETURN(Bytes payload,
+                            db_->FetchBlobRange(ref, "FLD_DATA", 0,
+                                                position));
+    prefix.insert(prefix.end(), payload.begin(), payload.end());
+  }
+  return prefix;
+}
+
+Result<Bytes> CmpObjectStore::AssembleCurrent(const ObjectRef& ref) const {
+  MMCONF_ASSIGN_OR_RETURN(size_t position, Position(ref));
+  return AssemblePrefix(ref, position);
+}
+
+}  // namespace mmconf::storage

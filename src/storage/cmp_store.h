@@ -1,0 +1,65 @@
+#ifndef MMCONF_STORAGE_CMP_STORE_H_
+#define MMCONF_STORAGE_CMP_STORE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "storage/database.h"
+
+namespace mmconf::storage {
+
+/// Resumable progressive image transfer over the paper's
+/// CMP_OBJECTS_TABLE (Fig. 7: FLD_FILENAME, FLD_FILESIZE,
+/// FLD_CURRENTPOSITION, FLD_HEADER blob, FLD_DATA blob). A layered codec
+/// stream is split into its header (fetched once, cheap) and its payload
+/// (fetched incrementally); FLD_CURRENTPOSITION records how much of the
+/// payload a consultation has already pulled, so a session interrupted
+/// mid-transfer — or throttled by Section 4.4's bandwidth limits —
+/// resumes exactly where it stopped and every byte fetched improves the
+/// reconstructable image.
+class CmpObjectStore {
+ public:
+  /// `db` must outlive the store and have the standard types registered.
+  explicit CmpObjectStore(DatabaseServer* db) : db_(db) {}
+
+  /// Stores a layered-codec stream (as produced by LayeredCodec::Encode)
+  /// under `filename`. The stream's own header determines the
+  /// header/payload split. Corruption if `stream` is not a valid layered
+  /// stream.
+  Result<ObjectRef> StoreStream(const std::string& filename,
+                                const Bytes& stream);
+
+  /// The stream header (needed before any prefix can be decoded).
+  Result<Bytes> FetchHeader(const ObjectRef& ref) const;
+
+  /// Fetches up to `budget` more payload bytes, advancing
+  /// FLD_CURRENTPOSITION. Returns an empty vector once the payload is
+  /// exhausted.
+  Result<Bytes> FetchNext(const ObjectRef& ref, size_t budget);
+
+  /// Payload bytes already pulled.
+  Result<size_t> Position(const ObjectRef& ref) const;
+  /// Total payload bytes.
+  Result<size_t> PayloadSize(const ObjectRef& ref) const;
+  /// True once the payload is fully transferred.
+  Result<bool> Complete(const ObjectRef& ref) const;
+
+  /// Rewinds FLD_CURRENTPOSITION to zero (a fresh consultation).
+  Status Reset(const ObjectRef& ref);
+
+  /// Reassembles the decodable prefix a consumer holds after pulling
+  /// `position` payload bytes: header + payload[0, position). Feed this
+  /// to LayeredCodec::DecodePrefix / DecodeThumbnail.
+  Result<Bytes> AssemblePrefix(const ObjectRef& ref,
+                               size_t position) const;
+
+  /// AssemblePrefix at the current position.
+  Result<Bytes> AssembleCurrent(const ObjectRef& ref) const;
+
+ private:
+  DatabaseServer* db_;
+};
+
+}  // namespace mmconf::storage
+
+#endif  // MMCONF_STORAGE_CMP_STORE_H_

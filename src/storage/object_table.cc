@@ -1,0 +1,141 @@
+#include "storage/object_table.h"
+
+#include <algorithm>
+
+namespace mmconf::storage {
+
+const char* FieldTypeToString(FieldType t) {
+  switch (t) {
+    case FieldType::kInt64:
+      return "int64";
+    case FieldType::kString:
+      return "string";
+    case FieldType::kBlob:
+      return "blob";
+  }
+  return "unknown";
+}
+
+FieldType TypeOf(const FieldValue& v) {
+  switch (v.index()) {
+    case 0:
+      return FieldType::kInt64;
+    case 1:
+      return FieldType::kString;
+    default:
+      return FieldType::kBlob;
+  }
+}
+
+ObjectTable::ObjectTable(std::string name, std::vector<FieldDef> schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {}
+
+Status ObjectTable::CheckAgainstSchema(
+    const std::map<std::string, FieldValue>& fields, bool require_all) const {
+  for (const auto& [fname, value] : fields) {
+    auto it = std::find_if(schema_.begin(), schema_.end(),
+                           [&](const FieldDef& d) { return d.name == fname; });
+    if (it == schema_.end()) {
+      return Status::InvalidArgument("table " + name_ +
+                                     " has no column \"" + fname + "\"");
+    }
+    if (TypeOf(value) != it->type) {
+      return Status::InvalidArgument(
+          "column \"" + fname + "\" expects " +
+          FieldTypeToString(it->type) + ", got " +
+          FieldTypeToString(TypeOf(value)));
+    }
+  }
+  if (require_all) {
+    for (const FieldDef& def : schema_) {
+      if (fields.count(def.name) == 0) {
+        return Status::InvalidArgument("missing column \"" + def.name +
+                                       "\" for table " + name_);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<ObjectId> ObjectTable::Insert(
+    std::map<std::string, FieldValue> fields) {
+  MMCONF_RETURN_IF_ERROR(CheckAgainstSchema(fields, /*require_all=*/true));
+  ObjectId id = next_id_++;
+  rows_.emplace(id, ObjectRecord{id, std::move(fields)});
+  return id;
+}
+
+Status ObjectTable::RestoreRow(ObjectRecord record) {
+  MMCONF_RETURN_IF_ERROR(
+      CheckAgainstSchema(record.fields, /*require_all=*/true));
+  if (record.id == 0) {
+    return Status::InvalidArgument("restored row needs a nonzero id");
+  }
+  if (rows_.count(record.id) > 0) {
+    return Status::AlreadyExists("row " + std::to_string(record.id) +
+                                 " already present in " + name_);
+  }
+  next_id_ = std::max(next_id_, record.id + 1);
+  ObjectId id = record.id;
+  rows_.emplace(id, std::move(record));
+  return Status::OK();
+}
+
+Result<ObjectRecord> ObjectTable::Get(ObjectId id) const {
+  auto it = rows_.find(id);
+  if (it == rows_.end()) {
+    return Status::NotFound("table " + name_ + " has no object " +
+                            std::to_string(id));
+  }
+  return it->second;
+}
+
+Status ObjectTable::Update(ObjectId id,
+                           const std::map<std::string, FieldValue>& fields) {
+  auto it = rows_.find(id);
+  if (it == rows_.end()) {
+    return Status::NotFound("table " + name_ + " has no object " +
+                            std::to_string(id));
+  }
+  MMCONF_RETURN_IF_ERROR(CheckAgainstSchema(fields, /*require_all=*/false));
+  for (const auto& [fname, value] : fields) {
+    it->second.fields[fname] = value;
+  }
+  return Status::OK();
+}
+
+Status ObjectTable::Delete(ObjectId id) {
+  if (rows_.erase(id) == 0) {
+    return Status::NotFound("table " + name_ + " has no object " +
+                            std::to_string(id));
+  }
+  return Status::OK();
+}
+
+std::vector<ObjectId> ObjectTable::Ids() const {
+  std::vector<ObjectId> ids;
+  ids.reserve(rows_.size());
+  for (const auto& [id, row] : rows_) ids.push_back(id);
+  return ids;
+}
+
+Result<std::vector<ObjectId>> ObjectTable::FindByString(
+    const std::string& field, const std::string& value) const {
+  auto def = std::find_if(schema_.begin(), schema_.end(),
+                          [&](const FieldDef& d) { return d.name == field; });
+  if (def == schema_.end() || def->type != FieldType::kString) {
+    return Status::InvalidArgument("no string column \"" + field +
+                                   "\" in table " + name_);
+  }
+  std::vector<ObjectId> out;
+  for (const auto& [id, row] : rows_) {
+    auto it = row.fields.find(field);
+    if (it != row.fields.end() &&
+        std::get<std::string>(it->second) == value) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+}  // namespace mmconf::storage

@@ -1,0 +1,100 @@
+#ifndef MMCONF_STORAGE_OBJECT_TABLE_H_
+#define MMCONF_STORAGE_OBJECT_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/blob_store.h"
+
+namespace mmconf::storage {
+
+/// Identifier of a typed multimedia object (row id within its table).
+using ObjectId = uint64_t;
+
+/// Column types supported by object tables. Mirrors what the paper's
+/// Fig. 7 schema uses: scalar metadata columns plus BLOB payload columns.
+enum class FieldType : uint8_t {
+  kInt64,
+  kString,
+  kBlob,  ///< value is a BlobId referencing the BlobStore
+};
+
+const char* FieldTypeToString(FieldType t);
+
+/// A column value.
+using FieldValue = std::variant<int64_t, std::string, BlobId>;
+
+/// Returns the FieldType a FieldValue holds. A BlobId is distinguishable
+/// from int64 because the variant index is authoritative.
+FieldType TypeOf(const FieldValue& v);
+
+/// Column definition.
+struct FieldDef {
+  std::string name;
+  FieldType type;
+};
+
+/// One stored object: a row id plus named column values.
+struct ObjectRecord {
+  ObjectId id = 0;
+  std::map<std::string, FieldValue> fields;
+};
+
+/// A typed table of multimedia objects — the analogue of the paper's
+/// IMAGE_OBJECTS_TABLE / AUDIO_OBJECTS_TABLE / CMP_OBJECTS_TABLE. Rows are
+/// schema-checked on insert and update; BLOB columns hold BlobStore ids.
+class ObjectTable {
+ public:
+  ObjectTable(std::string name, std::vector<FieldDef> schema);
+
+  const std::string& name() const { return name_; }
+  const std::vector<FieldDef>& schema() const { return schema_; }
+  size_t size() const { return rows_.size(); }
+
+  /// Inserts a row; all schema columns must be present with matching
+  /// types, and no extra columns allowed. Returns the new id.
+  Result<ObjectId> Insert(std::map<std::string, FieldValue> fields);
+
+  /// Restores a row under its original id (the database load path, which
+  /// must preserve ObjectRefs across save/load). Schema-checked;
+  /// AlreadyExists if the id is taken. Future Insert ids stay above every
+  /// restored id.
+  Status RestoreRow(ObjectRecord record);
+
+  /// Fetches a row by id.
+  Result<ObjectRecord> Get(ObjectId id) const;
+
+  /// Updates the given columns of an existing row (partial update).
+  Status Update(ObjectId id, const std::map<std::string, FieldValue>& fields);
+
+  /// Deletes a row. The caller owns deleting any referenced blobs.
+  Status Delete(ObjectId id);
+
+  bool Contains(ObjectId id) const { return rows_.count(id) > 0; }
+
+  /// All ids in ascending order.
+  std::vector<ObjectId> Ids() const;
+
+  /// Ids of rows whose string column `field` equals `value`
+  /// (InvalidArgument if the column is missing or not a string).
+  Result<std::vector<ObjectId>> FindByString(const std::string& field,
+                                             const std::string& value) const;
+
+ private:
+  Status CheckAgainstSchema(const std::map<std::string, FieldValue>& fields,
+                            bool require_all) const;
+
+  std::string name_;
+  std::vector<FieldDef> schema_;
+  std::map<ObjectId, ObjectRecord> rows_;
+  ObjectId next_id_ = 1;
+};
+
+}  // namespace mmconf::storage
+
+#endif  // MMCONF_STORAGE_OBJECT_TABLE_H_

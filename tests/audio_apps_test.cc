@@ -1,0 +1,306 @@
+// End-to-end tests of the voice-processing applications (segmentation,
+// word spotting, speaker spotting) on the synthetic consultation corpus.
+// These mirror the paper's Fig. 10 scenario: browse an audio file, find
+// who speaks where and which keywords occur.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "audio/browser.h"
+#include "audio/segmentation.h"
+#include "audio/speaker_spotting.h"
+#include "audio/word_spotting.h"
+#include "common/rng.h"
+#include "media/synthetic.h"
+
+namespace mmconf::audio {
+namespace {
+
+using media::AudioClass;
+using media::AudioSegment;
+using media::AudioSignal;
+using media::Conversation;
+
+/// Shared corpus so the expensive training happens once.
+class VoiceAppsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus_ = new Corpus();
+    Rng rng(2024);
+    corpus_->speakers = media::MakeSpeakers(3, rng);
+    corpus_->vocab = media::MakeVocabulary(4, 3, 6, rng);
+
+    media::ConversationOptions options;
+    options.num_turns = 10;
+    options.words_per_turn = 2;
+    options.music_probability = 0.3;
+    options.artifact_probability = 0.3;
+    for (int i = 0; i < 3; ++i) {
+      corpus_->train.push_back(
+          media::MakeConversation(corpus_->speakers, corpus_->vocab,
+                                  options, rng));
+    }
+    corpus_->test = media::MakeConversation(corpus_->speakers,
+                                            corpus_->vocab, options, rng);
+
+    // Train the segmenter.
+    Rng train_rng(7);
+    ASSERT_TRUE(
+        corpus_->segmenter.TrainFromConversations(corpus_->train, train_rng)
+            .ok());
+
+    // Enrollment data for spotting: per-speaker and per-keyword
+    // utterances cut from the training conversations' ground truth.
+    std::map<int, std::vector<AudioSignal>> by_speaker;
+    std::map<int, std::vector<AudioSignal>> by_keyword;
+    std::vector<AudioSignal> all_speech;
+    for (const Conversation& conv : corpus_->train) {
+      for (const AudioSegment& segment : conv.segments) {
+        if (segment.cls != AudioClass::kSpeech) continue;
+        AudioSignal span = conv.signal.Slice(segment.begin, segment.end);
+        by_speaker[segment.speaker].push_back(span);
+        by_keyword[segment.keyword].push_back(span);
+        all_speech.push_back(std::move(span));
+      }
+    }
+    Rng speaker_rng(8);
+    ASSERT_TRUE(
+        corpus_->speaker_spotter.Train(by_speaker, {}, speaker_rng).ok());
+    Rng word_rng(9);
+    // Keywords 0 and 1 are the watch list; everything else is garbage.
+    std::map<int, std::vector<AudioSignal>> keywords;
+    keywords[0] = by_keyword[0];
+    keywords[1] = by_keyword[1];
+    std::vector<AudioSignal> garbage;
+    for (const auto& [keyword, spans] : by_keyword) {
+      if (keyword > 1) {
+        garbage.insert(garbage.end(), spans.begin(), spans.end());
+      }
+    }
+    ASSERT_TRUE(corpus_->word_spotter.Train(keywords, garbage, word_rng)
+                    .ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete corpus_;
+    corpus_ = nullptr;
+  }
+
+  struct Corpus {
+    std::vector<media::SpeakerProfile> speakers;
+    std::vector<media::Word> vocab;
+    std::vector<Conversation> train;
+    Conversation test;
+    AudioSegmenter segmenter;
+    SpeakerSpotter speaker_spotter;
+    WordSpotter word_spotter;
+  };
+  static Corpus* corpus_;
+};
+
+VoiceAppsTest::Corpus* VoiceAppsTest::corpus_ = nullptr;
+
+TEST_F(VoiceAppsTest, SegmentationBeatsChance) {
+  std::vector<AudioSegment> hypothesis =
+      corpus_->segmenter.Segment(corpus_->test.signal).value();
+  ASSERT_FALSE(hypothesis.empty());
+  double accuracy = SegmentationFrameAccuracy(
+      hypothesis, corpus_->test.segments, corpus_->test.signal.size());
+  // Four classes: chance is 0.25; a working segmenter should be far
+  // above it.
+  EXPECT_GT(accuracy, 0.70) << "frame accuracy " << accuracy;
+}
+
+TEST_F(VoiceAppsTest, SegmentsAreContiguousAndCoverSignal) {
+  std::vector<AudioSegment> hypothesis =
+      corpus_->segmenter.Segment(corpus_->test.signal).value();
+  EXPECT_EQ(hypothesis.front().begin, 0u);
+  for (size_t i = 1; i < hypothesis.size(); ++i) {
+    EXPECT_EQ(hypothesis[i].begin, hypothesis[i - 1].end);
+  }
+  EXPECT_EQ(hypothesis.back().end, corpus_->test.signal.size());
+}
+
+TEST_F(VoiceAppsTest, UntrainedSegmenterFails) {
+  AudioSegmenter fresh;
+  EXPECT_TRUE(fresh.Segment(corpus_->test.signal)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST_F(VoiceAppsTest, SpeakerSpottingOnGroundTruthSegments) {
+  std::vector<SpeakerDetection> detections =
+      corpus_->speaker_spotter
+          .Spot(corpus_->test.signal, corpus_->test.segments)
+          .value();
+  ASSERT_FALSE(detections.empty());
+  double accuracy =
+      SpeakerSpottingAccuracy(detections, corpus_->test.segments);
+  // Three speakers: chance is 1/3.
+  EXPECT_GT(accuracy, 0.75) << "speaker accuracy " << accuracy;
+}
+
+TEST_F(VoiceAppsTest, CountSpeakersFindsAllParticipants) {
+  // The tele-consulting question: "How many speakers participate?"
+  std::set<int> truth;
+  for (const AudioSegment& segment : corpus_->test.segments) {
+    if (segment.speaker >= 0) truth.insert(segment.speaker);
+  }
+  int counted = corpus_->speaker_spotter
+                    .CountSpeakers(corpus_->test.signal,
+                                   corpus_->test.segments)
+                    .value();
+  EXPECT_GE(counted, static_cast<int>(truth.size()) - 1);
+  EXPECT_LE(counted, 3);
+}
+
+TEST_F(VoiceAppsTest, WordSpottingFindsKeywords) {
+  std::vector<WordDetection> detections =
+      corpus_->word_spotter
+          .Spot(corpus_->test.signal, corpus_->test.segments)
+          .value();
+  SpottingScore score =
+      ScoreWordSpotting(detections, corpus_->test.segments);
+  // Keywords 2..3 are "garbage" in the ground truth (keyword >= 0 but we
+  // only watch 0 and 1). Build a watch-list-only truth for scoring.
+  std::vector<AudioSegment> watched_truth;
+  for (AudioSegment segment : corpus_->test.segments) {
+    if (segment.keyword > 1) segment.keyword = -1;
+    watched_truth.push_back(segment);
+  }
+  SpottingScore watched_score =
+      ScoreWordSpotting(detections, watched_truth);
+  int keyword_occurrences = 0;
+  for (const AudioSegment& segment : watched_truth) {
+    if (segment.keyword >= 0) ++keyword_occurrences;
+  }
+  if (keyword_occurrences > 0) {
+    EXPECT_GT(watched_score.DetectionRate(), 0.5)
+        << "detected " << watched_score.true_detections << "/"
+        << keyword_occurrences;
+  }
+  (void)score;
+}
+
+TEST_F(VoiceAppsTest, ScoreSpanRejectsTooShort) {
+  EXPECT_TRUE(corpus_->word_spotter.ScoreSpan(corpus_->test.signal, 0, 10)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      corpus_->speaker_spotter.ScoreSpan(corpus_->test.signal, 0, 10)
+          .status()
+          .IsInvalidArgument());
+}
+
+TEST_F(VoiceAppsTest, UntrainedSpottersFail) {
+  WordSpotter fresh_word;
+  EXPECT_TRUE(fresh_word
+                  .ScoreSpan(corpus_->test.signal, 0,
+                             corpus_->test.signal.size())
+                  .status()
+                  .IsFailedPrecondition());
+  SpeakerSpotter fresh_speaker;
+  EXPECT_TRUE(fresh_speaker
+                  .ScoreSpan(corpus_->test.signal, 0,
+                             corpus_->test.signal.size())
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST_F(VoiceAppsTest, SlidingWindowSpottingFindsPlantedKeyword) {
+  // Continuous spotting over the raw recording: at least one of the
+  // keyword-0 utterances must raise a correctly-placed flag. (Windows
+  // over music/artifacts may false-alarm — the garbage model only covers
+  // speech, which is why the full system segments first; see the
+  // operating-point numbers in bench_voice.)
+  std::vector<const AudioSegment*> planted;
+  for (const AudioSegment& segment : corpus_->test.segments) {
+    if (segment.keyword == 0) planted.push_back(&segment);
+  }
+  if (planted.empty()) GTEST_SKIP() << "corpus has no keyword-0 turn";
+  double window_s = static_cast<double>(planted.front()->length()) /
+                    corpus_->test.signal.sample_rate();
+  std::vector<WordDetection> detections =
+      corpus_->word_spotter
+          .SpotSliding(corpus_->test.signal, window_s, window_s / 4)
+          .value();
+  bool found = false;
+  for (const WordDetection& detection : detections) {
+    if (detection.keyword != 0) continue;
+    for (const AudioSegment* truth : planted) {
+      size_t lo = std::max(detection.begin, truth->begin);
+      size_t hi = std::min(detection.end, truth->end);
+      if (hi > lo && (hi - lo) * 2 > truth->length()) found = true;
+    }
+  }
+  EXPECT_TRUE(found) << detections.size()
+                     << " detections, none over a planted keyword";
+}
+
+TEST_F(VoiceAppsTest, SlidingWindowValidation) {
+  EXPECT_TRUE(corpus_->word_spotter
+                  .SpotSliding(corpus_->test.signal, 0.0, 0.1)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(corpus_->word_spotter
+                  .SpotSliding(corpus_->test.signal, 0.3, -1)
+                  .status()
+                  .IsInvalidArgument());
+  // A signal shorter than the window yields no detections, not an error.
+  media::AudioSignal tiny(std::vector<float>(100, 0.0f), 8000);
+  EXPECT_TRUE(
+      corpus_->word_spotter.SpotSliding(tiny, 1.0, 0.5).value().empty());
+}
+
+TEST_F(VoiceAppsTest, EndToEndPipelineSegmentThenSpot) {
+  // Fig. 10 reproduction: automatic segmentation first, then speaker
+  // attribution on the *hypothesized* speech segments.
+  std::vector<AudioSegment> hypothesis =
+      corpus_->segmenter.Segment(corpus_->test.signal).value();
+  std::vector<SpeakerDetection> detections =
+      corpus_->speaker_spotter.Spot(corpus_->test.signal, hypothesis)
+          .value();
+  // At least half of the true speech segments should receive the right
+  // speaker through the full automatic pipeline.
+  double accuracy =
+      SpeakerSpottingAccuracy(detections, corpus_->test.segments);
+  EXPECT_GT(accuracy, 0.5) << "pipeline accuracy " << accuracy;
+}
+
+TEST_F(VoiceAppsTest, AudioBrowserAnswersTheBrowsingQuestions) {
+  AudioBrowser browser;
+  Rng rng(44);
+  ASSERT_TRUE(browser.Train(corpus_->train, rng).ok());
+  BrowseReport report = browser.Browse(corpus_->test.signal).value();
+  // Segments cover the recording.
+  ASSERT_FALSE(report.segments.empty());
+  EXPECT_EQ(report.segments.back().end, corpus_->test.signal.size());
+  // "How many speakers participate?" — all three, within one.
+  EXPECT_GE(report.num_speakers, 2);
+  EXPECT_LE(report.num_speakers, 3);
+  // Class durations sum to the recording length.
+  double total = report.speech_seconds + report.music_seconds +
+                 report.artifact_seconds + report.silence_seconds;
+  EXPECT_NEAR(total, corpus_->test.signal.DurationSeconds(), 0.2);
+  EXPECT_GT(report.speech_seconds, 1.0);
+  // Keyword histogram matches the flags.
+  size_t histogram_total = 0;
+  for (const auto& [keyword, count] : report.keyword_histogram) {
+    histogram_total += static_cast<size_t>(count);
+  }
+  EXPECT_EQ(histogram_total, report.keyword_flags.size());
+  // The report renders.
+  EXPECT_FALSE(report.ToString().empty());
+}
+
+TEST_F(VoiceAppsTest, AudioBrowserRequiresTraining) {
+  AudioBrowser fresh;
+  EXPECT_TRUE(
+      fresh.Browse(corpus_->test.signal).status().IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace mmconf::audio

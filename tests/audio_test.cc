@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "audio/features.h"
+#include "audio/gmm.h"
+#include "audio/hmm.h"
+#include "common/rng.h"
+#include "media/synthetic.h"
+
+namespace mmconf::audio {
+namespace {
+
+TEST(FftTest, MatchesNaiveDft) {
+  Rng rng(1);
+  const size_t n = 64;
+  std::vector<double> real(n), imag(n, 0.0);
+  for (double& v : real) v = rng.Uniform(-1, 1);
+  std::vector<double> in = real;
+
+  Fft(real, imag);
+
+  for (size_t k = 0; k < n; k += 7) {  // spot-check bins
+    double expected_r = 0, expected_i = 0;
+    for (size_t t = 0; t < n; ++t) {
+      double angle = -2.0 * M_PI * static_cast<double>(k * t) / n;
+      expected_r += in[t] * std::cos(angle);
+      expected_i += in[t] * std::sin(angle);
+    }
+    EXPECT_NEAR(real[k], expected_r, 1e-8);
+    EXPECT_NEAR(imag[k], expected_i, 1e-8);
+  }
+}
+
+TEST(FftTest, PureToneLandsInRightBin) {
+  const size_t n = 256;
+  std::vector<double> real(n), imag(n, 0.0);
+  const int bin = 16;
+  for (size_t t = 0; t < n; ++t) {
+    real[t] = std::cos(2.0 * M_PI * bin * static_cast<double>(t) / n);
+  }
+  Fft(real, imag);
+  double target = std::hypot(real[bin], imag[bin]);
+  for (size_t k = 1; k < n / 2; ++k) {
+    if (k == bin) continue;
+    EXPECT_LT(std::hypot(real[k], imag[k]), target * 0.01);
+  }
+}
+
+TEST(FeaturesTest, ShapeAndCount) {
+  Rng rng(2);
+  media::AudioSignal signal = media::SynthesizeSilence(1.0, 8000, rng);
+  FeatureOptions options;
+  std::vector<FeatureVector> features =
+      ExtractFeatures(signal, options).value();
+  // (8000 - 200) / 80 + 1 = 98 full frames.
+  EXPECT_EQ(features.size(), 98u);
+  for (const FeatureVector& f : features) {
+    EXPECT_EQ(static_cast<int>(f.size()), FeatureDim(options));
+  }
+}
+
+TEST(FeaturesTest, TooShortSignalYieldsEmpty) {
+  media::AudioSignal signal(std::vector<float>(50, 0.1f), 8000);
+  FeatureOptions options;
+  EXPECT_TRUE(ExtractFeatures(signal, options).value().empty());
+}
+
+TEST(FeaturesTest, InvalidOptionsRejected) {
+  media::AudioSignal signal(std::vector<float>(8000, 0.0f), 8000);
+  FeatureOptions bad;
+  bad.max_hz = 6000;  // above Nyquist for 8 kHz
+  EXPECT_TRUE(ExtractFeatures(signal, bad).status().IsInvalidArgument());
+  FeatureOptions zero_hop;
+  zero_hop.hop = 0;
+  EXPECT_TRUE(
+      ExtractFeatures(signal, zero_hop).status().IsInvalidArgument());
+}
+
+TEST(FeaturesTest, SpeechAndSilenceSeparate) {
+  Rng rng(3);
+  std::vector<media::SpeakerProfile> speakers = media::MakeSpeakers(1, rng);
+  media::Word word{0, {1, 2, 3, 4}};
+  media::AudioSignal speech =
+      media::Synthesize(word, speakers[0], {}, rng);
+  media::AudioSignal silence = media::SynthesizeSilence(0.5, 8000, rng);
+  FeatureOptions options;
+  auto speech_features = ExtractFeatures(speech, options).value();
+  auto silence_features = ExtractFeatures(silence, options).value();
+  // Log-energy (dim num_bands) is clearly higher for speech on average.
+  auto mean_energy = [&](const std::vector<FeatureVector>& fs) {
+    double sum = 0;
+    for (const FeatureVector& f : fs) {
+      sum += f[static_cast<size_t>(options.num_bands)];
+    }
+    return sum / static_cast<double>(fs.size());
+  };
+  EXPECT_GT(mean_energy(speech_features),
+            mean_energy(silence_features) + 2.0);
+}
+
+TEST(GmmTest, LogSumExpStable) {
+  EXPECT_NEAR(LogSumExp({0.0, 0.0}), std::log(2.0), 1e-12);
+  EXPECT_NEAR(LogSumExp({-1000.0, -1000.0}), -1000.0 + std::log(2.0), 1e-9);
+  EXPECT_NEAR(LogSumExp({-1e9, 0.0}), 0.0, 1e-9);
+  EXPECT_TRUE(std::isinf(LogSumExp({})));
+}
+
+std::vector<FeatureVector> TwoClusterData(Rng& rng, int per_cluster) {
+  std::vector<FeatureVector> data;
+  for (int i = 0; i < per_cluster; ++i) {
+    data.push_back({rng.Gaussian(0, 1), rng.Gaussian(0, 1)});
+    data.push_back({rng.Gaussian(10, 1), rng.Gaussian(-10, 1)});
+  }
+  return data;
+}
+
+TEST(GmmTest, TrainsOnSeparableClusters) {
+  Rng rng(4);
+  std::vector<FeatureVector> data = TwoClusterData(rng, 200);
+  DiagGmm gmm(2, 2);
+  ASSERT_TRUE(gmm.Train(data, 10, rng).ok());
+  // Means should land near the true cluster centers (in some order).
+  const auto& means = gmm.means();
+  bool first_near_origin = std::abs(means[0][0]) < 2.0;
+  const FeatureVector& origin_mean = first_near_origin ? means[0] : means[1];
+  const FeatureVector& far_mean = first_near_origin ? means[1] : means[0];
+  EXPECT_NEAR(origin_mean[0], 0.0, 1.0);
+  EXPECT_NEAR(far_mean[0], 10.0, 1.0);
+  EXPECT_NEAR(far_mean[1], -10.0, 1.0);
+  // Points are classified by likelihood.
+  EXPECT_GT(gmm.LogLikelihood({0.1, -0.2}),
+            gmm.LogLikelihood({5.0, -5.0}));
+}
+
+TEST(GmmTest, TrainValidatesInput) {
+  Rng rng(5);
+  DiagGmm gmm(4, 2);
+  std::vector<FeatureVector> tiny = {{0.0, 0.0}};
+  EXPECT_TRUE(gmm.Train(tiny, 5, rng).IsInvalidArgument());
+  std::vector<FeatureVector> ragged = {
+      {0.0, 0.0}, {1.0, 1.0}, {2.0}, {3.0, 3.0}};
+  EXPECT_TRUE(gmm.Train(ragged, 5, rng).IsInvalidArgument());
+}
+
+TEST(GmmTest, SetParametersFloorsVariance) {
+  DiagGmm gmm(1, 1);
+  ASSERT_TRUE(gmm.SetParameters({1.0}, {{0.0}}, {{1e-12}}).ok());
+  EXPECT_GE(gmm.variances()[0][0], DiagGmm::kVarianceFloor);
+}
+
+TEST(GmmTest, TwoModelsDiscriminate) {
+  Rng rng(6);
+  std::vector<FeatureVector> a, b;
+  for (int i = 0; i < 300; ++i) {
+    a.push_back({rng.Gaussian(0, 1), rng.Gaussian(0, 1)});
+    b.push_back({rng.Gaussian(4, 1), rng.Gaussian(4, 1)});
+  }
+  DiagGmm model_a(2, 2), model_b(2, 2);
+  ASSERT_TRUE(model_a.Train(a, 8, rng).ok());
+  ASSERT_TRUE(model_b.Train(b, 8, rng).ok());
+  int correct = 0;
+  for (int i = 0; i < 100; ++i) {
+    FeatureVector x = {rng.Gaussian(0, 1), rng.Gaussian(0, 1)};
+    if (model_a.LogLikelihood(x) > model_b.LogLikelihood(x)) ++correct;
+  }
+  EXPECT_GE(correct, 95);
+}
+
+// A hand-built 2-state HMM with well-separated emissions.
+Hmm MakeKnownHmm() {
+  Hmm hmm = Hmm::Ergodic(2, 1, 1);
+  // State 0 emits near 0, state 1 emits near 10.
+  // (Reach into the model via Train-free setup: train on ideal data.)
+  return hmm;
+}
+
+TEST(HmmTest, ViterbiRecoversStatesAfterTraining) {
+  Rng rng(7);
+  // Training sequences alternate regimes: 20 frames near 0, 20 near 10.
+  std::vector<std::vector<FeatureVector>> sequences;
+  for (int s = 0; s < 6; ++s) {
+    std::vector<FeatureVector> seq;
+    for (int block = 0; block < 4; ++block) {
+      double mean = block % 2 == 0 ? 0.0 : 10.0;
+      for (int t = 0; t < 20; ++t) {
+        seq.push_back({rng.Gaussian(mean, 0.5)});
+      }
+    }
+    sequences.push_back(std::move(seq));
+  }
+  Hmm hmm = MakeKnownHmm();
+  ASSERT_TRUE(hmm.Train(sequences, 8, rng).ok());
+
+  // Decode a fresh sequence; the path must switch exactly at the block
+  // boundary (up to one frame of slack).
+  std::vector<FeatureVector> test;
+  for (int t = 0; t < 20; ++t) test.push_back({rng.Gaussian(0, 0.5)});
+  for (int t = 0; t < 20; ++t) test.push_back({rng.Gaussian(10, 0.5)});
+  ViterbiResult result = hmm.Viterbi(test).value();
+  ASSERT_EQ(result.states.size(), 40u);
+  EXPECT_EQ(result.states[0], result.states[10]);
+  EXPECT_EQ(result.states[30], result.states[39]);
+  EXPECT_NE(result.states[10], result.states[30]);
+}
+
+TEST(HmmTest, ForwardIsAtLeastViterbi) {
+  Rng rng(8);
+  std::vector<std::vector<FeatureVector>> sequences;
+  for (int s = 0; s < 4; ++s) {
+    std::vector<FeatureVector> seq;
+    for (int t = 0; t < 30; ++t) {
+      seq.push_back({rng.Gaussian(t < 15 ? 0 : 5, 1.0)});
+    }
+    sequences.push_back(std::move(seq));
+  }
+  Hmm hmm = Hmm::LeftToRight(3, 1, 1);
+  ASSERT_TRUE(hmm.Train(sequences, 5, rng).ok());
+  std::vector<FeatureVector> test = sequences[0];
+  double forward = hmm.LogForward(test).value();
+  double viterbi = hmm.Viterbi(test).value().log_likelihood;
+  EXPECT_GE(forward, viterbi - 1e-9);  // sum over paths >= best path
+}
+
+TEST(HmmTest, LeftToRightNeverMovesBackwards) {
+  Rng rng(9);
+  std::vector<std::vector<FeatureVector>> sequences;
+  for (int s = 0; s < 4; ++s) {
+    std::vector<FeatureVector> seq;
+    for (int t = 0; t < 30; ++t) {
+      seq.push_back({rng.Gaussian(t / 10, 0.3)});
+    }
+    sequences.push_back(std::move(seq));
+  }
+  Hmm hmm = Hmm::LeftToRight(3, 1, 1);
+  ASSERT_TRUE(hmm.Train(sequences, 5, rng).ok());
+  ViterbiResult result = hmm.Viterbi(sequences[0]).value();
+  for (size_t t = 1; t < result.states.size(); ++t) {
+    EXPECT_GE(result.states[t], result.states[t - 1]);
+    EXPECT_LE(result.states[t], result.states[t - 1] + 1);
+  }
+  EXPECT_EQ(result.states.front(), 0);  // entry state
+}
+
+TEST(HmmTest, TrainingImprovesLikelihood) {
+  Rng rng(10);
+  std::vector<std::vector<FeatureVector>> sequences;
+  for (int s = 0; s < 5; ++s) {
+    std::vector<FeatureVector> seq;
+    for (int t = 0; t < 40; ++t) {
+      seq.push_back({rng.Gaussian(t < 20 ? -3 : 3, 1.0),
+                     rng.Gaussian(t < 20 ? 1 : -1, 1.0)});
+    }
+    sequences.push_back(std::move(seq));
+  }
+  Rng rng_a(11), rng_b(11);
+  Hmm barely_trained = Hmm::LeftToRight(2, 1, 2);
+  ASSERT_TRUE(barely_trained.Train(sequences, 0, rng_a).ok());
+  Hmm trained = Hmm::LeftToRight(2, 1, 2);
+  ASSERT_TRUE(trained.Train(sequences, 10, rng_b).ok());
+  double before = 0, after = 0;
+  for (const auto& seq : sequences) {
+    before += barely_trained.LogForward(seq).value();
+    after += trained.LogForward(seq).value();
+  }
+  EXPECT_GE(after, before - 1e-6);
+}
+
+TEST(HmmTest, EmptySequenceRejected) {
+  Hmm hmm = Hmm::Ergodic(2, 1, 1);
+  EXPECT_TRUE(hmm.LogForward({}).status().IsInvalidArgument());
+  EXPECT_TRUE(hmm.Viterbi({}).status().IsInvalidArgument());
+}
+
+TEST(HmmTest, TrainRequiresLongEnoughSequence) {
+  Rng rng(12);
+  Hmm hmm = Hmm::LeftToRight(5, 1, 1);
+  std::vector<std::vector<FeatureVector>> sequences = {
+      {{0.0}, {1.0}}};  // shorter than state count
+  EXPECT_TRUE(hmm.Train(sequences, 3, rng).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace mmconf::audio

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "doc/authoring.h"
+#include "doc/builder.h"
+
+namespace mmconf::doc {
+namespace {
+
+TEST(AuthoringTest, MedicalRecordLintsWithFindings) {
+  MultimediaDocument document = MakeMedicalRecordDocument().value();
+  AuthoringReport report = LintDocument(document).value();
+  EXPECT_FALSE(report.HasErrors());
+  // The medical record intentionally has presentations that never win
+  // (e.g. the XRay's "segmented" never tops a row), so the linter must
+  // find warnings.
+  EXPECT_GT(report.CountAtLeast(LintSeverity::kWarning), 0u);
+  EXPECT_FALSE(report.ToString().empty());
+}
+
+TEST(AuthoringTest, DetectsUnreachablePresentation) {
+  TreeBuilder builder("root");
+  builder.Leaf("root", "img", {"Image", 1, 1000}, ImagePresentations());
+  MultimediaDocument document = builder.Build().value();
+  // Default unconditional ranking: flat first. Everything else never
+  // tops a row.
+  ASSERT_TRUE(document.Finalize().ok());
+  AuthoringReport report = LintDocument(document).value();
+  int unreachable = 0;
+  for (const LintFinding& finding : report.findings) {
+    if (finding.component == "img" &&
+        finding.message.find("never optimal") != std::string::npos) {
+      ++unreachable;
+    }
+  }
+  EXPECT_EQ(unreachable, 4);  // segmented, thumbnail, icon, hidden
+}
+
+TEST(AuthoringTest, DetectsEffectivelyHiddenComponent) {
+  TreeBuilder builder("root");
+  builder.Leaf("root", "ghost", {"Image", 1, 1000}, ImagePresentations());
+  MultimediaDocument document = builder.Build().value();
+  ASSERT_TRUE(document
+                  .SetUnconditionalPreferenceByName(
+                      "ghost",
+                      {"hidden", "icon", "thumbnail", "segmented", "flat"})
+                  .ok());
+  ASSERT_TRUE(document.Finalize().ok());
+  AuthoringReport report = LintDocument(document).value();
+  bool flagged = false;
+  for (const LintFinding& finding : report.findings) {
+    if (finding.component == "ghost" &&
+        finding.message.find("never appears") != std::string::npos) {
+      flagged = true;
+    }
+  }
+  EXPECT_TRUE(flagged);
+}
+
+TEST(AuthoringTest, DetectsIrrelevantParents) {
+  TreeBuilder builder("root");
+  builder.Leaf("root", "a", {"Text", 1, 10}, TextPresentations())
+      .Leaf("root", "b", {"Text", 2, 10}, TextPresentations());
+  MultimediaDocument document = builder.Build().value();
+  ASSERT_TRUE(document.SetParentsByName("b", {"a"}).ok());
+  // Same ranking in both contexts: parents carry no information.
+  ASSERT_TRUE(
+      document.SetPreferenceByName("b", {"text"}, {"text", "hidden"}).ok());
+  ASSERT_TRUE(
+      document.SetPreferenceByName("b", {"hidden"}, {"text", "hidden"})
+          .ok());
+  ASSERT_TRUE(document.Finalize().ok());
+  AuthoringReport report = LintDocument(document).value();
+  bool flagged = false;
+  for (const LintFinding& finding : report.findings) {
+    if (finding.component == "b" &&
+        finding.message.find("irrelevant") != std::string::npos) {
+      flagged = true;
+    }
+  }
+  EXPECT_TRUE(flagged);
+}
+
+TEST(AuthoringTest, DetectsCptBlowUp) {
+  MultimediaDocument document = MakeMedicalRecordDocument().value();
+  // Give TrendGraph four 5-valued parents: 625 rows.
+  ASSERT_TRUE(document
+                  .SetParentsByName("TrendGraph",
+                                    {"CT", "XRay", "TestResults",
+                                     "ExpertVoice"})
+                  .ok());
+  ASSERT_TRUE(document
+                  .SetUnconditionalPreferenceByName(
+                      "TrendGraph",
+                      {"flat", "segmented", "thumbnail", "icon", "hidden"})
+                  .ok());
+  ASSERT_TRUE(document.Finalize().ok());
+  AuthoringReport report = LintDocument(document, /*max_rows=*/64).value();
+  bool flagged = false;
+  for (const LintFinding& finding : report.findings) {
+    if (finding.component == "TrendGraph" &&
+        finding.message.find("parent contexts") != std::string::npos) {
+      flagged = true;
+    }
+  }
+  EXPECT_TRUE(flagged);
+}
+
+TEST(AuthoringTest, RequiresFinalizedDocument) {
+  TreeBuilder builder("root");
+  builder.Leaf("root", "a", {"Text", 1, 10}, TextPresentations())
+      .Leaf("root", "b", {"Text", 2, 10}, TextPresentations());
+  MultimediaDocument document = builder.Build().value();
+  ASSERT_TRUE(document.SetParentsByName("b", {"a"}).ok());
+  // Parents set but no rankings: net invalidated.
+  EXPECT_TRUE(LintDocument(document).status().IsFailedPrecondition());
+}
+
+TEST(AuthoringTest, DescribeMissingRowsNamesParents) {
+  TreeBuilder builder("root");
+  builder.Leaf("root", "a", {"Text", 1, 10}, TextPresentations())
+      .Leaf("root", "b", {"Text", 2, 10}, TextPresentations());
+  MultimediaDocument document = builder.Build().value();
+  ASSERT_TRUE(document.SetParentsByName("b", {"a"}).ok());
+  ASSERT_TRUE(
+      document.SetPreferenceByName("b", {"text"}, {"text", "hidden"}).ok());
+  cpnet::VarId b = document.VarOf("b").value();
+  std::vector<std::string> missing =
+      DescribeMissingRows(document.net(), b);
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_EQ(missing[0], "a=hidden");
+  // Completing the table clears the list.
+  ASSERT_TRUE(
+      document.SetPreferenceByName("b", {"hidden"}, {"hidden", "text"})
+          .ok());
+  EXPECT_TRUE(DescribeMissingRows(document.net(), b).empty());
+}
+
+}  // namespace
+}  // namespace mmconf::doc

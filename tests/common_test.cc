@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace mmconf {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::NotFound("blob 7");
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsNotFound());
+  EXPECT_EQ(status.message(), "blob 7");
+  EXPECT_EQ(status.ToString(), "NotFound: blob 7");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Corruption("a"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = Status::NotFound("gone");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+  EXPECT_EQ(result.value_or(-1), -1);
+}
+
+Result<int> HalfOf(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> QuarterOf(int x) {
+  MMCONF_ASSIGN_OR_RETURN(int half, HalfOf(x));
+  MMCONF_ASSIGN_OR_RETURN(int quarter, HalfOf(half));
+  return quarter;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  Result<int> ok = QuarterOf(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  Result<int> bad = QuarterOf(6);  // 6/2=3 is odd
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+}
+
+TEST(BytesTest, PrimitivesRoundTrip) {
+  ByteWriter w;
+  w.PutU8(0xab);
+  w.PutU16(0xbeef);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefULL);
+  w.PutI32(-12345);
+  w.PutI64(-9876543210LL);
+  w.PutF32(3.5f);
+  w.PutF64(-2.25);
+  w.PutVarint(0);
+  w.PutVarint(127);
+  w.PutVarint(128);
+  w.PutVarint(987654321098765ULL);
+  w.PutString("hello world");
+  Bytes payload = {1, 2, 3};
+  w.PutBytes(payload);
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.GetU8().value(), 0xab);
+  EXPECT_EQ(r.GetU16().value(), 0xbeef);
+  EXPECT_EQ(r.GetU32().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.GetU64().value(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.GetI32().value(), -12345);
+  EXPECT_EQ(r.GetI64().value(), -9876543210LL);
+  EXPECT_FLOAT_EQ(r.GetF32().value(), 3.5f);
+  EXPECT_DOUBLE_EQ(r.GetF64().value(), -2.25);
+  EXPECT_EQ(r.GetVarint().value(), 0u);
+  EXPECT_EQ(r.GetVarint().value(), 127u);
+  EXPECT_EQ(r.GetVarint().value(), 128u);
+  EXPECT_EQ(r.GetVarint().value(), 987654321098765ULL);
+  EXPECT_EQ(r.GetString().value(), "hello world");
+  EXPECT_EQ(r.GetBytes().value(), payload);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BytesTest, TruncatedReadsReportCorruption) {
+  ByteWriter w;
+  w.PutU32(7);
+  ByteReader r(w.data());
+  EXPECT_TRUE(r.GetU32().ok());
+  EXPECT_TRUE(r.GetU8().status().IsCorruption());
+  EXPECT_TRUE(r.GetU64().status().IsCorruption());
+  EXPECT_TRUE(r.GetString().status().IsCorruption());
+}
+
+TEST(BytesTest, TruncatedStringLengthDetected) {
+  ByteWriter w;
+  w.PutVarint(100);  // declares 100 bytes, none follow
+  ByteReader r(w.data());
+  EXPECT_TRUE(r.GetString().status().IsCorruption());
+}
+
+TEST(Crc32cTest, KnownProperties) {
+  Bytes empty;
+  EXPECT_EQ(Crc32c(empty), 0u);
+  Bytes a = {'a'};
+  Bytes b = {'b'};
+  EXPECT_NE(Crc32c(a), Crc32c(b));
+  // One flipped bit changes the checksum.
+  Bytes data(100, 0x5a);
+  uint32_t before = Crc32c(data);
+  data[50] ^= 1;
+  EXPECT_NE(before, Crc32c(data));
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(42);
+  double sum = 0, sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.Gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  double mean = sum / n;
+  double variance = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(variance, 1.0, 0.1);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(5);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, original);  // With 8 elements a fixed shuffle is safe.
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(original.begin(), original.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ClockTest, AdvancesMonotonically) {
+  Clock clock;
+  EXPECT_EQ(clock.NowMicros(), 0);
+  clock.AdvanceMicros(1000);
+  EXPECT_EQ(clock.NowMicros(), 1000);
+  clock.AdvanceMicros(-50);  // negative deltas ignored
+  EXPECT_EQ(clock.NowMicros(), 1000);
+  clock.AdvanceTo(500);  // backwards jumps ignored
+  EXPECT_EQ(clock.NowMicros(), 1000);
+  clock.AdvanceTo(2500);
+  EXPECT_EQ(clock.NowMicros(), 2500);
+  EXPECT_DOUBLE_EQ(clock.NowSeconds(), 0.0025);
+}
+
+}  // namespace
+}  // namespace mmconf

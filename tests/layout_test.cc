@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "client/client.h"
+#include "client/layout.h"
+#include "common/rng.h"
+#include "doc/builder.h"
+
+namespace mmconf::client {
+namespace {
+
+using cpnet::Assignment;
+using doc::MakeMedicalRecordDocument;
+using doc::MultimediaDocument;
+
+bool Overlap(const media::Rect& a, const media::Rect& b) {
+  return a.x < b.x + b.width && b.x < a.x + a.width &&
+         a.y < b.y + b.height && b.y < a.y + a.height;
+}
+
+class LayoutTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    document_ = std::make_unique<MultimediaDocument>(
+        MakeMedicalRecordDocument().value());
+    config_ = document_->DefaultPresentation().value();
+  }
+  std::unique_ptr<MultimediaDocument> document_;
+  Assignment config_;
+};
+
+TEST_F(LayoutTest, NaturalSizesOrdered) {
+  doc::MMPresentation image{"flat", doc::PresentationKind::kImage, 0};
+  doc::MMPresentation thumb{"t", doc::PresentationKind::kThumbnail, 2};
+  doc::MMPresentation icon{"i", doc::PresentationKind::kIcon, 0};
+  doc::MMPresentation hidden{"h", doc::PresentationKind::kHidden, 0};
+  EXPECT_GT(NaturalSize(image).Area(), NaturalSize(thumb).Area());
+  EXPECT_GT(NaturalSize(thumb).Area(), NaturalSize(icon).Area());
+  EXPECT_EQ(NaturalSize(hidden).Area(), 0);
+}
+
+TEST_F(LayoutTest, PlacementsNeverOverlapAndStayInside) {
+  Layout layout = LayoutView(*document_, config_, 800, 600).value();
+  ASSERT_FALSE(layout.placements.empty());
+  for (size_t i = 0; i < layout.placements.size(); ++i) {
+    const media::Rect& rect = layout.placements[i].rect;
+    EXPECT_GE(rect.x, 0);
+    EXPECT_GE(rect.y, 0);
+    EXPECT_LE(rect.x + rect.width, 800);
+    EXPECT_LE(rect.y + rect.height, 600);
+    for (size_t j = i + 1; j < layout.placements.size(); ++j) {
+      EXPECT_FALSE(Overlap(rect, layout.placements[j].rect))
+          << layout.placements[i].component << " vs "
+          << layout.placements[j].component;
+    }
+  }
+}
+
+TEST_F(LayoutTest, ExactlyTheVisibleContentIsPlaced) {
+  Layout layout = LayoutView(*document_, config_, 1200, 900).value();
+  EXPECT_TRUE(layout.everything_fits);
+  std::set<std::string> placed;
+  for (const Placement& placement : layout.placements) {
+    placed.insert(placement.component);
+  }
+  // Default view: CT flat, XRay hidden, voice audible, texts, graph.
+  EXPECT_TRUE(placed.count("CT"));
+  EXPECT_FALSE(placed.count("XRay"));
+  EXPECT_TRUE(placed.count("ExpertVoice"));
+  EXPECT_TRUE(placed.count("WardNotes"));
+  EXPECT_TRUE(placed.count("TestResults"));
+  EXPECT_TRUE(placed.count("TrendGraph"));
+}
+
+TEST_F(LayoutTest, SmallViewportShrinksContent) {
+  Layout roomy = LayoutView(*document_, config_, 1200, 900).value();
+  Layout cramped = LayoutView(*document_, config_, 320, 240).value();
+  double roomy_scale = 1.0, cramped_scale = 1.0;
+  for (const Placement& placement : roomy.placements) {
+    roomy_scale = std::min(roomy_scale, placement.scale);
+  }
+  for (const Placement& placement : cramped.placements) {
+    cramped_scale = std::min(cramped_scale, placement.scale);
+  }
+  EXPECT_LT(cramped_scale, roomy_scale);
+}
+
+TEST_F(LayoutTest, TinyViewportDropsAndReports) {
+  Layout tiny = LayoutView(*document_, config_, 64, 48).value();
+  EXPECT_FALSE(tiny.everything_fits);
+  EXPECT_FALSE(tiny.dropped_components.empty());
+  // Placements that did land still respect the bounds.
+  for (const Placement& placement : tiny.placements) {
+    EXPECT_LE(placement.rect.x + placement.rect.width, 64);
+    EXPECT_LE(placement.rect.y + placement.rect.height, 48);
+  }
+}
+
+TEST_F(LayoutTest, ViewportValidation) {
+  EXPECT_TRUE(
+      LayoutView(*document_, config_, 0, 100).status().IsInvalidArgument());
+  EXPECT_TRUE(LayoutView(*document_, config_, 100, -5)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(LayoutTest, HiddenConfigurationPlacesNothingFromSubtree) {
+  Assignment hidden_imaging =
+      document_->ReconfigPresentation({{"Imaging", "hidden"}}).value();
+  Layout layout =
+      LayoutView(*document_, hidden_imaging, 800, 600).value();
+  for (const Placement& placement : layout.placements) {
+    EXPECT_NE(placement.component, "CT");
+    EXPECT_NE(placement.component, "XRay");
+  }
+}
+
+TEST_F(LayoutTest, RenderDocumentViewShowsTreeAndPresentations) {
+  std::string view = RenderDocumentView(*document_, config_).value();
+  // Tree structure with indentation.
+  EXPECT_NE(view.find("+ MedicalRecord"), std::string::npos);
+  EXPECT_NE(view.find("  + Imaging"), std::string::npos);
+  EXPECT_NE(view.find("    - CT  [flat]"), std::string::npos);
+  // Hidden components are marked.
+  EXPECT_NE(view.find("XRay  [hidden] (hidden)"), std::string::npos);
+  // One line per component.
+  EXPECT_EQ(static_cast<size_t>(
+                std::count(view.begin(), view.end(), '\n')),
+            document_->num_components());
+}
+
+TEST_F(LayoutTest, RenderDocumentViewRejectsPartialConfig) {
+  cpnet::Assignment partial(document_->num_variables());
+  EXPECT_FALSE(RenderDocumentView(*document_, partial).ok());
+}
+
+TEST_F(LayoutTest, RandomDocumentsLayoutCleanly) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    Rng rng(seed);
+    MultimediaDocument document =
+        doc::MakeRandomDocument(4, 14, rng).value();
+    Assignment config = document.DefaultPresentation().value();
+    Layout layout = LayoutView(document, config, 1024, 768).value();
+    for (size_t i = 0; i < layout.placements.size(); ++i) {
+      for (size_t j = i + 1; j < layout.placements.size(); ++j) {
+        EXPECT_FALSE(Overlap(layout.placements[i].rect,
+                             layout.placements[j].rect));
+      }
+    }
+    EXPECT_FALSE(LayoutToString(layout).empty());
+  }
+}
+
+}  // namespace
+}  // namespace mmconf::client

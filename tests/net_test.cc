@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "net/network.h"
+
+namespace mmconf::net {
+namespace {
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network_ = std::make_unique<Network>(&clock_);
+    a_ = network_->AddNode("a");
+    b_ = network_->AddNode("b");
+  }
+  Clock clock_;
+  std::unique_ptr<Network> network_;
+  NodeId a_ = 0, b_ = 0;
+};
+
+TEST_F(NetworkTest, SendRequiresLink) {
+  EXPECT_TRUE(network_->Send(a_, b_, 100, "x").status().IsNotFound());
+  EXPECT_TRUE(network_->Send(a_, 99, 100, "x").status().IsOutOfRange());
+}
+
+TEST_F(NetworkTest, LinkValidation) {
+  EXPECT_TRUE(network_->SetLink(a_, b_, {0.0, 10}).IsInvalidArgument());
+  EXPECT_TRUE(network_->SetLink(a_, b_, {1e6, -1}).IsInvalidArgument());
+  EXPECT_TRUE(network_->SetLink(a_, 99, {1e6, 10}).IsOutOfRange());
+  EXPECT_TRUE(network_->SetLink(a_, b_, {1e6, 10}).ok());
+  EXPECT_TRUE(network_->GetLink(b_, a_).status().IsNotFound());
+  EXPECT_DOUBLE_EQ(network_->GetLink(a_, b_).value().bandwidth_bytes_per_sec,
+                   1e6);
+}
+
+TEST_F(NetworkTest, DeliveryTimeMatchesBandwidthPlusLatency) {
+  // 1 MB/s, 20 ms latency: 100 KB takes 100 ms transfer + 20 ms latency.
+  ASSERT_TRUE(network_->SetLink(a_, b_, {1e6, 20000}).ok());
+  MicrosT delivered = network_->Send(a_, b_, 100000, "payload").value();
+  EXPECT_EQ(delivered, 100000 + 20000);
+}
+
+TEST_F(NetworkTest, TransfersSerializeOnTheLink) {
+  ASSERT_TRUE(network_->SetLink(a_, b_, {1e6, 0}).ok());
+  MicrosT first = network_->Send(a_, b_, 100000, "first").value();
+  MicrosT second = network_->Send(a_, b_, 100000, "second").value();
+  EXPECT_EQ(first, 100000);
+  EXPECT_EQ(second, 200000);  // queued behind the first transfer
+}
+
+TEST_F(NetworkTest, SeparateLinksDoNotInterfere) {
+  NodeId c = network_->AddNode("c");
+  ASSERT_TRUE(network_->SetLink(a_, b_, {1e6, 0}).ok());
+  ASSERT_TRUE(network_->SetLink(a_, c, {1e6, 0}).ok());
+  MicrosT to_b = network_->Send(a_, b_, 100000, "b").value();
+  MicrosT to_c = network_->Send(a_, c, 100000, "c").value();
+  EXPECT_EQ(to_b, to_c);  // different wires, parallel transfer
+}
+
+TEST_F(NetworkTest, AdvanceToReturnsDueDeliveriesInOrder) {
+  ASSERT_TRUE(network_->SetLink(a_, b_, {1e6, 0}).ok());
+  network_->Send(a_, b_, 50000, "one").value();
+  network_->Send(a_, b_, 50000, "two").value();
+  network_->Send(a_, b_, 50000, "three").value();
+  std::vector<Delivery> due = network_->AdvanceTo(100000);
+  ASSERT_EQ(due.size(), 2u);
+  EXPECT_EQ(due[0].tag, "one");
+  EXPECT_EQ(due[1].tag, "two");
+  EXPECT_EQ(network_->pending(), 1u);
+  std::vector<Delivery> rest = network_->AdvanceUntilIdle();
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0].tag, "three");
+  EXPECT_EQ(clock_.NowMicros(), 150000);
+}
+
+TEST_F(NetworkTest, AdvanceUntilIdleOnEmptyIsNoop) {
+  EXPECT_TRUE(network_->AdvanceUntilIdle().empty());
+  EXPECT_EQ(clock_.NowMicros(), 0);
+}
+
+TEST_F(NetworkTest, PayloadTravelsIntact) {
+  ASSERT_TRUE(network_->SetLink(a_, b_, {1e6, 0}).ok());
+  Bytes payload = {1, 2, 3, 4};
+  network_->Send(a_, b_, 4, "data", payload).value();
+  std::vector<Delivery> due = network_->AdvanceUntilIdle();
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].payload, payload);
+  EXPECT_EQ(due[0].from, a_);
+  EXPECT_EQ(due[0].to, b_);
+}
+
+TEST_F(NetworkTest, StatsAccumulate) {
+  ASSERT_TRUE(network_->SetDuplexLink(a_, b_, {1e6, 0}).ok());
+  network_->Send(a_, b_, 1000, "x").value();
+  network_->Send(a_, b_, 2000, "y").value();
+  network_->Send(b_, a_, 500, "z").value();
+  EXPECT_EQ(network_->BytesSent(a_, b_), 3000u);
+  EXPECT_EQ(network_->BytesSent(b_, a_), 500u);
+  EXPECT_EQ(network_->TotalBytesSent(), 3500u);
+}
+
+TEST_F(NetworkTest, RemoveLinkStopsFutureSends) {
+  ASSERT_TRUE(network_->SetLink(a_, b_, {1e6, 0}).ok());
+  network_->Send(a_, b_, 1000, "in-flight").value();
+  ASSERT_TRUE(network_->RemoveLink(a_, b_).ok());
+  EXPECT_FALSE(network_->HasLink(a_, b_));
+  EXPECT_TRUE(network_->RemoveLink(a_, b_).IsNotFound());
+  EXPECT_TRUE(network_->Send(a_, b_, 1000, "late").status().IsNotFound());
+  // The in-flight delivery still lands.
+  EXPECT_EQ(network_->AdvanceUntilIdle().size(), 1u);
+}
+
+TEST_F(NetworkTest, PartitionCutsBothDirections) {
+  ASSERT_TRUE(network_->SetDuplexLink(a_, b_, {1e6, 0}).ok());
+  network_->Partition(a_, b_);
+  EXPECT_FALSE(network_->HasLink(a_, b_));
+  EXPECT_FALSE(network_->HasLink(b_, a_));
+  network_->Partition(a_, b_);  // idempotent on missing links
+}
+
+TEST_F(NetworkTest, SlowLinkDeliversLater) {
+  NodeId c = network_->AddNode("c");
+  ASSERT_TRUE(network_->SetLink(a_, b_, {10e6, 10000}).ok());   // fast
+  ASSERT_TRUE(network_->SetLink(a_, c, {128e3, 10000}).ok());  // slow
+  MicrosT fast = network_->Send(a_, b_, 262144, "img").value();
+  MicrosT slow = network_->Send(a_, c, 262144, "img").value();
+  EXPECT_LT(fast, slow);
+  EXPECT_GT(slow, 2000000);  // 256 KB at 128 KB/s > 2 s
+}
+
+}  // namespace
+}  // namespace mmconf::net

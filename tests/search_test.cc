@@ -1,0 +1,246 @@
+// The "intelligent retrieval" layer: content-based similar-case lookup
+// over stored images/audio and keyword retrieval over stored texts — the
+// paper's intro scenario ("consider similar cases... support their views
+// with articles from databases").
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "media/synthetic.h"
+#include "search/descriptors.h"
+#include "search/similarity_index.h"
+#include "search/text_index.h"
+
+namespace mmconf::search {
+namespace {
+
+using media::AudioSignal;
+using media::Image;
+using storage::DatabaseServer;
+using storage::ObjectRef;
+
+TEST(DescriptorTest, ImageDescriptorShape) {
+  Rng rng(1);
+  Image image = media::MakePhantomCt({64, 64, 3, 2.0}, rng);
+  Descriptor descriptor = DescribeImage(image).value();
+  ASSERT_EQ(descriptor.size(), static_cast<size_t>(kImageDescriptorDim));
+  // Histogram bins sum to 1.
+  double histogram_sum = 0;
+  for (int b = 0; b < 16; ++b) histogram_sum += descriptor[b];
+  EXPECT_NEAR(histogram_sum, 1.0, 1e-9);
+  EXPECT_TRUE(DescribeImage(Image()).status().IsInvalidArgument());
+}
+
+TEST(DescriptorTest, SelfDistanceIsZero) {
+  Rng rng(2);
+  Image image = media::MakePhantomCt({64, 64, 3, 2.0}, rng);
+  Descriptor descriptor = DescribeImage(image).value();
+  EXPECT_DOUBLE_EQ(DescriptorDistance(descriptor, descriptor).value(), 0.0);
+  EXPECT_TRUE(
+      DescriptorDistance(descriptor, Descriptor{1.0}).status()
+          .IsInvalidArgument());
+}
+
+TEST(DescriptorTest, SimilarImagesCloserThanDissimilar) {
+  Rng rng(3);
+  // Two phantoms from the same distribution vs a flat bright image.
+  Image a = media::MakePhantomCt({64, 64, 4, 2.0}, rng);
+  Image b = media::MakePhantomCt({64, 64, 4, 2.0}, rng);
+  Image flat = Image::Create(64, 64, 240).value();
+  Descriptor da = DescribeImage(a).value();
+  Descriptor db = DescribeImage(b).value();
+  Descriptor dflat = DescribeImage(flat).value();
+  EXPECT_LT(DescriptorDistance(da, db).value(),
+            DescriptorDistance(da, dflat).value());
+}
+
+TEST(DescriptorTest, AudioDescriptorSeparatesClasses) {
+  Rng rng(4);
+  AudioSignal music1 = media::SynthesizeMusic(1.0, 8000, rng);
+  AudioSignal music2 = media::SynthesizeMusic(1.0, 8000, rng);
+  AudioSignal silence = media::SynthesizeSilence(1.0, 8000, rng);
+  Descriptor m1 = DescribeAudio(music1).value();
+  Descriptor m2 = DescribeAudio(music2).value();
+  Descriptor s = DescribeAudio(silence).value();
+  EXPECT_LT(DescriptorDistance(m1, m2).value(),
+            DescriptorDistance(m1, s).value());
+  EXPECT_TRUE(DescribeAudio(AudioSignal()).status().IsInvalidArgument());
+}
+
+class SimilarityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.RegisterStandardTypes().ok());
+    Rng rng(10);
+    // Three CT-like phantoms plus one outlier (flat bright disk image).
+    for (int i = 0; i < 3; ++i) {
+      Image phantom = media::MakePhantomCt({64, 64, 4, 2.0}, rng);
+      phantom_refs_.push_back(StoreImage(phantom, "ct"));
+    }
+    Image outlier = Image::Create(64, 64, 250).value();
+    outlier_ref_ = StoreImage(outlier, "calibration");
+    index_ = std::make_unique<SimilarityIndex>(&db_);
+    ASSERT_EQ(index_->AddAllImages().value(), 4);
+  }
+
+  ObjectRef StoreImage(const Image& image, const std::string& label) {
+    return db_
+        .Store("Image",
+               {{"FLD_QUALITY", int64_t{90}},
+                {"FLD_TEXTS", std::string(label)},
+                {"FLD_CM", std::string("t")}},
+               {{"FLD_DATA", image.Encode()}})
+        .value();
+  }
+
+  DatabaseServer db_;
+  std::vector<ObjectRef> phantom_refs_;
+  ObjectRef outlier_ref_;
+  std::unique_ptr<SimilarityIndex> index_;
+};
+
+TEST_F(SimilarityTest, SimilarCasesRankAboveOutlier) {
+  std::vector<SimilarityHit> hits =
+      index_->QuerySimilarTo(phantom_refs_[0], 3).value();
+  ASSERT_EQ(hits.size(), 3u);
+  // The outlier must rank last among the three others.
+  EXPECT_EQ(hits.back().ref, outlier_ref_);
+  // Distances ascend.
+  EXPECT_LE(hits[0].distance, hits[1].distance);
+  EXPECT_LE(hits[1].distance, hits[2].distance);
+}
+
+TEST_F(SimilarityTest, QueryByExternalImage) {
+  Rng rng(77);
+  Image query = media::MakePhantomCt({64, 64, 4, 2.0}, rng);
+  std::vector<SimilarityHit> hits = index_->QueryImage(query, 2).value();
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_NE(hits[0].ref, outlier_ref_);
+  EXPECT_NE(hits[1].ref, outlier_ref_);
+}
+
+TEST_F(SimilarityTest, RemoveAndValidation) {
+  EXPECT_TRUE(index_->Remove(outlier_ref_).ok());
+  EXPECT_TRUE(index_->Remove(outlier_ref_).IsNotFound());
+  EXPECT_EQ(index_->size(), 3u);
+  EXPECT_TRUE(index_->QuerySimilarTo(outlier_ref_, 1).status().IsNotFound());
+  Rng rng(5);
+  Image query = media::MakePhantomCt({64, 64, 4, 2.0}, rng);
+  EXPECT_TRUE(index_->QueryImage(query, 0).status().IsInvalidArgument());
+}
+
+TEST_F(SimilarityTest, AudioIndexing) {
+  Rng rng(20);
+  auto speakers = media::MakeSpeakers(2, rng);
+  media::Word word{0, {1, 2, 3}};
+  AudioSignal speech = media::Synthesize(word, speakers[0], {}, rng);
+  AudioSignal music = media::SynthesizeMusic(1.0, 8000, rng);
+  ObjectRef speech_ref =
+      db_.Store("Audio",
+                {{"FLD_FILENAME", std::string("speech.pcm")},
+                 {"FLD_SECTORS", int64_t{1}}},
+                {{"FLD_DATA", speech.Encode()}})
+          .value();
+  ObjectRef music_ref =
+      db_.Store("Audio",
+                {{"FLD_FILENAME", std::string("music.pcm")},
+                 {"FLD_SECTORS", int64_t{1}}},
+                {{"FLD_DATA", music.Encode()}})
+          .value();
+  ASSERT_EQ(index_->AddAllAudio().value(), 2);
+  // A second utterance by the same speaker retrieves the speech object
+  // first.
+  AudioSignal query =
+      media::Synthesize(media::Word{1, {2, 3, 1}}, speakers[0], {}, rng);
+  std::vector<SimilarityHit> hits = index_->QueryAudio(query, 2).value();
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].ref, speech_ref);
+  EXPECT_EQ(hits[1].ref, music_ref);
+}
+
+TEST(TokenizeTest, LowercasesAndSplits) {
+  std::vector<std::string> tokens =
+      Tokenize("The CT shows a 3cm Lesion -- URGENT!");
+  ASSERT_EQ(tokens.size(), 7u);
+  EXPECT_EQ(tokens[0], "the");
+  EXPECT_EQ(tokens[1], "ct");
+  EXPECT_EQ(tokens[4], "3cm");
+  EXPECT_EQ(tokens[6], "urgent");
+  EXPECT_TRUE(Tokenize("...!!!").empty());
+}
+
+class TextIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.RegisterStandardTypes().ok());
+    lesion_ref_ = StoreText(
+        "CT report: a lesion in the left lung, lesion margins irregular");
+    normal_ref_ = StoreText("CT report: lungs clear, no abnormality");
+    cardio_ref_ = StoreText("Echo report: ejection fraction normal");
+    index_ = std::make_unique<TextIndex>(&db_);
+    ASSERT_EQ(index_->AddAllTexts().value(), 3);
+  }
+
+  ObjectRef StoreText(const std::string& text) {
+    return db_
+        .Store("Text", {{"FLD_TITLE", std::string("report")}},
+               {{"FLD_DATA", Bytes(text.begin(), text.end())}})
+        .value();
+  }
+
+  DatabaseServer db_;
+  ObjectRef lesion_ref_, normal_ref_, cardio_ref_;
+  std::unique_ptr<TextIndex> index_;
+};
+
+TEST_F(TextIndexTest, RankedQueryFindsRelevantReport) {
+  std::vector<TextHit> hits = index_->Query("lung lesion", 3).value();
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].ref, lesion_ref_);
+  // The cardio report contains neither term.
+  for (const TextHit& hit : hits) EXPECT_FALSE(hit.ref == cardio_ref_);
+}
+
+TEST_F(TextIndexTest, IdfDownweightsCommonTerms) {
+  // "report" appears everywhere; "lesion" is rare. A lesion query must
+  // outscore a report query on the lesion document.
+  std::vector<TextHit> lesion_hits = index_->Query("lesion", 3).value();
+  std::vector<TextHit> report_hits = index_->Query("report", 3).value();
+  ASSERT_FALSE(lesion_hits.empty());
+  ASSERT_EQ(report_hits.size(), 3u);
+  EXPECT_EQ(lesion_hits[0].ref, lesion_ref_);
+  EXPECT_GT(lesion_hits[0].score, report_hits[0].score);
+}
+
+TEST_F(TextIndexTest, BooleanAndQuery) {
+  std::vector<ObjectRef> both = index_->QueryAll("ct lesion").value();
+  ASSERT_EQ(both.size(), 1u);
+  EXPECT_EQ(both[0], lesion_ref_);
+  EXPECT_EQ(index_->QueryAll("report").value().size(), 3u);
+  EXPECT_TRUE(index_->QueryAll("unicorn").value().empty());
+  EXPECT_TRUE(index_->QueryAll("...").status().IsInvalidArgument());
+}
+
+TEST_F(TextIndexTest, RemoveAndReindex) {
+  ASSERT_TRUE(index_->Remove(lesion_ref_).ok());
+  EXPECT_TRUE(index_->Query("lesion", 3).value().empty());
+  EXPECT_EQ(index_->num_documents(), 2u);
+  // Re-adding after a content change picks up the new text.
+  std::string updated = "CT report: lesion resolved after treatment";
+  ASSERT_TRUE(db_.Modify(lesion_ref_, {},
+                         {{"FLD_DATA",
+                           Bytes(updated.begin(), updated.end())}})
+                  .ok());
+  ASSERT_TRUE(index_->AddText(lesion_ref_).ok());
+  std::vector<TextHit> hits = index_->Query("resolved", 1).value();
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].ref, lesion_ref_);
+}
+
+TEST_F(TextIndexTest, QueryValidation) {
+  EXPECT_TRUE(index_->Query("lesion", 0).status().IsInvalidArgument());
+  EXPECT_TRUE(index_->Query("", 3).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace mmconf::search

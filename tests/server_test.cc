@@ -1,0 +1,417 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "doc/builder.h"
+#include "server/interaction_server.h"
+#include "server/room.h"
+
+namespace mmconf::server {
+namespace {
+
+using doc::MakeMedicalRecordDocument;
+using doc::MultimediaDocument;
+
+std::unique_ptr<Room> MakeRoom() {
+  return std::make_unique<Room>("consult-1",
+                                MakeMedicalRecordDocument().value());
+}
+
+TEST(RoomTest, JoinAndLeave) {
+  auto room = MakeRoom();
+  EXPECT_TRUE(room->Join("dr-cohen").ok());
+  EXPECT_TRUE(room->Join("dr-levi").ok());
+  EXPECT_TRUE(room->Join("dr-cohen").IsAlreadyExists());
+  EXPECT_TRUE(room->HasMember("dr-levi"));
+  EXPECT_EQ(room->members().size(), 2u);
+  EXPECT_TRUE(room->Leave("dr-levi").ok());
+  EXPECT_FALSE(room->HasMember("dr-levi"));
+  EXPECT_TRUE(room->Leave("dr-levi").status().IsNotFound());
+}
+
+TEST(RoomTest, InitialConfigurationIsDefault) {
+  auto room = MakeRoom();
+  EXPECT_EQ(room->configuration(),
+            room->document().DefaultPresentation().value());
+}
+
+TEST(RoomTest, ChoiceReconfiguresAndReportsDelta) {
+  auto room = MakeRoom();
+  ASSERT_TRUE(room->Join("dr-cohen").ok());
+  ReconfigResult result =
+      room->SubmitChoice("dr-cohen", "CT", "hidden").value();
+  // CT changed, and with it the XRay (surfaces) and the voice (summary).
+  EXPECT_NE(std::find(result.changed_components.begin(),
+                      result.changed_components.end(), "CT"),
+            result.changed_components.end());
+  EXPECT_NE(std::find(result.changed_components.begin(),
+                      result.changed_components.end(), "XRay"),
+            result.changed_components.end());
+  EXPECT_GT(result.delta_cost_bytes, 0u);
+  EXPECT_EQ(room->document()
+                .PresentationFor(room->configuration(), "XRay")
+                .value()
+                .name,
+            "flat");
+}
+
+TEST(RoomTest, ChoicesFromNonMemberRejected) {
+  auto room = MakeRoom();
+  EXPECT_TRUE(
+      room->SubmitChoice("ghost", "CT", "hidden").status().IsNotFound());
+}
+
+TEST(RoomTest, InvalidChoiceLeavesStateUntouched) {
+  auto room = MakeRoom();
+  ASSERT_TRUE(room->Join("dr-cohen").ok());
+  cpnet::Assignment before = room->configuration();
+  EXPECT_TRUE(room->SubmitChoice("dr-cohen", "CT", "sepia")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(room->SubmitChoice("dr-cohen", "Ghost", "flat")
+                  .status()
+                  .IsNotFound());
+  EXPECT_EQ(room->configuration(), before);
+}
+
+TEST(RoomTest, ReleasingChoiceRestoresDefault) {
+  auto room = MakeRoom();
+  ASSERT_TRUE(room->Join("dr-cohen").ok());
+  room->SubmitChoice("dr-cohen", "CT", "hidden").value();
+  ReconfigResult released =
+      room->SubmitChoice("dr-cohen", "CT", "").value();
+  EXPECT_EQ(released.configuration,
+            room->document().DefaultPresentation().value());
+}
+
+TEST(RoomTest, LeaveDropsTheLeaversConstraints) {
+  auto room = MakeRoom();
+  ASSERT_TRUE(room->Join("dr-cohen").ok());
+  ASSERT_TRUE(room->Join("dr-levi").ok());
+  room->SubmitChoice("dr-levi", "CT", "hidden").value();
+  ReconfigResult after_leave = room->Leave("dr-levi").value();
+  EXPECT_EQ(after_leave.configuration,
+            room->document().DefaultPresentation().value());
+}
+
+TEST(RoomTest, LatestSubmissionWinsAcrossViewers) {
+  auto room = MakeRoom();
+  ASSERT_TRUE(room->Join("alice").ok());
+  ASSERT_TRUE(room->Join("zoe").ok());
+  // zoe (later alphabetically) chooses first; alice overrides after.
+  room->SubmitChoice("zoe", "CT", "thumbnail").value();
+  ReconfigResult result =
+      room->SubmitChoice("alice", "CT", "segmented").value();
+  EXPECT_EQ(room->document()
+                .PresentationFor(result.configuration, "CT")
+                .value()
+                .name,
+            "segmented");
+  // And the other direction: zoe re-overrides alice.
+  result = room->SubmitChoice("zoe", "CT", "flat").value();
+  EXPECT_EQ(room->document()
+                .PresentationFor(result.configuration, "CT")
+                .value()
+                .name,
+            "flat");
+}
+
+TEST(RoomTest, FreezeBlocksOtherPartners) {
+  auto room = MakeRoom();
+  ASSERT_TRUE(room->Join("dr-cohen").ok());
+  ASSERT_TRUE(room->Join("dr-levi").ok());
+  ASSERT_TRUE(room->Freeze("dr-cohen", "CT").ok());
+  EXPECT_TRUE(room->IsFrozen("CT"));
+
+  UserAction op;
+  op.type = ActionType::kSegmentOp;
+  op.viewer = "dr-levi";
+  op.component = "CT";
+  EXPECT_TRUE(
+      room->ApplyOperation(op, true).status().IsFailedPrecondition());
+  // The holder can operate.
+  op.viewer = "dr-cohen";
+  EXPECT_TRUE(room->ApplyOperation(op, true).ok());
+  // Release and retry.
+  EXPECT_TRUE(room->ReleaseFreeze("dr-levi", "CT").IsFailedPrecondition());
+  EXPECT_TRUE(room->ReleaseFreeze("dr-cohen", "CT").ok());
+  op.viewer = "dr-levi";
+  EXPECT_TRUE(room->ApplyOperation(op, true).ok());
+}
+
+TEST(RoomTest, LeaveReleasesFreezes) {
+  auto room = MakeRoom();
+  ASSERT_TRUE(room->Join("dr-cohen").ok());
+  ASSERT_TRUE(room->Freeze("dr-cohen", "CT").ok());
+  room->Leave("dr-cohen").value();
+  EXPECT_FALSE(room->IsFrozen("CT"));
+}
+
+TEST(RoomTest, GlobalOperationExtendsDocumentNet) {
+  auto room = MakeRoom();
+  ASSERT_TRUE(room->Join("dr-cohen").ok());
+  size_t vars_before = room->document().num_variables();
+  UserAction op;
+  op.type = ActionType::kSegmentOp;
+  op.viewer = "dr-cohen";
+  op.component = "CT";
+  room->ApplyOperation(op, /*globally_important=*/true).value();
+  EXPECT_EQ(room->document().num_variables(), vars_before + 1);
+  EXPECT_EQ(room->configuration().size(), vars_before + 1);
+}
+
+TEST(RoomTest, PrivateOperationGrowsOnlyOverlay) {
+  auto room = MakeRoom();
+  ASSERT_TRUE(room->Join("dr-cohen").ok());
+  size_t vars_before = room->document().num_variables();
+  UserAction op;
+  op.type = ActionType::kSegmentOp;
+  op.viewer = "dr-cohen";
+  op.component = "CT";
+  room->ApplyOperation(op, /*globally_important=*/false).value();
+  EXPECT_EQ(room->document().num_variables(), vars_before);
+  cpnet::ViewerOverlay* overlay = room->OverlayFor("dr-cohen").value();
+  EXPECT_EQ(overlay->size(), 1u);
+  // Other viewers have empty overlays.
+  ASSERT_TRUE(room->Join("dr-levi").ok());
+  EXPECT_EQ(room->OverlayFor("dr-levi").value()->size(), 0u);
+}
+
+TEST(RoomTest, ViewerAddsComponentOnline) {
+  auto room = MakeRoom();
+  ASSERT_TRUE(room->Join("dr-cohen").ok());
+  size_t components_before = room->document().num_components();
+  auto mri = std::make_unique<doc::PrimitiveMultimediaComponent>(
+      "MRI", doc::ContentRef{"Image", 9, 262144},
+      doc::ImagePresentations());
+  ReconfigResult result =
+      room->AddComponent("dr-cohen", "Imaging", std::move(mri)).value();
+  EXPECT_EQ(room->document().num_components(), components_before + 1);
+  // Structural change forces a full redisplay.
+  EXPECT_GE(result.changed_components.size(), components_before);
+  EXPECT_TRUE(room->document()
+                  .PresentationFor(room->configuration(), "MRI")
+                  .ok());
+  // Non-members cannot mutate the document.
+  auto pet = std::make_unique<doc::PrimitiveMultimediaComponent>(
+      "PET", doc::ContentRef{"Image", 10, 1}, doc::ImagePresentations());
+  EXPECT_TRUE(room->AddComponent("ghost", "Imaging", std::move(pet))
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(RoomTest, ViewerRemovesComponentOnline) {
+  auto room = MakeRoom();
+  ASSERT_TRUE(room->Join("dr-cohen").ok());
+  ASSERT_TRUE(room->Join("dr-levi").ok());
+  // dr-levi pinned a choice on the CT; removal drops it.
+  room->SubmitChoice("dr-levi", "CT", "segmented").value();
+  ReconfigResult result =
+      room->RemoveComponent("dr-cohen", "CT").value();
+  EXPECT_TRUE(room->document().Find("CT").status().IsNotFound());
+  // The configuration is a valid optimum of the shrunken document.
+  EXPECT_EQ(result.configuration.size(),
+            room->document().num_variables());
+  // The X-ray surfaced (restricted to the CT-hidden context).
+  EXPECT_EQ(room->document()
+                .PresentationFor(room->configuration(), "XRay")
+                .value()
+                .name,
+            "flat");
+}
+
+TEST(RoomTest, RemoveComponentRespectsFreeze) {
+  auto room = MakeRoom();
+  ASSERT_TRUE(room->Join("dr-cohen").ok());
+  ASSERT_TRUE(room->Join("dr-levi").ok());
+  ASSERT_TRUE(room->Freeze("dr-levi", "CT").ok());
+  EXPECT_TRUE(room->RemoveComponent("dr-cohen", "CT")
+                  .status()
+                  .IsFailedPrecondition());
+  // The holder may remove it; the freeze dies with the component.
+  EXPECT_TRUE(room->RemoveComponent("dr-levi", "CT").ok());
+  EXPECT_FALSE(room->IsFrozen("CT"));
+}
+
+TEST(RoomTest, OperationsOnCompositesRejected) {
+  auto room = MakeRoom();
+  ASSERT_TRUE(room->Join("dr-cohen").ok());
+  UserAction op;
+  op.type = ActionType::kZoom;
+  op.viewer = "dr-cohen";
+  op.component = "Imaging";
+  EXPECT_TRUE(room->ApplyOperation(op, true).status().IsInvalidArgument());
+}
+
+TEST(RoomTest, ActionLogRecordsEverything) {
+  auto room = MakeRoom();
+  room->Join("dr-cohen").ok();
+  room->SubmitChoice("dr-cohen", "CT", "hidden").value();
+  room->Freeze("dr-cohen", "CT").ok();
+  room->ReleaseFreeze("dr-cohen", "CT").ok();
+  room->Leave("dr-cohen").value();
+  ASSERT_EQ(room->action_log().size(), 5u);
+  EXPECT_EQ(room->action_log()[0].type, ActionType::kJoin);
+  EXPECT_EQ(room->action_log()[1].type, ActionType::kChoice);
+  EXPECT_EQ(room->action_log()[2].type, ActionType::kFreeze);
+  EXPECT_EQ(room->action_log()[3].type, ActionType::kReleaseFreeze);
+  EXPECT_EQ(room->action_log()[4].type, ActionType::kLeave);
+}
+
+// --- InteractionServer over storage + network ---
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network_ = std::make_unique<net::Network>(&clock_);
+    server_node_ = network_->AddNode("interaction-server");
+    db_node_ = network_->AddNode("oracle");
+    client1_ = network_->AddNode("client-1");
+    client2_ = network_->AddNode("client-2");
+    ASSERT_TRUE(
+        network_->SetDuplexLink(server_node_, db_node_, {50e6, 1000}).ok());
+    ASSERT_TRUE(
+        network_->SetDuplexLink(server_node_, client1_, {1e6, 20000}).ok());
+    ASSERT_TRUE(network_
+                    ->SetDuplexLink(server_node_, client2_,
+                                    {128e3, 50000})  // slow client
+                    .ok());
+    ASSERT_TRUE(db_.RegisterStandardTypes().ok());
+    server_ = std::make_unique<InteractionServer>(&db_, network_.get(),
+                                                  server_node_, db_node_);
+  }
+
+  Clock clock_;
+  storage::DatabaseServer db_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<InteractionServer> server_;
+  net::NodeId server_node_ = 0, db_node_ = 0, client1_ = 0, client2_ = 0;
+};
+
+TEST_F(ServerTest, StoreAndOpenRoomRoundTrip) {
+  MultimediaDocument document = MakeMedicalRecordDocument().value();
+  storage::ObjectRef ref =
+      server_->StoreDocument(document, "patient-17").value();
+  Room* room = server_->OpenRoom("consult", ref).value();
+  EXPECT_EQ(room->document().num_components(), 10u);
+  EXPECT_TRUE(server_->OpenRoom("consult", ref).status().IsAlreadyExists());
+  EXPECT_EQ(server_->num_rooms(), 1u);
+  EXPECT_TRUE(server_->CloseRoom("consult").ok());
+  EXPECT_TRUE(server_->CloseRoom("consult").IsNotFound());
+}
+
+TEST_F(ServerTest, JoinDeliversInitialContent) {
+  MultimediaDocument document = MakeMedicalRecordDocument().value();
+  storage::ObjectRef ref =
+      server_->StoreDocument(document, "patient-17").value();
+  server_->OpenRoom("consult", ref).value();
+  MicrosT fast = server_->Join("consult", {"dr-cohen", client1_}).value();
+  MicrosT slow = server_->Join("consult", {"dr-levi", client2_}).value();
+  EXPECT_GT(fast, 0);
+  EXPECT_GT(slow, fast);  // slow downlink -> later delivery
+  EXPECT_GT(server_->bytes_propagated(), 0u);
+}
+
+TEST_F(ServerTest, ChoicePropagatesToOtherMembersOnly) {
+  MultimediaDocument document = MakeMedicalRecordDocument().value();
+  storage::ObjectRef ref = server_->StoreDocument(document, "p").value();
+  server_->OpenRoom("consult", ref).value();
+  server_->Join("consult", {"dr-cohen", client1_}).value();
+  server_->Join("consult", {"dr-levi", client2_}).value();
+  network_->AdvanceUntilIdle();
+  size_t to_1_before = network_->BytesSent(server_node_, client1_);
+  size_t to_2_before = network_->BytesSent(server_node_, client2_);
+
+  ReconfigResult result =
+      server_->SubmitChoice("consult", "dr-cohen", "CT", "hidden").value();
+  EXPECT_FALSE(result.changed_components.empty());
+  // The originator already applied the change locally; only dr-levi
+  // receives the delta.
+  EXPECT_EQ(network_->BytesSent(server_node_, client1_), to_1_before);
+  EXPECT_GT(network_->BytesSent(server_node_, client2_), to_2_before);
+}
+
+TEST_F(ServerTest, OperationPropagates) {
+  MultimediaDocument document = MakeMedicalRecordDocument().value();
+  storage::ObjectRef ref = server_->StoreDocument(document, "p").value();
+  server_->OpenRoom("consult", ref).value();
+  server_->Join("consult", {"dr-cohen", client1_}).value();
+  UserAction op;
+  op.type = ActionType::kSegmentOp;
+  op.viewer = "dr-cohen";
+  op.component = "CT";
+  EXPECT_TRUE(server_->ApplyOperation("consult", op, true).ok());
+  EXPECT_TRUE(server_->ApplyOperation("ghost-room", op, true)
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(ServerTest, SlowClientsReceiveTranscodedPayloads) {
+  // client1_ is a 1 MB/s (high) link, client2_ 128 KB/s (still high);
+  // rewire client2_ to 8 KB/s (low) to exercise §4.4 transcoding.
+  ASSERT_TRUE(
+      network_->SetDuplexLink(server_node_, client2_, {8e3, 50000}).ok());
+  MultimediaDocument document = MakeMedicalRecordDocument().value();
+  storage::ObjectRef ref = server_->StoreDocument(document, "p").value();
+  server_->OpenRoom("consult", ref).value();
+  server_->Join("consult", {"fast-doc", client1_}).value();
+  server_->Join("consult", {"slow-doc", client2_}).value();
+  network_->AdvanceUntilIdle();
+  size_t fast_initial = network_->BytesSent(server_node_, client1_);
+  size_t slow_initial = network_->BytesSent(server_node_, client2_);
+  // The slow client's rendition of the same shared view is much smaller.
+  EXPECT_LT(slow_initial, fast_initial / 4);
+  EXPECT_GT(slow_initial, 0u);
+
+  // Deltas transcode too: a third (fast) member makes a change; both
+  // others get it, sized per link.
+  net::NodeId third = network_->AddNode("third");
+  ASSERT_TRUE(
+      network_->SetDuplexLink(server_node_, third, {10e6, 1000}).ok());
+  server_->Join("consult", {"third-doc", third}).value();
+  network_->AdvanceUntilIdle();
+  size_t fast_before = network_->BytesSent(server_node_, client1_);
+  size_t slow_before = network_->BytesSent(server_node_, client2_);
+  server_->SubmitChoice("consult", "third-doc", "CT", "hidden").value();
+  size_t fast_delta =
+      network_->BytesSent(server_node_, client1_) - fast_before;
+  size_t slow_delta =
+      network_->BytesSent(server_node_, client2_) - slow_before;
+  EXPECT_GT(fast_delta, 0u);
+  EXPECT_GT(slow_delta, 0u);
+  EXPECT_LT(slow_delta, fast_delta);
+}
+
+TEST_F(ServerTest, PartitionedClientIsEvictedNotFatal) {
+  MultimediaDocument document = MakeMedicalRecordDocument().value();
+  storage::ObjectRef ref = server_->StoreDocument(document, "p").value();
+  server_->OpenRoom("consult", ref).value();
+  server_->Join("consult", {"dr-cohen", client1_}).value();
+  server_->Join("consult", {"dr-levi", client2_}).value();
+  network_->AdvanceUntilIdle();
+  // dr-levi's site drops off the network.
+  network_->Partition(server_node_, client2_);
+  // A choice from dr-cohen must still succeed...
+  ASSERT_TRUE(
+      server_->SubmitChoice("consult", "dr-cohen", "CT", "hidden").ok());
+  // ...and the unreachable member is evicted from the room.
+  Room* room = server_->GetRoom("consult").value();
+  EXPECT_FALSE(room->HasMember("dr-levi"));
+  EXPECT_TRUE(room->HasMember("dr-cohen"));
+}
+
+TEST_F(ServerTest, LeaveReoptimizesForRemainingMembers) {
+  MultimediaDocument document = MakeMedicalRecordDocument().value();
+  storage::ObjectRef ref = server_->StoreDocument(document, "p").value();
+  server_->OpenRoom("consult", ref).value();
+  server_->Join("consult", {"dr-cohen", client1_}).value();
+  server_->Join("consult", {"dr-levi", client2_}).value();
+  server_->SubmitChoice("consult", "dr-levi", "CT", "hidden").value();
+  ASSERT_TRUE(server_->Leave("consult", "dr-levi").ok());
+  Room* room = server_->GetRoom("consult").value();
+  EXPECT_EQ(room->configuration(),
+            room->document().DefaultPresentation().value());
+}
+
+}  // namespace
+}  // namespace mmconf::server

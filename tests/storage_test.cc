@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/blob_store.h"
+#include "storage/catalog.h"
+#include "storage/database.h"
+#include "storage/object_table.h"
+
+namespace mmconf::storage {
+namespace {
+
+Bytes RandomBytes(size_t n, Rng& rng) {
+  Bytes data(n);
+  for (uint8_t& b : data) b = static_cast<uint8_t>(rng.Next());
+  return data;
+}
+
+TEST(BlobStoreTest, PutGetRoundTrip) {
+  BlobStore store;
+  Rng rng(1);
+  Bytes data = RandomBytes(10000, rng);
+  BlobId id = store.Put(data).value();
+  EXPECT_EQ(store.Get(id).value(), data);
+  EXPECT_EQ(store.SizeOf(id).value(), data.size());
+}
+
+TEST(BlobStoreTest, EmptyBlobAllowed) {
+  BlobStore store;
+  BlobId id = store.Put({}).value();
+  EXPECT_TRUE(store.Get(id).value().empty());
+  EXPECT_EQ(store.SizeOf(id).value(), 0u);
+}
+
+TEST(BlobStoreTest, GetMissingIsNotFound) {
+  BlobStore store;
+  EXPECT_TRUE(store.Get(42).status().IsNotFound());
+  EXPECT_TRUE(store.Delete(42).IsNotFound());
+  EXPECT_TRUE(store.SizeOf(42).status().IsNotFound());
+}
+
+TEST(BlobStoreTest, RangesAcrossPageBoundaries) {
+  BlobStore store;
+  Rng rng(2);
+  Bytes data = RandomBytes(3 * BlobStore::kPagePayload + 100, rng);
+  BlobId id = store.Put(data).value();
+  // Range spanning page 0 into page 1.
+  size_t offset = BlobStore::kPagePayload - 10;
+  Bytes range = store.GetRange(id, offset, 30).value();
+  ASSERT_EQ(range.size(), 30u);
+  for (size_t i = 0; i < 30; ++i) EXPECT_EQ(range[i], data[offset + i]);
+  // Range clamped at the end.
+  Bytes tail = store.GetRange(id, data.size() - 5, 100).value();
+  EXPECT_EQ(tail.size(), 5u);
+  // Range past the end is empty.
+  EXPECT_TRUE(store.GetRange(id, data.size() + 10, 10).value().empty());
+}
+
+TEST(BlobStoreTest, DeleteReleasesPagesForReuse) {
+  BlobStore store;
+  Rng rng(3);
+  BlobId a = store.Put(RandomBytes(BlobStore::kPagePayload * 4, rng)).value();
+  size_t pages_after_a = store.page_count();
+  EXPECT_TRUE(store.Delete(a).ok());
+  EXPECT_EQ(store.free_page_count(), pages_after_a);
+  BlobId b = store.Put(RandomBytes(BlobStore::kPagePayload * 4, rng)).value();
+  EXPECT_EQ(store.page_count(), pages_after_a);  // no growth, pages reused
+  EXPECT_EQ(store.free_page_count(), 0u);
+  EXPECT_TRUE(store.Contains(b));
+}
+
+TEST(BlobStoreTest, UpdateReplacesContent) {
+  BlobStore store;
+  Rng rng(4);
+  Bytes v1 = RandomBytes(5000, rng);
+  Bytes v2 = RandomBytes(12000, rng);
+  BlobId id = store.Put(v1).value();
+  EXPECT_TRUE(store.Update(id, v2).ok());
+  EXPECT_EQ(store.Get(id).value(), v2);
+  EXPECT_TRUE(store.Update(999, v1).IsNotFound());
+}
+
+TEST(BlobStoreTest, CorruptionDetectedOnRead) {
+  BlobStore store;
+  Rng rng(5);
+  Bytes data = RandomBytes(9000, rng);
+  BlobId id = store.Put(data).value();
+  ASSERT_TRUE(store.VerifyAllPages().ok());
+  ASSERT_TRUE(store.CorruptForTesting(id, 5000).ok());
+  EXPECT_TRUE(store.Get(id).status().IsCorruption());
+  EXPECT_TRUE(store.VerifyAllPages().IsCorruption());
+  // The undamaged first page is still readable via a range.
+  EXPECT_TRUE(store.GetRange(id, 0, 100).ok());
+}
+
+TEST(BlobStoreTest, ManyBlobsFuzzRoundTrip) {
+  BlobStore store;
+  Rng rng(6);
+  std::vector<std::pair<BlobId, Bytes>> blobs;
+  for (int i = 0; i < 50; ++i) {
+    Bytes data = RandomBytes(static_cast<size_t>(rng.UniformInt(0, 20000)),
+                             rng);
+    BlobId id = store.Put(data).value();
+    blobs.emplace_back(id, std::move(data));
+    if (i % 3 == 0 && !blobs.empty()) {
+      size_t victim = rng.NextBelow(blobs.size());
+      EXPECT_TRUE(store.Delete(blobs[victim].first).ok());
+      blobs.erase(blobs.begin() + static_cast<long>(victim));
+    }
+  }
+  for (const auto& [id, data] : blobs) {
+    EXPECT_EQ(store.Get(id).value(), data);
+  }
+}
+
+std::vector<FieldDef> ImageSchema() {
+  return {{"FLD_QUALITY", FieldType::kInt64},
+          {"FLD_TEXTS", FieldType::kString},
+          {"FLD_DATA", FieldType::kBlob}};
+}
+
+TEST(ObjectTableTest, InsertRequiresFullSchema) {
+  ObjectTable table("IMAGE_OBJECTS_TABLE", ImageSchema());
+  EXPECT_TRUE(table
+                  .Insert({{"FLD_QUALITY", int64_t{90}},
+                           {"FLD_TEXTS", std::string("ct scan")}})
+                  .status()
+                  .IsInvalidArgument());  // missing blob
+  Result<ObjectId> id = table.Insert({{"FLD_QUALITY", int64_t{90}},
+                                      {"FLD_TEXTS", std::string("ct scan")},
+                                      {"FLD_DATA", BlobId{7}}});
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(ObjectTableTest, InsertRejectsWrongTypesAndUnknownColumns) {
+  ObjectTable table("T", ImageSchema());
+  EXPECT_TRUE(table
+                  .Insert({{"FLD_QUALITY", std::string("high")},
+                           {"FLD_TEXTS", std::string("x")},
+                           {"FLD_DATA", BlobId{1}}})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(table
+                  .Insert({{"FLD_QUALITY", int64_t{1}},
+                           {"FLD_TEXTS", std::string("x")},
+                           {"FLD_DATA", BlobId{1}},
+                           {"BOGUS", int64_t{0}}})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ObjectTableTest, GetUpdateDelete) {
+  ObjectTable table("T", ImageSchema());
+  ObjectId id = table.Insert({{"FLD_QUALITY", int64_t{80}},
+                              {"FLD_TEXTS", std::string("before")},
+                              {"FLD_DATA", BlobId{3}}})
+                    .value();
+  EXPECT_TRUE(table.Update(id, {{"FLD_TEXTS", std::string("after")}}).ok());
+  ObjectRecord record = table.Get(id).value();
+  EXPECT_EQ(std::get<std::string>(record.fields.at("FLD_TEXTS")), "after");
+  EXPECT_EQ(std::get<int64_t>(record.fields.at("FLD_QUALITY")), 80);
+  EXPECT_TRUE(table.Delete(id).ok());
+  EXPECT_TRUE(table.Get(id).status().IsNotFound());
+  EXPECT_TRUE(table.Delete(id).IsNotFound());
+}
+
+TEST(ObjectTableTest, FindByString) {
+  ObjectTable table("T", ImageSchema());
+  for (int i = 0; i < 5; ++i) {
+    table
+        .Insert({{"FLD_QUALITY", int64_t{i}},
+                 {"FLD_TEXTS", std::string(i % 2 == 0 ? "even" : "odd")},
+                 {"FLD_DATA", BlobId{static_cast<BlobId>(i)}}})
+        .value();
+  }
+  EXPECT_EQ(table.FindByString("FLD_TEXTS", "even").value().size(), 3u);
+  EXPECT_EQ(table.FindByString("FLD_TEXTS", "odd").value().size(), 2u);
+  EXPECT_TRUE(table.FindByString("FLD_QUALITY", "1")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(CatalogTest, RegisterAndLookup) {
+  Catalog catalog;
+  MediaTypeEntry entry{"Image", "image/raw", "read-write",
+                       "IMAGE_OBJECTS_TABLE", "raster images"};
+  ASSERT_TRUE(catalog.RegisterType(entry, ImageSchema()).ok());
+  EXPECT_TRUE(catalog.HasType("Image"));
+  EXPECT_FALSE(catalog.HasType("Video"));
+  EXPECT_EQ(catalog.GetType("Image").value().mime, "image/raw");
+  EXPECT_TRUE(catalog.GetType("Video").status().IsNotFound());
+  EXPECT_TRUE(catalog.RegisterType(entry, ImageSchema()).IsAlreadyExists());
+  EXPECT_EQ(catalog.ListTypes().size(), 1u);
+  EXPECT_EQ(catalog.TableFor("Image").value()->name(),
+            "IMAGE_OBJECTS_TABLE");
+}
+
+TEST(DatabaseServerTest, StandardTypesMatchPaperSchema) {
+  DatabaseServer db;
+  ASSERT_TRUE(db.RegisterStandardTypes().ok());
+  EXPECT_TRUE(db.catalog().HasType("Image"));
+  EXPECT_TRUE(db.catalog().HasType("Audio"));
+  EXPECT_TRUE(db.catalog().HasType("Cmp"));
+  EXPECT_TRUE(db.catalog().HasType("Text"));
+  // Idempotent.
+  EXPECT_TRUE(db.RegisterStandardTypes().ok());
+  EXPECT_EQ(db.catalog().GetType("Cmp").value().table_name,
+            "CMP_OBJECTS_TABLE");
+}
+
+TEST(DatabaseServerTest, StoreFetchModifyDelete) {
+  DatabaseServer db;
+  ASSERT_TRUE(db.RegisterStandardTypes().ok());
+  Rng rng(7);
+  Bytes payload = RandomBytes(30000, rng);
+  ObjectRef ref = db.Store("Image",
+                           {{"FLD_QUALITY", int64_t{95}},
+                            {"FLD_TEXTS", std::string("chest ct")},
+                            {"FLD_CM", std::string("slice 12")}},
+                           {{"FLD_DATA", payload}})
+                      .value();
+  EXPECT_EQ(db.FetchBlob(ref, "FLD_DATA").value(), payload);
+  EXPECT_EQ(db.BlobSize(ref, "FLD_DATA").value(), payload.size());
+  Bytes range = db.FetchBlobRange(ref, "FLD_DATA", 100, 50).value();
+  ASSERT_EQ(range.size(), 50u);
+  for (size_t i = 0; i < 50; ++i) EXPECT_EQ(range[i], payload[100 + i]);
+
+  Bytes new_payload = RandomBytes(1000, rng);
+  ASSERT_TRUE(db.Modify(ref, {{"FLD_QUALITY", int64_t{80}}},
+                        {{"FLD_DATA", new_payload}})
+                  .ok());
+  EXPECT_EQ(db.FetchBlob(ref, "FLD_DATA").value(), new_payload);
+  EXPECT_EQ(std::get<int64_t>(
+                db.FetchRecord(ref).value().fields.at("FLD_QUALITY")),
+            80);
+
+  size_t blobs_before = db.blob_store().blob_count();
+  ASSERT_TRUE(db.Delete(ref).ok());
+  EXPECT_EQ(db.blob_store().blob_count(), blobs_before - 1);
+  EXPECT_TRUE(db.FetchRecord(ref).status().IsNotFound());
+}
+
+TEST(DatabaseServerTest, ListByType) {
+  DatabaseServer db;
+  ASSERT_TRUE(db.RegisterStandardTypes().ok());
+  for (int i = 0; i < 3; ++i) {
+    db.Store("Text", {{"FLD_TITLE", std::string("note")}},
+             {{"FLD_DATA", Bytes{1, 2, 3}}})
+        .value();
+  }
+  EXPECT_EQ(db.List("Text").value().size(), 3u);
+  EXPECT_TRUE(db.List("Video").status().IsNotFound());
+}
+
+TEST(DatabaseServerTest, StoreIntoUnknownTypeFails) {
+  DatabaseServer db;
+  ASSERT_TRUE(db.RegisterStandardTypes().ok());
+  EXPECT_TRUE(db.Store("Video", {}, {}).status().IsNotFound());
+}
+
+TEST(DatabaseServerTest, SchemaEvolutionNewType) {
+  DatabaseServer db;
+  ASSERT_TRUE(db.RegisterStandardTypes().ok());
+  MediaTypeEntry entry{"Video", "video/x-mm", "read-write",
+                       "VIDEO_OBJECTS_TABLE", "future media type"};
+  ASSERT_TRUE(db.RegisterType(entry, {{"FLD_FPS", FieldType::kInt64},
+                                      {"FLD_DATA", FieldType::kBlob}})
+                  .ok());
+  ObjectRef ref = db.Store("Video", {{"FLD_FPS", int64_t{30}}},
+                           {{"FLD_DATA", Bytes{9, 9}}})
+                      .value();
+  EXPECT_EQ(db.FetchBlob(ref, "FLD_DATA").value(), (Bytes{9, 9}));
+}
+
+}  // namespace
+}  // namespace mmconf::storage

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "doc/builder.h"
+#include "doc/tuning.h"
+
+namespace mmconf::doc {
+namespace {
+
+using cpnet::Assignment;
+
+class TuningTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    document_ = std::make_unique<MultimediaDocument>(
+        MakeMedicalRecordDocument().value());
+    tuning_ = AddBandwidthTuning(*document_, "net").value();
+  }
+  std::unique_ptr<MultimediaDocument> document_;
+  cpnet::VarId tuning_ = 0;
+};
+
+TEST(BandwidthTest, Classification) {
+  EXPECT_EQ(ClassifyBandwidth(10e6), BandwidthLevel::kHigh);
+  EXPECT_EQ(ClassifyBandwidth(128e3), BandwidthLevel::kHigh);
+  EXPECT_EQ(ClassifyBandwidth(64e3), BandwidthLevel::kMedium);
+  EXPECT_EQ(ClassifyBandwidth(13e3), BandwidthLevel::kMedium);
+  EXPECT_EQ(ClassifyBandwidth(2e3), BandwidthLevel::kLow);
+}
+
+TEST_F(TuningTest, AddsOneVariableKeepsComponents) {
+  EXPECT_EQ(document_->num_components(), 10u);
+  EXPECT_EQ(document_->num_variables(), 11u);
+  EXPECT_EQ(document_->net().VariableName(tuning_), "net");
+  EXPECT_EQ(document_->net().DomainSize(tuning_), 3);
+  // Duplicate registration rejected.
+  EXPECT_TRUE(
+      AddBandwidthTuning(*document_, "net").status().IsAlreadyExists());
+}
+
+TEST_F(TuningTest, HighBandwidthPreservesAuthorPreferences) {
+  // With the tuning variable defaulting to (or pinned at) high, the
+  // presentation equals the untuned author optimum.
+  MultimediaDocument plain = MakeMedicalRecordDocument().value();
+  Assignment untuned = plain.DefaultPresentation().value();
+  Assignment tuned_default = document_->DefaultPresentation().value();
+  Assignment tuned_high =
+      document_
+          ->ReconfigPresentation({TuningChoice("net", BandwidthLevel::kHigh)})
+          .value();
+  for (size_t i = 0; i < untuned.size(); ++i) {
+    EXPECT_EQ(tuned_default.Get(static_cast<cpnet::VarId>(i)),
+              untuned.Get(static_cast<cpnet::VarId>(i)));
+    EXPECT_EQ(tuned_high.Get(static_cast<cpnet::VarId>(i)),
+              untuned.Get(static_cast<cpnet::VarId>(i)));
+  }
+}
+
+TEST_F(TuningTest, LowBandwidthDegradesHeavyComponents) {
+  Assignment low =
+      document_
+          ->ReconfigPresentation({TuningChoice("net", BandwidthLevel::kLow)})
+          .value();
+  // The CT becomes its cheapest form (hidden), not a full image.
+  MMPresentation ct = document_->PresentationFor(low, "CT").value();
+  EXPECT_EQ(ct.kind, PresentationKind::kHidden);
+  // The voice fragment degrades too.
+  MMPresentation voice =
+      document_->PresentationFor(low, "ExpertVoice").value();
+  EXPECT_NE(voice.kind, PresentationKind::kAudio);
+  // Pure-text components are untouched by the tuning templates.
+  MMPresentation notes =
+      document_->PresentationFor(low, "WardNotes").value();
+  EXPECT_EQ(notes.kind, PresentationKind::kText);
+}
+
+TEST_F(TuningTest, DeliveryCostDecreasesMonotonically) {
+  size_t costs[3];
+  const BandwidthLevel levels[] = {BandwidthLevel::kHigh,
+                                   BandwidthLevel::kMedium,
+                                   BandwidthLevel::kLow};
+  for (int i = 0; i < 3; ++i) {
+    Assignment config =
+        document_->ReconfigPresentation({TuningChoice("net", levels[i])})
+            .value();
+    costs[i] = document_->DeliveryCostBytes(config).value();
+  }
+  EXPECT_GE(costs[0], costs[1]);
+  EXPECT_GE(costs[1], costs[2]);
+  EXPECT_GT(costs[0], costs[2]);  // high genuinely heavier than low
+}
+
+TEST_F(TuningTest, ViewerChoicesStillWinOverTuning) {
+  // A viewer explicitly demanding the flat CT gets it, even on a slow
+  // link — tuning shapes defaults, it does not override people.
+  Assignment config =
+      document_
+          ->ReconfigPresentation({TuningChoice("net", BandwidthLevel::kLow),
+                                  {"CT", "flat"}})
+          .value();
+  EXPECT_EQ(document_->PresentationFor(config, "CT").value().name, "flat");
+}
+
+TEST_F(TuningTest, MediumPromotesCheapFormsKeepsOrder) {
+  Assignment medium =
+      document_
+          ->ReconfigPresentation(
+              {TuningChoice("net", BandwidthLevel::kMedium)})
+          .value();
+  // Medium prefers the cheap class; for the CT the best cheap author
+  // option is the thumbnail (author order: flat, segmented, thumbnail,
+  // icon, hidden -> cheap subsequence: thumbnail, icon, hidden).
+  EXPECT_EQ(document_->PresentationFor(medium, "CT").value().name,
+            "thumbnail");
+}
+
+TEST_F(TuningTest, TranscodedDeliveryCostOrdersLevels) {
+  // Transcoding applies to any configuration — here the *untuned*
+  // author optimum, shipped to three different links.
+  MultimediaDocument plain = MakeMedicalRecordDocument().value();
+  Assignment config = plain.DefaultPresentation().value();
+  size_t high =
+      TranscodedDeliveryCost(plain, config, BandwidthLevel::kHigh).value();
+  size_t medium =
+      TranscodedDeliveryCost(plain, config, BandwidthLevel::kMedium)
+          .value();
+  size_t low =
+      TranscodedDeliveryCost(plain, config, BandwidthLevel::kLow).value();
+  EXPECT_EQ(high, plain.DeliveryCostBytes(config).value());
+  EXPECT_LT(medium, high);
+  EXPECT_LE(low, medium);
+  EXPECT_GT(low, 0u);  // content still ships, just cheap forms
+}
+
+TEST_F(TuningTest, TranscodedPresentationCostPerComponent) {
+  MultimediaDocument plain = MakeMedicalRecordDocument().value();
+  const PrimitiveMultimediaComponent* ct =
+      plain.Find("CT").value()->AsPrimitive();
+  MMPresentation flat{"flat", PresentationKind::kImage, 0};
+  size_t full = ct->content().content_bytes;
+  EXPECT_EQ(TranscodedPresentationCost(*ct, flat, BandwidthLevel::kHigh),
+            PresentationCostBytes(flat, full));
+  // Medium drops to the cheapest cheap-class option (icon at 256 B).
+  EXPECT_EQ(TranscodedPresentationCost(*ct, flat, BandwidthLevel::kMedium),
+            256u);
+  EXPECT_LE(TranscodedPresentationCost(*ct, flat, BandwidthLevel::kLow),
+            TranscodedPresentationCost(*ct, flat,
+                                       BandwidthLevel::kMedium));
+  // Hidden components never ship regardless of level (checked at the
+  // TranscodedDeliveryCost layer via visibility).
+}
+
+TEST_F(TuningTest, SurvivesSerialization) {
+  Bytes encoded = document_->Encode();
+  MultimediaDocument decoded =
+      MultimediaDocument::Decode(encoded).value();
+  EXPECT_EQ(decoded.num_variables(), document_->num_variables());
+  Assignment low =
+      decoded
+          .ReconfigPresentation({TuningChoice("net", BandwidthLevel::kLow)})
+          .value();
+  EXPECT_EQ(decoded.PresentationFor(low, "CT").value().kind,
+            PresentationKind::kHidden);
+}
+
+}  // namespace
+}  // namespace mmconf::doc

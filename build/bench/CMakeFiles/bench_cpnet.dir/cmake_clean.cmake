@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cpnet.dir/bench_cpnet.cc.o"
+  "CMakeFiles/bench_cpnet.dir/bench_cpnet.cc.o.d"
+  "bench_cpnet"
+  "bench_cpnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cpnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

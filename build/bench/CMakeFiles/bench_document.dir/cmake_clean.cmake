@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_document.dir/bench_document.cc.o"
+  "CMakeFiles/bench_document.dir/bench_document.cc.o.d"
+  "bench_document"
+  "bench_document.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_document.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rooms.dir/bench_rooms.cc.o"
+  "CMakeFiles/bench_rooms.dir/bench_rooms.cc.o.d"
+  "bench_rooms"
+  "bench_rooms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rooms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_usecases.dir/bench_usecases.cc.o"
+  "CMakeFiles/bench_usecases.dir/bench_usecases.cc.o.d"
+  "bench_usecases"
+  "bench_usecases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_usecases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

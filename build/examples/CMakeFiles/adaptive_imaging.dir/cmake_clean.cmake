@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_imaging.dir/adaptive_imaging.cc.o"
+  "CMakeFiles/adaptive_imaging.dir/adaptive_imaging.cc.o.d"
+  "adaptive_imaging"
+  "adaptive_imaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_imaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audio_browsing.dir/audio_browsing.cc.o"
+  "CMakeFiles/audio_browsing.dir/audio_browsing.cc.o.d"
+  "audio_browsing"
+  "audio_browsing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audio_browsing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for audio_browsing.
+# This may be replaced when dependencies are built.

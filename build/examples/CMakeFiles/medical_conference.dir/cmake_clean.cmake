@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medical_conference.dir/medical_conference.cc.o"
+  "CMakeFiles/medical_conference.dir/medical_conference.cc.o.d"
+  "medical_conference"
+  "medical_conference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medical_conference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

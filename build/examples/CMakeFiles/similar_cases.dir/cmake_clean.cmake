@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/similar_cases.dir/similar_cases.cc.o"
+  "CMakeFiles/similar_cases.dir/similar_cases.cc.o.d"
+  "similar_cases"
+  "similar_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/similar_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

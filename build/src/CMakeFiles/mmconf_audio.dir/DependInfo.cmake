@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/audio/browser.cc" "src/CMakeFiles/mmconf_audio.dir/audio/browser.cc.o" "gcc" "src/CMakeFiles/mmconf_audio.dir/audio/browser.cc.o.d"
+  "/root/repo/src/audio/features.cc" "src/CMakeFiles/mmconf_audio.dir/audio/features.cc.o" "gcc" "src/CMakeFiles/mmconf_audio.dir/audio/features.cc.o.d"
+  "/root/repo/src/audio/gmm.cc" "src/CMakeFiles/mmconf_audio.dir/audio/gmm.cc.o" "gcc" "src/CMakeFiles/mmconf_audio.dir/audio/gmm.cc.o.d"
+  "/root/repo/src/audio/hmm.cc" "src/CMakeFiles/mmconf_audio.dir/audio/hmm.cc.o" "gcc" "src/CMakeFiles/mmconf_audio.dir/audio/hmm.cc.o.d"
+  "/root/repo/src/audio/segmentation.cc" "src/CMakeFiles/mmconf_audio.dir/audio/segmentation.cc.o" "gcc" "src/CMakeFiles/mmconf_audio.dir/audio/segmentation.cc.o.d"
+  "/root/repo/src/audio/speaker_spotting.cc" "src/CMakeFiles/mmconf_audio.dir/audio/speaker_spotting.cc.o" "gcc" "src/CMakeFiles/mmconf_audio.dir/audio/speaker_spotting.cc.o.d"
+  "/root/repo/src/audio/word_spotting.cc" "src/CMakeFiles/mmconf_audio.dir/audio/word_spotting.cc.o" "gcc" "src/CMakeFiles/mmconf_audio.dir/audio/word_spotting.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mmconf_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmconf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

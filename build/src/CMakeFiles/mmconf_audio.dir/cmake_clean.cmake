@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmconf_audio.dir/audio/browser.cc.o"
+  "CMakeFiles/mmconf_audio.dir/audio/browser.cc.o.d"
+  "CMakeFiles/mmconf_audio.dir/audio/features.cc.o"
+  "CMakeFiles/mmconf_audio.dir/audio/features.cc.o.d"
+  "CMakeFiles/mmconf_audio.dir/audio/gmm.cc.o"
+  "CMakeFiles/mmconf_audio.dir/audio/gmm.cc.o.d"
+  "CMakeFiles/mmconf_audio.dir/audio/hmm.cc.o"
+  "CMakeFiles/mmconf_audio.dir/audio/hmm.cc.o.d"
+  "CMakeFiles/mmconf_audio.dir/audio/segmentation.cc.o"
+  "CMakeFiles/mmconf_audio.dir/audio/segmentation.cc.o.d"
+  "CMakeFiles/mmconf_audio.dir/audio/speaker_spotting.cc.o"
+  "CMakeFiles/mmconf_audio.dir/audio/speaker_spotting.cc.o.d"
+  "CMakeFiles/mmconf_audio.dir/audio/word_spotting.cc.o"
+  "CMakeFiles/mmconf_audio.dir/audio/word_spotting.cc.o.d"
+  "libmmconf_audio.a"
+  "libmmconf_audio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmconf_audio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmconf_client.dir/client/client.cc.o"
+  "CMakeFiles/mmconf_client.dir/client/client.cc.o.d"
+  "CMakeFiles/mmconf_client.dir/client/layout.cc.o"
+  "CMakeFiles/mmconf_client.dir/client/layout.cc.o.d"
+  "libmmconf_client.a"
+  "libmmconf_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmconf_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

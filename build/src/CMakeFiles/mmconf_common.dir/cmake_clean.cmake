@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmconf_common.dir/common/bytes.cc.o"
+  "CMakeFiles/mmconf_common.dir/common/bytes.cc.o.d"
+  "CMakeFiles/mmconf_common.dir/common/clock.cc.o"
+  "CMakeFiles/mmconf_common.dir/common/clock.cc.o.d"
+  "CMakeFiles/mmconf_common.dir/common/rng.cc.o"
+  "CMakeFiles/mmconf_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/mmconf_common.dir/common/status.cc.o"
+  "CMakeFiles/mmconf_common.dir/common/status.cc.o.d"
+  "libmmconf_common.a"
+  "libmmconf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmconf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

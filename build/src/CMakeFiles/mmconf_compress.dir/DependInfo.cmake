@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/best_basis.cc" "src/CMakeFiles/mmconf_compress.dir/compress/best_basis.cc.o" "gcc" "src/CMakeFiles/mmconf_compress.dir/compress/best_basis.cc.o.d"
+  "/root/repo/src/compress/bitstream.cc" "src/CMakeFiles/mmconf_compress.dir/compress/bitstream.cc.o" "gcc" "src/CMakeFiles/mmconf_compress.dir/compress/bitstream.cc.o.d"
+  "/root/repo/src/compress/layered_codec.cc" "src/CMakeFiles/mmconf_compress.dir/compress/layered_codec.cc.o" "gcc" "src/CMakeFiles/mmconf_compress.dir/compress/layered_codec.cc.o.d"
+  "/root/repo/src/compress/local_cosine.cc" "src/CMakeFiles/mmconf_compress.dir/compress/local_cosine.cc.o" "gcc" "src/CMakeFiles/mmconf_compress.dir/compress/local_cosine.cc.o.d"
+  "/root/repo/src/compress/quantizer.cc" "src/CMakeFiles/mmconf_compress.dir/compress/quantizer.cc.o" "gcc" "src/CMakeFiles/mmconf_compress.dir/compress/quantizer.cc.o.d"
+  "/root/repo/src/compress/wavelet.cc" "src/CMakeFiles/mmconf_compress.dir/compress/wavelet.cc.o" "gcc" "src/CMakeFiles/mmconf_compress.dir/compress/wavelet.cc.o.d"
+  "/root/repo/src/compress/wavelet_packet.cc" "src/CMakeFiles/mmconf_compress.dir/compress/wavelet_packet.cc.o" "gcc" "src/CMakeFiles/mmconf_compress.dir/compress/wavelet_packet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mmconf_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmconf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

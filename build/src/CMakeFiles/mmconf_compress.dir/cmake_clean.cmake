@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmconf_compress.dir/compress/best_basis.cc.o"
+  "CMakeFiles/mmconf_compress.dir/compress/best_basis.cc.o.d"
+  "CMakeFiles/mmconf_compress.dir/compress/bitstream.cc.o"
+  "CMakeFiles/mmconf_compress.dir/compress/bitstream.cc.o.d"
+  "CMakeFiles/mmconf_compress.dir/compress/layered_codec.cc.o"
+  "CMakeFiles/mmconf_compress.dir/compress/layered_codec.cc.o.d"
+  "CMakeFiles/mmconf_compress.dir/compress/local_cosine.cc.o"
+  "CMakeFiles/mmconf_compress.dir/compress/local_cosine.cc.o.d"
+  "CMakeFiles/mmconf_compress.dir/compress/quantizer.cc.o"
+  "CMakeFiles/mmconf_compress.dir/compress/quantizer.cc.o.d"
+  "CMakeFiles/mmconf_compress.dir/compress/wavelet.cc.o"
+  "CMakeFiles/mmconf_compress.dir/compress/wavelet.cc.o.d"
+  "CMakeFiles/mmconf_compress.dir/compress/wavelet_packet.cc.o"
+  "CMakeFiles/mmconf_compress.dir/compress/wavelet_packet.cc.o.d"
+  "libmmconf_compress.a"
+  "libmmconf_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmconf_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpnet/assignment.cc" "src/CMakeFiles/mmconf_cpnet.dir/cpnet/assignment.cc.o" "gcc" "src/CMakeFiles/mmconf_cpnet.dir/cpnet/assignment.cc.o.d"
+  "/root/repo/src/cpnet/brute_force.cc" "src/CMakeFiles/mmconf_cpnet.dir/cpnet/brute_force.cc.o" "gcc" "src/CMakeFiles/mmconf_cpnet.dir/cpnet/brute_force.cc.o.d"
+  "/root/repo/src/cpnet/cpnet.cc" "src/CMakeFiles/mmconf_cpnet.dir/cpnet/cpnet.cc.o" "gcc" "src/CMakeFiles/mmconf_cpnet.dir/cpnet/cpnet.cc.o.d"
+  "/root/repo/src/cpnet/cpt.cc" "src/CMakeFiles/mmconf_cpnet.dir/cpnet/cpt.cc.o" "gcc" "src/CMakeFiles/mmconf_cpnet.dir/cpnet/cpt.cc.o.d"
+  "/root/repo/src/cpnet/serialize.cc" "src/CMakeFiles/mmconf_cpnet.dir/cpnet/serialize.cc.o" "gcc" "src/CMakeFiles/mmconf_cpnet.dir/cpnet/serialize.cc.o.d"
+  "/root/repo/src/cpnet/update.cc" "src/CMakeFiles/mmconf_cpnet.dir/cpnet/update.cc.o" "gcc" "src/CMakeFiles/mmconf_cpnet.dir/cpnet/update.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mmconf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

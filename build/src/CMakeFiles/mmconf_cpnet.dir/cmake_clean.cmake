@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmconf_cpnet.dir/cpnet/assignment.cc.o"
+  "CMakeFiles/mmconf_cpnet.dir/cpnet/assignment.cc.o.d"
+  "CMakeFiles/mmconf_cpnet.dir/cpnet/brute_force.cc.o"
+  "CMakeFiles/mmconf_cpnet.dir/cpnet/brute_force.cc.o.d"
+  "CMakeFiles/mmconf_cpnet.dir/cpnet/cpnet.cc.o"
+  "CMakeFiles/mmconf_cpnet.dir/cpnet/cpnet.cc.o.d"
+  "CMakeFiles/mmconf_cpnet.dir/cpnet/cpt.cc.o"
+  "CMakeFiles/mmconf_cpnet.dir/cpnet/cpt.cc.o.d"
+  "CMakeFiles/mmconf_cpnet.dir/cpnet/serialize.cc.o"
+  "CMakeFiles/mmconf_cpnet.dir/cpnet/serialize.cc.o.d"
+  "CMakeFiles/mmconf_cpnet.dir/cpnet/update.cc.o"
+  "CMakeFiles/mmconf_cpnet.dir/cpnet/update.cc.o.d"
+  "libmmconf_cpnet.a"
+  "libmmconf_cpnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmconf_cpnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

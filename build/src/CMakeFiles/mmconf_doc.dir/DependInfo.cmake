@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/doc/authoring.cc" "src/CMakeFiles/mmconf_doc.dir/doc/authoring.cc.o" "gcc" "src/CMakeFiles/mmconf_doc.dir/doc/authoring.cc.o.d"
+  "/root/repo/src/doc/builder.cc" "src/CMakeFiles/mmconf_doc.dir/doc/builder.cc.o" "gcc" "src/CMakeFiles/mmconf_doc.dir/doc/builder.cc.o.d"
+  "/root/repo/src/doc/component.cc" "src/CMakeFiles/mmconf_doc.dir/doc/component.cc.o" "gcc" "src/CMakeFiles/mmconf_doc.dir/doc/component.cc.o.d"
+  "/root/repo/src/doc/document.cc" "src/CMakeFiles/mmconf_doc.dir/doc/document.cc.o" "gcc" "src/CMakeFiles/mmconf_doc.dir/doc/document.cc.o.d"
+  "/root/repo/src/doc/presentation.cc" "src/CMakeFiles/mmconf_doc.dir/doc/presentation.cc.o" "gcc" "src/CMakeFiles/mmconf_doc.dir/doc/presentation.cc.o.d"
+  "/root/repo/src/doc/tuning.cc" "src/CMakeFiles/mmconf_doc.dir/doc/tuning.cc.o" "gcc" "src/CMakeFiles/mmconf_doc.dir/doc/tuning.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mmconf_cpnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmconf_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmconf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

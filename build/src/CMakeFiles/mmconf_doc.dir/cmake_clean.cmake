@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmconf_doc.dir/doc/authoring.cc.o"
+  "CMakeFiles/mmconf_doc.dir/doc/authoring.cc.o.d"
+  "CMakeFiles/mmconf_doc.dir/doc/builder.cc.o"
+  "CMakeFiles/mmconf_doc.dir/doc/builder.cc.o.d"
+  "CMakeFiles/mmconf_doc.dir/doc/component.cc.o"
+  "CMakeFiles/mmconf_doc.dir/doc/component.cc.o.d"
+  "CMakeFiles/mmconf_doc.dir/doc/document.cc.o"
+  "CMakeFiles/mmconf_doc.dir/doc/document.cc.o.d"
+  "CMakeFiles/mmconf_doc.dir/doc/presentation.cc.o"
+  "CMakeFiles/mmconf_doc.dir/doc/presentation.cc.o.d"
+  "CMakeFiles/mmconf_doc.dir/doc/tuning.cc.o"
+  "CMakeFiles/mmconf_doc.dir/doc/tuning.cc.o.d"
+  "libmmconf_doc.a"
+  "libmmconf_doc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmconf_doc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

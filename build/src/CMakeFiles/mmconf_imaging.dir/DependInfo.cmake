@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/imaging/freeze.cc" "src/CMakeFiles/mmconf_imaging.dir/imaging/freeze.cc.o" "gcc" "src/CMakeFiles/mmconf_imaging.dir/imaging/freeze.cc.o.d"
+  "/root/repo/src/imaging/ops.cc" "src/CMakeFiles/mmconf_imaging.dir/imaging/ops.cc.o" "gcc" "src/CMakeFiles/mmconf_imaging.dir/imaging/ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mmconf_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmconf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

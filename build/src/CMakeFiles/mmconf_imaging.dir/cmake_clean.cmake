@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmconf_imaging.dir/imaging/freeze.cc.o"
+  "CMakeFiles/mmconf_imaging.dir/imaging/freeze.cc.o.d"
+  "CMakeFiles/mmconf_imaging.dir/imaging/ops.cc.o"
+  "CMakeFiles/mmconf_imaging.dir/imaging/ops.cc.o.d"
+  "libmmconf_imaging.a"
+  "libmmconf_imaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmconf_imaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/media/audio.cc" "src/CMakeFiles/mmconf_media.dir/media/audio.cc.o" "gcc" "src/CMakeFiles/mmconf_media.dir/media/audio.cc.o.d"
+  "/root/repo/src/media/image.cc" "src/CMakeFiles/mmconf_media.dir/media/image.cc.o" "gcc" "src/CMakeFiles/mmconf_media.dir/media/image.cc.o.d"
+  "/root/repo/src/media/synthetic.cc" "src/CMakeFiles/mmconf_media.dir/media/synthetic.cc.o" "gcc" "src/CMakeFiles/mmconf_media.dir/media/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mmconf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

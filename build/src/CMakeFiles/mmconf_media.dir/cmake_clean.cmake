@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmconf_media.dir/media/audio.cc.o"
+  "CMakeFiles/mmconf_media.dir/media/audio.cc.o.d"
+  "CMakeFiles/mmconf_media.dir/media/image.cc.o"
+  "CMakeFiles/mmconf_media.dir/media/image.cc.o.d"
+  "CMakeFiles/mmconf_media.dir/media/synthetic.cc.o"
+  "CMakeFiles/mmconf_media.dir/media/synthetic.cc.o.d"
+  "libmmconf_media.a"
+  "libmmconf_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmconf_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmmconf_media.a"
+)

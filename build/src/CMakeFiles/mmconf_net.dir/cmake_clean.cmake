@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmconf_net.dir/net/network.cc.o"
+  "CMakeFiles/mmconf_net.dir/net/network.cc.o.d"
+  "libmmconf_net.a"
+  "libmmconf_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmconf_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmconf_prefetch.dir/prefetch/cache.cc.o"
+  "CMakeFiles/mmconf_prefetch.dir/prefetch/cache.cc.o.d"
+  "CMakeFiles/mmconf_prefetch.dir/prefetch/predictor.cc.o"
+  "CMakeFiles/mmconf_prefetch.dir/prefetch/predictor.cc.o.d"
+  "CMakeFiles/mmconf_prefetch.dir/prefetch/session.cc.o"
+  "CMakeFiles/mmconf_prefetch.dir/prefetch/session.cc.o.d"
+  "libmmconf_prefetch.a"
+  "libmmconf_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmconf_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

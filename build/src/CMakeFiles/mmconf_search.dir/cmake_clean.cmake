@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmconf_search.dir/search/descriptors.cc.o"
+  "CMakeFiles/mmconf_search.dir/search/descriptors.cc.o.d"
+  "CMakeFiles/mmconf_search.dir/search/similarity_index.cc.o"
+  "CMakeFiles/mmconf_search.dir/search/similarity_index.cc.o.d"
+  "CMakeFiles/mmconf_search.dir/search/text_index.cc.o"
+  "CMakeFiles/mmconf_search.dir/search/text_index.cc.o.d"
+  "libmmconf_search.a"
+  "libmmconf_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmconf_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

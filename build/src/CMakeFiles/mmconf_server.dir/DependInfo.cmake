@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/interaction_server.cc" "src/CMakeFiles/mmconf_server.dir/server/interaction_server.cc.o" "gcc" "src/CMakeFiles/mmconf_server.dir/server/interaction_server.cc.o.d"
+  "/root/repo/src/server/room.cc" "src/CMakeFiles/mmconf_server.dir/server/room.cc.o" "gcc" "src/CMakeFiles/mmconf_server.dir/server/room.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mmconf_doc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmconf_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmconf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmconf_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmconf_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmconf_cpnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmconf_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmconf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

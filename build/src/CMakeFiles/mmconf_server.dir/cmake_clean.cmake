@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmconf_server.dir/server/interaction_server.cc.o"
+  "CMakeFiles/mmconf_server.dir/server/interaction_server.cc.o.d"
+  "CMakeFiles/mmconf_server.dir/server/room.cc.o"
+  "CMakeFiles/mmconf_server.dir/server/room.cc.o.d"
+  "libmmconf_server.a"
+  "libmmconf_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmconf_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

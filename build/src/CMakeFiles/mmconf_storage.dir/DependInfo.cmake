@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/blob_store.cc" "src/CMakeFiles/mmconf_storage.dir/storage/blob_store.cc.o" "gcc" "src/CMakeFiles/mmconf_storage.dir/storage/blob_store.cc.o.d"
+  "/root/repo/src/storage/catalog.cc" "src/CMakeFiles/mmconf_storage.dir/storage/catalog.cc.o" "gcc" "src/CMakeFiles/mmconf_storage.dir/storage/catalog.cc.o.d"
+  "/root/repo/src/storage/cmp_store.cc" "src/CMakeFiles/mmconf_storage.dir/storage/cmp_store.cc.o" "gcc" "src/CMakeFiles/mmconf_storage.dir/storage/cmp_store.cc.o.d"
+  "/root/repo/src/storage/database.cc" "src/CMakeFiles/mmconf_storage.dir/storage/database.cc.o" "gcc" "src/CMakeFiles/mmconf_storage.dir/storage/database.cc.o.d"
+  "/root/repo/src/storage/object_table.cc" "src/CMakeFiles/mmconf_storage.dir/storage/object_table.cc.o" "gcc" "src/CMakeFiles/mmconf_storage.dir/storage/object_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mmconf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmconf_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmconf_media.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

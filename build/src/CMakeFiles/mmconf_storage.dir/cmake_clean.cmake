@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmconf_storage.dir/storage/blob_store.cc.o"
+  "CMakeFiles/mmconf_storage.dir/storage/blob_store.cc.o.d"
+  "CMakeFiles/mmconf_storage.dir/storage/catalog.cc.o"
+  "CMakeFiles/mmconf_storage.dir/storage/catalog.cc.o.d"
+  "CMakeFiles/mmconf_storage.dir/storage/cmp_store.cc.o"
+  "CMakeFiles/mmconf_storage.dir/storage/cmp_store.cc.o.d"
+  "CMakeFiles/mmconf_storage.dir/storage/database.cc.o"
+  "CMakeFiles/mmconf_storage.dir/storage/database.cc.o.d"
+  "CMakeFiles/mmconf_storage.dir/storage/object_table.cc.o"
+  "CMakeFiles/mmconf_storage.dir/storage/object_table.cc.o.d"
+  "libmmconf_storage.a"
+  "libmmconf_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmconf_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpnet_update_test.dir/cpnet_update_test.cc.o"
+  "CMakeFiles/cpnet_update_test.dir/cpnet_update_test.cc.o.d"
+  "cpnet_update_test"
+  "cpnet_update_test.pdb"
+  "cpnet_update_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpnet_update_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imaging_test.dir/imaging_test.cc.o"
+  "CMakeFiles/imaging_test.dir/imaging_test.cc.o.d"
+  "imaging_test"
+  "imaging_test.pdb"
+  "imaging_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imaging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/triggers_test.cc" "tests/CMakeFiles/triggers_test.dir/triggers_test.cc.o" "gcc" "tests/CMakeFiles/triggers_test.dir/triggers_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mmconf_audio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmconf_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmconf_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmconf_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmconf_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmconf_doc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmconf_cpnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmconf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmconf_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmconf_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmconf_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmconf_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmconf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

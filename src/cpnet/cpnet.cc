@@ -67,13 +67,8 @@ Status CpNet::Validate() {
   // Kahn's algorithm for a topological order; a leftover node means a
   // cycle.
   const size_t n = variables_.size();
-  std::vector<int> in_degree(n, 0);
-  for (const Variable& var : variables_) {
-    for (VarId p : var.parents) {
-      (void)p;
-    }
-  }
   // in_degree counts parents (edges parent -> child).
+  std::vector<int> in_degree(n, 0);
   for (size_t v = 0; v < n; ++v) {
     in_degree[v] = static_cast<int>(variables_[v].parents.size());
   }

@@ -5,6 +5,28 @@
 
 namespace mmconf::net {
 
+namespace {
+
+/// Stable per-link seed: mixes the network seed with both endpoints so
+/// two links never share a loss pattern (SplitMix inside Rng scrambles
+/// the remaining structure).
+uint64_t LinkSeed(uint64_t base, NodeId from, NodeId to) {
+  uint64_t mixed = base;
+  mixed ^= (static_cast<uint64_t>(static_cast<uint32_t>(from)) << 32) |
+           static_cast<uint64_t>(static_cast<uint32_t>(to));
+  mixed *= 0x9e3779b97f4a7c15ull;
+  return mixed;
+}
+
+bool InFlap(const FaultSpec& fault, MicrosT now) {
+  for (const LinkFlap& flap : fault.flaps) {
+    if (now >= flap.down_at && now < flap.up_at) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 NodeId Network::AddNode(std::string name) {
   node_names_.push_back(std::move(name));
   return static_cast<NodeId>(node_names_.size() - 1);
@@ -50,6 +72,57 @@ bool Network::HasLink(NodeId from, NodeId to) const {
   return links_.count({from, to}) > 0;
 }
 
+Status Network::SetFault(NodeId from, NodeId to, const FaultSpec& spec) {
+  auto it = links_.find({from, to});
+  if (it == links_.end()) {
+    return Status::NotFound("no link " + std::to_string(from) + " -> " +
+                            std::to_string(to));
+  }
+  if (spec.drop_probability < 0 || spec.drop_probability > 1 ||
+      spec.duplicate_probability < 0 || spec.duplicate_probability > 1 ||
+      spec.jitter_micros < 0) {
+    return Status::InvalidArgument(
+        "fault probabilities must be in [0, 1] and jitter non-negative");
+  }
+  for (const LinkFlap& flap : spec.flaps) {
+    if (flap.up_at < flap.down_at) {
+      return Status::InvalidArgument("flap window ends before it starts");
+    }
+  }
+  LinkState& link = it->second;
+  link.has_fault = true;
+  link.fault = spec;
+  link.fault_rng = Rng(LinkSeed(fault_seed_, from, to));
+  return Status::OK();
+}
+
+Status Network::SetDuplexFault(NodeId a, NodeId b, const FaultSpec& spec) {
+  MMCONF_RETURN_IF_ERROR(SetFault(a, b, spec));
+  return SetFault(b, a, spec);
+}
+
+void Network::ClearFault(NodeId from, NodeId to) {
+  auto it = links_.find({from, to});
+  if (it == links_.end()) return;
+  it->second.has_fault = false;
+  it->second.fault = FaultSpec();
+}
+
+FaultStats Network::GetFaultStats(NodeId from, NodeId to) const {
+  auto it = links_.find({from, to});
+  return it == links_.end() ? FaultStats() : it->second.fault_stats;
+}
+
+FaultStats Network::TotalFaultStats() const {
+  FaultStats total;
+  for (const auto& [key, link] : links_) {
+    total.dropped += link.fault_stats.dropped;
+    total.flap_dropped += link.fault_stats.flap_dropped;
+    total.duplicated += link.fault_stats.duplicated;
+  }
+  return total;
+}
+
 Status Network::RemoveLink(NodeId from, NodeId to) {
   if (links_.erase({from, to}) == 0) {
     return Status::NotFound("no link " + std::to_string(from) + " -> " +
@@ -63,10 +136,22 @@ void Network::Partition(NodeId a, NodeId b) {
   links_.erase({b, a});
 }
 
+void Network::Schedule(Delivery delivery) {
+  auto pos = std::upper_bound(
+      pending_.begin(), pending_.end(), delivery.delivered_at,
+      [](MicrosT t, const Delivery& d) { return t < d.delivered_at; });
+  pending_.insert(pos, std::move(delivery));
+}
+
 Result<MicrosT> Network::Send(NodeId from, NodeId to, size_t bytes,
                               std::string tag, Bytes payload) {
   MMCONF_RETURN_IF_ERROR(CheckNode(from));
   MMCONF_RETURN_IF_ERROR(CheckNode(to));
+  if (payload.size() > bytes) {
+    return Status::InvalidArgument(
+        "payload of " + std::to_string(payload.size()) +
+        " bytes exceeds billed wire size " + std::to_string(bytes));
+  }
   auto it = links_.find({from, to});
   if (it == links_.end()) {
     return Status::NotFound("no link " + NodeName(from) + " -> " +
@@ -91,10 +176,35 @@ Result<MicrosT> Network::Send(NodeId from, NodeId to, size_t bytes,
   delivery.payload = std::move(payload);
   delivery.sent_at = now;
   delivery.delivered_at = delivered_at;
-  auto pos = std::upper_bound(
-      pending_.begin(), pending_.end(), delivered_at,
-      [](MicrosT t, const Delivery& d) { return t < d.delivered_at; });
-  pending_.insert(pos, std::move(delivery));
+
+  if (link.has_fault) {
+    const FaultSpec& fault = link.fault;
+    if (InFlap(fault, now)) {
+      ++link.fault_stats.flap_dropped;
+      return delivered_at;  // the sender cannot tell it was lost
+    }
+    if (fault.drop_probability > 0 &&
+        link.fault_rng.Chance(fault.drop_probability)) {
+      ++link.fault_stats.dropped;
+      return delivered_at;
+    }
+    if (fault.jitter_micros > 0) {
+      delivery.delivered_at += static_cast<MicrosT>(link.fault_rng.NextBelow(
+          static_cast<uint64_t>(fault.jitter_micros) + 1));
+    }
+    if (fault.duplicate_probability > 0 &&
+        link.fault_rng.Chance(fault.duplicate_probability)) {
+      Delivery copy = delivery;
+      if (fault.jitter_micros > 0) {
+        copy.delivered_at = delivered_at + static_cast<MicrosT>(
+            link.fault_rng.NextBelow(
+                static_cast<uint64_t>(fault.jitter_micros) + 1));
+      }
+      ++link.fault_stats.duplicated;
+      Schedule(std::move(copy));
+    }
+  }
+  Schedule(std::move(delivery));
   return delivered_at;
 }
 
@@ -104,14 +214,17 @@ std::vector<Delivery> Network::AdvanceUntilIdle() {
 }
 
 std::vector<Delivery> Network::AdvanceTo(MicrosT t) {
-  clock_->AdvanceTo(t);
+  // Never cut before the current clock: deliveries already due must not
+  // be stranded by a stale (earlier) target time.
+  MicrosT cut = std::max(t, clock_->NowMicros());
+  clock_->AdvanceTo(cut);
   std::vector<Delivery> due;
-  auto cut = std::upper_bound(
-      pending_.begin(), pending_.end(), t,
+  auto it = std::upper_bound(
+      pending_.begin(), pending_.end(), cut,
       [](MicrosT time, const Delivery& d) { return time < d.delivered_at; });
   due.assign(std::make_move_iterator(pending_.begin()),
-             std::make_move_iterator(cut));
-  pending_.erase(pending_.begin(), cut);
+             std::make_move_iterator(it));
+  pending_.erase(pending_.begin(), it);
   return due;
 }
 

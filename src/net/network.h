@@ -8,6 +8,7 @@
 #include "common/bytes.h"
 #include "common/clock.h"
 #include "common/result.h"
+#include "common/rng.h"
 #include "common/status.h"
 
 namespace mmconf::net {
@@ -23,6 +24,32 @@ using NodeId = int;
 struct LinkSpec {
   double bandwidth_bytes_per_sec = 1e6;
   MicrosT latency_micros = 20000;
+};
+
+/// Scheduled outage window on a directed link: any message sent while
+/// `down_at <= now < up_at` is silently lost (a transient last-mile flap,
+/// as opposed to RemoveLink's hard partition).
+struct LinkFlap {
+  MicrosT down_at = 0;
+  MicrosT up_at = 0;
+};
+
+/// Deterministic fault model for a directed link. All randomness comes
+/// from a per-link Rng seeded from the Network's fault seed and the link
+/// endpoints, so a given seed reproduces the exact same loss pattern
+/// regardless of traffic on other links.
+struct FaultSpec {
+  double drop_probability = 0.0;       ///< chance a message is lost in flight
+  double duplicate_probability = 0.0;  ///< chance a second copy is delivered
+  MicrosT jitter_micros = 0;           ///< extra uniform latency in [0, jitter]
+  std::vector<LinkFlap> flaps;         ///< scheduled outages
+};
+
+/// Per-link fault counters ("drops observed" for reliability reporting).
+struct FaultStats {
+  size_t dropped = 0;       ///< messages lost to drop_probability
+  size_t flap_dropped = 0;  ///< messages lost inside a scheduled flap
+  size_t duplicated = 0;    ///< extra copies delivered
 };
 
 /// A delivered message.
@@ -41,10 +68,13 @@ struct Delivery {
 /// and returns what arrived. The paper runs clients, interaction server
 /// and Oracle on separate Internet sites; this simulator reproduces the
 /// timing-relevant behaviour (bandwidth serialization, latency,
-/// per-client asymmetry) in-process and reproducibly.
+/// per-client asymmetry) in-process and reproducibly. Links may carry a
+/// FaultSpec to model lossy last-mile behaviour (drops, duplication,
+/// jitter, flaps) without losing reproducibility.
 class Network {
  public:
-  explicit Network(Clock* clock) : clock_(clock) {}
+  explicit Network(Clock* clock, uint64_t fault_seed = 0x5eedf00dull)
+      : clock_(clock), fault_seed_(fault_seed) {}
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -61,6 +91,17 @@ class Network {
   Result<LinkSpec> GetLink(NodeId from, NodeId to) const;
   bool HasLink(NodeId from, NodeId to) const;
 
+  /// Attaches a fault model to an existing link (NotFound otherwise).
+  /// The link's fault Rng is (re)seeded from the Network fault seed and
+  /// the endpoints, so the loss pattern is reproducible per link.
+  Status SetFault(NodeId from, NodeId to, const FaultSpec& spec);
+  /// Attaches the fault model to both directions.
+  Status SetDuplexFault(NodeId a, NodeId b, const FaultSpec& spec);
+  /// Removes any fault model on from -> to (stats are kept).
+  void ClearFault(NodeId from, NodeId to);
+  FaultStats GetFaultStats(NodeId from, NodeId to) const;
+  FaultStats TotalFaultStats() const;
+
   /// Tears down the directed link (failure injection: a partitioned or
   /// crashed peer). In-flight deliveries already scheduled still arrive;
   /// subsequent Sends fail with NotFound. NotFound if no such link.
@@ -70,7 +111,10 @@ class Network {
 
   /// Schedules a transfer of `bytes` (payload may be smaller or empty —
   /// `bytes` is what occupies the wire, e.g. an encoded image the caller
-  /// does not want to copy). Returns the delivery timestamp.
+  /// does not want to copy; a payload larger than `bytes` is
+  /// InvalidArgument). Returns the delivery timestamp — for a faulty link
+  /// this is the sender's estimate: the message may be silently dropped,
+  /// duplicated, or jittered, and the sender cannot tell.
   /// NotFound if no link exists.
   Result<MicrosT> Send(NodeId from, NodeId to, size_t bytes, std::string tag,
                        Bytes payload = {});
@@ -79,13 +123,20 @@ class Network {
   /// returns all deliveries in timestamp order.
   std::vector<Delivery> AdvanceUntilIdle();
 
-  /// Advances the clock to `t`, returning deliveries due at or before it.
+  /// Advances the clock to `t` (or keeps the current time if `t` is in
+  /// the past), returning deliveries due at or before the resulting
+  /// clock — so deliveries already due at NowMicros() are never stranded.
   std::vector<Delivery> AdvanceTo(MicrosT t);
 
   /// Deliveries pending (scheduled but not yet collected).
   size_t pending() const { return pending_.size(); }
+  /// Timestamp of the earliest pending delivery, or -1 when idle.
+  MicrosT NextDeliveryAt() const {
+    return pending_.empty() ? -1 : pending_.front().delivered_at;
+  }
 
-  /// Total bytes ever sent on from->to (0 if never used).
+  /// Total bytes ever sent on from->to (0 if never used). Duplicated
+  /// copies are not billed: the sender transmitted the bytes once.
   size_t BytesSent(NodeId from, NodeId to) const;
   size_t TotalBytesSent() const { return total_bytes_; }
 
@@ -96,11 +147,17 @@ class Network {
     LinkSpec spec;
     MicrosT free_at = 0;  ///< when the wire finishes its current transfer
     size_t bytes_sent = 0;
+    bool has_fault = false;
+    FaultSpec fault;
+    Rng fault_rng;
+    FaultStats fault_stats;
   };
 
   Status CheckNode(NodeId node) const;
+  void Schedule(Delivery delivery);
 
   Clock* clock_;
+  uint64_t fault_seed_;
   std::vector<std::string> node_names_;
   std::map<std::pair<NodeId, NodeId>, LinkState> links_;
   std::vector<Delivery> pending_;  // kept sorted by delivered_at

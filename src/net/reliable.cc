@@ -1,0 +1,275 @@
+#include "net/reliable.h"
+
+#include <algorithm>
+
+namespace mmconf::net {
+
+namespace {
+
+constexpr char kDataPrefix[] = "rel:";
+constexpr char kAckPrefix[] = "rel-ack:";
+
+bool HasPrefix(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+/// Parses "<seq>:<rest>" (or just "<seq>") after `offset`; returns false
+/// on malformed input.
+bool ParseSeq(const std::string& tag, size_t offset, uint64_t* seq,
+              std::string* rest) {
+  size_t end = tag.find(':', offset);
+  std::string digits = tag.substr(
+      offset, end == std::string::npos ? std::string::npos : end - offset);
+  if (digits.empty()) return false;
+  uint64_t value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *seq = value;
+  if (rest != nullptr) {
+    *rest = end == std::string::npos ? std::string() : tag.substr(end + 1);
+  }
+  return true;
+}
+
+}  // namespace
+
+ReliableTransport::ReliableTransport(Network* network, RetryPolicy policy)
+    : network_(network), policy_(policy) {
+  if (policy_.initial_timeout_micros < 1) policy_.initial_timeout_micros = 1;
+  if (policy_.max_timeout_micros < policy_.initial_timeout_micros) {
+    policy_.max_timeout_micros = policy_.initial_timeout_micros;
+  }
+  if (policy_.backoff_factor < 1.0) policy_.backoff_factor = 1.0;
+  if (policy_.max_attempts < 1) policy_.max_attempts = 1;
+}
+
+MicrosT ReliableTransport::Attempt(InFlight& msg) {
+  MicrosT now = network_->clock()->NowMicros();
+  ++msg.attempts;
+  Channel& channel = channels_[{msg.from, msg.to}];
+  ++channel.stats.attempts;
+  if (msg.attempts > 1) ++channel.stats.retries;
+  std::string wire_tag =
+      kDataPrefix + std::to_string(msg.seq) + ":" + msg.tag;
+  Result<MicrosT> eta = network_->Send(msg.from, msg.to, msg.bytes,
+                                       std::move(wire_tag), msg.payload);
+  // The timeout runs from the expected arrival, so a long transfer on a
+  // slow link does not look like a loss. A failed send (link down right
+  // now) just burns the attempt and waits out the same timeout.
+  MicrosT basis = eta.ok() ? std::max(*eta, now) : now;
+  msg.next_deadline = basis + msg.timeout;
+  return eta.ok() ? *eta : 0;
+}
+
+Result<SendHandle> ReliableTransport::Send(NodeId from, NodeId to,
+                                           size_t bytes, std::string tag,
+                                           Bytes payload) {
+  if (from < 0 || static_cast<size_t>(from) >= network_->num_nodes() ||
+      to < 0 || static_cast<size_t>(to) >= network_->num_nodes()) {
+    return Status::OutOfRange("no such node");
+  }
+  if (payload.size() > bytes) {
+    return Status::InvalidArgument(
+        "payload of " + std::to_string(payload.size()) +
+        " bytes exceeds billed wire size " + std::to_string(bytes));
+  }
+  Channel& channel = channels_[{from, to}];
+  InFlight msg;
+  msg.id = next_id_++;
+  msg.from = from;
+  msg.to = to;
+  msg.seq = channel.next_seq++;
+  msg.bytes = bytes;
+  msg.tag = std::move(tag);
+  msg.payload = std::move(payload);
+  msg.timeout = policy_.initial_timeout_micros;
+  msg.first_sent_at = network_->clock()->NowMicros();
+  ++channel.stats.sent;
+  channel.unacked_by_seq[msg.seq] = msg.id;
+  MicrosT eta = Attempt(msg);
+  SendHandle handle{msg.id, eta};
+  inflight_.emplace(msg.id, std::move(msg));
+  return handle;
+}
+
+void ReliableTransport::Process(Delivery delivery,
+                                std::vector<Delivery>* out) {
+  if (HasPrefix(delivery.tag, kAckPrefix)) {
+    uint64_t seq = 0;
+    if (!ParseSeq(delivery.tag, sizeof(kAckPrefix) - 1, &seq, nullptr)) {
+      return;
+    }
+    // The ack travelled receiver -> sender; the data channel is the
+    // reverse direction.
+    Channel& channel = channels_[{delivery.to, delivery.from}];
+    auto by_seq = channel.unacked_by_seq.find(seq);
+    if (by_seq == channel.unacked_by_seq.end()) return;  // stale duplicate
+    MsgId id = by_seq->second;
+    channel.unacked_by_seq.erase(by_seq);
+    auto it = inflight_.find(id);
+    if (it != inflight_.end()) {
+      completed_[id] =
+          Completed{SendState::kAcked, delivery.delivered_at,
+                    it->second.attempts};
+      inflight_.erase(it);
+      ++channel.stats.acked;
+    }
+    return;
+  }
+  if (HasPrefix(delivery.tag, kDataPrefix)) {
+    uint64_t seq = 0;
+    std::string app_tag;
+    if (!ParseSeq(delivery.tag, sizeof(kDataPrefix) - 1, &seq, &app_tag)) {
+      return;
+    }
+    Channel& channel = channels_[{delivery.from, delivery.to}];
+    // Ack every copy (the sender keeps retransmitting until one ack
+    // survives the reverse link); without a reverse link the sender's
+    // retry budget decides the message's fate.
+    if (network_->HasLink(delivery.to, delivery.from)) {
+      network_
+          ->Send(delivery.to, delivery.from, kAckBytes,
+                 kAckPrefix + std::to_string(seq))
+          .status()
+          .ok();
+      ++channel.stats.acks_sent;
+    }
+    if (!channel.seen.insert(seq).second) {
+      ++channel.stats.duplicates_suppressed;
+      return;
+    }
+    delivery.tag = std::move(app_tag);
+    out->push_back(std::move(delivery));
+    return;
+  }
+  // Non-reliable traffic sharing the wire passes through untouched.
+  out->push_back(std::move(delivery));
+}
+
+void ReliableTransport::HandleTimeouts(MicrosT now) {
+  std::vector<MsgId> due;
+  for (const auto& [id, msg] : inflight_) {
+    if (msg.next_deadline <= now) due.push_back(id);
+  }
+  std::vector<FailedMessage> failures;
+  for (MsgId id : due) {
+    auto it = inflight_.find(id);
+    if (it == inflight_.end()) continue;
+    InFlight& msg = it->second;
+    if (msg.attempts >= policy_.max_attempts) {
+      Channel& channel = channels_[{msg.from, msg.to}];
+      channel.unacked_by_seq.erase(msg.seq);
+      ++channel.stats.failed;
+      completed_[id] = Completed{SendState::kFailed, 0, msg.attempts};
+      failures.push_back(
+          FailedMessage{id, msg.from, msg.to, msg.tag, msg.attempts});
+      inflight_.erase(it);
+      continue;
+    }
+    msg.timeout = std::min(
+        static_cast<MicrosT>(static_cast<double>(msg.timeout) *
+                             policy_.backoff_factor),
+        policy_.max_timeout_micros);
+    Attempt(msg);
+  }
+  // Fired after the in-flight table is consistent: the callback may call
+  // Send() (e.g. propagate an eviction) re-entrantly.
+  for (const FailedMessage& failure : failures) {
+    if (on_failure_) on_failure_(failure);
+  }
+}
+
+MicrosT ReliableTransport::NextRetryAt() const {
+  MicrosT next = -1;
+  for (const auto& [id, msg] : inflight_) {
+    if (next < 0 || msg.next_deadline < next) next = msg.next_deadline;
+  }
+  return next;
+}
+
+std::vector<Delivery> ReliableTransport::AdvanceTo(MicrosT t) {
+  std::vector<Delivery> out;
+  while (true) {
+    MicrosT next_net = network_->NextDeliveryAt();
+    MicrosT next_retry = NextRetryAt();
+    MicrosT next_event = next_net;
+    if (next_retry >= 0 && (next_event < 0 || next_retry < next_event)) {
+      next_event = next_retry;
+    }
+    if (next_event < 0 || next_event > t) break;
+    for (Delivery& delivery : network_->AdvanceTo(next_event)) {
+      Process(std::move(delivery), &out);
+    }
+    HandleTimeouts(network_->clock()->NowMicros());
+  }
+  for (Delivery& delivery : network_->AdvanceTo(t)) {
+    Process(std::move(delivery), &out);
+  }
+  HandleTimeouts(network_->clock()->NowMicros());
+  return out;
+}
+
+std::vector<Delivery> ReliableTransport::AdvanceUntilIdle() {
+  std::vector<Delivery> out;
+  while (true) {
+    MicrosT next_net = network_->NextDeliveryAt();
+    MicrosT next_retry = NextRetryAt();
+    MicrosT target = next_net;
+    if (next_retry >= 0 && (target < 0 || next_retry < target)) {
+      target = next_retry;
+    }
+    if (target < 0) break;
+    std::vector<Delivery> batch =
+        AdvanceTo(std::max(target, network_->clock()->NowMicros()));
+    out.insert(out.end(), std::make_move_iterator(batch.begin()),
+               std::make_move_iterator(batch.end()));
+  }
+  return out;
+}
+
+Result<SendState> ReliableTransport::StateOf(MsgId id) const {
+  if (inflight_.count(id) > 0) return SendState::kInFlight;
+  auto it = completed_.find(id);
+  if (it != completed_.end()) return it->second.state;
+  return Status::NotFound("no message with id " + std::to_string(id));
+}
+
+Result<MicrosT> ReliableTransport::AckedAt(MsgId id) const {
+  auto it = completed_.find(id);
+  if (it == completed_.end() || it->second.state != SendState::kAcked) {
+    return Status::FailedPrecondition(
+        "message " + std::to_string(id) + " is not acked");
+  }
+  return it->second.acked_at;
+}
+
+Result<int> ReliableTransport::AttemptsOf(MsgId id) const {
+  auto in = inflight_.find(id);
+  if (in != inflight_.end()) return in->second.attempts;
+  auto done = completed_.find(id);
+  if (done != completed_.end()) return done->second.attempts;
+  return Status::NotFound("no message with id " + std::to_string(id));
+}
+
+ChannelStats ReliableTransport::StatsFor(NodeId from, NodeId to) const {
+  auto it = channels_.find({from, to});
+  return it == channels_.end() ? ChannelStats() : it->second.stats;
+}
+
+ChannelStats ReliableTransport::TotalStats() const {
+  ChannelStats total;
+  for (const auto& [key, channel] : channels_) {
+    total.sent += channel.stats.sent;
+    total.attempts += channel.stats.attempts;
+    total.retries += channel.stats.retries;
+    total.acked += channel.stats.acked;
+    total.failed += channel.stats.failed;
+    total.duplicates_suppressed += channel.stats.duplicates_suppressed;
+    total.acks_sent += channel.stats.acks_sent;
+  }
+  return total;
+}
+
+}  // namespace mmconf::net

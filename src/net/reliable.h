@@ -1,0 +1,181 @@
+#ifndef MMCONF_NET_RELIABLE_H_
+#define MMCONF_NET_RELIABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "net/network.h"
+
+namespace mmconf::net {
+
+/// Identifier of a message accepted by the ReliableTransport.
+using MsgId = uint64_t;
+
+/// Retransmission schedule: a message is resent whenever no ack arrived
+/// within the current timeout (measured from the expected delivery time,
+/// so slow transfers do not trigger spurious retries); each retry
+/// multiplies the timeout by `backoff_factor` up to `max_timeout_micros`.
+/// After `max_attempts` total attempts the message fails.
+struct RetryPolicy {
+  MicrosT initial_timeout_micros = 250000;
+  double backoff_factor = 2.0;
+  MicrosT max_timeout_micros = 2000000;
+  int max_attempts = 5;
+};
+
+/// Lifecycle of a reliable message.
+enum class SendState {
+  kInFlight,  ///< sent, not yet acked; retries may still be pending
+  kAcked,     ///< the receiver acknowledged it
+  kFailed,    ///< retry budget exhausted without an ack
+};
+
+/// What Send() hands back: the id to query later and the sender's
+/// estimate of the first attempt's delivery time (0 when the link was
+/// down at send time and the first attempt could not be scheduled).
+struct SendHandle {
+  MsgId id = 0;
+  MicrosT first_attempt_eta = 0;
+};
+
+/// Per-channel (directed node pair) reliability counters.
+struct ChannelStats {
+  size_t sent = 0;                   ///< app messages accepted
+  size_t attempts = 0;               ///< wire attempts, first sends included
+  size_t retries = 0;                ///< attempts beyond the first
+  size_t acked = 0;                  ///< messages confirmed delivered
+  size_t failed = 0;                 ///< messages expired after the cap
+  size_t duplicates_suppressed = 0;  ///< receiver-side dedup hits
+  size_t acks_sent = 0;              ///< acks emitted by the receiver side
+};
+
+/// A message whose retry budget ran out, reported to the failure
+/// callback so the application can degrade gracefully (e.g. evict the
+/// unreachable room member) instead of wedging.
+struct FailedMessage {
+  MsgId id = 0;
+  NodeId from = 0;
+  NodeId to = 0;
+  std::string tag;
+  int attempts = 0;
+};
+
+/// Reliable-messaging layer over the lossy Network: per-channel sequence
+/// numbers, receiver-side dedup and acks, per-message timeout with
+/// exponential backoff and a retry cap. The transport owns no threads —
+/// like the Network it is pumped explicitly via AdvanceTo /
+/// AdvanceUntilIdle, which drain the wire, emit acks, retransmit
+/// timed-out messages and return the deduplicated application-level
+/// deliveries.
+///
+/// Callers that share the Network must pump it through the transport
+/// (the transport consumes every wire delivery, including non-reliable
+/// tags, and passes unrecognised ones through in its output).
+class ReliableTransport {
+ public:
+  explicit ReliableTransport(Network* network, RetryPolicy policy = {});
+
+  ReliableTransport(const ReliableTransport&) = delete;
+  ReliableTransport& operator=(const ReliableTransport&) = delete;
+
+  /// Accepts a message for reliable delivery. Unlike Network::Send this
+  /// succeeds even when the link is currently down — delivery is
+  /// attempted (and re-attempted) as the transport is pumped, so a link
+  /// that flaps back in time still gets the message; a link that stays
+  /// dead fails the message after the retry budget. OutOfRange for bad
+  /// nodes, InvalidArgument for an oversized payload.
+  Result<SendHandle> Send(NodeId from, NodeId to, size_t bytes,
+                          std::string tag, Bytes payload = {});
+
+  /// Pumps the wire and the retransmission schedule up to `t`; returns
+  /// application-level deliveries (deduplicated, tags restored) in
+  /// arrival order.
+  std::vector<Delivery> AdvanceTo(MicrosT t);
+
+  /// Pumps until no wire delivery and no retransmission remains. Always
+  /// terminates: every pending message either acks or exhausts its cap.
+  std::vector<Delivery> AdvanceUntilIdle();
+
+  /// NotFound for an id this transport never issued.
+  Result<SendState> StateOf(MsgId id) const;
+  /// Ack arrival time; FailedPrecondition unless the message is kAcked.
+  Result<MicrosT> AckedAt(MsgId id) const;
+  /// Total wire attempts the message consumed so far (>= 1).
+  Result<int> AttemptsOf(MsgId id) const;
+
+  /// Invoked (during Advance*) for each message whose retry budget runs
+  /// out. The callback may call back into the transport (e.g. Send
+  /// follow-up messages); it must not destroy the transport.
+  using FailureCallback = std::function<void(const FailedMessage&)>;
+  void SetFailureCallback(FailureCallback callback) {
+    on_failure_ = std::move(callback);
+  }
+
+  ChannelStats StatsFor(NodeId from, NodeId to) const;
+  ChannelStats TotalStats() const;
+  size_t in_flight() const { return inflight_.size(); }
+  const RetryPolicy& policy() const { return policy_; }
+  Network* network() const { return network_; }
+
+  /// Wire size of an ack message (billed on the reverse link).
+  static constexpr size_t kAckBytes = 16;
+
+ private:
+  struct InFlight {
+    MsgId id = 0;
+    NodeId from = 0;
+    NodeId to = 0;
+    uint64_t seq = 0;
+    size_t bytes = 0;
+    std::string tag;
+    Bytes payload;
+    int attempts = 0;
+    MicrosT timeout = 0;        ///< current (backed-off) timeout
+    MicrosT next_deadline = 0;  ///< retransmit when now reaches this
+    MicrosT first_sent_at = 0;
+  };
+
+  struct Channel {
+    uint64_t next_seq = 1;
+    std::map<uint64_t, MsgId> unacked_by_seq;  ///< sender side
+    std::set<uint64_t> seen;                   ///< receiver-side dedup
+    ChannelStats stats;
+  };
+
+  struct Completed {
+    SendState state = SendState::kAcked;
+    MicrosT acked_at = 0;
+    int attempts = 0;
+  };
+
+  /// One wire attempt for `msg` at the current time; updates the
+  /// deadline whether or not the link accepted the send.
+  MicrosT Attempt(InFlight& msg);
+  /// Routes one wire delivery: ack, reliable data (deduped + acked), or
+  /// pass-through for non-reliable traffic.
+  void Process(Delivery delivery, std::vector<Delivery>* out);
+  /// Retransmits or expires every in-flight message due at `now`.
+  void HandleTimeouts(MicrosT now);
+  /// Earliest retransmission deadline, or -1 when none pending.
+  MicrosT NextRetryAt() const;
+
+  Network* network_;
+  RetryPolicy policy_;
+  MsgId next_id_ = 1;
+  std::map<MsgId, InFlight> inflight_;
+  std::map<MsgId, Completed> completed_;
+  std::map<std::pair<NodeId, NodeId>, Channel> channels_;
+  FailureCallback on_failure_;
+};
+
+}  // namespace mmconf::net
+
+#endif  // MMCONF_NET_RELIABLE_H_

@@ -43,12 +43,15 @@ void ClientCache::Evict() {
   std::string victim;
   if (policy_ == CachePolicy::kPreference) {
     // Lowest score goes first; ties broken by LRU order (back of list).
+    // Walk from the back so the least recently used candidate is seen
+    // first and survives score ties.
     double worst = 0;
     bool first = true;
-    for (const auto& [key, entry] : entries_) {
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      const Entry& entry = entries_.find(*it)->second;
       if (first || entry.score < worst) {
         worst = entry.score;
-        victim = key;
+        victim = *it;
         first = false;
       }
     }

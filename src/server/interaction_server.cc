@@ -21,6 +21,95 @@ InteractionServer::InteractionServer(DatabaseServer* db,
       server_node_(server_node),
       db_node_(db_node) {}
 
+void InteractionServer::UseReliableTransport(
+    net::ReliableTransport* transport) {
+  transport_ = transport;
+  if (transport_ != nullptr) {
+    transport_->SetFailureCallback([this](const net::FailedMessage& failure) {
+      OnDeliveryFailure(failure);
+    });
+  }
+}
+
+Result<MicrosT> InteractionServer::Ship(net::NodeId from, net::NodeId to,
+                                        size_t bytes, std::string tag,
+                                        const std::string& room_id) {
+  if (transport_ == nullptr) {
+    return network_->Send(from, to, bytes, std::move(tag));
+  }
+  MMCONF_ASSIGN_OR_RETURN(net::SendHandle handle,
+                          transport_->Send(from, to, bytes, std::move(tag)));
+  if (!room_id.empty()) {
+    msg_room_[handle.id] = room_id;
+    outstanding_[room_id].push_back(handle.id);
+    ++room_stats_[room_id].messages;
+  }
+  return handle.first_attempt_eta;
+}
+
+void InteractionServer::OnDeliveryFailure(const net::FailedMessage& failure) {
+  auto tracked = msg_room_.find(failure.id);
+  if (tracked == msg_room_.end() || failure.from != server_node_) return;
+  const std::string room_id = tracked->second;
+  auto room_it = rooms_.find(room_id);
+  if (room_it == rooms_.end()) return;
+  Room* room = room_it->second.get();
+  std::map<std::string, net::NodeId>& members = endpoints_[room_id];
+  std::string viewer;
+  for (const auto& [name, node] : members) {
+    if (node == failure.to) {
+      viewer = name;
+      break;
+    }
+  }
+  if (viewer.empty()) return;  // already evicted by an earlier failure
+  members.erase(viewer);
+  ++room_stats_[room_id].evictions;
+  // The evicted member's pinned choices are released; the survivors get
+  // the resulting reconfiguration (reliably, so it retries too).
+  Result<ReconfigResult> result = room->Leave(viewer);
+  if (result.ok()) Propagate(room, *result, viewer).ok();
+}
+
+void InteractionServer::SettleRoomMessages(const std::string& room_id) {
+  if (transport_ == nullptr) return;
+  auto it = outstanding_.find(room_id);
+  if (it == outstanding_.end()) return;
+  RoomReliabilityStats& stats = room_stats_[room_id];
+  std::vector<net::MsgId> still_open;
+  for (net::MsgId id : it->second) {
+    Result<net::SendState> state = transport_->StateOf(id);
+    if (!state.ok()) continue;
+    if (*state == net::SendState::kInFlight) {
+      still_open.push_back(id);
+      continue;
+    }
+    int attempts = transport_->AttemptsOf(id).value_or(1);
+    if (attempts > 1) stats.retries += static_cast<size_t>(attempts - 1);
+    if (*state == net::SendState::kAcked) {
+      MicrosT acked = transport_->AckedAt(id).value_or(0);
+      stats.last_converged_at = std::max(stats.last_converged_at, acked);
+    }
+    msg_room_.erase(id);
+  }
+  it->second = std::move(still_open);
+}
+
+Result<RoomReliabilityStats> InteractionServer::RoomStats(
+    const std::string& room_id) {
+  if (rooms_.count(room_id) == 0 && room_stats_.count(room_id) == 0) {
+    return Status::NotFound("no room \"" + room_id + "\"");
+  }
+  SettleRoomMessages(room_id);
+  return room_stats_[room_id];
+}
+
+bool InteractionServer::RoomConverged(const std::string& room_id) {
+  SettleRoomMessages(room_id);
+  auto it = outstanding_.find(room_id);
+  return it == outstanding_.end() || it->second.empty();
+}
+
 Status InteractionServer::RegisterDocumentType() {
   if (db_->catalog().HasType("Document")) return Status::OK();
   MediaTypeEntry entry{"Document", "application/x-mm-document", "read-write",
@@ -36,7 +125,7 @@ Result<ObjectRef> InteractionServer::StoreDocument(
   Bytes encoded = document.Encode();
   // The store travels over the server -> db link.
   MMCONF_RETURN_IF_ERROR(
-      network_->Send(server_node_, db_node_, encoded.size(), "store-doc")
+      Ship(server_node_, db_node_, encoded.size(), "store-doc", "")
           .status());
   return db_->Store("Document", {{"FLD_NAME", name}},
                     {{"FLD_DATA", std::move(encoded)}});
@@ -51,7 +140,7 @@ Result<Room*> InteractionServer::OpenRoom(const std::string& room_id,
                           db_->FetchBlob(document_ref, "FLD_DATA"));
   // The fetch travels over the db -> server link.
   MMCONF_RETURN_IF_ERROR(
-      network_->Send(db_node_, server_node_, encoded.size(), "fetch-doc")
+      Ship(db_node_, server_node_, encoded.size(), "fetch-doc", "")
           .status());
   MMCONF_ASSIGN_OR_RETURN(MultimediaDocument document,
                           MultimediaDocument::Decode(encoded));
@@ -83,6 +172,12 @@ Status InteractionServer::CloseRoom(const std::string& room_id) {
     return Status::NotFound("no room \"" + room_id + "\"");
   }
   endpoints_.erase(room_id);
+  auto open = outstanding_.find(room_id);
+  if (open != outstanding_.end()) {
+    for (net::MsgId id : open->second) msg_room_.erase(id);
+    outstanding_.erase(open);
+  }
+  room_stats_.erase(room_id);
   return Status::OK();
 }
 
@@ -97,7 +192,7 @@ Result<ObjectRef> InteractionServer::ArchiveRoomLog(
   MMCONF_ASSIGN_OR_RETURN(Room * room, GetRoom(room_id));
   std::string minutes = room->RenderActionLog();
   MMCONF_RETURN_IF_ERROR(
-      network_->Send(server_node_, db_node_, minutes.size(), "archive-log")
+      Ship(server_node_, db_node_, minutes.size(), "archive-log", room_id)
           .status());
   return db_->Store("Text",
                     {{"FLD_TITLE", "minutes:" + room_id}},
@@ -118,7 +213,7 @@ Result<MicrosT> InteractionServer::Join(const std::string& room_id,
                                   LevelFor(client.node)));
   MMCONF_ASSIGN_OR_RETURN(
       MicrosT delivered,
-      network_->Send(server_node_, client.node, cost, "initial-content"));
+      Ship(server_node_, client.node, cost, "initial-content", room_id));
   bytes_propagated_ += cost;
   return delivered;
 }
@@ -134,6 +229,10 @@ Status InteractionServer::Leave(const std::string& room_id,
 Status InteractionServer::Propagate(Room* room, const ReconfigResult& result,
                                     const std::string& origin) {
   if (result.changed_components.empty()) return Status::OK();
+  if (transport_ != nullptr) {
+    room_stats_[room->id()].last_propagate_at =
+        network_->clock()->NowMicros();
+  }
   std::vector<std::string> unreachable;
   for (const auto& [viewer, node] : endpoints_[room->id()]) {
     if (viewer == origin) continue;
@@ -156,6 +255,15 @@ Status InteractionServer::Propagate(Room* room, const ReconfigResult& result,
       }
       delta_bytes += doc::TranscodedPresentationCost(
           *(*component)->AsPrimitive(), *presentation, level);
+    }
+    if (transport_ != nullptr) {
+      // Reliable path: the transport retries with backoff; a member is
+      // evicted via OnDeliveryFailure only once its budget is exhausted.
+      MMCONF_RETURN_IF_ERROR(Ship(server_node_, node, delta_bytes,
+                                  "presentation-delta", room->id())
+                                 .status());
+      bytes_propagated_ += delta_bytes;
+      continue;
     }
     Status sent = network_
                       ->Send(server_node_, node, delta_bytes,
@@ -215,8 +323,8 @@ Result<MicrosT> InteractionServer::Broadcast(const std::string& room_id,
   (void)room;
   MicrosT latest = 0;
   for (const auto& [viewer, node] : endpoints_[room_id]) {
-    MMCONF_ASSIGN_OR_RETURN(MicrosT delivered,
-                            network_->Send(server_node_, node, bytes, tag));
+    MMCONF_ASSIGN_OR_RETURN(
+        MicrosT delivered, Ship(server_node_, node, bytes, tag, room_id));
     latest = std::max(latest, delivered);
     bytes_propagated_ += bytes;
   }

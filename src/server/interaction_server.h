@@ -12,6 +12,7 @@
 #include "doc/document.h"
 #include "doc/tuning.h"
 #include "net/network.h"
+#include "net/reliable.h"
 #include "server/room.h"
 #include "storage/database.h"
 
@@ -21,6 +22,18 @@ namespace mmconf::server {
 struct ClientEndpoint {
   std::string viewer;
   net::NodeId node = 0;
+};
+
+/// Per-room reliability counters, maintained when the server runs over a
+/// ReliableTransport (see UseReliableTransport).
+struct RoomReliabilityStats {
+  size_t messages = 0;   ///< reliable messages shipped for this room
+  size_t retries = 0;    ///< extra wire attempts its messages consumed
+  size_t evictions = 0;  ///< members dropped after the retry budget ran out
+  /// When the last propagation round started / fully acked. Their
+  /// difference is the room's time-to-consistency for that round.
+  MicrosT last_propagate_at = 0;
+  MicrosT last_converged_at = 0;
 };
 
 /// The interaction-server tier of the paper's Fig. 1: "responsible for
@@ -44,6 +57,25 @@ class InteractionServer {
 
   InteractionServer(const InteractionServer&) = delete;
   InteractionServer& operator=(const InteractionServer&) = delete;
+
+  /// Routes all subsequent sends (client propagation, broadcasts, and
+  /// the server<->db hops) through `transport`, which must wrap the same
+  /// Network and outlive the server. With a transport, a member is no
+  /// longer evicted on the first failed send: messages are retried with
+  /// backoff, and only when the retry budget is exhausted does the
+  /// server evict the unreachable member and re-optimize for the
+  /// survivors. Installs the transport's failure callback.
+  void UseReliableTransport(net::ReliableTransport* transport);
+  net::ReliableTransport* transport() const { return transport_; }
+
+  /// Reliability counters for a room (zeroed when no transport is set).
+  /// Querying settles completed messages: retries and convergence time
+  /// reflect every ack the transport has processed so far.
+  Result<RoomReliabilityStats> RoomStats(const std::string& room_id);
+
+  /// True when every reliable message shipped for the room has been
+  /// acked or failed (always true without a transport).
+  bool RoomConverged(const std::string& room_id);
 
   /// Registers the "Document" media type (idempotent).
   Status RegisterDocumentType();
@@ -127,6 +159,19 @@ class InteractionServer {
   Status Propagate(Room* room, const ReconfigResult& result,
                    const std::string& origin);
 
+  /// One server-originated send: via the transport when configured
+  /// (tracking the message under `room_id` unless empty), else straight
+  /// on the wire. Returns the (estimated) delivery timestamp.
+  Result<MicrosT> Ship(net::NodeId from, net::NodeId to, size_t bytes,
+                       std::string tag, const std::string& room_id);
+
+  /// Transport failure callback: evicts the member behind the dead link
+  /// from the message's room and propagates the re-optimization.
+  void OnDeliveryFailure(const net::FailedMessage& failure);
+
+  /// Folds finished transport messages into the room's stats.
+  void SettleRoomMessages(const std::string& room_id);
+
   void FireTriggers(Room* room, const UserAction& action);
 
   /// Classifies a member's downlink for transcoding (kLow when the link
@@ -141,10 +186,16 @@ class InteractionServer {
 
   storage::DatabaseServer* db_;
   net::Network* network_;
+  net::ReliableTransport* transport_ = nullptr;
   net::NodeId server_node_;
   net::NodeId db_node_;
   std::map<std::string, std::unique_ptr<Room>> rooms_;
   std::map<std::string, std::map<std::string, net::NodeId>> endpoints_;
+  /// Transport bookkeeping: which room each reliable message belongs to,
+  /// and the not-yet-settled message ids per room.
+  std::map<net::MsgId, std::string> msg_room_;
+  std::map<std::string, std::vector<net::MsgId>> outstanding_;
+  std::map<std::string, RoomReliabilityStats> room_stats_;
   std::vector<RegisteredTrigger> triggers_;
   int next_trigger_id_ = 1;
   size_t bytes_propagated_ = 0;

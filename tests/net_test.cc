@@ -118,6 +118,128 @@ TEST_F(NetworkTest, PartitionCutsBothDirections) {
   network_->Partition(a_, b_);  // idempotent on missing links
 }
 
+TEST_F(NetworkTest, OversizedPayloadRejected) {
+  ASSERT_TRUE(network_->SetLink(a_, b_, {1e6, 0}).ok());
+  Bytes payload = {1, 2, 3, 4};
+  // Payload exactly filling the billed bytes is fine...
+  EXPECT_TRUE(network_->Send(a_, b_, 4, "exact", payload).ok());
+  // ...one byte over is not, and nothing is billed to the wire.
+  size_t sent_before = network_->BytesSent(a_, b_);
+  EXPECT_TRUE(network_->Send(a_, b_, 3, "over", payload)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_EQ(network_->BytesSent(a_, b_), sent_before);
+  EXPECT_EQ(network_->pending(), 1u);
+}
+
+TEST_F(NetworkTest, AdvanceToEarlierThanClockStillDrainsDueDeliveries) {
+  ASSERT_TRUE(network_->SetLink(a_, b_, {1e6, 0}).ok());
+  network_->Send(a_, b_, 50000, "due").value();  // due at t=50000
+  // Something else moved the shared clock past the delivery time.
+  clock_.AdvanceTo(200000);
+  // A stale target must not strand the already-due delivery.
+  std::vector<Delivery> due = network_->AdvanceTo(0);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].tag, "due");
+  EXPECT_EQ(clock_.NowMicros(), 200000);  // the clock never rewinds
+}
+
+TEST_F(NetworkTest, FaultRequiresLinkAndValidSpec) {
+  EXPECT_TRUE(network_->SetFault(a_, b_, {}).IsNotFound());
+  ASSERT_TRUE(network_->SetLink(a_, b_, {1e6, 0}).ok());
+  FaultSpec bad;
+  bad.drop_probability = 1.5;
+  EXPECT_TRUE(network_->SetFault(a_, b_, bad).IsInvalidArgument());
+  bad = FaultSpec();
+  bad.flaps.push_back({200, 100});
+  EXPECT_TRUE(network_->SetFault(a_, b_, bad).IsInvalidArgument());
+  EXPECT_TRUE(network_->SetFault(a_, b_, {}).ok());
+}
+
+TEST_F(NetworkTest, DropLosesMessagesDeterministically) {
+  ASSERT_TRUE(network_->SetLink(a_, b_, {1e6, 0}).ok());
+  FaultSpec fault;
+  fault.drop_probability = 0.5;
+  ASSERT_TRUE(network_->SetFault(a_, b_, fault).ok());
+  for (int i = 0; i < 100; ++i) {
+    // The sender still gets a delivery estimate for lost messages.
+    EXPECT_TRUE(network_->Send(a_, b_, 100, "m").ok());
+  }
+  size_t delivered = network_->AdvanceUntilIdle().size();
+  FaultStats stats = network_->GetFaultStats(a_, b_);
+  EXPECT_EQ(delivered + stats.dropped, 100u);
+  EXPECT_GT(stats.dropped, 20u);
+  EXPECT_LT(stats.dropped, 80u);
+
+  // An identically seeded fresh network reproduces the exact pattern.
+  Clock clock2;
+  Network other(&clock2);
+  NodeId a2 = other.AddNode("a"), b2 = other.AddNode("b");
+  ASSERT_TRUE(other.SetLink(a2, b2, {1e6, 0}).ok());
+  ASSERT_TRUE(other.SetFault(a2, b2, fault).ok());
+  for (int i = 0; i < 100; ++i) other.Send(a2, b2, 100, "m").value();
+  EXPECT_EQ(other.AdvanceUntilIdle().size(), delivered);
+  EXPECT_EQ(other.GetFaultStats(a2, b2).dropped, stats.dropped);
+}
+
+TEST_F(NetworkTest, DuplicationDeliversTwoCopies) {
+  ASSERT_TRUE(network_->SetLink(a_, b_, {1e6, 0}).ok());
+  FaultSpec fault;
+  fault.duplicate_probability = 1.0;
+  ASSERT_TRUE(network_->SetFault(a_, b_, fault).ok());
+  size_t bytes_before = network_->TotalBytesSent();
+  network_->Send(a_, b_, 1000, "dup").value();
+  EXPECT_EQ(network_->AdvanceUntilIdle().size(), 2u);
+  EXPECT_EQ(network_->GetFaultStats(a_, b_).duplicated, 1u);
+  // The sender transmitted once; the copy is not billed.
+  EXPECT_EQ(network_->TotalBytesSent(), bytes_before + 1000);
+}
+
+TEST_F(NetworkTest, JitterDelaysWithinBound) {
+  ASSERT_TRUE(network_->SetLink(a_, b_, {1e6, 10000}).ok());
+  FaultSpec fault;
+  fault.jitter_micros = 5000;
+  ASSERT_TRUE(network_->SetFault(a_, b_, fault).ok());
+  // 1000 bytes at 1 MB/s: base arrival = 1000 + 10000.
+  network_->Send(a_, b_, 1000, "j").value();
+  std::vector<Delivery> due = network_->AdvanceUntilIdle();
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_GE(due[0].delivered_at, 11000);
+  EXPECT_LE(due[0].delivered_at, 16000);
+}
+
+TEST_F(NetworkTest, FlapDropsOnlyInsideWindow) {
+  ASSERT_TRUE(network_->SetLink(a_, b_, {1e6, 0}).ok());
+  FaultSpec fault;
+  fault.flaps.push_back({100000, 200000});
+  ASSERT_TRUE(network_->SetFault(a_, b_, fault).ok());
+  network_->Send(a_, b_, 100, "before").value();
+  clock_.AdvanceTo(150000);
+  network_->Send(a_, b_, 100, "inside").value();
+  clock_.AdvanceTo(250000);
+  network_->Send(a_, b_, 100, "after").value();
+  std::vector<Delivery> due = network_->AdvanceUntilIdle();
+  ASSERT_EQ(due.size(), 2u);
+  EXPECT_EQ(due[0].tag, "before");
+  EXPECT_EQ(due[1].tag, "after");
+  EXPECT_EQ(network_->GetFaultStats(a_, b_).flap_dropped, 1u);
+}
+
+TEST_F(NetworkTest, ClearFaultRestoresPerfectLink) {
+  ASSERT_TRUE(network_->SetLink(a_, b_, {1e6, 0}).ok());
+  FaultSpec fault;
+  fault.drop_probability = 1.0;
+  ASSERT_TRUE(network_->SetFault(a_, b_, fault).ok());
+  network_->Send(a_, b_, 100, "lost").value();
+  network_->ClearFault(a_, b_);
+  network_->Send(a_, b_, 100, "kept").value();
+  std::vector<Delivery> due = network_->AdvanceUntilIdle();
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].tag, "kept");
+  // Stats survive the clear for post-mortem reporting.
+  EXPECT_EQ(network_->TotalFaultStats().dropped, 1u);
+}
+
 TEST_F(NetworkTest, SlowLinkDeliversLater) {
   NodeId c = network_->AddNode("c");
   ASSERT_TRUE(network_->SetLink(a_, b_, {10e6, 10000}).ok());   // fast

@@ -136,6 +136,25 @@ TEST(CacheTest, PreferenceEvictsLowestScore) {
   EXPECT_TRUE(cache.Contains("new"));
 }
 
+TEST(CacheTest, PreferenceBreaksScoreTiesByLruRecency) {
+  ClientCache cache(300, CachePolicy::kPreference);
+  // All scores tie; recency must decide, not map key order.
+  ASSERT_TRUE(cache.Insert("a", 100, 2.0).ok());
+  ASSERT_TRUE(cache.Insert("b", 100, 2.0).ok());
+  ASSERT_TRUE(cache.Insert("c", 100, 2.0).ok());
+  EXPECT_TRUE(cache.Lookup("a"));  // refresh a; b is now coldest
+  ASSERT_TRUE(cache.Insert("d", 100, 2.0).ok());
+  EXPECT_FALSE(cache.Contains("b"));
+  EXPECT_TRUE(cache.Contains("a"));
+  EXPECT_TRUE(cache.Contains("c"));
+  EXPECT_TRUE(cache.Contains("d"));
+  // A genuinely lower score still wins over recency.
+  ASSERT_TRUE(cache.Insert("worse", 100, 1.0).ok());
+  EXPECT_FALSE(cache.Contains("c"));  // c was coldest among the ties
+  ASSERT_TRUE(cache.Insert("e", 100, 2.0).ok());
+  EXPECT_FALSE(cache.Contains("worse"));  // lowest score goes first
+}
+
 TEST(CacheTest, ReinsertUpdatesInPlace) {
   ClientCache cache(300, CachePolicy::kPreference);
   ASSERT_TRUE(cache.Insert("x", 100, 1.0).ok());

@@ -107,6 +107,93 @@ void BM_BruteForceCompletion(benchmark::State& state) {
 }
 BENCHMARK(BM_BruteForceCompletion)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
 
+/// Binary chain v0 -> v1 -> ... -> v(n-1): pinning v0 re-sweeps the
+/// whole net, pinning v(n-1) a single variable.
+CpNet MakeChainNet(int n) {
+  CpNet net;
+  for (int i = 0; i < n; ++i) {
+    net.AddVariable("v" + std::to_string(i), {"a", "b"});
+  }
+  net.SetUnconditionalPreference(0, {0, 1}).ok();
+  for (int i = 1; i < n; ++i) {
+    net.SetParents(i, {static_cast<VarId>(i - 1)}).ok();
+    net.SetPreference(i, {0}, {0, 1}).ok();
+    net.SetPreference(i, {1}, {1, 0}).ok();
+  }
+  net.Validate().ok();
+  return net;
+}
+
+/// Star: one root, n-1 children conditioned on it.
+CpNet MakeFanOutNet(int n) {
+  CpNet net;
+  for (int i = 0; i < n; ++i) {
+    net.AddVariable("v" + std::to_string(i), {"a", "b"});
+  }
+  net.SetUnconditionalPreference(0, {0, 1}).ok();
+  for (int i = 1; i < n; ++i) {
+    net.SetParents(i, {0}).ok();
+    net.SetPreference(i, {0}, {0, 1}).ok();
+    net.SetPreference(i, {1}, {1, 0}).ok();
+  }
+  net.Validate().ok();
+  return net;
+}
+
+/// Full re-sweep under a single-variable pin — the "before" of the
+/// incremental re-optimization; compare against BM_RecompleteFrom* with
+/// the same shape and pin.
+void BM_PinnedFullSweep(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  CpNet net = state.range(1) == 0 ? MakeChainNet(n) : MakeFanOutNet(n);
+  VarId pinned = static_cast<VarId>(n - 1);  // leaf / one spoke
+  Assignment evidence(net.num_variables());
+  evidence.Set(pinned, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.OptimalCompletion(evidence));
+  }
+  state.counters["vars"] = n;
+}
+BENCHMARK(BM_PinnedFullSweep)
+    ->Args({64, 0})
+    ->Args({512, 0})
+    ->Args({64, 1})
+    ->Args({512, 1});
+
+void BM_RecompleteFromLeaf(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  CpNet net = state.range(1) == 0 ? MakeChainNet(n) : MakeFanOutNet(n);
+  VarId pinned = static_cast<VarId>(n - 1);  // cone of size 1
+  Assignment base = net.OptimalOutcome().value();
+  Assignment scratch(net.num_variables());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.RecompleteInto(base, pinned, 1, &scratch));
+  }
+  state.counters["vars"] = n;
+  state.counters["cone"] =
+      static_cast<double>(net.DescendantCone(pinned).size());
+}
+BENCHMARK(BM_RecompleteFromLeaf)
+    ->Args({64, 0})
+    ->Args({512, 0})
+    ->Args({64, 1})
+    ->Args({512, 1});
+
+void BM_RecompleteFromRoot(benchmark::State& state) {
+  // Worst case: the pin's cone is the whole net, so the incremental
+  // sweep degenerates to the full one (minus the allocation).
+  int n = static_cast<int>(state.range(0));
+  CpNet net = state.range(1) == 0 ? MakeChainNet(n) : MakeFanOutNet(n);
+  Assignment base = net.OptimalOutcome().value();
+  Assignment scratch(net.num_variables());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.RecompleteInto(base, 0, 1, &scratch));
+  }
+  state.counters["vars"] = n;
+  state.counters["cone"] = static_cast<double>(net.DescendantCone(0).size());
+}
+BENCHMARK(BM_RecompleteFromRoot)->Args({512, 0})->Args({512, 1});
+
 void BM_ImprovingFlips(benchmark::State& state) {
   Rng rng(7);
   CpNet net = mmconf::doc::MakeRandomCpNet(

@@ -2,10 +2,20 @@
 // cache hit rate and simulated response time of the client buffer under
 // three policies (no cache, LRU, preference-based prefetch), swept over
 // buffer size, against a preference-correlated stream of viewer choices.
+//
+// Plus the incremental-ranking ablation: RankCandidates (descendant-cone
+// re-sweeps + dense accumulators) against RankCandidatesBaseline (full
+// sweeps + string-keyed maps) over wide, deep-chain, and high-fan-out
+// documents, with an output-equality sanity check. Results are printed
+// and written as machine-readable JSON (BENCH_prefetch.json; override
+// with --json_out=PATH). --smoke shrinks the scenarios for a ctest-able
+// perf smoke run and skips the slower ablations.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -133,6 +143,201 @@ void PrintAblation() {
   std::printf("\n");
 }
 
+// --- Incremental-ranking ablation -----------------------------------
+
+double NowUs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+             .count() /
+         1000.0;
+}
+
+/// Rotates a domain-name ranking by `shift` — a cheap way to make a
+/// component's preference genuinely conditional on a parent value.
+std::vector<std::string> RotatedRanking(
+    const std::vector<std::string>& names, size_t shift) {
+  std::vector<std::string> ranking;
+  ranking.reserve(names.size());
+  for (size_t i = 0; i < names.size(); ++i) {
+    ranking.push_back(names[(i + shift) % names.size()]);
+  }
+  return ranking;
+}
+
+/// Chains every leaf's preference on the previous leaf while the tree
+/// itself nests one group per level: both the component hierarchy and
+/// the CP-net are `depth` deep, so a pin near the top re-sweeps almost
+/// everything and a pin near the bottom almost nothing.
+MultimediaDocument MakeDeepChainDocument(int depth) {
+  doc::TreeBuilder builder("root");
+  std::string parent = "root";
+  for (int i = 0; i < depth; ++i) {
+    std::string group = "g" + std::to_string(i);
+    std::string leaf = "leaf" + std::to_string(i);
+    builder.Group(parent, group);
+    builder.Leaf(group, leaf,
+                 {"Image", static_cast<uint64_t>(i), 64u << 10},
+                 doc::ImagePresentations());
+    parent = group;
+  }
+  MultimediaDocument document = builder.Build().value();
+  for (int i = 1; i < depth; ++i) {
+    std::string prev = "leaf" + std::to_string(i - 1);
+    std::string leaf = "leaf" + std::to_string(i);
+    document.SetParentsByName(leaf, {prev}).ok();
+    std::vector<std::string> prev_names =
+        document.Find(prev).value()->DomainValueNames();
+    std::vector<std::string> leaf_names =
+        document.Find(leaf).value()->DomainValueNames();
+    for (size_t v = 0; v < prev_names.size(); ++v) {
+      document
+          .SetPreferenceByName(leaf, {prev_names[v]},
+                               RotatedRanking(leaf_names, v))
+          .ok();
+    }
+  }
+  document.Finalize().ok();
+  return document;
+}
+
+/// One hub leaf that every other leaf's preference conditions on: a pin
+/// of the hub re-sweeps every leaf, a pin of a spoke only itself.
+MultimediaDocument MakeFanOutDocument(int leaves) {
+  doc::TreeBuilder builder("root");
+  builder.Leaf("root", "hub", {"Image", 0, 64u << 10},
+               doc::ImagePresentations());
+  for (int i = 1; i < leaves; ++i) {
+    builder.Leaf("root", "leaf" + std::to_string(i),
+                 {"Image", static_cast<uint64_t>(i), 64u << 10},
+                 doc::ImagePresentations());
+  }
+  MultimediaDocument document = builder.Build().value();
+  std::vector<std::string> hub_names =
+      document.Find("hub").value()->DomainValueNames();
+  for (int i = 1; i < leaves; ++i) {
+    std::string leaf = "leaf" + std::to_string(i);
+    document.SetParentsByName(leaf, {"hub"}).ok();
+    std::vector<std::string> leaf_names =
+        document.Find(leaf).value()->DomainValueNames();
+    for (size_t v = 0; v < hub_names.size(); ++v) {
+      document
+          .SetPreferenceByName(leaf, {hub_names[v]},
+                               RotatedRanking(leaf_names, v))
+          .ok();
+    }
+  }
+  document.Finalize().ok();
+  return document;
+}
+
+struct ScenarioResult {
+  std::string name;
+  size_t components = 0;
+  size_t candidates = 0;
+  double baseline_us = 0;  ///< per RankCandidatesBaseline call
+  double fast_us = 0;      ///< per RankCandidates call
+  bool identical = false;  ///< outputs byte-identical
+  double Speedup() const {
+    return fast_us > 0 ? baseline_us / fast_us : 0;
+  }
+};
+
+bool SameRanking(const std::vector<PrefetchCandidate>& a,
+                 const std::vector<PrefetchCandidate>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].component != b[i].component ||
+        a[i].presentation != b[i].presentation ||
+        a[i].score != b[i].score || a[i].cost_bytes != b[i].cost_bytes) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ScenarioResult RunScenario(const std::string& name,
+                           MultimediaDocument document, int reps) {
+  PrefetchPredictor predictor(&document);
+  Assignment config = document.DefaultPresentation().value();
+  ScenarioResult result;
+  result.name = name;
+  result.components = document.num_components();
+
+  std::vector<PrefetchCandidate> baseline =
+      predictor.RankCandidatesBaseline(config).value();
+  std::vector<PrefetchCandidate> fast =
+      predictor.RankCandidates(config).value();
+  result.candidates = fast.size();
+  result.identical = SameRanking(fast, baseline);
+
+  double t0 = NowUs();
+  for (int rep = 0; rep < reps; ++rep) {
+    benchmark::DoNotOptimize(predictor.RankCandidatesBaseline(config));
+  }
+  result.baseline_us = (NowUs() - t0) / reps;
+  double t1 = NowUs();
+  for (int rep = 0; rep < reps; ++rep) {
+    benchmark::DoNotOptimize(predictor.RankCandidates(config));
+  }
+  result.fast_us = (NowUs() - t1) / reps;
+  return result;
+}
+
+std::vector<ScenarioResult> RunRankingAblation(bool smoke) {
+  Rng rng(2002);
+  const int reps = smoke ? 2 : 10;
+  std::vector<ScenarioResult> results;
+  results.push_back(RunScenario(
+      "wide-document",
+      doc::MakeRandomDocument(smoke ? 4 : 6, smoke ? 16 : 48, rng).value(),
+      reps));
+  results.push_back(RunScenario(
+      "deep-chain", MakeDeepChainDocument(smoke ? 8 : 24), reps));
+  results.push_back(RunScenario(
+      "high-fanout", MakeFanOutDocument(smoke ? 12 : 40), reps));
+
+  std::printf("== Prefetch ranking: incremental re-sweep vs full-sweep "
+              "baseline (%s) ==\n", smoke ? "smoke" : "full");
+  std::printf("%-16s %-12s %-12s %-14s %-14s %-10s %s\n", "scenario",
+              "components", "candidates", "baseline(us)", "fast(us)",
+              "speedup", "identical");
+  for (const ScenarioResult& result : results) {
+    std::printf("%-16s %-12zu %-12zu %-14.1f %-14.1f %-10.1f %s\n",
+                result.name.c_str(), result.components, result.candidates,
+                result.baseline_us, result.fast_us, result.Speedup(),
+                result.identical ? "yes" : "NO");
+  }
+  std::printf("\n");
+  return results;
+}
+
+bool WriteJson(const std::string& path,
+               const std::vector<ScenarioResult>& results, bool smoke) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"prefetch_ranking\",\n"
+               "  \"smoke\": %s,\n  \"scenarios\": [\n",
+               smoke ? "true" : "false");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& result = results[i];
+    std::fprintf(
+        out,
+        "    {\"name\": \"%s\", \"components\": %zu, \"candidates\": %zu, "
+        "\"baseline_us\": %.3f, \"fast_us\": %.3f, \"speedup\": %.2f, "
+        "\"identical\": %s}%s\n",
+        result.name.c_str(), result.components, result.candidates,
+        result.baseline_us, result.fast_us, result.Speedup(),
+        result.identical ? "true" : "false",
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  return true;
+}
+
 void BM_RankCandidates(benchmark::State& state) {
   Rng rng(9);
   MultimediaDocument document =
@@ -147,6 +352,21 @@ void BM_RankCandidates(benchmark::State& state) {
   state.counters["leaves"] = static_cast<double>(state.range(0));
 }
 BENCHMARK(BM_RankCandidates)->Arg(8)->Arg(24)->Arg(64);
+
+void BM_RankCandidatesBaseline(benchmark::State& state) {
+  Rng rng(9);
+  MultimediaDocument document =
+      doc::MakeRandomDocument(static_cast<int>(state.range(0)) / 4,
+                              static_cast<int>(state.range(0)), rng)
+          .value();
+  PrefetchPredictor predictor(&document);
+  Assignment config = document.DefaultPresentation().value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predictor.RankCandidatesBaseline(config));
+  }
+  state.counters["leaves"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_RankCandidatesBaseline)->Arg(8)->Arg(24)->Arg(64);
 
 void BM_CacheLookupInsert(benchmark::State& state) {
   ClientCache cache(1 << 20, CachePolicy::kLru);
@@ -165,8 +385,33 @@ BENCHMARK(BM_CacheLookupInsert);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_prefetch.json";
+  // Strip our flags before google-benchmark sees (and rejects) them.
+  std::vector<char*> passthrough = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--json_out=", 11) == 0) {
+      json_path = argv[i] + 11;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  std::vector<ScenarioResult> results = RunRankingAblation(smoke);
+  bool wrote = WriteJson(json_path, results, smoke);
+  bool identical = true;
+  for (const ScenarioResult& result : results) {
+    identical = identical && result.identical;
+  }
+  if (smoke) {
+    // ctest perf smoke: fail when the implementations disagree or the
+    // JSON cannot be produced; timing itself is not asserted.
+    return identical && wrote ? 0 : 1;
+  }
   PrintAblation();
-  benchmark::Initialize(&argc, argv);
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return identical && wrote ? 0 : 1;
 }

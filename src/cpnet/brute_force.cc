@@ -60,6 +60,26 @@ Result<Assignment> BruteForceOptimalCompletion(const CpNet& net,
       "no flip-free completion found; CP-net is not consistent");
 }
 
+Result<Assignment> BruteForceRecompleteFrom(const CpNet& net,
+                                            const Assignment& evidence,
+                                            VarId pinned, ValueId value) {
+  if (evidence.size() != net.num_variables()) {
+    return Status::InvalidArgument("evidence size mismatch");
+  }
+  if (pinned < 0 || static_cast<size_t>(pinned) >= net.num_variables()) {
+    return Status::OutOfRange("no variable with id " +
+                              std::to_string(pinned));
+  }
+  if (value < 0 || value >= net.DomainSize(pinned)) {
+    return Status::OutOfRange("value " + std::to_string(value) +
+                              " outside domain of \"" +
+                              net.VariableName(pinned) + "\"");
+  }
+  Assignment extended = evidence;
+  extended.Set(pinned, value);
+  return BruteForceOptimalCompletion(net, extended);
+}
+
 Result<OutcomeRelation> CompareOutcomes(const CpNet& net,
                                         const Assignment& a,
                                         const Assignment& b,

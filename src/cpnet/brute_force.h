@@ -30,6 +30,14 @@ Result<std::vector<Assignment>> EnumerateCompletions(
 Result<Assignment> BruteForceOptimalCompletion(const CpNet& net,
                                                const Assignment& evidence);
 
+/// Oracle for CpNet::RecompleteFrom: the brute-force optimal completion
+/// of `evidence` with `pinned` additionally frozen at `value`. When
+/// `evidence` assigns nothing inside pinned's descendant cone, this must
+/// agree with RecompleteFrom(OptimalCompletion(evidence), pinned, value).
+Result<Assignment> BruteForceRecompleteFrom(const CpNet& net,
+                                            const Assignment& evidence,
+                                            VarId pinned, ValueId value);
+
 /// Result of a dominance query.
 enum class Dominance {
   kDominates,     ///< `better` is reachable from `worse` by improving flips

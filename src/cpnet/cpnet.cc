@@ -110,6 +110,55 @@ Status CpNet::Validate() {
     }
   }
   topo_order_ = std::move(order);
+  children_ = std::move(children);
+
+  // Mixed-radix parent strides: the CPT row of v under an outcome is
+  // sum_i strides[i] * outcome[parents[i]], matching Cpt::RowIndex (first
+  // parent most significant).
+  parent_strides_.assign(n, {});
+  for (size_t v = 0; v < n; ++v) {
+    const std::vector<VarId>& parents = variables_[v].parents;
+    std::vector<size_t>& strides = parent_strides_[v];
+    strides.assign(parents.size(), 1);
+    for (size_t i = parents.size(); i-- > 1;) {
+      strides[i - 1] =
+          strides[i] * static_cast<size_t>(DomainSize(parents[i]));
+    }
+  }
+
+  // Descendant cones (v plus everything reachable via child arcs), each
+  // in topological order — the re-sweep schedule of RecompleteFrom.
+  std::vector<size_t> topo_pos(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    topo_pos[static_cast<size_t>(topo_order_[i])] = i;
+  }
+  descendant_cone_.assign(n, {});
+  std::vector<char> reached(n);
+  std::vector<VarId> stack;
+  for (size_t v = 0; v < n; ++v) {
+    std::fill(reached.begin(), reached.end(), 0);
+    stack.assign(1, static_cast<VarId>(v));
+    reached[v] = 1;
+    while (!stack.empty()) {
+      VarId at = stack.back();
+      stack.pop_back();
+      for (VarId c : children_[static_cast<size_t>(at)]) {
+        if (!reached[static_cast<size_t>(c)]) {
+          reached[static_cast<size_t>(c)] = 1;
+          stack.push_back(c);
+        }
+      }
+    }
+    std::vector<VarId>& cone = descendant_cone_[v];
+    for (size_t c = 0; c < n; ++c) {
+      if (reached[c]) cone.push_back(static_cast<VarId>(c));
+    }
+    std::sort(cone.begin(), cone.end(), [&](VarId a, VarId b) {
+      return topo_pos[static_cast<size_t>(a)] <
+             topo_pos[static_cast<size_t>(b)];
+    });
+  }
+
   validated_ = true;
   return Status::OK();
 }
@@ -139,6 +188,7 @@ const std::vector<VarId>& CpNet::Parents(VarId v) const {
 }
 
 std::vector<VarId> CpNet::Children(VarId v) const {
+  if (validated_) return children_[static_cast<size_t>(v)];
   std::vector<VarId> children;
   for (size_t c = 0; c < variables_.size(); ++c) {
     const std::vector<VarId>& parents = variables_[c].parents;
@@ -147,6 +197,10 @@ std::vector<VarId> CpNet::Children(VarId v) const {
     }
   }
   return children;
+}
+
+const std::vector<VarId>& CpNet::DescendantCone(VarId v) const {
+  return descendant_cone_[static_cast<size_t>(v)];
 }
 
 const Cpt& CpNet::CptOf(VarId v) const {
@@ -172,15 +226,46 @@ Result<std::vector<VarId>> CpNet::TopologicalOrder() const {
   return topo_order_;
 }
 
-Result<size_t> CpNet::RowFor(VarId v, const Assignment& outcome) const {
+Status CpNet::RowForError(VarId v, VarId parent, ValueId value) const {
   const Variable& var = variables_[static_cast<size_t>(v)];
+  if (value == kUnassigned) {
+    return Status::FailedPrecondition("parent \"" + VariableName(parent) +
+                                      "\" of \"" + var.name +
+                                      "\" is unassigned");
+  }
+  return Status::OutOfRange("parent value " + std::to_string(value) +
+                            " outside domain of size " +
+                            std::to_string(DomainSize(parent)));
+}
+
+Result<size_t> CpNet::RowFor(VarId v, const Assignment& outcome) const {
+  MMCONF_RETURN_IF_ERROR(CheckVar(v));
+  const Variable& var = variables_[static_cast<size_t>(v)];
+  if (validated_) {
+    // Hot path: the cached strides turn the row lookup into a dot
+    // product over the outcome — no temporary parent-value vector and no
+    // message construction unless a lookup actually fails.
+    const std::vector<size_t>& strides =
+        parent_strides_[static_cast<size_t>(v)];
+    size_t row = 0;
+    for (size_t i = 0; i < var.parents.size(); ++i) {
+      VarId p = var.parents[i];
+      if (static_cast<size_t>(p) >= outcome.size()) {
+        return RowForError(v, p, kUnassigned);
+      }
+      ValueId value = outcome.Get(p);
+      if (value < 0 || value >= DomainSize(p)) {
+        return RowForError(v, p, value);
+      }
+      row += strides[i] * static_cast<size_t>(value);
+    }
+    return row;
+  }
   std::vector<ValueId> parent_values;
   parent_values.reserve(var.parents.size());
   for (VarId p : var.parents) {
     if (!outcome.IsAssigned(p)) {
-      return Status::FailedPrecondition(
-          "parent \"" + VariableName(p) + "\" of \"" + var.name +
-          "\" is unassigned");
+      return RowForError(v, p, kUnassigned);
     }
     parent_values.push_back(outcome.Get(p));
   }
@@ -220,6 +305,44 @@ Result<Assignment> CpNet::OptimalCompletion(
   return outcome;
 }
 
+Status CpNet::RecompleteInto(const Assignment& base_outcome, VarId pinned,
+                             ValueId value, Assignment* out) const {
+  if (!validated_) {
+    return Status::FailedPrecondition("CP-net not validated");
+  }
+  if (out == nullptr) {
+    return Status::InvalidArgument("output assignment must not be null");
+  }
+  MMCONF_RETURN_IF_ERROR(CheckVar(pinned));
+  if (base_outcome.size() != variables_.size() ||
+      !base_outcome.IsComplete()) {
+    return Status::InvalidArgument(
+        "base outcome must be a full assignment over the network");
+  }
+  if (value < 0 || value >= DomainSize(pinned)) {
+    return Status::OutOfRange("value " + std::to_string(value) +
+                              " outside domain of \"" +
+                              VariableName(pinned) + "\"");
+  }
+  *out = base_outcome;  // Reuses out's storage when already sized.
+  out->Set(pinned, value);
+  for (VarId v : descendant_cone_[static_cast<size_t>(pinned)]) {
+    if (v == pinned) continue;  // The newly pinned choice is frozen.
+    MMCONF_ASSIGN_OR_RETURN(size_t row, RowFor(v, *out));
+    MMCONF_ASSIGN_OR_RETURN(
+        ValueId best, variables_[static_cast<size_t>(v)].cpt.BestValue(row));
+    out->Set(v, best);
+  }
+  return Status::OK();
+}
+
+Result<Assignment> CpNet::RecompleteFrom(const Assignment& base_outcome,
+                                         VarId pinned, ValueId value) const {
+  Assignment out;
+  MMCONF_RETURN_IF_ERROR(RecompleteInto(base_outcome, pinned, value, &out));
+  return out;
+}
+
 Result<ValueId> CpNet::PreferredValue(VarId v,
                                       const Assignment& outcome) const {
   MMCONF_RETURN_IF_ERROR(CheckVar(v));
@@ -240,11 +363,22 @@ Result<std::vector<Flip>> CpNet::ImprovingFlips(
     MMCONF_ASSIGN_OR_RETURN(size_t row,
                             RowFor(static_cast<VarId>(v), outcome));
     const Cpt& cpt = variables_[v].cpt;
-    MMCONF_ASSIGN_OR_RETURN(int current_rank,
-                            cpt.RankOf(row, outcome.Get(static_cast<VarId>(v))));
-    MMCONF_ASSIGN_OR_RETURN(PreferenceRanking ranking, cpt.Ranking(row));
-    for (int r = 0; r < current_rank; ++r) {
-      flips.push_back({static_cast<VarId>(v), ranking[static_cast<size_t>(r)]});
+    // Walk the ranking in place (no copy): everything ranked above the
+    // current value is an improving flip.
+    const PreferenceRanking* ranking = cpt.RankingOrNull(row);
+    if (ranking == nullptr) {
+      return Status::FailedPrecondition(
+          "CPT row of \"" + variables_[v].name + "\" has no ranking");
+    }
+    ValueId current = outcome.Get(static_cast<VarId>(v));
+    size_t rank = 0;
+    while (rank < ranking->size() && (*ranking)[rank] != current) ++rank;
+    if (rank == ranking->size()) {
+      return Status::InvalidArgument("value " + std::to_string(current) +
+                                     " not in domain");
+    }
+    for (size_t r = 0; r < rank; ++r) {
+      flips.push_back({static_cast<VarId>(v), (*ranking)[r]});
     }
   }
   return flips;

@@ -91,6 +91,33 @@ class CpNet {
   /// behind reconfigPresentation. Requires Validate().
   Result<Assignment> OptimalCompletion(const Assignment& evidence) const;
 
+  /// Incremental re-optimization: given `base_outcome` — a completion
+  /// produced by OptimalCompletion for evidence that assigns no variable
+  /// in `pinned`'s descendant cone (other than possibly `pinned` itself)
+  /// — returns the optimal completion of that same evidence with
+  /// `pinned` additionally frozen at `value`. Only the topological
+  /// suffix reachable from `pinned` (its descendant cone) is re-swept;
+  /// every other variable keeps its cached base value, which the sweep
+  /// would have reproduced anyway since `pinned` cannot influence it.
+  /// Requires Validate().
+  Result<Assignment> RecompleteFrom(const Assignment& base_outcome,
+                                    VarId pinned, ValueId value) const;
+
+  /// Allocation-free variant of RecompleteFrom: writes the result into
+  /// `*out`, reusing its storage when already sized to the network.
+  Status RecompleteInto(const Assignment& base_outcome, VarId pinned,
+                        ValueId value, Assignment* out) const;
+
+  /// Variables reachable from `v` via child arcs (v included), in
+  /// topological order — the suffix RecompleteFrom re-sweeps. Requires
+  /// Validate().
+  const std::vector<VarId>& DescendantCone(VarId v) const;
+
+  /// CPT row index of `v` under `outcome` (which must assign all parents
+  /// of v). On a validated net this reads the cached mixed-radix parent
+  /// strides and performs no allocation.
+  Result<size_t> RowFor(VarId v, const Assignment& outcome) const;
+
   /// Most preferred value of `v` given the parent values found in
   /// `outcome` (which must assign all parents of v).
   Result<ValueId> PreferredValue(VarId v, const Assignment& outcome) const;
@@ -116,12 +143,21 @@ class CpNet {
   };
 
   Status CheckVar(VarId v) const;
-  Result<size_t> RowFor(VarId v, const Assignment& outcome) const;
+  /// Cold-path error construction for RowFor (message strings are only
+  /// built once a lookup has already failed).
+  Status RowForError(VarId v, VarId parent, ValueId value) const;
 
   friend class CpNetEditor;  // online-update operations (update.h)
 
   std::vector<Variable> variables_;
   std::vector<VarId> topo_order_;
+  /// Query-time caches rebuilt by Validate(): children adjacency,
+  /// per-variable mixed-radix parent strides (row = sum strides[i] *
+  /// parent_value[i]), and per-variable descendant cones in topological
+  /// order.
+  std::vector<std::vector<VarId>> children_;
+  std::vector<std::vector<size_t>> parent_strides_;
+  std::vector<std::vector<VarId>> descendant_cone_;
   bool validated_ = false;
 };
 

@@ -84,30 +84,35 @@ Status Cpt::SetAllRankings(const PreferenceRanking& ranking) {
   return Status::OK();
 }
 
-Result<PreferenceRanking> Cpt::Ranking(size_t row) const {
+Status Cpt::RowError(size_t row) const {
   if (row >= rankings_.size()) {
     return Status::OutOfRange("row " + std::to_string(row));
   }
-  if (rankings_[row].empty()) {
-    return Status::FailedPrecondition("CPT row " + std::to_string(row) +
-                                      " has no ranking");
-  }
-  return rankings_[row];
+  return Status::FailedPrecondition("CPT row " + std::to_string(row) +
+                                    " has no ranking");
+}
+
+Result<PreferenceRanking> Cpt::Ranking(size_t row) const {
+  const PreferenceRanking* ranking = RankingOrNull(row);
+  if (ranking == nullptr) return RowError(row);
+  return *ranking;
 }
 
 Result<ValueId> Cpt::BestValue(size_t row) const {
-  MMCONF_ASSIGN_OR_RETURN(PreferenceRanking ranking, Ranking(row));
-  return ranking.front();
+  const PreferenceRanking* ranking = RankingOrNull(row);
+  if (ranking == nullptr) return RowError(row);
+  return ranking->front();
 }
 
 Result<int> Cpt::RankOf(size_t row, ValueId value) const {
-  MMCONF_ASSIGN_OR_RETURN(PreferenceRanking ranking, Ranking(row));
-  auto it = std::find(ranking.begin(), ranking.end(), value);
-  if (it == ranking.end()) {
+  const PreferenceRanking* ranking = RankingOrNull(row);
+  if (ranking == nullptr) return RowError(row);
+  auto it = std::find(ranking->begin(), ranking->end(), value);
+  if (it == ranking->end()) {
     return Status::InvalidArgument("value " + std::to_string(value) +
                                    " not in domain");
   }
-  return static_cast<int>(it - ranking.begin());
+  return static_cast<int>(it - ranking->begin());
 }
 
 bool Cpt::IsComplete() const {

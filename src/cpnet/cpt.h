@@ -55,6 +55,13 @@ class Cpt {
   /// Ranking for a row; FailedPrecondition if that row was never set.
   Result<PreferenceRanking> Ranking(size_t row) const;
 
+  /// The row's ranking without copying it, or nullptr when the row is out
+  /// of range or was never set — the hot-path counterpart of Ranking().
+  const PreferenceRanking* RankingOrNull(size_t row) const {
+    if (row >= rankings_.size() || rankings_[row].empty()) return nullptr;
+    return &rankings_[row];
+  }
+
   /// Most preferred value for a row.
   Result<ValueId> BestValue(size_t row) const;
 
@@ -67,6 +74,10 @@ class Cpt {
   std::vector<size_t> MissingRows() const;
 
  private:
+  /// Error for a row RankingOrNull rejected (cold path: the message is
+  /// only built once a query has already failed).
+  Status RowError(size_t row) const;
+
   std::vector<int> parent_domain_sizes_;
   int domain_size_ = 0;
   /// rankings_[row] is empty until set.

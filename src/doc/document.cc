@@ -13,6 +13,7 @@ using cpnet::ValueId;
 using cpnet::VarId;
 
 Status MultimediaDocument::BindTree() {
+  ++structure_version_;
   flat_ = FlattenTree(root_.get());
   if (flat_.empty()) {
     return Status::InvalidArgument("document has no components");
@@ -245,6 +246,39 @@ Result<bool> MultimediaDocument::IsVisible(
   return true;
 }
 
+Status MultimediaDocument::ComputeVisibility(
+    const Assignment& configuration, std::vector<char>* visible) const {
+  if (configuration.size() != net_.num_variables()) {
+    return Status::InvalidArgument("configuration size mismatch");
+  }
+  visible->assign(flat_.size(), 0);
+  for (size_t i = 0; i < flat_.size(); ++i) {
+    VarId var = static_cast<VarId>(i);
+    if (!configuration.IsAssigned(var)) {
+      return Status::InvalidArgument("configuration does not assign \"" +
+                                     flat_[i]->name() + "\"");
+    }
+    ValueId value = configuration.Get(var);
+    bool self_shown;
+    if (const PrimitiveMultimediaComponent* primitive =
+            flat_[i]->AsPrimitive()) {
+      if (value < 0 ||
+          static_cast<size_t>(value) >= primitive->presentations().size()) {
+        return Status::OutOfRange("value outside domain of \"" +
+                                  flat_[i]->name() + "\"");
+      }
+      self_shown = primitive->presentations()[static_cast<size_t>(value)]
+                       .kind != PresentationKind::kHidden;
+    } else {
+      self_shown = value != CompositeMultimediaComponent::kHidden;
+    }
+    int parent = parent_index_[i];
+    (*visible)[i] =
+        self_shown && (parent < 0 || (*visible)[static_cast<size_t>(parent)]);
+  }
+  return Status::OK();
+}
+
 Result<size_t> MultimediaDocument::DeliveryCostBytes(
     const Assignment& configuration) const {
   size_t total = 0;
@@ -424,6 +458,7 @@ MultimediaDocument::DiffConfigurations(const Assignment& before,
     if (!changed) continue;
     const MultimediaComponent* component = flat_[i];
     delta.changed_components.push_back(component->name());
+    delta.changed_vars.push_back(var);
     MMCONF_ASSIGN_OR_RETURN(bool visible,
                             IsVisible(after, component->name()));
     if (!visible || component->IsComposite()) continue;

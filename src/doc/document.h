@@ -63,6 +63,17 @@ class MultimediaDocument {
   Result<const MultimediaComponent*> Find(
       const std::string& component_name) const;
 
+  /// Component behind a bound variable id, without a name lookup.
+  /// Precondition: 0 <= var < num_components().
+  const MultimediaComponent* ComponentAt(cpnet::VarId var) const {
+    return flat_[static_cast<size_t>(var)];
+  }
+
+  /// Counter bumped every time the component tree is (re)bound to the
+  /// CP-net (Create/Decode/AddComponent/RemoveComponent). Caches holding
+  /// pointers into the tree use it to detect staleness.
+  uint64_t structure_version() const { return structure_version_; }
+
   const cpnet::CpNet& net() const { return net_; }
 
   /// --- Author preference elicitation (done off-line, once, by the
@@ -116,6 +127,15 @@ class MultimediaDocument {
   Result<bool> IsVisible(const cpnet::Assignment& configuration,
                          const std::string& component_name) const;
 
+  /// Visibility of *every* component under `configuration` in a single
+  /// pre-order pass (components precede their children in flat order, so
+  /// each entry reuses its parent's answer instead of re-walking the
+  /// ancestor chain). `(*visible)[i]` matches IsVisible for component i;
+  /// the vector is resized to num_components(). This is the hot-path
+  /// bulk form the prefetch ranker and the room presentation cache use.
+  Status ComputeVisibility(const cpnet::Assignment& configuration,
+                           std::vector<char>* visible) const;
+
   /// Total bytes needed to deliver the visible content of
   /// `configuration` (the Section 4.4 cost model).
   Result<size_t> DeliveryCostBytes(
@@ -130,6 +150,9 @@ class MultimediaDocument {
   /// `before` count as changed.
   struct ConfigurationDelta {
     std::vector<std::string> changed_components;
+    /// Variable ids of changed_components, same order — lets callers on
+    /// the propagation hot path skip the string lookups.
+    std::vector<cpnet::VarId> changed_vars;
     size_t redisplay_cost_bytes = 0;
   };
   Result<ConfigurationDelta> DiffConfigurations(
@@ -189,6 +212,7 @@ class MultimediaDocument {
   std::vector<int> parent_index_;  ///< flat index of parent, -1 for root
   std::map<std::string, cpnet::VarId> by_name_;
   cpnet::CpNet net_;
+  uint64_t structure_version_ = 0;
 };
 
 }  // namespace mmconf::doc

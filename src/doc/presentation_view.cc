@@ -1,0 +1,65 @@
+#include "doc/presentation_view.h"
+
+#include "doc/presentation.h"
+
+namespace mmconf::doc {
+
+Status PresentationView::ResolveEntry(const cpnet::Assignment& configuration,
+                                      cpnet::VarId var) {
+  Entry& entry = entries_[static_cast<size_t>(var)];
+  const MultimediaComponent* component = document_->ComponentAt(var);
+  const PrimitiveMultimediaComponent* primitive = component->AsPrimitive();
+  if (primitive == nullptr) {
+    entry = Entry{};
+    return Status::OK();
+  }
+  cpnet::ValueId value = configuration.Get(var);
+  if (value < 0 ||
+      static_cast<size_t>(value) >= primitive->presentations().size()) {
+    return Status::OutOfRange("value outside domain of \"" +
+                              primitive->name() + "\"");
+  }
+  entry.primitive = primitive;
+  entry.presentation = &primitive->presentations()[static_cast<size_t>(value)];
+  entry.cost_bytes = PresentationCostBytes(*entry.presentation,
+                                           primitive->content().content_bytes);
+  return Status::OK();
+}
+
+Status PresentationView::Rebuild(const cpnet::Assignment& configuration) {
+  const size_t n = document_->num_components();
+  // ComputeVisibility checks that every component variable is assigned
+  // and sized to the net, so the entry pass below can read values bare.
+  MMCONF_RETURN_IF_ERROR(
+      document_->ComputeVisibility(configuration, &visibility_));
+  entries_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    MMCONF_RETURN_IF_ERROR(
+        ResolveEntry(configuration, static_cast<cpnet::VarId>(i)));
+  }
+  structure_version_ = document_->structure_version();
+  return Status::OK();
+}
+
+Status PresentationView::Update(
+    const cpnet::Assignment& configuration,
+    const std::vector<cpnet::VarId>& changed_vars) {
+  if (structure_version_ != document_->structure_version() ||
+      entries_.size() != document_->num_components()) {
+    return Rebuild(configuration);
+  }
+  // Flipping any ancestor toggles its whole subtree, so visibility is
+  // always refreshed in full (one linear pass); only the presentation
+  // resolution is restricted to the changed variables.
+  MMCONF_RETURN_IF_ERROR(
+      document_->ComputeVisibility(configuration, &visibility_));
+  for (cpnet::VarId var : changed_vars) {
+    if (var < 0 || static_cast<size_t>(var) >= entries_.size()) {
+      continue;  // Extension variables carry no content to cache.
+    }
+    MMCONF_RETURN_IF_ERROR(ResolveEntry(configuration, var));
+  }
+  return Status::OK();
+}
+
+}  // namespace mmconf::doc

@@ -1,0 +1,83 @@
+#ifndef MMCONF_DOC_PRESENTATION_VIEW_H_
+#define MMCONF_DOC_PRESENTATION_VIEW_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "cpnet/assignment.h"
+#include "doc/document.h"
+
+namespace mmconf::doc {
+
+/// Cache of what one configuration of a document shows: for every
+/// component, whether it is visible (ancestors included) and, for
+/// primitives, the selected presentation option and its untranscoded
+/// delivery cost. A room keeps one of these in sync with its shared
+/// configuration so the propagation path answers "what does component v
+/// look like right now" without string lookups, ancestor walks, or
+/// per-member recomputation.
+///
+/// Invalidation rules:
+///  - Update(config, changed_vars) re-resolves presentations only for the
+///    changed variables; visibility is recomputed in one O(components)
+///    pre-order pass because flipping an ancestor changes its whole
+///    subtree's visibility.
+///  - A change of MultimediaDocument::structure_version() (component
+///    added/removed — the tree was rebound and cached pointers are
+///    stale) forces a full Rebuild regardless of changed_vars.
+class PresentationView {
+ public:
+  /// `document` must outlive the view. The view starts empty; call
+  /// Rebuild before querying.
+  explicit PresentationView(const MultimediaDocument* document)
+      : document_(document) {}
+
+  /// Full re-resolution of every component under `configuration`.
+  Status Rebuild(const cpnet::Assignment& configuration);
+
+  /// Incremental refresh after a reconfiguration whose delta is
+  /// `changed_vars` (variable ids whose value changed — extension
+  /// variables beyond num_components() are ignored). Falls back to
+  /// Rebuild when the document structure changed underneath the cache.
+  Status Update(const cpnet::Assignment& configuration,
+                const std::vector<cpnet::VarId>& changed_vars);
+
+  size_t num_components() const { return entries_.size(); }
+
+  /// Preconditions for the three accessors: 0 <= var < num_components()
+  /// and a successful Rebuild/Update.
+  bool visible(cpnet::VarId var) const {
+    return visibility_[static_cast<size_t>(var)] != 0;
+  }
+  /// The component as a primitive; nullptr for composites.
+  const PrimitiveMultimediaComponent* primitive(cpnet::VarId var) const {
+    return entries_[static_cast<size_t>(var)].primitive;
+  }
+  /// Selected presentation option; nullptr for composites.
+  const MMPresentation* presentation(cpnet::VarId var) const {
+    return entries_[static_cast<size_t>(var)].presentation;
+  }
+  /// PresentationCostBytes of the selected option (0 for composites).
+  size_t cost_bytes(cpnet::VarId var) const {
+    return entries_[static_cast<size_t>(var)].cost_bytes;
+  }
+
+ private:
+  struct Entry {
+    const PrimitiveMultimediaComponent* primitive = nullptr;
+    const MMPresentation* presentation = nullptr;
+    size_t cost_bytes = 0;
+  };
+
+  Status ResolveEntry(const cpnet::Assignment& configuration,
+                      cpnet::VarId var);
+
+  const MultimediaDocument* document_;
+  uint64_t structure_version_ = 0;  ///< 0 = never built
+  std::vector<Entry> entries_;
+  std::vector<char> visibility_;
+};
+
+}  // namespace mmconf::doc
+
+#endif  // MMCONF_DOC_PRESENTATION_VIEW_H_

@@ -41,7 +41,22 @@ class PrefetchPredictor {
   /// Ranks candidates given the current shared configuration. Items the
   /// current configuration already shows are excluded (the client holds
   /// them). Returns candidates sorted by descending score.
+  ///
+  /// Hot path: one unconstrained optimum is computed up front, each
+  /// hypothetical choice re-sweeps only the chosen variable's descendant
+  /// cone (CpNet::RecompleteInto into a reused scratch assignment),
+  /// visibility is answered by one bulk pass per completion, and weights
+  /// accumulate in a dense (variable, value)-indexed table resolved to
+  /// names once at the end. Produces byte-identical output to
+  /// RankCandidatesBaseline.
   Result<std::vector<PrefetchCandidate>> RankCandidates(
+      const cpnet::Assignment& current) const;
+
+  /// The straightforward reference implementation (full optimal
+  /// completion and per-component string queries per hypothetical
+  /// choice). Kept as the equivalence oracle for RankCandidates and as
+  /// the "before" leg of the prefetch benchmarks.
+  Result<std::vector<PrefetchCandidate>> RankCandidatesBaseline(
       const cpnet::Assignment& current) const;
 
  private:
@@ -50,7 +65,9 @@ class PrefetchPredictor {
 
 /// Greedy plan: the highest-score candidates that fit a byte budget
 /// (knapsack-by-rank, the natural policy when scores are likelihoods and
-/// the buffer drains in rank order).
+/// the buffer drains in rank order). Zero-cost candidates are skipped —
+/// there is nothing to deliver, and admitting them would make plans for
+/// tied budgets depend on incidental rank order.
 std::vector<PrefetchCandidate> PlanWithinBudget(
     std::vector<PrefetchCandidate> ranked, size_t budget_bytes);
 

@@ -233,29 +233,47 @@ Status InteractionServer::Propagate(Room* room, const ReconfigResult& result,
     room_stats_[room->id()].last_propagate_at =
         network_->clock()->NowMicros();
   }
+  // The room's presentation view already resolved result.configuration,
+  // so the changed items need no name lookups, ancestor walks, or
+  // per-member re-resolution: collect the visible changed primitives
+  // once, then price the delta once per bandwidth level (members on the
+  // same class of link ship the same bytes).
+  const doc::PresentationView& view = room->view();
+  std::vector<std::pair<const doc::PrimitiveMultimediaComponent*,
+                        const doc::MMPresentation*>>
+      changed_items;
+  changed_items.reserve(result.changed_vars.size());
+  for (cpnet::VarId var : result.changed_vars) {
+    if (var < 0 || static_cast<size_t>(var) >= view.num_components()) {
+      continue;  // operation / tuning variables carry no content
+    }
+    const doc::PrimitiveMultimediaComponent* primitive = view.primitive(var);
+    if (primitive == nullptr || !view.visible(var)) continue;
+    const doc::MMPresentation* presentation = view.presentation(var);
+    if (presentation->kind == doc::PresentationKind::kHidden) continue;
+    changed_items.push_back({primitive, presentation});
+  }
+  size_t level_delta[3] = {0, 0, 0};
+  bool level_priced[3] = {false, false, false};
+  auto delta_for = [&](doc::BandwidthLevel level) {
+    const size_t idx = static_cast<size_t>(level);
+    if (!level_priced[idx]) {
+      size_t total = 0;
+      for (const auto& [primitive, presentation] : changed_items) {
+        total +=
+            doc::TranscodedPresentationCost(*primitive, *presentation, level);
+      }
+      level_delta[idx] = total;
+      level_priced[idx] = true;
+    }
+    return level_delta[idx];
+  };
   std::vector<std::string> unreachable;
   for (const auto& [viewer, node] : endpoints_[room->id()]) {
     if (viewer == origin) continue;
     // Per-client delta: the changed components, transcoded for this
     // member's downlink.
-    doc::BandwidthLevel level = LevelFor(node);
-    size_t delta_bytes = 0;
-    for (const std::string& changed : result.changed_components) {
-      Result<const doc::MultimediaComponent*> component =
-          room->document().Find(changed);
-      if (!component.ok() || (*component)->IsComposite()) continue;
-      Result<bool> visible =
-          room->document().IsVisible(result.configuration, changed);
-      if (!visible.ok() || !*visible) continue;
-      Result<doc::MMPresentation> presentation =
-          room->document().PresentationFor(result.configuration, changed);
-      if (!presentation.ok() ||
-          presentation->kind == doc::PresentationKind::kHidden) {
-        continue;
-      }
-      delta_bytes += doc::TranscodedPresentationCost(
-          *(*component)->AsPrimitive(), *presentation, level);
-    }
+    size_t delta_bytes = delta_for(LevelFor(node));
     if (transport_ != nullptr) {
       // Reliable path: the transport retries with backoff; a member is
       // evicted via OnDeliveryFailure only once its budget is exhausted.

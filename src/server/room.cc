@@ -42,6 +42,9 @@ Room::Room(std::string id, MultimediaDocument document)
   configuration_ = initial.ok()
                        ? std::move(initial).value()
                        : Assignment(document_.num_variables());
+  // Best effort: an unassigned fallback configuration cannot be resolved;
+  // the first successful Reconfigure rebuilds the view.
+  view_.Rebuild(configuration_).ok();
 }
 
 std::vector<std::string> Room::members() const {
@@ -113,9 +116,11 @@ Result<ReconfigResult> Room::Reconfigure() {
   MMCONF_ASSIGN_OR_RETURN(
       doc::MultimediaDocument::ConfigurationDelta delta,
       document_.DiffConfigurations(configuration_, next));
+  MMCONF_RETURN_IF_ERROR(view_.Update(next, delta.changed_vars));
   ReconfigResult result;
   result.configuration = next;
   result.changed_components = std::move(delta.changed_components);
+  result.changed_vars = std::move(delta.changed_vars);
   result.delta_cost_bytes = delta.redisplay_cost_bytes;
   configuration_ = std::move(next);
   return result;

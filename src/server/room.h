@@ -11,6 +11,7 @@
 #include "cpnet/assignment.h"
 #include "cpnet/update.h"
 #include "doc/document.h"
+#include "doc/presentation_view.h"
 #include "imaging/freeze.h"
 #include "server/events.h"
 
@@ -24,6 +25,9 @@ namespace mmconf::server {
 struct ReconfigResult {
   cpnet::Assignment configuration;
   std::vector<std::string> changed_components;
+  /// Variable ids of changed_components, same order — the propagation
+  /// hot path uses these to index Room::view() without name lookups.
+  std::vector<cpnet::VarId> changed_vars;
   size_t delta_cost_bytes = 0;
 };
 
@@ -48,6 +52,11 @@ class Room {
   const doc::MultimediaDocument& document() const { return document_; }
   const cpnet::Assignment& configuration() const { return configuration_; }
   const std::vector<UserAction>& action_log() const { return action_log_; }
+
+  /// Resolved presentation/visibility cache for the current shared
+  /// configuration, kept in sync by Reconfigure (incrementally via the
+  /// delta's changed variables, fully after structural changes).
+  const doc::PresentationView& view() const { return view_; }
 
   /// Renders the action log as searchable text, one line per action —
   /// the consultation minutes ("The results of the discussions ... may
@@ -122,6 +131,7 @@ class Room {
   std::string id_;
   doc::MultimediaDocument document_;
   cpnet::Assignment configuration_;
+  doc::PresentationView view_{&document_};
   /// viewer -> (component -> latest choice). Choices are flattened in
   /// submission order so that when two partners pin the same component,
   /// the most recent submission wins regardless of viewer names.

@@ -5,6 +5,7 @@
 #include "doc/component.h"
 #include "doc/document.h"
 #include "doc/presentation.h"
+#include "doc/presentation_view.h"
 
 namespace mmconf::doc {
 namespace {
@@ -127,6 +128,117 @@ TEST_F(MedicalRecordTest, VisibilityFollowsAncestors) {
   EXPECT_TRUE(document_->IsVisible(default_config, "CT").value());
   // XRay hidden by its own presentation, not its ancestor.
   EXPECT_FALSE(document_->IsVisible(default_config, "XRay").value());
+}
+
+TEST_F(MedicalRecordTest, BulkVisibilityMatchesPerComponentQueries) {
+  for (const std::vector<ViewerChoice>& choices :
+       std::vector<std::vector<ViewerChoice>>{
+           {},
+           {{"CT", "hidden"}},
+           {{"Imaging", "hidden"}},
+           {{"CT", "hidden"}, {"XRay", "icon"}}}) {
+    Result<cpnet::Assignment> config =
+        document_->ReconfigPresentation(choices);
+    ASSERT_TRUE(config.ok()) << config.status();
+    std::vector<char> bulk;
+    ASSERT_TRUE(document_->ComputeVisibility(*config, &bulk).ok());
+    ASSERT_EQ(bulk.size(), document_->num_components());
+    for (size_t i = 0; i < document_->num_components(); ++i) {
+      const std::string& name = document_->components()[i]->name();
+      EXPECT_EQ(static_cast<bool>(bulk[i]),
+                document_->IsVisible(*config, name).value())
+          << name;
+    }
+  }
+  std::vector<char> bulk;
+  cpnet::Assignment partial(document_->num_variables());
+  EXPECT_FALSE(document_->ComputeVisibility(partial, &bulk).ok());
+}
+
+TEST_F(MedicalRecordTest, BulkVisibilityRandomParity) {
+  Rng rng(404);
+  MultimediaDocument document =
+      MakeRandomDocument(/*num_groups=*/4, /*num_leaves=*/12, rng).value();
+  for (int trial = 0; trial < 10; ++trial) {
+    // A random full configuration, not necessarily optimal.
+    cpnet::Assignment config(document.num_variables());
+    for (size_t v = 0; v < document.num_variables(); ++v) {
+      cpnet::VarId var = static_cast<cpnet::VarId>(v);
+      config.Set(var, static_cast<cpnet::ValueId>(rng.NextBelow(
+                          static_cast<uint64_t>(document.net().DomainSize(var)))));
+    }
+    std::vector<char> bulk;
+    ASSERT_TRUE(document.ComputeVisibility(config, &bulk).ok());
+    for (size_t i = 0; i < document.num_components(); ++i) {
+      const std::string& name = document.components()[i]->name();
+      EXPECT_EQ(static_cast<bool>(bulk[i]),
+                document.IsVisible(config, name).value())
+          << name << " trial " << trial;
+    }
+  }
+}
+
+TEST_F(MedicalRecordTest, PresentationViewTracksConfiguration) {
+  PresentationView view(document_.get());
+  cpnet::Assignment config = document_->DefaultPresentation().value();
+  ASSERT_TRUE(view.Rebuild(config).ok());
+  ASSERT_EQ(view.num_components(), document_->num_components());
+  for (size_t i = 0; i < document_->num_components(); ++i) {
+    cpnet::VarId var = static_cast<cpnet::VarId>(i);
+    const MultimediaComponent* component = document_->ComponentAt(var);
+    const std::string& name = component->name();
+    EXPECT_EQ(view.visible(var), document_->IsVisible(config, name).value());
+    if (const PrimitiveMultimediaComponent* primitive =
+            component->AsPrimitive()) {
+      ASSERT_NE(view.presentation(var), nullptr);
+      EXPECT_EQ(view.presentation(var)->name,
+                document_->PresentationFor(config, name).value().name);
+      EXPECT_EQ(view.cost_bytes(var),
+                PresentationCostBytes(*view.presentation(var),
+                                      primitive->content().content_bytes));
+    } else {
+      EXPECT_EQ(view.primitive(var), nullptr);
+      EXPECT_EQ(view.cost_bytes(var), 0u);
+    }
+  }
+  // Incremental update after a reconfiguration.
+  cpnet::Assignment next =
+      document_->ReconfigPresentation({{"CT", "hidden"}}).value();
+  MultimediaDocument::ConfigurationDelta delta =
+      document_->DiffConfigurations(config, next).value();
+  ASSERT_TRUE(view.Update(next, delta.changed_vars).ok());
+  for (size_t i = 0; i < document_->num_components(); ++i) {
+    cpnet::VarId var = static_cast<cpnet::VarId>(i);
+    const std::string& name = document_->ComponentAt(var)->name();
+    EXPECT_EQ(view.visible(var), document_->IsVisible(next, name).value());
+    if (view.primitive(var) != nullptr) {
+      EXPECT_EQ(view.presentation(var)->name,
+                document_->PresentationFor(next, name).value().name);
+    }
+  }
+}
+
+TEST_F(MedicalRecordTest, PresentationViewRebuildsAfterStructureChange) {
+  PresentationView view(document_.get());
+  cpnet::Assignment config = document_->DefaultPresentation().value();
+  ASSERT_TRUE(view.Rebuild(config).ok());
+  uint64_t version_before = document_->structure_version();
+  ASSERT_TRUE(document_
+                  ->AddComponent(
+                      "Imaging",
+                      std::make_unique<PrimitiveMultimediaComponent>(
+                          "MRI", ContentRef{"Image", 77, 1 << 18},
+                          ImagePresentations()))
+                  .ok());
+  EXPECT_GT(document_->structure_version(), version_before);
+  // Update with an empty delta must detect the rebinding and rebuild
+  // rather than serve stale pointers.
+  cpnet::Assignment rebound = document_->DefaultPresentation().value();
+  ASSERT_TRUE(view.Update(rebound, {}).ok());
+  EXPECT_EQ(view.num_components(), document_->num_components());
+  cpnet::VarId mri = document_->VarOf("MRI").value();
+  ASSERT_NE(view.primitive(mri), nullptr);
+  EXPECT_EQ(view.primitive(mri)->name(), "MRI");
 }
 
 TEST_F(MedicalRecordTest, DeliveryCostTracksChoices) {

@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "common/clock.h"
+#include "common/rng.h"
 #include "doc/builder.h"
+#include "doc/tuning.h"
 #include "net/network.h"
 #include "prefetch/cache.h"
 #include "prefetch/predictor.h"
@@ -71,6 +73,68 @@ TEST_F(PredictorTest, CurrentlyVisibleContentNotCandidates) {
     EXPECT_FALSE(candidate.component == "CT" &&
                  candidate.presentation == "flat");
   }
+}
+
+/// The two implementations must agree to the byte: same candidates, same
+/// order, bit-identical scores (the dense accumulator adds weights in
+/// the same sequence as the baseline's map).
+void ExpectSameRanking(const std::vector<PrefetchCandidate>& fast,
+                       const std::vector<PrefetchCandidate>& baseline) {
+  ASSERT_EQ(fast.size(), baseline.size());
+  for (size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_EQ(fast[i].component, baseline[i].component) << "rank " << i;
+    EXPECT_EQ(fast[i].presentation, baseline[i].presentation) << "rank " << i;
+    EXPECT_EQ(fast[i].score, baseline[i].score) << "rank " << i;
+    EXPECT_EQ(fast[i].cost_bytes, baseline[i].cost_bytes) << "rank " << i;
+  }
+}
+
+TEST_F(PredictorTest, FastRankingMatchesBaselineOnMedicalRecord) {
+  Assignment config = document_->DefaultPresentation().value();
+  ExpectSameRanking(predictor_->RankCandidates(config).value(),
+                    predictor_->RankCandidatesBaseline(config).value());
+  // And on a reconfigured state (CT hidden surfaces the XRay).
+  Assignment next =
+      document_->ReconfigPresentation({{"CT", "hidden"}}).value();
+  ExpectSameRanking(predictor_->RankCandidates(next).value(),
+                    predictor_->RankCandidatesBaseline(next).value());
+}
+
+TEST_F(PredictorTest, FastRankingMatchesBaselineWithExtensionVariables) {
+  // A tuning variable is a CP-net variable but not a component: the
+  // configuration is longer than the component list.
+  ASSERT_TRUE(doc::AddBandwidthTuning(*document_, "net-tuning").ok());
+  Assignment config = document_->DefaultPresentation().value();
+  ASSERT_GT(document_->num_variables(), document_->num_components());
+  ExpectSameRanking(predictor_->RankCandidates(config).value(),
+                    predictor_->RankCandidatesBaseline(config).value());
+}
+
+TEST(PredictorEquivalenceTest, FastMatchesBaselineOnRandomDocuments) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 8; ++trial) {
+    MultimediaDocument document =
+        doc::MakeRandomDocument(/*num_groups=*/3, /*num_leaves=*/8, rng)
+            .value();
+    PrefetchPredictor predictor(&document);
+    Assignment config = document.DefaultPresentation().value();
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    ExpectSameRanking(predictor.RankCandidates(config).value(),
+                      predictor.RankCandidatesBaseline(config).value());
+  }
+}
+
+TEST(PlanTest, ZeroCostCandidatesAreSkipped) {
+  // A zero-cost candidate delivers nothing; with the old behavior it
+  // slid into every plan and made tied-budget plans order-dependent.
+  std::vector<PrefetchCandidate> ranked = {
+      {"free", "icon", 5.0, 0},
+      {"a", "flat", 3.0, 1000},
+  };
+  std::vector<PrefetchCandidate> plan = PlanWithinBudget(ranked, 1000);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].component, "a");
+  EXPECT_TRUE(PlanWithinBudget({{"free", "icon", 5.0, 0}}, 0).empty());
 }
 
 TEST(PlanTest, RespectsBudget) {

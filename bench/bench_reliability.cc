@@ -3,10 +3,16 @@
 // as last-mile loss climbs from 0 to 20%. The paper assumes changes are
 // "immediately propagated to other clients in the room"; this bench
 // quantifies what "immediately" costs once the wire stops cooperating.
+//
+// Results are printed and written as machine-readable JSON
+// (BENCH_reliability.json; override with --json_out=PATH). --smoke runs
+// fewer rounds and exits nonzero when a room fails to converge or the
+// JSON cannot be written.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -74,8 +80,27 @@ const char* Choice(int round) {
   return kChoices[round % 3];
 }
 
-void PrintLossTable() {
-  std::printf("== reliability: room consistency vs last-mile loss ==\n");
+struct LossRow {
+  double loss = 0;
+  double worst_t2c_ms = 0;
+  size_t retries = 0;
+  size_t duplicates_suppressed = 0;
+  size_t wire_dropped = 0;
+  size_t wire_bytes = 0;
+  size_t app_bytes = 0;
+  bool converged = false;
+  double Overhead() const {
+    return app_bytes > 0 ? static_cast<double>(wire_bytes) /
+                               static_cast<double>(app_bytes)
+                         : 0;
+  }
+};
+
+std::vector<LossRow> RunLossSweep(bool smoke) {
+  const int rounds = smoke ? 3 : kRounds;
+  std::vector<LossRow> rows;
+  std::printf("== reliability: room consistency vs last-mile loss "
+              "(%d rounds, %s) ==\n", rounds, smoke ? "smoke" : "full");
   std::printf("%-7s %-10s %-9s %-9s %-12s %-14s %-10s\n", "loss%",
               "t2c(ms)", "retries", "dups", "drops-wire", "wire/app(B)",
               "overhead");
@@ -83,8 +108,9 @@ void PrintLossTable() {
     LossyFleet fleet(loss);
     size_t app_bytes_before = fleet.server->bytes_propagated();
     size_t wire_before = fleet.network->TotalBytesSent();
-    double worst_t2c_ms = 0;
-    for (int round = 0; round < kRounds; ++round) {
+    LossRow row;
+    row.loss = loss;
+    for (int round = 0; round < rounds; ++round) {
       fleet.server
           ->SubmitChoice("room",
                          "viewer-" + std::to_string(round % kClients), "CT",
@@ -96,21 +122,53 @@ void PrintLossTable() {
       double t2c_ms = static_cast<double>(stats.last_converged_at -
                                           stats.last_propagate_at) /
                       1000.0;
-      if (t2c_ms > worst_t2c_ms) worst_t2c_ms = t2c_ms;
+      if (t2c_ms > row.worst_t2c_ms) row.worst_t2c_ms = t2c_ms;
     }
-    server::RoomReliabilityStats room = fleet.server->RoomStats("room").value();
+    server::RoomReliabilityStats room =
+        fleet.server->RoomStats("room").value();
     net::ChannelStats totals = fleet.transport->TotalStats();
     net::FaultStats wire_faults = fleet.network->TotalFaultStats();
-    size_t app_bytes = fleet.server->bytes_propagated() - app_bytes_before;
-    size_t wire_bytes = fleet.network->TotalBytesSent() - wire_before;
-    double overhead = app_bytes > 0 ? static_cast<double>(wire_bytes) /
-                                          static_cast<double>(app_bytes)
-                                    : 0;
+    row.retries = room.retries;
+    row.duplicates_suppressed = totals.duplicates_suppressed;
+    row.wire_dropped = wire_faults.dropped;
+    row.app_bytes = fleet.server->bytes_propagated() - app_bytes_before;
+    row.wire_bytes = fleet.network->TotalBytesSent() - wire_before;
+    row.converged = fleet.server->RoomConverged("room");
     std::printf("%-7.0f %-10.1f %-9zu %-9zu %-12zu %zu/%-8zu %.2fx\n",
-                loss * 100, worst_t2c_ms, room.retries,
-                totals.duplicates_suppressed, wire_faults.dropped,
-                wire_bytes, app_bytes, overhead);
+                row.loss * 100, row.worst_t2c_ms, row.retries,
+                row.duplicates_suppressed, row.wire_dropped, row.wire_bytes,
+                row.app_bytes, row.Overhead());
+    rows.push_back(row);
   }
+  return rows;
+}
+
+bool WriteJson(const std::string& path, const std::vector<LossRow>& rows,
+               bool smoke) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"reliability_loss_sweep\",\n"
+               "  \"smoke\": %s,\n  \"sweep\": [\n",
+               smoke ? "true" : "false");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const LossRow& row = rows[i];
+    std::fprintf(
+        out,
+        "    {\"loss\": %.2f, \"worst_t2c_ms\": %.2f, \"retries\": %zu, "
+        "\"duplicates_suppressed\": %zu, \"wire_dropped\": %zu, "
+        "\"wire_bytes\": %zu, \"app_bytes\": %zu, \"overhead\": %.3f, "
+        "\"converged\": %s}%s\n",
+        row.loss, row.worst_t2c_ms, row.retries, row.duplicates_suppressed,
+        row.wire_dropped, row.wire_bytes, row.app_bytes, row.Overhead(),
+        row.converged ? "true" : "false",
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  return true;
 }
 
 void BM_PropagateUnderLoss(benchmark::State& state) {
@@ -157,8 +215,30 @@ BENCHMARK(BM_ReliableEcho)->Arg(0)->Arg(20);
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintLossTable();
-  benchmark::Initialize(&argc, argv);
+  bool smoke = false;
+  std::string json_path = "BENCH_reliability.json";
+  // Strip our flags before google-benchmark sees (and rejects) them.
+  std::vector<char*> passthrough = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--json_out=", 11) == 0) {
+      json_path = argv[i] + 11;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  std::vector<LossRow> rows = RunLossSweep(smoke);
+  bool wrote = WriteJson(json_path, rows, smoke);
+  bool converged = true;
+  for (const LossRow& row : rows) converged = converged && row.converged;
+  if (smoke) {
+    // ctest perf smoke: fail when a lossy room never converges or the
+    // JSON cannot be produced; timing itself is not asserted.
+    return converged && wrote ? 0 : 1;
+  }
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return converged && wrote ? 0 : 1;
 }

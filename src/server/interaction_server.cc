@@ -178,6 +178,11 @@ Status InteractionServer::CloseRoom(const std::string& room_id) {
     outstanding_.erase(open);
   }
   room_stats_.erase(room_id);
+  stream_schedulers_.erase(room_id);
+  client_caches_.erase(room_id);
+  for (auto it = stream_room_.begin(); it != stream_room_.end();) {
+    it = it->second == room_id ? stream_room_.erase(it) : std::next(it);
+  }
   return Status::OK();
 }
 
@@ -347,6 +352,223 @@ Result<MicrosT> InteractionServer::Broadcast(const std::string& room_id,
     bytes_propagated_ += bytes;
   }
   return latest;
+}
+
+Result<stream::StreamId> InteractionServer::OpenStream(
+    const std::string& room_id, const std::string& viewer,
+    const std::vector<Bytes>& objects, stream::StreamOptions options) {
+  if (transport_ == nullptr) {
+    return Status::FailedPrecondition(
+        "streaming needs a reliable transport: the rate estimate feeds "
+        "off ack timings (UseReliableTransport first)");
+  }
+  MMCONF_ASSIGN_OR_RETURN(Room * room, GetRoom(room_id));
+  (void)room;
+  auto members = endpoints_.find(room_id);
+  if (members == endpoints_.end() ||
+      members->second.count(viewer) == 0) {
+    return Status::NotFound("no member \"" + viewer + "\" in room \"" +
+                            room_id + "\"");
+  }
+  net::NodeId client = members->second.at(viewer);
+  // Streaming shares the member's one client buffer with prefetch: the
+  // playout budget is whatever the cache leaves free.
+  auto room_caches = client_caches_.find(room_id);
+  if (room_caches != client_caches_.end()) {
+    auto cache = room_caches->second.find(viewer);
+    if (cache != room_caches->second.end() && cache->second != nullptr) {
+      size_t headroom = cache->second->capacity_bytes() -
+                        std::min(cache->second->capacity_bytes(),
+                                 cache->second->used_bytes());
+      options.playout_buffer_bytes =
+          std::min(options.playout_buffer_bytes, headroom);
+    }
+  }
+  auto& scheduler = stream_schedulers_[room_id];
+  if (scheduler == nullptr) {
+    scheduler =
+        std::make_unique<stream::StreamScheduler>(transport_, server_node_);
+  }
+  stream::StreamId id = next_stream_id_++;
+  MMCONF_RETURN_IF_ERROR(
+      scheduler->Open(id, client, objects, options).status());
+  stream_room_[id] = room_id;
+  return id;
+}
+
+Result<std::vector<net::Delivery>> InteractionServer::AdvanceStreams(
+    MicrosT t) {
+  if (transport_ == nullptr) {
+    return Status::FailedPrecondition("streaming needs a reliable transport");
+  }
+  std::vector<net::Delivery> passthrough;
+  while (true) {
+    MicrosT now = network_->clock()->NowMicros();
+    size_t sent = 0;
+    for (auto& [room, scheduler] : stream_schedulers_) {
+      scheduler->ObserveAcks();
+      sent += scheduler->Pump(now);
+    }
+    MicrosT wake = -1;
+    for (auto& [room, scheduler] : stream_schedulers_) {
+      MicrosT at = scheduler->NextActionAt(now);
+      if (at >= 0 && (wake < 0 || at < wake)) wake = at;
+    }
+    MicrosT step = t;
+    if (wake >= 0 && wake < step) step = wake;
+    if (step < now) step = now;
+    std::vector<net::Delivery> batch = transport_->AdvanceTo(step);
+    for (net::Delivery& delivery : batch) {
+      bool consumed = false;
+      for (auto& [room, scheduler] : stream_schedulers_) {
+        if (scheduler->OnDelivery(delivery)) {
+          consumed = true;
+          break;
+        }
+      }
+      if (!consumed) passthrough.push_back(std::move(delivery));
+    }
+    MicrosT after = network_->clock()->NowMicros();
+    bool progressed = sent > 0 || !batch.empty() || after > now;
+    if (after >= t && !progressed) break;
+  }
+  return passthrough;
+}
+
+Result<std::vector<net::Delivery>>
+InteractionServer::AdvanceStreamsUntilIdle() {
+  if (transport_ == nullptr) {
+    return Status::FailedPrecondition("streaming needs a reliable transport");
+  }
+  std::vector<net::Delivery> passthrough;
+  while (true) {
+    MicrosT now = network_->clock()->NowMicros();
+    MicrosT wake = -1;
+    for (auto& [room, scheduler] : stream_schedulers_) {
+      MicrosT at = scheduler->NextActionAt(now);
+      if (at >= 0 && (wake < 0 || at < wake)) wake = at;
+    }
+    if (wake >= 0) {
+      MMCONF_ASSIGN_OR_RETURN(std::vector<net::Delivery> batch,
+                              AdvanceStreams(wake));
+      passthrough.insert(passthrough.end(),
+                         std::make_move_iterator(batch.begin()),
+                         std::make_move_iterator(batch.end()));
+      continue;
+    }
+    // No timer pending: only wire arrivals / retransmissions can make
+    // progress. Drain the transport, then let the schedulers react.
+    std::vector<net::Delivery> batch = transport_->AdvanceUntilIdle();
+    size_t sent = 0;
+    for (net::Delivery& delivery : batch) {
+      bool consumed = false;
+      for (auto& [room, scheduler] : stream_schedulers_) {
+        if (scheduler->OnDelivery(delivery)) {
+          consumed = true;
+          break;
+        }
+      }
+      if (!consumed) passthrough.push_back(std::move(delivery));
+    }
+    for (auto& [room, scheduler] : stream_schedulers_) {
+      scheduler->ObserveAcks();
+      sent += scheduler->Pump(network_->clock()->NowMicros());
+    }
+    if (batch.empty() && sent == 0 && transport_->in_flight() == 0 &&
+        network_->pending() == 0) {
+      break;
+    }
+  }
+  return passthrough;
+}
+
+Result<stream::StreamStats> InteractionServer::StreamSessionStats(
+    stream::StreamId id) const {
+  auto tracked = stream_room_.find(id);
+  if (tracked == stream_room_.end()) {
+    return Status::NotFound("no stream " + std::to_string(id));
+  }
+  auto scheduler = stream_schedulers_.find(tracked->second);
+  if (scheduler == stream_schedulers_.end()) {
+    return Status::NotFound("no stream " + std::to_string(id));
+  }
+  return scheduler->second->StatsFor(id);
+}
+
+Result<std::vector<stream::StreamStats>> InteractionServer::RoomStreamStats(
+    const std::string& room_id) const {
+  if (rooms_.count(room_id) == 0) {
+    return Status::NotFound("no room \"" + room_id + "\"");
+  }
+  auto scheduler = stream_schedulers_.find(room_id);
+  if (scheduler == stream_schedulers_.end()) {
+    return std::vector<stream::StreamStats>();
+  }
+  return scheduler->second->AllStats();
+}
+
+Status InteractionServer::CloseStream(stream::StreamId id) {
+  auto tracked = stream_room_.find(id);
+  if (tracked == stream_room_.end()) {
+    return Status::NotFound("no stream " + std::to_string(id));
+  }
+  auto scheduler = stream_schedulers_.find(tracked->second);
+  Status closed = scheduler != stream_schedulers_.end()
+                      ? scheduler->second->Close(id)
+                      : Status::NotFound("no stream " + std::to_string(id));
+  stream_room_.erase(tracked);
+  return closed;
+}
+
+bool InteractionServer::StreamsIdle() const {
+  for (const auto& [room, scheduler] : stream_schedulers_) {
+    if (!scheduler->Idle()) return false;
+  }
+  return true;
+}
+
+size_t InteractionServer::num_streams() const {
+  size_t total = 0;
+  for (const auto& [room, scheduler] : stream_schedulers_) {
+    total += scheduler->num_streams();
+  }
+  return total;
+}
+
+Status InteractionServer::AttachClientCache(const std::string& room_id,
+                                            const std::string& viewer,
+                                            prefetch::ClientCache* cache) {
+  if (cache == nullptr) {
+    return Status::InvalidArgument("cache must not be null");
+  }
+  auto members = endpoints_.find(room_id);
+  if (members == endpoints_.end()) {
+    return Status::NotFound("no room \"" + room_id + "\"");
+  }
+  if (members->second.count(viewer) == 0) {
+    return Status::NotFound("no member \"" + viewer + "\" in room \"" +
+                            room_id + "\"");
+  }
+  client_caches_[room_id][viewer] = cache;
+  return Status::OK();
+}
+
+Result<prefetch::CacheStats> InteractionServer::RoomCacheStats(
+    const std::string& room_id) const {
+  if (rooms_.count(room_id) == 0) {
+    return Status::NotFound("no room \"" + room_id + "\"");
+  }
+  prefetch::CacheStats total;
+  auto room_caches = client_caches_.find(room_id);
+  if (room_caches == client_caches_.end()) return total;
+  for (const auto& [viewer, cache] : room_caches->second) {
+    if (cache == nullptr) continue;
+    total.hits += cache->stats().hits;
+    total.misses += cache->stats().misses;
+    total.evictions += cache->stats().evictions;
+    total.insertions += cache->stats().insertions;
+  }
+  return total;
 }
 
 int InteractionServer::RegisterTrigger(ActionType type, Trigger trigger) {

@@ -13,8 +13,10 @@
 #include "doc/tuning.h"
 #include "net/network.h"
 #include "net/reliable.h"
+#include "prefetch/cache.h"
 #include "server/room.h"
 #include "storage/database.h"
+#include "stream/scheduler.h"
 
 namespace mmconf::server {
 
@@ -150,6 +152,50 @@ class InteractionServer {
   Status RemoveTrigger(int trigger_id);
   size_t num_triggers() const { return triggers_.size(); }
 
+  /// --- Media streaming (src/stream/): adaptive layered delivery with
+  /// deadline scheduling, sharing the transport with Propagate traffic ---
+
+  /// Opens a stream of encoded layered objects (compress::LayeredCodec
+  /// bitstreams) toward a room member. Requires a reliable transport
+  /// (the rate estimate feeds off ack timings). When the member has an
+  /// attached prefetch cache, the stream's playout-buffer budget is
+  /// clamped to the cache's free headroom — streaming and prefetch share
+  /// the client's one buffer (§4.4). Returns the server-wide stream id.
+  Result<stream::StreamId> OpenStream(const std::string& room_id,
+                                      const std::string& viewer,
+                                      const std::vector<Bytes>& objects,
+                                      stream::StreamOptions options);
+
+  /// Drives every room's stream scheduler and the shared transport up to
+  /// virtual time `t`. Non-stream deliveries that arrived while pumping
+  /// (presentation deltas, broadcasts, acks of other traffic) are passed
+  /// through to the caller, exactly like ReliableTransport::AdvanceTo.
+  Result<std::vector<net::Delivery>> AdvanceStreams(MicrosT t);
+
+  /// Pumps until every open stream has finished (or aborted) and the
+  /// transport has no stream traffic left.
+  Result<std::vector<net::Delivery>> AdvanceStreamsUntilIdle();
+
+  /// Delivery/quality counters of one stream.
+  Result<stream::StreamStats> StreamSessionStats(stream::StreamId id) const;
+  /// All streams of a room, for export next to RoomStats.
+  Result<std::vector<stream::StreamStats>> RoomStreamStats(
+      const std::string& room_id) const;
+  Status CloseStream(stream::StreamId id);
+  bool StreamsIdle() const;
+  size_t num_streams() const;
+
+  /// Registers a member's client-side buffer so the server can observe
+  /// prefetch hits/misses/evictions per room and budget streaming
+  /// against it. The cache must outlive the membership.
+  Status AttachClientCache(const std::string& room_id,
+                           const std::string& viewer,
+                           prefetch::ClientCache* cache);
+  /// Aggregated prefetch-cache counters across a room's members — the
+  /// buffer-contention signal next to RoomReliabilityStats.
+  Result<prefetch::CacheStats> RoomCacheStats(
+      const std::string& room_id) const;
+
   /// Total bytes this server pushed to clients so far.
   size_t bytes_propagated() const { return bytes_propagated_; }
 
@@ -196,6 +242,14 @@ class InteractionServer {
   std::map<net::MsgId, std::string> msg_room_;
   std::map<std::string, std::vector<net::MsgId>> outstanding_;
   std::map<std::string, RoomReliabilityStats> room_stats_;
+  /// Streaming: one EDF scheduler per room, ids issued server-wide.
+  std::map<std::string, std::unique_ptr<stream::StreamScheduler>>
+      stream_schedulers_;
+  std::map<stream::StreamId, std::string> stream_room_;
+  stream::StreamId next_stream_id_ = 1;
+  /// room -> viewer -> attached client buffer (not owned).
+  std::map<std::string, std::map<std::string, prefetch::ClientCache*>>
+      client_caches_;
   std::vector<RegisteredTrigger> triggers_;
   int next_trigger_id_ = 1;
   size_t bytes_propagated_ = 0;

@@ -1,0 +1,39 @@
+#include "stream/chunk.h"
+
+namespace mmconf::stream {
+
+namespace {
+constexpr char kPrefix[] = "sc:";
+}  // namespace
+
+std::string ChunkTag(StreamId stream, uint32_t seq) {
+  return kPrefix + std::to_string(stream) + ":" + std::to_string(seq);
+}
+
+bool ParseChunkTag(const std::string& tag, StreamId* stream, uint32_t* seq) {
+  if (tag.rfind(kPrefix, 0) != 0) return false;
+  size_t offset = sizeof(kPrefix) - 1;
+  size_t colon = tag.find(':', offset);
+  if (colon == std::string::npos || colon == offset ||
+      colon + 1 >= tag.size()) {
+    return false;
+  }
+  uint64_t stream_value = 0;
+  for (size_t i = offset; i < colon; ++i) {
+    char c = tag[i];
+    if (c < '0' || c > '9') return false;
+    stream_value = stream_value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  uint64_t seq_value = 0;
+  for (size_t i = colon + 1; i < tag.size(); ++i) {
+    char c = tag[i];
+    if (c < '0' || c > '9') return false;
+    seq_value = seq_value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  if (seq_value > 0xffffffffull) return false;
+  *stream = stream_value;
+  *seq = static_cast<uint32_t>(seq_value);
+  return true;
+}
+
+}  // namespace mmconf::stream

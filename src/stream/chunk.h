@@ -1,0 +1,44 @@
+#ifndef MMCONF_STREAM_CHUNK_H_
+#define MMCONF_STREAM_CHUNK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+
+namespace mmconf::stream {
+
+/// Identifier of a media stream opened on the interaction server. Ids
+/// are issued from one counter per server so tags stay unambiguous even
+/// when several rooms stream concurrently over the same transport.
+using StreamId = uint64_t;
+
+/// One deadline-tagged slice of an encoded layered object. Chunks are
+/// cut on layer boundaries (a chunk never spans two layers), so dropping
+/// a chunk under congestion discards exactly one layer's refinement —
+/// never a byte the base approximation needs.
+struct Chunk {
+  StreamId stream = 0;
+  uint32_t seq = 0;          ///< per-stream sequence, monotone send order
+  uint32_t object_index = 0; ///< which object of the stream this refines
+  int layer = 0;             ///< layer the bytes belong to (0 = base)
+  size_t offset = 0;         ///< byte offset within the encoded object
+  size_t bytes = 0;          ///< wire size of this slice
+  bool last_of_layer = false;
+  MicrosT deadline = 0;      ///< playout deadline of the object
+  /// Base chunks carry the stream header + main approximation; the
+  /// scheduler may delay but never drop them.
+  bool base = false;
+};
+
+/// Wire tag of a chunk message: "sc:<stream>:<seq>". The reliable
+/// transport prepends its own framing; this is the application tag that
+/// comes back out of ReliableTransport::AdvanceTo.
+std::string ChunkTag(StreamId stream, uint32_t seq);
+
+/// Parses a chunk tag; returns false for any other traffic.
+bool ParseChunkTag(const std::string& tag, StreamId* stream, uint32_t* seq);
+
+}  // namespace mmconf::stream
+
+#endif  // MMCONF_STREAM_CHUNK_H_

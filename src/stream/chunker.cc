@@ -1,0 +1,51 @@
+#include "stream/chunker.h"
+
+#include <algorithm>
+
+#include "compress/layered_codec.h"
+
+namespace mmconf::stream {
+
+Chunker::Chunker(size_t max_chunk_bytes)
+    : max_chunk_bytes_(max_chunk_bytes < 64 ? 64 : max_chunk_bytes) {}
+
+Result<ObjectPlan> Chunker::Plan(const Bytes& encoded, StreamId stream,
+                                 uint32_t object_index, uint32_t first_seq,
+                                 MicrosT deadline) const {
+  MMCONF_ASSIGN_OR_RETURN(compress::StreamInfo info,
+                          compress::LayeredCodec::Inspect(encoded));
+  if (info.total_bytes > encoded.size()) {
+    return Status::InvalidArgument(
+        "cannot stream a truncated object: header declares " +
+        std::to_string(info.total_bytes) + " bytes, got " +
+        std::to_string(encoded.size()));
+  }
+  ObjectPlan plan;
+  plan.num_layers = static_cast<int>(info.layers.size());
+  plan.total_bytes = info.total_bytes;
+  uint32_t seq = first_seq;
+  size_t begin = 0;  // the header is billed to the base layer
+  for (size_t k = 0; k < info.layer_end.size(); ++k) {
+    size_t end = info.layer_end[k];
+    plan.layer_bytes.push_back(end - begin);
+    size_t offset = begin;
+    while (offset < end) {
+      Chunk chunk;
+      chunk.stream = stream;
+      chunk.seq = seq++;
+      chunk.object_index = object_index;
+      chunk.layer = static_cast<int>(k);
+      chunk.offset = offset;
+      chunk.bytes = std::min(max_chunk_bytes_, end - offset);
+      chunk.deadline = deadline;
+      chunk.base = (k == 0);
+      offset += chunk.bytes;
+      chunk.last_of_layer = (offset == end);
+      plan.chunks.push_back(chunk);
+    }
+    begin = end;
+  }
+  return plan;
+}
+
+}  // namespace mmconf::stream

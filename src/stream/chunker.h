@@ -1,0 +1,52 @@
+#ifndef MMCONF_STREAM_CHUNKER_H_
+#define MMCONF_STREAM_CHUNKER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "stream/chunk.h"
+
+namespace mmconf::stream {
+
+/// Transfer plan for one encoded layered object: its chunks in send
+/// order plus the per-layer byte accounting the scheduler and the
+/// playout buffer need to reason about quality adaptation.
+struct ObjectPlan {
+  std::vector<Chunk> chunks;       ///< base chunks first, then layer 1, 2, …
+  std::vector<size_t> layer_bytes; ///< wire bytes per layer (header in [0])
+  int num_layers = 0;
+  size_t total_bytes = 0;
+};
+
+/// Splits `compress::LayeredCodec` bitstreams on their layer boundaries
+/// (`StreamInfo::layer_end`) into deadline-tagged chunks. The stream
+/// header rides with the base layer: `layer_end[k]` bytes suffice to
+/// decode layers 0..k, so a chunk prefix of the plan is always a
+/// decodable prefix of the object.
+class Chunker {
+ public:
+  /// `max_chunk_bytes` caps the wire size of one chunk (the unit of
+  /// scheduling, retransmission, and loss).
+  explicit Chunker(size_t max_chunk_bytes = 8 << 10);
+
+  /// Plans the transfer of one encoded object. `first_seq` numbers the
+  /// produced chunks consecutively within the stream; every chunk
+  /// carries `deadline` (the object's playout time). InvalidArgument
+  /// when the stream is not a complete LayeredCodec bitstream.
+  Result<ObjectPlan> Plan(const Bytes& encoded, StreamId stream,
+                          uint32_t object_index, uint32_t first_seq,
+                          MicrosT deadline) const;
+
+  size_t max_chunk_bytes() const { return max_chunk_bytes_; }
+
+ private:
+  size_t max_chunk_bytes_;
+};
+
+}  // namespace mmconf::stream
+
+#endif  // MMCONF_STREAM_CHUNKER_H_

@@ -1,0 +1,139 @@
+#include "stream/playout.h"
+
+#include <algorithm>
+
+namespace mmconf::stream {
+
+PlayoutBuffer::PlayoutBuffer(size_t capacity_bytes)
+    : capacity_(capacity_bytes) {}
+
+Status PlayoutBuffer::ExpectObject(uint32_t index, MicrosT deadline,
+                                   const std::vector<size_t>& layer_bytes) {
+  if (index != objects_.size()) {
+    return Status::InvalidArgument(
+        "objects must be registered in order: expected index " +
+        std::to_string(objects_.size()) + ", got " + std::to_string(index));
+  }
+  if (layer_bytes.empty()) {
+    return Status::InvalidArgument("an object needs at least a base layer");
+  }
+  if (!objects_.empty() && deadline < objects_.back().deadline) {
+    return Status::InvalidArgument(
+        "deadlines must be monotone per stream: " + std::to_string(deadline) +
+        " < " + std::to_string(objects_.back().deadline));
+  }
+  ObjectState object;
+  object.deadline = deadline;
+  object.layer_bytes = layer_bytes;
+  object.layer_received.assign(layer_bytes.size(), 0);
+  object.layer_complete_at.assign(layer_bytes.size(), -1);
+  objects_.push_back(std::move(object));
+  ++stats_.objects_expected;
+  return Status::OK();
+}
+
+Status PlayoutBuffer::MarkLayerDropped(uint32_t index, int layer) {
+  if (index >= objects_.size()) {
+    return Status::OutOfRange("no object " + std::to_string(index));
+  }
+  if (layer <= 0) {
+    return Status::InvalidArgument("the base layer is never dropped");
+  }
+  ObjectState& object = objects_[index];
+  if (layer >= static_cast<int>(object.layer_bytes.size())) {
+    return Status::OutOfRange("object has no layer " + std::to_string(layer));
+  }
+  if (object.dropped_from < 0 || layer < object.dropped_from) {
+    object.dropped_from = layer;
+  }
+  return Status::OK();
+}
+
+Status PlayoutBuffer::OnChunk(const Chunk& chunk, MicrosT arrival) {
+  if (chunk.object_index >= objects_.size()) {
+    return Status::OutOfRange("chunk for unregistered object " +
+                              std::to_string(chunk.object_index));
+  }
+  ObjectState& object = objects_[chunk.object_index];
+  if (chunk.layer < 0 ||
+      chunk.layer >= static_cast<int>(object.layer_bytes.size())) {
+    return Status::OutOfRange("chunk for unknown layer " +
+                              std::to_string(chunk.layer));
+  }
+  stats_.bytes_received += chunk.bytes;
+  if (object.played) {
+    // Arrived after the object left the buffer: pure overhead.
+    stats_.wasted_bytes += chunk.bytes;
+    return Status::OK();
+  }
+  size_t layer = static_cast<size_t>(chunk.layer);
+  object.layer_received[layer] += chunk.bytes;
+  object.buffered_bytes += chunk.bytes;
+  fill_ += chunk.bytes;
+  stats_.high_water_bytes = std::max(stats_.high_water_bytes, fill_);
+  if (object.layer_received[layer] >= object.layer_bytes[layer] &&
+      object.layer_complete_at[layer] < 0) {
+    object.layer_complete_at[layer] = arrival;
+  }
+  return Status::OK();
+}
+
+void PlayoutBuffer::AdvanceTo(MicrosT t) {
+  while (next_to_play_ < objects_.size()) {
+    ObjectState& object = objects_[next_to_play_];
+    if (object.layer_complete_at[0] < 0) break;  // base still in flight
+    MicrosT play_at = std::max(
+        {object.deadline, object.layer_complete_at[0], last_played_at_});
+    if (play_at > t) break;
+    object.played = true;
+    object.played_at = play_at;
+    last_played_at_ = play_at;
+    int layers = 0;
+    for (size_t k = 0; k < object.layer_complete_at.size(); ++k) {
+      if (object.layer_complete_at[k] < 0 ||
+          object.layer_complete_at[k] > play_at) {
+        break;
+      }
+      ++layers;
+    }
+    object.delivered_layers = layers;
+    MicrosT stall = play_at - object.deadline;
+    if (stall > 0) {
+      ++stats_.stalls;
+      stats_.total_stall_micros += stall;
+      stats_.max_stall_micros = std::max(stats_.max_stall_micros, stall);
+    }
+    ++stats_.objects_played;
+    stats_.layers_delivered_total += static_cast<size_t>(layers);
+    stats_.min_layers = stats_.objects_played == 1
+                            ? layers
+                            : std::min(stats_.min_layers, layers);
+    stats_.bytes_played += object.buffered_bytes;
+    fill_ -= object.buffered_bytes;
+    object.buffered_bytes = 0;
+    ++next_to_play_;
+  }
+}
+
+MicrosT PlayoutBuffer::NextPlayAt() const {
+  if (next_to_play_ >= objects_.size()) return -1;
+  const ObjectState& object = objects_[next_to_play_];
+  if (object.layer_complete_at[0] >= 0) {
+    return std::max(
+        {object.deadline, object.layer_complete_at[0], last_played_at_});
+  }
+  return object.deadline;
+}
+
+Result<int> PlayoutBuffer::DeliveredLayers(uint32_t index) const {
+  if (index >= objects_.size()) {
+    return Status::OutOfRange("no object " + std::to_string(index));
+  }
+  if (!objects_[index].played) {
+    return Status::FailedPrecondition("object " + std::to_string(index) +
+                                      " has not played yet");
+  }
+  return objects_[index].delivered_layers;
+}
+
+}  // namespace mmconf::stream

@@ -1,0 +1,111 @@
+#ifndef MMCONF_STREAM_PLAYOUT_H_
+#define MMCONF_STREAM_PLAYOUT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "stream/chunk.h"
+
+namespace mmconf::stream {
+
+/// Client-side delivery quality of one stream: stall/rebuffer events and
+/// the decodable layer depth of every played object (the paper's §4.4
+/// trade-off — when bandwidth runs short the system degrades quality,
+/// not continuity).
+struct PlayoutStats {
+  size_t objects_expected = 0;
+  size_t objects_played = 0;
+  size_t stalls = 0;                ///< objects whose base missed the deadline
+  MicrosT total_stall_micros = 0;   ///< accumulated rebuffer time
+  MicrosT max_stall_micros = 0;
+  size_t layers_delivered_total = 0;  ///< sum of decodable layers when played
+  int min_layers = 0;                 ///< worst played object (0 until played)
+  size_t bytes_received = 0;
+  size_t bytes_played = 0;
+  size_t wasted_bytes = 0;     ///< arrived only after the object played
+  size_t high_water_bytes = 0; ///< peak buffer fill
+  /// Mean decodable layers across played objects.
+  double MeanLayers() const {
+    return objects_played > 0
+               ? static_cast<double>(layers_delivered_total) /
+                     static_cast<double>(objects_played)
+               : 0;
+  }
+};
+
+/// Client-side playout buffer of one stream: tracks per-object,
+/// per-layer arrival, plays objects in order at their deadlines, and
+/// accounts fill level so the scheduler can keep streaming inside the
+/// client's buffer budget (shared with prefetch::ClientCache).
+///
+/// Play model (rebuffering, not frame-skip): object k plays at
+/// max(deadline_k, time its base layer completed, play time of k-1); a
+/// play after the deadline is a stall of that duration. The decodable
+/// quality of a played object is its contiguous prefix of layers fully
+/// arrived by play time — late enhancements are wasted bytes.
+///
+/// Invariants: deadlines are monotone non-decreasing per stream
+/// (ExpectObject enforces this), and the base layer is never marked
+/// dropped (MarkLayerDropped rejects layer 0).
+class PlayoutBuffer {
+ public:
+  explicit PlayoutBuffer(size_t capacity_bytes);
+
+  /// Registers the next object before its chunks arrive. Objects must be
+  /// registered in index order with monotone deadlines; `layer_bytes`
+  /// comes from the Chunker's ObjectPlan.
+  Status ExpectObject(uint32_t index, MicrosT deadline,
+                      const std::vector<size_t>& layer_bytes);
+
+  /// Records the scheduler's decision that `layer` (and every layer
+  /// above it — decode needs a contiguous prefix) will not be sent.
+  /// InvalidArgument for the base layer: it is never dropped.
+  Status MarkLayerDropped(uint32_t index, int layer);
+
+  /// A chunk of this stream arrived at virtual time `arrival`.
+  Status OnChunk(const Chunk& chunk, MicrosT arrival);
+
+  /// Plays every object whose play condition is met at time `t`.
+  void AdvanceTo(MicrosT t);
+
+  /// Earliest known future play event: the next unplayed object's play
+  /// time when its base is already complete, else its deadline (the
+  /// earliest it could possibly play); -1 when nothing is pending.
+  MicrosT NextPlayAt() const;
+
+  size_t fill_bytes() const { return fill_; }
+  size_t capacity_bytes() const { return capacity_; }
+  bool AllPlayed() const { return next_to_play_ >= objects_.size(); }
+  const PlayoutStats& stats() const { return stats_; }
+
+  /// Decodable layers of an already-played object.
+  Result<int> DeliveredLayers(uint32_t index) const;
+
+ private:
+  struct ObjectState {
+    MicrosT deadline = 0;
+    std::vector<size_t> layer_bytes;
+    std::vector<size_t> layer_received;
+    /// When each layer finished arriving; -1 while incomplete.
+    std::vector<MicrosT> layer_complete_at;
+    int dropped_from = -1;  ///< first dropped layer, -1 = none
+    size_t buffered_bytes = 0;
+    bool played = false;
+    MicrosT played_at = 0;
+    int delivered_layers = 0;
+  };
+
+  size_t capacity_;
+  size_t fill_ = 0;
+  std::vector<ObjectState> objects_;
+  size_t next_to_play_ = 0;
+  MicrosT last_played_at_ = 0;
+  PlayoutStats stats_;
+};
+
+}  // namespace mmconf::stream
+
+#endif  // MMCONF_STREAM_PLAYOUT_H_

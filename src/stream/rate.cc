@@ -1,0 +1,58 @@
+#include "stream/rate.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mmconf::stream {
+
+TokenBucket::TokenBucket(double rate_bytes_per_sec, size_t burst_bytes)
+    : rate_(std::max(rate_bytes_per_sec, 1.0)),
+      burst_(std::max(static_cast<double>(burst_bytes), 1.0)),
+      tokens_(burst_) {}
+
+void TokenBucket::Refill(MicrosT now) {
+  if (now <= last_refill_) return;
+  double elapsed_s = static_cast<double>(now - last_refill_) * 1e-6;
+  tokens_ = std::min(burst_, tokens_ + elapsed_s * rate_);
+  last_refill_ = now;
+}
+
+void TokenBucket::SetRate(double rate_bytes_per_sec) {
+  rate_ = std::max(rate_bytes_per_sec, 1.0);
+}
+
+MicrosT TokenBucket::WhenAvailable(size_t bytes, MicrosT now) const {
+  double need = std::min(static_cast<double>(bytes), burst_);
+  if (tokens_ >= need) return now;
+  double wait_s = (need - tokens_) / rate_;
+  return now + static_cast<MicrosT>(std::ceil(wait_s * 1e6));
+}
+
+AckRateEstimator::AckRateEstimator(double initial_bytes_per_sec, double alpha)
+    : estimate_(std::max(initial_bytes_per_sec, 1.0)),
+      alpha_(std::clamp(alpha, 0.01, 1.0)) {}
+
+void AckRateEstimator::OnAck(size_t bytes, MicrosT sent_at,
+                             MicrosT acked_at) {
+  (void)sent_at;  // RTT is latency-dominated; spacing carries the signal.
+  if (!has_last_) {
+    // Opens the first interval; these bytes arrived *at* its start and
+    // belong to no interval.
+    has_last_ = true;
+    last_ack_at_ = acked_at;
+    return;
+  }
+  if (acked_at <= last_ack_at_) {
+    pending_bytes_ += bytes;  // same-instant ack batch, fold into interval
+    return;
+  }
+  double interval_s = static_cast<double>(acked_at - last_ack_at_) * 1e-6;
+  double sample = static_cast<double>(pending_bytes_ + bytes) / interval_s;
+  last_ack_at_ = acked_at;
+  pending_bytes_ = 0;
+  estimate_ = samples_ == 0 ? sample
+                            : (1.0 - alpha_) * estimate_ + alpha_ * sample;
+  ++samples_;
+}
+
+}  // namespace mmconf::stream

@@ -1,0 +1,76 @@
+#ifndef MMCONF_STREAM_RATE_H_
+#define MMCONF_STREAM_RATE_H_
+
+#include <cstddef>
+
+#include "common/clock.h"
+
+namespace mmconf::stream {
+
+/// Token bucket pacing one client's downlink. Tokens are bytes; they
+/// accrue at the estimated link rate up to a burst cap, and every chunk
+/// admission consumes its wire size. All time is virtual, so refills are
+/// computed lazily from the elapsed simulated time.
+class TokenBucket {
+ public:
+  TokenBucket(double rate_bytes_per_sec, size_t burst_bytes);
+
+  /// Accrues tokens for the time elapsed since the last refill.
+  void Refill(MicrosT now);
+
+  /// Re-targets the accrual rate (the estimator moved). Existing tokens
+  /// are kept; rates below 1 B/s are clamped up to keep WhenAvailable
+  /// finite.
+  void SetRate(double rate_bytes_per_sec);
+
+  bool CanSend(size_t bytes) const {
+    return tokens_ >= static_cast<double>(bytes);
+  }
+  void Consume(size_t bytes) { tokens_ -= static_cast<double>(bytes); }
+
+  /// Earliest time at which `bytes` tokens will be available (== `now`
+  /// when they already are). Requests beyond the burst cap saturate at
+  /// the cap so oversized chunks still eventually clear.
+  MicrosT WhenAvailable(size_t bytes, MicrosT now) const;
+
+  double rate_bytes_per_sec() const { return rate_; }
+  double tokens() const { return tokens_; }
+
+ private:
+  double rate_;
+  double burst_;
+  double tokens_;
+  MicrosT last_refill_ = 0;
+};
+
+/// Exponentially-weighted throughput estimate fed by observed ack
+/// timings. Per-chunk RTT is latency-dominated (a clean slow ack says
+/// nothing about bandwidth), so the estimator measures ack *spacing*:
+/// bytes acknowledged between consecutive ack arrivals over the time
+/// between them — with a pipelined sender that converges on the wire's
+/// serialization rate. Acks sharing a timestamp accumulate into the
+/// next interval. Retransmissions widen the spacing, steering the token
+/// bucket down exactly when the link degrades; the sender never needs
+/// to see the loss itself.
+class AckRateEstimator {
+ public:
+  /// `initial` seeds the estimate until two ack arrivals exist.
+  explicit AckRateEstimator(double initial_bytes_per_sec, double alpha = 0.3);
+
+  void OnAck(size_t bytes, MicrosT sent_at, MicrosT acked_at);
+
+  double BytesPerSec() const { return estimate_; }
+  size_t samples() const { return samples_; }
+
+ private:
+  double estimate_;
+  double alpha_;
+  size_t samples_ = 0;
+  bool has_last_ = false;
+  MicrosT last_ack_at_ = 0;
+  size_t pending_bytes_ = 0;  ///< acked at exactly last_ack_at_
+};
+
+}  // namespace mmconf::stream
+
+#endif  // MMCONF_STREAM_RATE_H_

@@ -1,0 +1,372 @@
+#include "stream/scheduler.h"
+
+#include <algorithm>
+#include <set>
+
+namespace mmconf::stream {
+
+namespace {
+constexpr size_t kNoChunk = static_cast<size_t>(-1);
+}  // namespace
+
+StreamScheduler::StreamScheduler(net::ReliableTransport* transport,
+                                 net::NodeId server_node)
+    : transport_(transport), server_node_(server_node) {}
+
+Result<StreamId> StreamScheduler::Open(StreamId id, net::NodeId client,
+                                       const std::vector<Bytes>& objects,
+                                       const StreamOptions& options) {
+  if (objects.empty()) {
+    return Status::InvalidArgument("a stream needs at least one object");
+  }
+  if (options.interval_micros <= 0) {
+    return Status::InvalidArgument("interval must be positive");
+  }
+  if (streams_.count(id) > 0) {
+    return Status::AlreadyExists("stream " + std::to_string(id) +
+                                 " already open");
+  }
+  double initial_rate = options.initial_rate_bytes_per_sec;
+  MicrosT latency = 0;
+  Result<net::LinkSpec> link =
+      transport_->network()->GetLink(server_node_, client);
+  if (link.ok()) latency = link->latency_micros;
+  if (initial_rate <= 0) {
+    MMCONF_RETURN_IF_ERROR(link.status());
+    initial_rate = link->bandwidth_bytes_per_sec;
+  }
+  MicrosT start = options.start_deadline_micros;
+  if (start <= 0) {
+    start = transport_->network()->clock()->NowMicros() +
+            options.interval_micros;
+  }
+
+  StreamState state;
+  state.id = id;
+  state.client = client;
+  state.options = options;
+  state.options.start_deadline_micros = start;
+  state.playout =
+      std::make_unique<PlayoutBuffer>(options.playout_buffer_bytes);
+  Chunker chunker(options.chunk_bytes);
+  uint32_t seq = 0;
+  for (size_t k = 0; k < objects.size(); ++k) {
+    MicrosT deadline =
+        start + static_cast<MicrosT>(k) * options.interval_micros;
+    MMCONF_ASSIGN_OR_RETURN(
+        ObjectPlan plan,
+        chunker.Plan(objects[k], id, static_cast<uint32_t>(k), seq,
+                     deadline));
+    MMCONF_RETURN_IF_ERROR(state.playout->ExpectObject(
+        static_cast<uint32_t>(k), deadline, plan.layer_bytes));
+    seq += static_cast<uint32_t>(plan.chunks.size());
+    state.chunks.insert(state.chunks.end(), plan.chunks.begin(),
+                        plan.chunks.end());
+    state.layer_counts.push_back(plan.num_layers);
+  }
+  state.dropped_from.assign(objects.size(), -1);
+  state.stats.id = id;
+  state.stats.client = client;
+  state.stats.chunks_total = state.chunks.size();
+
+  ClientState& client_state = clients_[client];
+  if (client_state.streams == 0 && client_state.outstanding.empty()) {
+    size_t burst = std::max<size_t>(2 * options.chunk_bytes, 16 << 10);
+    client_state.bucket = TokenBucket(initial_rate, burst);
+    client_state.estimator = AckRateEstimator(initial_rate);
+  }
+  client_state.latency_micros = latency;
+  ++client_state.streams;
+  streams_.emplace(id, std::move(state));
+  return id;
+}
+
+Status StreamScheduler::Close(StreamId id) {
+  auto it = streams_.find(id);
+  if (it == streams_.end()) {
+    return Status::NotFound("no stream " + std::to_string(id));
+  }
+  auto client_it = clients_.find(it->second.client);
+  if (client_it != clients_.end()) {
+    --client_it->second.streams;
+    if (client_it->second.streams == 0 &&
+        client_it->second.outstanding.empty()) {
+      clients_.erase(client_it);
+    }
+  }
+  streams_.erase(it);
+  return Status::OK();
+}
+
+double StreamScheduler::RateFor(const ClientState& client) const {
+  return std::max(client.estimator.BytesPerSec(), 1.0);
+}
+
+size_t StreamScheduler::HeadChunk(StreamState& stream) {
+  while (stream.next_chunk < stream.chunks.size()) {
+    const Chunk& chunk = stream.chunks[stream.next_chunk];
+    int dropped = stream.dropped_from[chunk.object_index];
+    if (!chunk.base && dropped >= 0 && chunk.layer >= dropped) {
+      ++stream.stats.enhancement_chunks_dropped;
+      ++stream.next_chunk;
+      continue;
+    }
+    return stream.next_chunk;
+  }
+  return kNoChunk;
+}
+
+bool StreamScheduler::BasesStillFeasible(net::NodeId client,
+                                         const ClientState& state,
+                                         size_t extra_bytes, MicrosT now,
+                                         double rate, MicrosT slack) const {
+  // All pending base chunks toward this client, in deadline order (per
+  // stream they already are; merge across streams).
+  std::vector<const Chunk*> bases;
+  for (const auto& [id, stream] : streams_) {
+    if (stream.client != client || stream.stats.aborted) continue;
+    for (size_t i = stream.next_chunk; i < stream.chunks.size(); ++i) {
+      if (stream.chunks[i].base) bases.push_back(&stream.chunks[i]);
+    }
+  }
+  std::sort(bases.begin(), bases.end(),
+            [](const Chunk* a, const Chunk* b) {
+              return a->deadline < b->deadline;
+            });
+  // EDF feasibility: with `extra_bytes` queued ahead, every base must
+  // still drain through the estimated rate before its own deadline.
+  double queued = static_cast<double>(state.inflight_bytes + extra_bytes);
+  for (const Chunk* base : bases) {
+    queued += static_cast<double>(base->bytes);
+    MicrosT eta = now + static_cast<MicrosT>((queued / rate) * 1e6) +
+                  state.latency_micros;
+    if (eta + slack > base->deadline) return false;
+  }
+  return true;
+}
+
+void StreamScheduler::DropLayer(StreamState& stream, const Chunk& chunk) {
+  int previous = stream.dropped_from[chunk.object_index];
+  int ceiling = previous >= 0
+                    ? previous
+                    : stream.layer_counts[chunk.object_index];
+  if (chunk.layer < ceiling) {
+    stream.stats.layers_dropped +=
+        static_cast<size_t>(ceiling - chunk.layer);
+    stream.dropped_from[chunk.object_index] = chunk.layer;
+    stream.playout->MarkLayerDropped(chunk.object_index, chunk.layer).ok();
+  }
+}
+
+void StreamScheduler::AbortStream(StreamState& stream) {
+  stream.stats.aborted = true;
+  stream.next_chunk = stream.chunks.size();
+}
+
+void StreamScheduler::RefreshFinished(StreamState& stream) {
+  stream.stats.finished =
+      stream.next_chunk >= stream.chunks.size() &&
+      stream.outstanding == 0 &&
+      (stream.stats.aborted || stream.playout->AllPlayed());
+}
+
+void StreamScheduler::ObserveAcks() {
+  for (auto& [node, client] : clients_) {
+    for (auto it = client.outstanding.begin();
+         it != client.outstanding.end();) {
+      Result<net::SendState> state = transport_->StateOf(it->first);
+      if (!state.ok() || *state == net::SendState::kInFlight) {
+        ++it;
+        continue;
+      }
+      SentChunk sent = it->second;
+      client.inflight_bytes -= std::min(client.inflight_bytes, sent.bytes);
+      auto stream_it = streams_.find(sent.stream);
+      StreamState* stream =
+          stream_it == streams_.end() ? nullptr : &stream_it->second;
+      if (stream != nullptr && stream->outstanding > 0) {
+        --stream->outstanding;
+      }
+      if (*state == net::SendState::kAcked) {
+        MicrosT acked =
+            transport_->AckedAt(it->first).value_or(sent.sent_at + 1);
+        client.estimator.OnAck(sent.bytes, sent.sent_at, acked);
+        if (stream != nullptr) ++stream->stats.chunks_acked;
+      } else if (stream != nullptr) {
+        ++stream->stats.chunks_failed;
+        // A lost base layer can never play: stop pouring bytes at a dead
+        // member and let the room's eviction machinery handle the node.
+        if (sent.base) AbortStream(*stream);
+      }
+      it = client.outstanding.erase(it);
+    }
+    client.bucket.SetRate(client.estimator.BytesPerSec());
+  }
+}
+
+size_t StreamScheduler::Pump(MicrosT now) {
+  size_t sent_count = 0;
+  for (auto& [id, stream] : streams_) {
+    stream.playout->AdvanceTo(now);
+  }
+  for (auto& [node, client] : clients_) {
+    client.bucket.Refill(now);
+    std::set<StreamId> deferred;
+    while (true) {
+      // EDF: the pending chunk with the earliest deadline across this
+      // client's streams; base beats enhancement on ties.
+      StreamState* best_stream = nullptr;
+      size_t best_index = kNoChunk;
+      for (auto& [id, stream] : streams_) {
+        if (stream.client != node || stream.stats.aborted ||
+            deferred.count(id) > 0) {
+          continue;
+        }
+        size_t index = HeadChunk(stream);
+        if (index == kNoChunk) continue;
+        const Chunk& chunk = stream.chunks[index];
+        if (best_stream == nullptr) {
+          best_stream = &stream;
+          best_index = index;
+          continue;
+        }
+        const Chunk& best = best_stream->chunks[best_index];
+        if (chunk.deadline < best.deadline ||
+            (chunk.deadline == best.deadline && chunk.base && !best.base)) {
+          best_stream = &stream;
+          best_index = index;
+        }
+      }
+      if (best_stream == nullptr) break;
+      StreamState& stream = *best_stream;
+      const Chunk chunk = stream.chunks[best_index];
+      double rate = RateFor(client);
+      MicrosT queue_micros = static_cast<MicrosT>(
+          (static_cast<double>(client.inflight_bytes + chunk.bytes) / rate) *
+          1e6);
+      MicrosT eta = now + queue_micros + client.latency_micros;
+      if (!chunk.base) {
+        // Quality adaptation: a refinement that would land past its own
+        // deadline — or push any pending base layer past its own — is
+        // dropped.
+        if (eta + stream.options.drop_slack_micros > chunk.deadline) {
+          DropLayer(stream, chunk);
+          continue;
+        }
+        if (!BasesStillFeasible(node, client, chunk.bytes, now, rate,
+                                stream.options.drop_slack_micros)) {
+          DropLayer(stream, chunk);
+          continue;
+        }
+        // Playout-buffer budget: refinements wait for space (base chunks
+        // bypass the gate — continuity cannot deadlock on a full buffer).
+        if (stream.playout->fill_bytes() + chunk.bytes >
+            stream.playout->capacity_bytes()) {
+          deferred.insert(stream.id);
+          continue;
+        }
+      }
+      if (!client.bucket.CanSend(chunk.bytes)) break;
+      Result<net::SendHandle> handle = transport_->Send(
+          server_node_, node, chunk.bytes, ChunkTag(stream.id, chunk.seq));
+      if (!handle.ok()) {
+        AbortStream(stream);
+        continue;
+      }
+      client.bucket.Consume(chunk.bytes);
+      client.outstanding[handle->id] =
+          SentChunk{stream.id, chunk.seq, chunk.bytes, chunk.base, now};
+      client.inflight_bytes += chunk.bytes;
+      ++stream.outstanding;
+      ++stream.next_chunk;
+      ++stream.stats.chunks_sent;
+      stream.stats.bytes_sent += chunk.bytes;
+      ++sent_count;
+    }
+  }
+  for (auto& [id, stream] : streams_) {
+    stream.stats.estimated_rate_bytes_per_sec =
+        RateFor(clients_[stream.client]);
+    RefreshFinished(stream);
+  }
+  return sent_count;
+}
+
+bool StreamScheduler::OnDelivery(const net::Delivery& delivery) {
+  StreamId id = 0;
+  uint32_t seq = 0;
+  if (!ParseChunkTag(delivery.tag, &id, &seq)) return false;
+  auto it = streams_.find(id);
+  if (it == streams_.end()) return false;
+  StreamState& stream = it->second;
+  if (seq >= stream.chunks.size()) return true;  // malformed: swallow
+  stream.playout->OnChunk(stream.chunks[seq], delivery.delivered_at).ok();
+  return true;
+}
+
+MicrosT StreamScheduler::NextActionAt(MicrosT now) const {
+  MicrosT next = -1;
+  auto consider = [&](MicrosT t) {
+    if (t > now && (next < 0 || t < next)) next = t;
+  };
+  for (const auto& [id, stream] : streams_) {
+    if (stream.stats.finished || stream.stats.aborted) continue;
+    MicrosT play = stream.playout->NextPlayAt();
+    if (play >= 0) consider(play);
+    // Head pending chunk vs this client's token bucket.
+    size_t index = stream.next_chunk;
+    while (index < stream.chunks.size()) {
+      const Chunk& chunk = stream.chunks[index];
+      int dropped = stream.dropped_from[chunk.object_index];
+      if (!chunk.base && dropped >= 0 && chunk.layer >= dropped) {
+        ++index;
+        continue;
+      }
+      auto client_it = clients_.find(stream.client);
+      if (client_it != clients_.end() &&
+          !client_it->second.bucket.CanSend(chunk.bytes)) {
+        consider(client_it->second.bucket.WhenAvailable(chunk.bytes, now));
+      }
+      break;
+    }
+  }
+  return next;
+}
+
+bool StreamScheduler::Idle() const {
+  for (const auto& [id, stream] : streams_) {
+    if (!stream.stats.finished) return false;
+  }
+  return true;
+}
+
+Result<StreamStats> StreamScheduler::StatsFor(StreamId id) const {
+  auto it = streams_.find(id);
+  if (it == streams_.end()) {
+    return Status::NotFound("no stream " + std::to_string(id));
+  }
+  StreamStats stats = it->second.stats;
+  stats.playout = it->second.playout->stats();
+  return stats;
+}
+
+std::vector<StreamStats> StreamScheduler::AllStats() const {
+  std::vector<StreamStats> all;
+  all.reserve(streams_.size());
+  for (const auto& [id, stream] : streams_) {
+    StreamStats stats = stream.stats;
+    stats.playout = stream.playout->stats();
+    all.push_back(stats);
+  }
+  return all;
+}
+
+Result<const PlayoutBuffer*> StreamScheduler::Playout(StreamId id) const {
+  auto it = streams_.find(id);
+  if (it == streams_.end()) {
+    return Status::NotFound("no stream " + std::to_string(id));
+  }
+  return static_cast<const PlayoutBuffer*>(it->second.playout.get());
+}
+
+}  // namespace mmconf::stream

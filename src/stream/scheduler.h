@@ -1,0 +1,171 @@
+#ifndef MMCONF_STREAM_SCHEDULER_H_
+#define MMCONF_STREAM_SCHEDULER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "net/reliable.h"
+#include "stream/chunk.h"
+#include "stream/chunker.h"
+#include "stream/playout.h"
+#include "stream/rate.h"
+
+namespace mmconf::stream {
+
+/// Per-stream knobs. Deadlines are absolute virtual time: object k is
+/// due at `start_deadline_micros + k * interval_micros`.
+struct StreamOptions {
+  MicrosT start_deadline_micros = 0;
+  MicrosT interval_micros = 100000;
+  size_t chunk_bytes = 8 << 10;
+  /// Client playout-buffer budget; enhancement admission pauses when the
+  /// buffer would overfill (base chunks always pass — continuity over
+  /// quality). The interaction server derives this from the client's
+  /// prefetch cache headroom when one is attached.
+  size_t playout_buffer_bytes = 512 << 10;
+  /// Seed for the rate estimate; 0 = read the link spec.
+  double initial_rate_bytes_per_sec = 0;
+  /// Safety margin subtracted from deadlines in the drop decision.
+  MicrosT drop_slack_micros = 0;
+};
+
+/// Delivery accounting of one stream.
+struct StreamStats {
+  StreamId id = 0;
+  net::NodeId client = 0;
+  size_t chunks_total = 0;
+  size_t chunks_sent = 0;
+  size_t chunks_acked = 0;
+  size_t chunks_failed = 0;
+  /// Enhancement chunks never sent because their layer was dropped.
+  size_t enhancement_chunks_dropped = 0;
+  /// (object, layer) pairs the scheduler chose to drop.
+  size_t layers_dropped = 0;
+  size_t bytes_sent = 0;
+  double estimated_rate_bytes_per_sec = 0;
+  bool aborted = false;   ///< a base chunk exhausted its retry budget
+  bool finished = false;  ///< every chunk resolved and every object played
+  PlayoutStats playout;
+};
+
+/// Per-room earliest-deadline-first delivery scheduler for layered media
+/// streams over the reliable transport.
+///
+/// Admission (Pump) walks each client's streams and repeatedly sends the
+/// pending chunk with the earliest deadline, paced by a per-client token
+/// bucket whose rate follows an EWMA of observed ack timings. Before an
+/// *enhancement* chunk is sent, its estimated completion time (queued
+/// bytes / estimated rate) is checked against its deadline — and against
+/// the earliest pending base chunk's deadline, so refinements never
+/// starve the next object's base. A doomed enhancement layer is dropped
+/// for that object (together with the layers above it, which would be
+/// undecodable anyway) instead of blowing the deadline; base layers are
+/// never dropped, they are late at worst (a stall, counted by the
+/// playout buffer).
+class StreamScheduler {
+ public:
+  /// `transport` must outlive the scheduler; `server_node` is the
+  /// sending side of every stream.
+  StreamScheduler(net::ReliableTransport* transport, net::NodeId server_node);
+
+  StreamScheduler(const StreamScheduler&) = delete;
+  StreamScheduler& operator=(const StreamScheduler&) = delete;
+
+  /// Opens a stream of encoded layered objects (each a complete
+  /// compress::LayeredCodec bitstream) toward `client`. The caller
+  /// supplies the server-wide unique id.
+  Result<StreamId> Open(StreamId id, net::NodeId client,
+                        const std::vector<Bytes>& objects,
+                        const StreamOptions& options);
+
+  Status Close(StreamId id);
+  bool Owns(StreamId id) const { return streams_.count(id) > 0; }
+  size_t num_streams() const { return streams_.size(); }
+
+  /// Folds acked/failed chunk messages into rate estimates and stream
+  /// accounting. Call before Pump once the transport has been advanced.
+  void ObserveAcks();
+
+  /// Plays due objects and admits due chunks (EDF); returns chunks sent.
+  size_t Pump(MicrosT now);
+
+  /// Routes one application-level delivery from the transport; true when
+  /// it was consumed as a chunk of one of this scheduler's streams.
+  bool OnDelivery(const net::Delivery& delivery);
+
+  /// Earliest strictly-future time this scheduler wants to act (token
+  /// refill or a playout event); -1 when only wire arrivals can unblock
+  /// it (or it is idle).
+  MicrosT NextActionAt(MicrosT now) const;
+
+  /// True when every stream has finished (or aborted).
+  bool Idle() const;
+
+  Result<StreamStats> StatsFor(StreamId id) const;
+  std::vector<StreamStats> AllStats() const;
+  Result<const PlayoutBuffer*> Playout(StreamId id) const;
+
+ private:
+  struct StreamState {
+    StreamId id = 0;
+    net::NodeId client = 0;
+    StreamOptions options;
+    std::vector<Chunk> chunks;  ///< chunk index == chunk seq
+    size_t next_chunk = 0;
+    /// Per object: first dropped layer, -1 = none.
+    std::vector<int> dropped_from;
+    /// Per object: total layer count (for drop accounting).
+    std::vector<int> layer_counts;
+    size_t outstanding = 0;  ///< chunks sent, not yet acked or failed
+    std::unique_ptr<PlayoutBuffer> playout;
+    StreamStats stats;
+  };
+
+  struct SentChunk {
+    StreamId stream = 0;
+    uint32_t seq = 0;
+    size_t bytes = 0;
+    bool base = false;
+    MicrosT sent_at = 0;
+  };
+
+  struct ClientState {
+    TokenBucket bucket{1e6, 16 << 10};
+    AckRateEstimator estimator{1e6};
+    size_t inflight_bytes = 0;
+    MicrosT latency_micros = 0;  ///< one-way link latency, from the spec
+    std::map<net::MsgId, SentChunk> outstanding;
+    size_t streams = 0;  ///< open streams toward this client
+  };
+
+  /// Skips chunks of dropped layers; returns the head pending chunk
+  /// index or SIZE_MAX when the stream has nothing left to send.
+  size_t HeadChunk(StreamState& stream);
+  /// True when queueing `extra_bytes` ahead of the client's pending base
+  /// chunks still lets every one of them meet its deadline at `rate`
+  /// (EDF feasibility of the bases — the invariant the enhancement
+  /// admission gate must preserve).
+  bool BasesStillFeasible(net::NodeId client, const ClientState& state,
+                          size_t extra_bytes, MicrosT now, double rate,
+                          MicrosT slack) const;
+  /// Drops `chunk`'s layer (and the layers above it) for its object.
+  void DropLayer(StreamState& stream, const Chunk& chunk);
+  void AbortStream(StreamState& stream);
+  void RefreshFinished(StreamState& stream);
+  double RateFor(const ClientState& client) const;
+
+  net::ReliableTransport* transport_;
+  net::NodeId server_node_;
+  std::map<StreamId, StreamState> streams_;
+  std::map<net::NodeId, ClientState> clients_;
+};
+
+}  // namespace mmconf::stream
+
+#endif  // MMCONF_STREAM_SCHEDULER_H_

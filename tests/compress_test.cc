@@ -269,6 +269,44 @@ TEST_F(CodecTest, DecodePrefixUsesOnlyFittingLayers) {
             3);
 }
 
+TEST_F(CodecTest, BudgetDecodeEdgeCases) {
+  LayeredCodec codec;
+  Bytes stream = codec.Encode(image_).value();
+  StreamInfo info = LayeredCodec::Inspect(stream).value();
+
+  // A budget inside the header cannot cover any layer: a Status, never
+  // an empty image.
+  ASSERT_GT(info.header_bytes, 1u);
+  EXPECT_EQ(
+      LayeredCodec::LayersWithinBudget(stream, info.header_bytes - 1).value(),
+      0);
+  EXPECT_TRUE(LayeredCodec::DecodePrefix(stream, info.header_bytes - 1)
+                  .status()
+                  .IsFailedPrecondition());
+  EXPECT_TRUE(
+      LayeredCodec::DecodePrefix(stream, 0).status().IsFailedPrecondition());
+
+  // A budget exactly on a layer boundary includes that layer; one byte
+  // less excludes it.
+  for (size_t k = 0; k < info.layer_end.size(); ++k) {
+    EXPECT_EQ(
+        LayeredCodec::LayersWithinBudget(stream, info.layer_end[k]).value(),
+        static_cast<int>(k) + 1)
+        << "boundary of layer " << k;
+    EXPECT_EQ(LayeredCodec::LayersWithinBudget(stream, info.layer_end[k] - 1)
+                  .value(),
+              static_cast<int>(k))
+        << "one byte short of layer " << k;
+  }
+  media::Image at_boundary =
+      LayeredCodec::DecodePrefix(stream, info.layer_end[1]).value();
+  media::Image two_layers = LayeredCodec::Decode(stream, 2).value();
+  EXPECT_EQ(at_boundary.pixels(), two_layers.pixels());
+
+  // Decoding zero layers is a request error, not an empty image.
+  EXPECT_TRUE(LayeredCodec::Decode(stream, 0).status().IsInvalidArgument());
+}
+
 TEST_F(CodecTest, ThumbnailScales) {
   LayeredCodec codec;
   Bytes stream = codec.Encode(image_).value();

@@ -1,0 +1,76 @@
+// Shared helpers for the bench binaries: hardened report writing and
+// the --metrics_out= / --trace_out= observability flags.
+
+#ifndef MMCONF_BENCH_BENCH_OBS_H_
+#define MMCONF_BENCH_BENCH_OBS_H_
+
+#include <cstdio>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mmconf::bench {
+
+/// Fails fast when `path` cannot be opened for writing — run before a
+/// long sweep so a bad --json_out path errors in milliseconds, not
+/// minutes. Leaves an (empty or existing) file behind; the real report
+/// overwrites it.
+inline bool ProbeWritable(const std::string& path) {
+  std::FILE* out = std::fopen(path.c_str(), "a");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fclose(out);
+  return true;
+}
+
+/// Writes `content` to `path`, reporting *any* failure — including
+/// buffered-write errors (e.g. ENOSPC) that a bare fprintf/fclose
+/// sequence silently swallows.
+inline bool WriteFileChecked(const std::string& path,
+                             const std::string& content) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  size_t written = std::fwrite(content.data(), 1, content.size(), out);
+  bool ok = written == content.size() && std::ferror(out) == 0;
+  if (std::fclose(out) != 0) ok = false;
+  if (!ok) std::fprintf(stderr, "failed writing %s\n", path.c_str());
+  return ok;
+}
+
+/// Finalizes a hand-fprintf'd report stream: checks the stream error
+/// flag and the close result so buffered-write failures turn into a
+/// nonzero bench exit instead of a truncated file and a green run.
+inline bool CloseChecked(std::FILE* out, const std::string& path) {
+  bool ok = std::ferror(out) == 0;
+  if (std::fclose(out) != 0) ok = false;
+  if (!ok) std::fprintf(stderr, "failed writing %s\n", path.c_str());
+  return ok;
+}
+
+/// Optional observability sinks a bench threads through its sweep.
+/// `pid_stride` spaces the per-fleet pid namespaces so node 0 of sweep
+/// point N does not collide with node 0 of sweep point 0 in the trace.
+struct ObsSinks {
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
+  int pid_stride = 8;
+
+  bool enabled() const { return metrics != nullptr || tracer != nullptr; }
+
+  /// Points the tracer at sweep point `index`'s clock and pid namespace.
+  void BeginFleet(const Clock* clock, int index) const {
+    if (tracer == nullptr) return;
+    tracer->SetClock(clock);
+    tracer->set_pid_offset(index * pid_stride);
+  }
+};
+
+}  // namespace mmconf::bench
+
+#endif  // MMCONF_BENCH_BENCH_OBS_H_

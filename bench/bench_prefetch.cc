@@ -10,6 +10,9 @@
 // and written as machine-readable JSON (BENCH_prefetch.json; override
 // with --json_out=PATH). --smoke shrinks the scenarios for a ctest-able
 // perf smoke run and skips the slower ablations.
+//
+// --metrics_out=PATH dumps the obs MetricsRegistry snapshot
+// (prefetch.rank.* work counters; byte-identical across runs).
 
 #include <benchmark/benchmark.h>
 
@@ -19,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_obs.h"
 #include "common/rng.h"
 #include "doc/builder.h"
 #include "net/network.h"
@@ -256,8 +260,10 @@ bool SameRanking(const std::vector<PrefetchCandidate>& a,
 }
 
 ScenarioResult RunScenario(const std::string& name,
-                           MultimediaDocument document, int reps) {
+                           MultimediaDocument document, int reps,
+                           obs::MetricsRegistry* metrics) {
   PrefetchPredictor predictor(&document);
+  predictor.SetObserver(metrics);
   Assignment config = document.DefaultPresentation().value();
   ScenarioResult result;
   result.name = name;
@@ -283,18 +289,19 @@ ScenarioResult RunScenario(const std::string& name,
   return result;
 }
 
-std::vector<ScenarioResult> RunRankingAblation(bool smoke) {
+std::vector<ScenarioResult> RunRankingAblation(
+    bool smoke, obs::MetricsRegistry* metrics) {
   Rng rng(2002);
   const int reps = smoke ? 2 : 10;
   std::vector<ScenarioResult> results;
   results.push_back(RunScenario(
       "wide-document",
       doc::MakeRandomDocument(smoke ? 4 : 6, smoke ? 16 : 48, rng).value(),
-      reps));
+      reps, metrics));
   results.push_back(RunScenario(
-      "deep-chain", MakeDeepChainDocument(smoke ? 8 : 24), reps));
+      "deep-chain", MakeDeepChainDocument(smoke ? 8 : 24), reps, metrics));
   results.push_back(RunScenario(
-      "high-fanout", MakeFanOutDocument(smoke ? 12 : 40), reps));
+      "high-fanout", MakeFanOutDocument(smoke ? 12 : 40), reps, metrics));
 
   std::printf("== Prefetch ranking: incremental re-sweep vs full-sweep "
               "baseline (%s) ==\n", smoke ? "smoke" : "full");
@@ -334,8 +341,7 @@ bool WriteJson(const std::string& path,
         i + 1 < results.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
-  std::fclose(out);
-  return true;
+  return bench::CloseChecked(out, path);
 }
 
 void BM_RankCandidates(benchmark::State& state) {
@@ -387,6 +393,7 @@ BENCHMARK(BM_CacheLookupInsert);
 int main(int argc, char** argv) {
   bool smoke = false;
   std::string json_path = "BENCH_prefetch.json";
+  std::string metrics_path;
   // Strip our flags before google-benchmark sees (and rejects) them.
   std::vector<char*> passthrough = {argv[0]};
   for (int i = 1; i < argc; ++i) {
@@ -394,12 +401,27 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (std::strncmp(argv[i], "--json_out=", 11) == 0) {
       json_path = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--metrics_out=", 14) == 0) {
+      metrics_path = argv[i] + 14;
     } else {
       passthrough.push_back(argv[i]);
     }
   }
-  std::vector<ScenarioResult> results = RunRankingAblation(smoke);
+  // An unwritable output path should fail before the sweep, not after.
+  if (!bench::ProbeWritable(json_path)) return 1;
+  if (!metrics_path.empty() && !bench::ProbeWritable(metrics_path)) return 1;
+
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry* metrics =
+      metrics_path.empty() ? nullptr : &registry;
+
+  std::vector<ScenarioResult> results = RunRankingAblation(smoke, metrics);
   bool wrote = WriteJson(json_path, results, smoke);
+  if (!metrics_path.empty()) {
+    wrote = bench::WriteFileChecked(metrics_path,
+                                    registry.Snapshot().ToJson()) &&
+            wrote;
+  }
   bool identical = true;
   for (const ScenarioResult& result : results) {
     identical = identical && result.identical;

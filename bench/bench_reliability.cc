@@ -8,6 +8,10 @@
 // (BENCH_reliability.json; override with --json_out=PATH). --smoke runs
 // fewer rounds and exits nonzero when a room fails to converge or the
 // JSON cannot be written.
+//
+// --metrics_out=PATH dumps the obs MetricsRegistry snapshot
+// (byte-identical across runs) and --trace_out=PATH a Chrome
+// trace_event timeline (one pid namespace per loss point).
 
 #include <benchmark/benchmark.h>
 
@@ -17,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_obs.h"
 #include "doc/builder.h"
 #include "net/network.h"
 #include "net/reliable.h"
@@ -39,8 +44,10 @@ struct LossyFleet {
   net::NodeId server_node = 0, db_node = 0;
   std::vector<net::NodeId> clients;
 
-  explicit LossyFleet(double loss, uint64_t seed = 99) {
+  explicit LossyFleet(double loss, uint64_t seed = 99,
+                      const bench::ObsSinks& sinks = {}, int index = 0) {
     network = std::make_unique<net::Network>(&clock, seed);
+    if (sinks.enabled()) sinks.BeginFleet(&clock, index);
     server_node = network->AddNode("server");
     db_node = network->AddNode("db");
     network->SetDuplexLink(server_node, db_node, {50e6, 500}).ok();
@@ -63,6 +70,11 @@ struct LossyFleet {
     server = std::make_unique<server::InteractionServer>(
         &db, network.get(), server_node, db_node);
     server->UseReliableTransport(transport.get());
+    if (sinks.enabled()) {
+      network->SetObserver(sinks.metrics, sinks.tracer);
+      transport->SetObserver(sinks.metrics, sinks.tracer);
+      server->SetObserver(sinks.metrics, sinks.tracer);
+    }
     doc::MultimediaDocument document =
         doc::MakeMedicalRecordDocument().value();
     storage::ObjectRef ref = server->StoreDocument(document, "p").value();
@@ -96,7 +108,8 @@ struct LossRow {
   }
 };
 
-std::vector<LossRow> RunLossSweep(bool smoke) {
+std::vector<LossRow> RunLossSweep(bool smoke,
+                                  const bench::ObsSinks& sinks = {}) {
   const int rounds = smoke ? 3 : kRounds;
   std::vector<LossRow> rows;
   std::printf("== reliability: room consistency vs last-mile loss "
@@ -104,8 +117,9 @@ std::vector<LossRow> RunLossSweep(bool smoke) {
   std::printf("%-7s %-10s %-9s %-9s %-12s %-14s %-10s\n", "loss%",
               "t2c(ms)", "retries", "dups", "drops-wire", "wire/app(B)",
               "overhead");
+  int index = 0;
   for (double loss : {0.0, 0.05, 0.10, 0.20}) {
-    LossyFleet fleet(loss);
+    LossyFleet fleet(loss, 99, sinks, index++);
     size_t app_bytes_before = fleet.server->bytes_propagated();
     size_t wire_before = fleet.network->TotalBytesSent();
     LossRow row;
@@ -167,8 +181,7 @@ bool WriteJson(const std::string& path, const std::vector<LossRow>& rows,
         i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
-  std::fclose(out);
-  return true;
+  return bench::CloseChecked(out, path);
 }
 
 void BM_PropagateUnderLoss(benchmark::State& state) {
@@ -217,6 +230,8 @@ BENCHMARK(BM_ReliableEcho)->Arg(0)->Arg(20);
 int main(int argc, char** argv) {
   bool smoke = false;
   std::string json_path = "BENCH_reliability.json";
+  std::string metrics_path;
+  std::string trace_path;
   // Strip our flags before google-benchmark sees (and rejects) them.
   std::vector<char*> passthrough = {argv[0]};
   for (int i = 1; i < argc; ++i) {
@@ -224,12 +239,35 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (std::strncmp(argv[i], "--json_out=", 11) == 0) {
       json_path = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--metrics_out=", 14) == 0) {
+      metrics_path = argv[i] + 14;
+    } else if (std::strncmp(argv[i], "--trace_out=", 12) == 0) {
+      trace_path = argv[i] + 12;
     } else {
       passthrough.push_back(argv[i]);
     }
   }
-  std::vector<LossRow> rows = RunLossSweep(smoke);
+  // An unwritable output path should fail before the sweep, not after.
+  if (!bench::ProbeWritable(json_path)) return 1;
+  if (!metrics_path.empty() && !bench::ProbeWritable(metrics_path)) return 1;
+  if (!trace_path.empty() && !bench::ProbeWritable(trace_path)) return 1;
+
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer(nullptr);
+  bench::ObsSinks sinks;
+  if (!metrics_path.empty()) sinks.metrics = &registry;
+  if (!trace_path.empty()) sinks.tracer = &tracer;
+
+  std::vector<LossRow> rows = RunLossSweep(smoke, sinks);
   bool wrote = WriteJson(json_path, rows, smoke);
+  if (!metrics_path.empty()) {
+    wrote = bench::WriteFileChecked(metrics_path,
+                                    registry.Snapshot().ToJson()) &&
+            wrote;
+  }
+  if (!trace_path.empty()) {
+    wrote = bench::WriteFileChecked(trace_path, tracer.ToJson()) && wrote;
+  }
   bool converged = true;
   for (const LossRow& row : rows) converged = converged && row.converged;
   if (smoke) {

@@ -11,6 +11,12 @@
 // the sweep for a ctest-able perf smoke run and exits nonzero when a
 // streaming invariant breaks (a base layer dropped, a stream aborted, a
 // stall on the ample link) or the JSON cannot be written.
+//
+// --metrics_out=PATH additionally dumps the obs MetricsRegistry snapshot
+// (byte-identical across runs — the simulation is deterministic) and
+// --trace_out=PATH a Chrome trace_event timeline of the whole sweep
+// (one pid namespace per sweep point; open in chrome://tracing or
+// Perfetto).
 
 #include <benchmark/benchmark.h>
 
@@ -19,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_obs.h"
 #include "common/rng.h"
 #include "compress/layered_codec.h"
 #include "doc/builder.h"
@@ -64,9 +71,12 @@ struct SweepRow {
 };
 
 /// Streams `objects` to one room member over a `bandwidth` B/s downlink
-/// (20 ms latency) and reports the delivered quality.
+/// (20 ms latency) and reports the delivered quality. `sinks` (optional)
+/// collects metrics and the trace timeline; `index` namespaces this
+/// fleet's trace pids.
 SweepRow RunSweepPoint(const std::vector<Bytes>& objects, double bandwidth,
-                       MicrosT interval_micros) {
+                       MicrosT interval_micros,
+                       const bench::ObsSinks& sinks = {}, int index = 0) {
   Clock clock;
   net::Network network(&clock, /*fault_seed=*/0x57ea3ull);
   net::NodeId server_node = network.AddNode("interaction-server");
@@ -80,6 +90,12 @@ SweepRow RunSweepPoint(const std::vector<Bytes>& objects, double bandwidth,
   server::InteractionServer server(&db, &network, server_node, db_node);
   net::ReliableTransport transport(&network);
   server.UseReliableTransport(&transport);
+  if (sinks.enabled()) {
+    sinks.BeginFleet(&clock, index);
+    network.SetObserver(sinks.metrics, sinks.tracer);
+    transport.SetObserver(sinks.metrics, sinks.tracer);
+    server.SetObserver(sinks.metrics, sinks.tracer);
+  }
   server
       .OpenRoomWithDocument("consult",
                             doc::MakeMedicalRecordDocument().value())
@@ -121,7 +137,8 @@ SweepRow RunSweepPoint(const std::vector<Bytes>& objects, double bandwidth,
   return row;
 }
 
-std::vector<SweepRow> RunSweep(bool smoke) {
+std::vector<SweepRow> RunSweep(bool smoke,
+                               const bench::ObsSinks& sinks = {}) {
   const size_t count = smoke ? 4 : 12;
   const int side = smoke ? 64 : 128;
   const MicrosT interval = 150000;
@@ -138,8 +155,10 @@ std::vector<SweepRow> RunSweep(bool smoke) {
   std::printf("%-14s %-10s %-12s %-14s %-12s %-12s %-14s %-12s\n",
               "bandwidth", "stalls", "stall-rate", "mean-stall(ms)",
               "mean-layers", "min-layers", "layers-drop", "bytes-sent");
-  for (double bandwidth : bandwidths) {
-    SweepRow row = RunSweepPoint(objects, bandwidth, interval);
+  for (size_t i = 0; i < bandwidths.size(); ++i) {
+    double bandwidth = bandwidths[i];
+    SweepRow row = RunSweepPoint(objects, bandwidth, interval, sinks,
+                                 static_cast<int>(i));
     std::printf("%-14.0f %-10zu %-12.2f %-14.1f %-12.2f %-12d %-14zu "
                 "%-12zu\n",
                 row.bandwidth_bytes_per_sec, row.stalls, row.stall_rate,
@@ -206,8 +225,7 @@ bool WriteJson(const std::string& path, const std::vector<SweepRow>& rows,
         i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
-  std::fclose(out);
-  return true;
+  return bench::CloseChecked(out, path);
 }
 
 void BM_ChunkerPlan(benchmark::State& state) {
@@ -235,6 +253,8 @@ BENCHMARK(BM_StreamToPlayout)->Arg(16000)->Arg(256000);
 int main(int argc, char** argv) {
   bool smoke = false;
   std::string json_path = "BENCH_streaming.json";
+  std::string metrics_path;
+  std::string trace_path;
   // Strip our flags before google-benchmark sees (and rejects) them.
   std::vector<char*> passthrough = {argv[0]};
   for (int i = 1; i < argc; ++i) {
@@ -242,16 +262,39 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (std::strncmp(argv[i], "--json_out=", 11) == 0) {
       json_path = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--metrics_out=", 14) == 0) {
+      metrics_path = argv[i] + 14;
+    } else if (std::strncmp(argv[i], "--trace_out=", 12) == 0) {
+      trace_path = argv[i] + 12;
     } else {
       passthrough.push_back(argv[i]);
     }
   }
-  std::vector<SweepRow> rows = RunSweep(smoke);
+  // An unwritable output path should fail before the sweep, not after.
+  if (!bench::ProbeWritable(json_path)) return 1;
+  if (!metrics_path.empty() && !bench::ProbeWritable(metrics_path)) return 1;
+  if (!trace_path.empty() && !bench::ProbeWritable(trace_path)) return 1;
+
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer(nullptr);
+  bench::ObsSinks sinks;
+  if (!metrics_path.empty()) sinks.metrics = &registry;
+  if (!trace_path.empty()) sinks.tracer = &tracer;
+
+  std::vector<SweepRow> rows = RunSweep(smoke, sinks);
   bool ok = CheckInvariants(rows);
   bool wrote = WriteJson(json_path, rows, smoke);
+  if (!metrics_path.empty()) {
+    wrote = bench::WriteFileChecked(metrics_path,
+                                    registry.Snapshot().ToJson()) &&
+            wrote;
+  }
+  if (!trace_path.empty()) {
+    wrote = bench::WriteFileChecked(trace_path, tracer.ToJson()) && wrote;
+  }
   if (smoke) {
     // ctest perf smoke: fail on a broken streaming invariant or an
-    // unwritable JSON report; timing itself is not asserted.
+    // unwritable report; timing itself is not asserted.
     return ok && wrote ? 0 : 1;
   }
   int pass_argc = static_cast<int>(passthrough.size());

@@ -7,8 +7,14 @@
 // not.
 //
 //   ./build/examples/streaming_consult
+//
+// Optional flags: --metrics_out=PATH dumps the obs MetricsRegistry
+// snapshot as JSON; --trace_out=PATH writes a Chrome trace_event
+// timeline of the consult (open in chrome://tracing or Perfetto).
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "compress/layered_codec.h"
@@ -16,13 +22,24 @@
 #include "media/synthetic.h"
 #include "net/network.h"
 #include "net/reliable.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/interaction_server.h"
 #include "storage/database.h"
 #include "stream/scheduler.h"
 
 using namespace mmconf;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string metrics_path;
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--metrics_out=", 14) == 0) {
+      metrics_path = argv[i] + 14;
+    } else if (std::strncmp(argv[i], "--trace_out=", 12) == 0) {
+      trace_path = argv[i] + 12;
+    }
+  }
   // A 10-slice CT cine, each slice encoded once with the layered codec.
   Rng rng(23);
   compress::LayeredCodec codec;
@@ -53,6 +70,17 @@ int main() {
   db.RegisterStandardTypes().ok();
   server::InteractionServer server(&db, &network, server_node, db_node);
   server.UseReliableTransport(&transport);
+
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer(&clock);
+  obs::MetricsRegistry* metrics =
+      metrics_path.empty() ? nullptr : &registry;
+  obs::Tracer* trace = trace_path.empty() ? nullptr : &tracer;
+  if (metrics != nullptr || trace != nullptr) {
+    network.SetObserver(metrics, trace);
+    transport.SetObserver(metrics, trace);
+    server.SetObserver(metrics, trace);
+  }
 
   doc::MultimediaDocument document = doc::MakeMedicalRecordDocument().value();
   storage::ObjectRef ref = server.StoreDocument(document, "patient-7").value();
@@ -100,5 +128,23 @@ int main() {
   std::printf("estimated clinic rate from ack spacing: %.0f B/s "
               "(link: 8000 B/s)\n",
               levi.estimated_rate_bytes_per_sec);
+
+  if (metrics != nullptr) {
+    Status wrote = registry.Snapshot().WriteJson(metrics_path);
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "metrics: %s\n", wrote.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics snapshot -> %s\n", metrics_path.c_str());
+  }
+  if (trace != nullptr) {
+    Status wrote = tracer.WriteJson(trace_path);
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "trace: %s\n", wrote.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace timeline (%zu events) -> %s\n", tracer.num_events(),
+                trace_path.c_str());
+  }
   return 0;
 }

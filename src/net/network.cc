@@ -136,6 +136,27 @@ void Network::Partition(NodeId a, NodeId b) {
   links_.erase({b, a});
 }
 
+void Network::SetObserver(obs::MetricsRegistry* metrics,
+                          obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (metrics != nullptr) {
+    m_sends_ = metrics->GetCounter("net.send.messages");
+    m_send_bytes_ = metrics->GetCounter("net.send.bytes");
+    m_drops_ = metrics->GetCounter("net.drop.random");
+    m_flap_drops_ = metrics->GetCounter("net.drop.flap");
+    m_duplicates_ = metrics->GetCounter("net.duplicate");
+    m_jitter_ = metrics->GetHistogram(
+        "net.jitter_micros", {100, 500, 1000, 2000, 5000, 10000, 50000});
+  } else {
+    m_sends_ = nullptr;
+    m_send_bytes_ = nullptr;
+    m_drops_ = nullptr;
+    m_flap_drops_ = nullptr;
+    m_duplicates_ = nullptr;
+    m_jitter_ = nullptr;
+  }
+}
+
 void Network::Schedule(Delivery delivery) {
   auto pos = std::upper_bound(
       pending_.begin(), pending_.end(), delivery.delivered_at,
@@ -167,6 +188,10 @@ Result<MicrosT> Network::Send(NodeId from, NodeId to, size_t bytes,
   link.free_at = start + transfer_micros;
   link.bytes_sent += bytes;
   total_bytes_ += bytes;
+  if (m_sends_ != nullptr) {
+    m_sends_->Add();
+    m_send_bytes_->Add(bytes);
+  }
 
   Delivery delivery;
   delivery.from = from;
@@ -181,16 +206,28 @@ Result<MicrosT> Network::Send(NodeId from, NodeId to, size_t bytes,
     const FaultSpec& fault = link.fault;
     if (InFlap(fault, now)) {
       ++link.fault_stats.flap_dropped;
+      if (m_flap_drops_ != nullptr) m_flap_drops_->Add();
+      if (tracer_ != nullptr) {
+        tracer_->Instant(from, 0, "flap-drop", "net", "bytes",
+                         static_cast<int64_t>(bytes));
+      }
       return delivered_at;  // the sender cannot tell it was lost
     }
     if (fault.drop_probability > 0 &&
         link.fault_rng.Chance(fault.drop_probability)) {
       ++link.fault_stats.dropped;
+      if (m_drops_ != nullptr) m_drops_->Add();
+      if (tracer_ != nullptr) {
+        tracer_->Instant(from, 0, "drop", "net", "bytes",
+                         static_cast<int64_t>(bytes));
+      }
       return delivered_at;
     }
     if (fault.jitter_micros > 0) {
-      delivery.delivered_at += static_cast<MicrosT>(link.fault_rng.NextBelow(
+      MicrosT jitter = static_cast<MicrosT>(link.fault_rng.NextBelow(
           static_cast<uint64_t>(fault.jitter_micros) + 1));
+      delivery.delivered_at += jitter;
+      if (m_jitter_ != nullptr) m_jitter_->Observe(jitter);
     }
     if (fault.duplicate_probability > 0 &&
         link.fault_rng.Chance(fault.duplicate_probability)) {
@@ -201,6 +238,8 @@ Result<MicrosT> Network::Send(NodeId from, NodeId to, size_t bytes,
                 static_cast<uint64_t>(fault.jitter_micros) + 1));
       }
       ++link.fault_stats.duplicated;
+      if (m_duplicates_ != nullptr) m_duplicates_->Add();
+      if (tracer_ != nullptr) tracer_->Instant(from, 0, "duplicate", "net");
       Schedule(std::move(copy));
     }
   }

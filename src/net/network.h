@@ -10,6 +10,8 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mmconf::net {
 
@@ -140,6 +142,13 @@ class Network {
   size_t BytesSent(NodeId from, NodeId to) const;
   size_t TotalBytesSent() const { return total_bytes_; }
 
+  /// Publishes wire activity into the obs layer: `net.*` counters and
+  /// the jitter histogram in `metrics`, instant trace events for fault
+  /// decisions (drop/flap/duplicate) with pid = sending node. Either
+  /// pointer may be null; both must outlive the network. Counter handles
+  /// are cached here, so the Send hot path pays plain increments only.
+  void SetObserver(obs::MetricsRegistry* metrics, obs::Tracer* tracer);
+
   Clock* clock() const { return clock_; }
 
  private:
@@ -162,6 +171,15 @@ class Network {
   std::map<std::pair<NodeId, NodeId>, LinkState> links_;
   std::vector<Delivery> pending_;  // kept sorted by delivered_at
   size_t total_bytes_ = 0;
+  /// Observability (null = not instrumented). Handles cached by
+  /// SetObserver so increments never look up by name.
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* m_sends_ = nullptr;
+  obs::Counter* m_send_bytes_ = nullptr;
+  obs::Counter* m_drops_ = nullptr;
+  obs::Counter* m_flap_drops_ = nullptr;
+  obs::Counter* m_duplicates_ = nullptr;
+  obs::Histogram* m_jitter_ = nullptr;
 };
 
 }  // namespace mmconf::net

@@ -45,12 +45,46 @@ ReliableTransport::ReliableTransport(Network* network, RetryPolicy policy)
   if (policy_.max_attempts < 1) policy_.max_attempts = 1;
 }
 
+void ReliableTransport::SetObserver(obs::MetricsRegistry* metrics,
+                                    obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (metrics != nullptr) {
+    m_sent_ = metrics->GetCounter("rel.sent");
+    m_attempts_ = metrics->GetCounter("rel.attempts");
+    m_retries_ = metrics->GetCounter("rel.retries");
+    m_acked_ = metrics->GetCounter("rel.acked");
+    m_failed_ = metrics->GetCounter("rel.failed");
+    m_dedup_ = metrics->GetCounter("rel.dedup_hits");
+    m_acks_sent_ = metrics->GetCounter("rel.acks_sent");
+    m_rtt_ = metrics->GetHistogram(
+        "rel.rtt_micros", {1000, 5000, 20000, 50000, 100000, 250000, 500000,
+                           1000000, 2000000, 5000000});
+    m_backoff_wait_ = metrics->GetHistogram(
+        "rel.backoff_wait_micros",
+        {50000, 150000, 250000, 500000, 1000000, 2000000});
+  } else {
+    m_sent_ = nullptr;
+    m_attempts_ = nullptr;
+    m_retries_ = nullptr;
+    m_acked_ = nullptr;
+    m_failed_ = nullptr;
+    m_dedup_ = nullptr;
+    m_acks_sent_ = nullptr;
+    m_rtt_ = nullptr;
+    m_backoff_wait_ = nullptr;
+  }
+}
+
 MicrosT ReliableTransport::Attempt(InFlight& msg) {
   MicrosT now = network_->clock()->NowMicros();
   ++msg.attempts;
   Channel& channel = channels_[{msg.from, msg.to}];
   ++channel.stats.attempts;
   if (msg.attempts > 1) ++channel.stats.retries;
+  if (m_attempts_ != nullptr) {
+    m_attempts_->Add();
+    if (msg.attempts > 1) m_retries_->Add();
+  }
   std::string wire_tag =
       kDataPrefix + std::to_string(msg.seq) + ":" + msg.tag;
   Result<MicrosT> eta = network_->Send(msg.from, msg.to, msg.bytes,
@@ -87,6 +121,7 @@ Result<SendHandle> ReliableTransport::Send(NodeId from, NodeId to,
   msg.timeout = policy_.initial_timeout_micros;
   msg.first_sent_at = network_->clock()->NowMicros();
   ++channel.stats.sent;
+  if (m_sent_ != nullptr) m_sent_->Add();
   channel.unacked_by_seq[msg.seq] = msg.id;
   MicrosT eta = Attempt(msg);
   SendHandle handle{msg.id, eta};
@@ -110,6 +145,16 @@ void ReliableTransport::Process(Delivery delivery,
     channel.unacked_by_seq.erase(by_seq);
     auto it = inflight_.find(id);
     if (it != inflight_.end()) {
+      const InFlight& msg = it->second;
+      if (m_acked_ != nullptr) {
+        m_acked_->Add();
+        m_rtt_->Observe(delivery.delivered_at - msg.first_sent_at);
+      }
+      if (tracer_ != nullptr) {
+        tracer_->Span(msg.from, 0, msg.tag.c_str(), "rel",
+                      msg.first_sent_at, delivery.delivered_at, "attempts",
+                      msg.attempts);
+      }
       completed_[id] =
           Completed{SendState::kAcked, delivery.delivered_at,
                     it->second.attempts};
@@ -135,9 +180,11 @@ void ReliableTransport::Process(Delivery delivery,
           .status()
           .ok();
       ++channel.stats.acks_sent;
+      if (m_acks_sent_ != nullptr) m_acks_sent_->Add();
     }
     if (!channel.seen.insert(seq).second) {
       ++channel.stats.duplicates_suppressed;
+      if (m_dedup_ != nullptr) m_dedup_->Add();
       return;
     }
     delivery.tag = std::move(app_tag);
@@ -162,6 +209,11 @@ void ReliableTransport::HandleTimeouts(MicrosT now) {
       Channel& channel = channels_[{msg.from, msg.to}];
       channel.unacked_by_seq.erase(msg.seq);
       ++channel.stats.failed;
+      if (m_failed_ != nullptr) m_failed_->Add();
+      if (tracer_ != nullptr) {
+        tracer_->Instant(msg.from, 0, "rel-failed", "rel", "attempts",
+                         msg.attempts);
+      }
       completed_[id] = Completed{SendState::kFailed, 0, msg.attempts};
       failures.push_back(
           FailedMessage{id, msg.from, msg.to, msg.tag, msg.attempts});
@@ -172,6 +224,7 @@ void ReliableTransport::HandleTimeouts(MicrosT now) {
         static_cast<MicrosT>(static_cast<double>(msg.timeout) *
                              policy_.backoff_factor),
         policy_.max_timeout_micros);
+    if (m_backoff_wait_ != nullptr) m_backoff_wait_->Observe(msg.timeout);
     Attempt(msg);
   }
   // Fired after the in-flight table is consistent: the callback may call

@@ -119,6 +119,14 @@ class ReliableTransport {
     on_failure_ = std::move(callback);
   }
 
+  /// Publishes transport activity into the obs layer: `rel.*` counters
+  /// (attempts, retries, acks, failures, dedup hits) and the RTT
+  /// histogram (first send -> ack, per message). Trace spans cover each
+  /// acked message's first-send-to-ack interval (pid = sender node);
+  /// failures emit instants. Either pointer may be null; both must
+  /// outlive the transport.
+  void SetObserver(obs::MetricsRegistry* metrics, obs::Tracer* tracer);
+
   ChannelStats StatsFor(NodeId from, NodeId to) const;
   ChannelStats TotalStats() const;
   size_t in_flight() const { return inflight_.size(); }
@@ -174,6 +182,18 @@ class ReliableTransport {
   std::map<MsgId, Completed> completed_;
   std::map<std::pair<NodeId, NodeId>, Channel> channels_;
   FailureCallback on_failure_;
+  /// Observability (null = not instrumented); handles cached by
+  /// SetObserver so the send/ack paths pay plain increments only.
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* m_sent_ = nullptr;
+  obs::Counter* m_attempts_ = nullptr;
+  obs::Counter* m_retries_ = nullptr;
+  obs::Counter* m_acked_ = nullptr;
+  obs::Counter* m_failed_ = nullptr;
+  obs::Counter* m_dedup_ = nullptr;
+  obs::Counter* m_acks_sent_ = nullptr;
+  obs::Histogram* m_rtt_ = nullptr;
+  obs::Histogram* m_backoff_wait_ = nullptr;
 };
 
 }  // namespace mmconf::net

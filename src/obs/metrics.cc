@@ -1,0 +1,216 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mmconf::obs {
+
+Histogram::Histogram(std::vector<int64_t> bounds)
+    : bounds_(std::move(bounds)) {
+  bool ascending = !bounds_.empty();
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      ascending = false;
+      break;
+    }
+  }
+  if (!ascending) bounds_.assign(1, 0);
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Observe(int64_t value) {
+  // First edge >= value; everything above the last edge overflows.
+  size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  ++counts_[bucket];
+  ++count_;
+  sum_ += value;
+  if (count_ == 1) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::unique_ptr<Counter>(new Counter()))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge())).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<int64_t> bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name,
+                      std::unique_ptr<Histogram>(
+                          new Histogram(std::move(bounds))))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot h;
+    h.bounds = histogram->bounds();
+    h.counts = histogram->bucket_counts();
+    h.count = histogram->count();
+    h.sum = histogram->sum();
+    h.min = histogram->min();
+    h.max = histogram->max();
+    snapshot.histograms[name] = std::move(h);
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  for (auto& [name, counter] : counters_) counter->value_ = 0;
+  for (auto& [name, gauge] : gauges_) gauge->value_ = 0;
+  for (auto& [name, histogram] : histograms_) {
+    std::fill(histogram->counts_.begin(), histogram->counts_.end(), 0);
+    histogram->count_ = 0;
+    histogram->sum_ = 0;
+    histogram->min_ = 0;
+    histogram->max_ = 0;
+  }
+}
+
+MetricsRegistry* MetricsRegistry::Global() {
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return instance;
+}
+
+MetricsSnapshot MetricsSnapshot::DiffSince(
+    const MetricsSnapshot& earlier) const {
+  MetricsSnapshot diff = *this;
+  for (auto& [name, value] : diff.counters) {
+    auto it = earlier.counters.find(name);
+    if (it != earlier.counters.end()) value -= std::min(value, it->second);
+  }
+  for (auto& [name, histogram] : diff.histograms) {
+    auto it = earlier.histograms.find(name);
+    if (it == earlier.histograms.end()) continue;
+    const HistogramSnapshot& base = it->second;
+    if (base.bounds != histogram.bounds) continue;  // re-bucketed: keep
+    for (size_t i = 0; i < histogram.counts.size(); ++i) {
+      histogram.counts[i] -= std::min(histogram.counts[i], base.counts[i]);
+    }
+    histogram.count -= std::min(histogram.count, base.count);
+    histogram.sum -= base.sum;
+  }
+  return diff;
+}
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& text) {
+  for (char c : text) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          *out += buffer;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+template <typename Map, typename Emit>
+void AppendObject(std::string* out, const char* key, const Map& map,
+                  Emit emit, bool trailing_comma) {
+  *out += "  \"";
+  *out += key;
+  *out += "\": {";
+  bool first = true;
+  for (const auto& [name, value] : map) {
+    *out += first ? "\n    \"" : ",\n    \"";
+    first = false;
+    AppendEscaped(out, name);
+    *out += "\": ";
+    emit(out, value);
+  }
+  *out += first ? "}" : "\n  }";
+  if (trailing_comma) *out += ",";
+  *out += "\n";
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n";
+  AppendObject(&out, "counters", counters,
+               [](std::string* s, uint64_t v) { *s += std::to_string(v); },
+               true);
+  AppendObject(&out, "gauges", gauges,
+               [](std::string* s, int64_t v) { *s += std::to_string(v); },
+               true);
+  AppendObject(
+      &out, "histograms", histograms,
+      [](std::string* s, const HistogramSnapshot& h) {
+        *s += "{\"bounds\": [";
+        for (size_t i = 0; i < h.bounds.size(); ++i) {
+          if (i > 0) *s += ", ";
+          *s += std::to_string(h.bounds[i]);
+        }
+        *s += "], \"counts\": [";
+        for (size_t i = 0; i < h.counts.size(); ++i) {
+          if (i > 0) *s += ", ";
+          *s += std::to_string(h.counts[i]);
+        }
+        *s += "], \"count\": " + std::to_string(h.count);
+        *s += ", \"sum\": " + std::to_string(h.sum);
+        *s += ", \"min\": " + std::to_string(h.min);
+        *s += ", \"max\": " + std::to_string(h.max) + "}";
+      },
+      false);
+  out += "}\n";
+  return out;
+}
+
+Status MetricsSnapshot::WriteJson(const std::string& path) const {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    return Status::NotFound("cannot open metrics output \"" + path + "\"");
+  }
+  std::string json = ToJson();
+  size_t written = std::fwrite(json.data(), 1, json.size(), out);
+  bool ok = written == json.size() && std::ferror(out) == 0;
+  ok = std::fclose(out) == 0 && ok;
+  if (!ok) {
+    return Status::Internal("short write to metrics output \"" + path +
+                            "\"");
+  }
+  return Status::OK();
+}
+
+}  // namespace mmconf::obs

@@ -1,0 +1,142 @@
+#ifndef MMCONF_OBS_METRICS_H_
+#define MMCONF_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mmconf::obs {
+
+/// Monotone event count. Handles returned by MetricsRegistry::GetCounter
+/// are stable for the registry's lifetime, so hot paths fetch them once
+/// and increment a plain integer afterwards — no lookup, no allocation.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) { value_ += delta; }
+  uint64_t value() const { return value_; }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  uint64_t value_ = 0;
+};
+
+/// Point-in-time signed value (queue depth, buffer fill, last round's
+/// convergence time). Same handle discipline as Counter.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_ = value; }
+  void Add(int64_t delta) { value_ += delta; }
+  int64_t value() const { return value_; }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  int64_t value_ = 0;
+};
+
+/// Fixed-bucket histogram for latencies and sizes. Bucket edges are the
+/// inclusive upper bounds handed to MetricsRegistry::GetHistogram:
+/// bucket 0 counts values <= bounds[0] (everything below the first edge
+/// included), bucket i counts bounds[i-1] < v <= bounds[i], and one
+/// extra overflow bucket counts values above the last edge. Observe is a
+/// binary search over the fixed edges plus integer bumps — no
+/// allocation.
+class Histogram {
+ public:
+  void Observe(int64_t value);
+
+  uint64_t count() const { return count_; }
+  int64_t sum() const { return sum_; }
+  /// 0 until the first observation.
+  int64_t min() const { return count_ > 0 ? min_ : 0; }
+  int64_t max() const { return count_ > 0 ? max_ : 0; }
+  const std::vector<int64_t>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  const std::vector<uint64_t>& bucket_counts() const { return counts_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<int64_t> bounds);
+
+  std::vector<int64_t> bounds_;
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+/// Value copy of one histogram, comparable across runs.
+struct HistogramSnapshot {
+  std::vector<int64_t> bounds;
+  std::vector<uint64_t> counts;  ///< per bucket, overflow last
+  uint64_t count = 0;
+  int64_t sum = 0;
+  int64_t min = 0;
+  int64_t max = 0;
+
+  bool operator==(const HistogramSnapshot&) const = default;
+};
+
+/// Point-in-time copy of a whole registry. Keys iterate in sorted order
+/// (std::map), so ToJson is byte-deterministic for identical contents —
+/// the property the seed-for-seed determinism tests assert.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  bool operator==(const MetricsSnapshot&) const = default;
+
+  /// Counters and histogram buckets/count/sum become this-minus-earlier;
+  /// gauges and histogram min/max keep this snapshot's value (they are
+  /// not accumulative). Metrics absent from `earlier` pass through.
+  MetricsSnapshot DiffSince(const MetricsSnapshot& earlier) const;
+
+  /// Integer-only JSON (no float formatting), sorted keys.
+  std::string ToJson() const;
+  Status WriteJson(const std::string& path) const;
+};
+
+/// Process-wide registry of named metrics. Registration (Get*) may
+/// allocate; the returned handles never move, so instrumented code keeps
+/// raw pointers and pays only an integer bump per event. Reset zeroes
+/// every value but keeps registrations (and thus handles) valid.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` must be non-empty and strictly ascending (falls back to a
+  /// single bucket at 0 otherwise). A re-registration under an existing
+  /// name keeps the first definition's bounds.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<int64_t> bounds);
+
+  MetricsSnapshot Snapshot() const;
+  void Reset();
+  size_t num_metrics() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// The process-wide default instance (benches and examples share it);
+  /// tests build their own registries for isolation.
+  static MetricsRegistry* Global();
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace mmconf::obs
+
+#endif  // MMCONF_OBS_METRICS_H_

@@ -1,0 +1,186 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace mmconf::obs {
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& text) {
+  for (char c : text) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          *out += buffer;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+void Tracer::SetProcessName(int pid, const std::string& name) {
+  Event event;
+  event.phase = 'M';
+  event.name = "process_name";
+  event.pid = pid + pid_offset_;
+  event.tid = 0;
+  event.meta_name = name;
+  events_.push_back(std::move(event));
+}
+
+int Tracer::Tid(int pid, const std::string& label) {
+  const int offset_pid = pid + pid_offset_;
+  auto key = std::make_pair(offset_pid, label);
+  auto it = tids_.find(key);
+  if (it != tids_.end()) return it->second;
+  int& next = next_tid_[offset_pid];
+  if (next == 0) next = 1;
+  int tid = next++;
+  tids_.emplace(std::move(key), tid);
+  Event event;
+  event.phase = 'M';
+  event.name = "thread_name";
+  event.pid = offset_pid;
+  event.tid = tid;
+  event.meta_name = label;
+  events_.push_back(std::move(event));
+  return tid;
+}
+
+void Tracer::Instant(int pid, int tid, const char* name,
+                     const char* category, const char* value_name,
+                     int64_t value) {
+  Event event;
+  event.phase = 'i';
+  event.name = name;
+  event.category = category;
+  event.pid = pid + pid_offset_;
+  event.tid = tid;
+  event.ts = Now();
+  event.value_name = value_name;
+  event.value = value;
+  events_.push_back(std::move(event));
+}
+
+void Tracer::Span(int pid, int tid, const char* name, const char* category,
+                  MicrosT start, MicrosT end, const char* value_name,
+                  int64_t value) {
+  Event event;
+  event.phase = 'X';
+  event.name = name;
+  event.category = category;
+  event.pid = pid + pid_offset_;
+  event.tid = tid;
+  event.ts = start;
+  event.dur = end > start ? end - start : 0;
+  event.value_name = value_name;
+  event.value = value;
+  events_.push_back(std::move(event));
+}
+
+size_t Tracer::BeginSpan(int pid, int tid, const char* name,
+                         const char* category) {
+  Event event;
+  event.phase = 'X';
+  event.name = name;
+  event.category = category;
+  event.pid = pid + pid_offset_;
+  event.tid = tid;
+  event.ts = Now();
+  event.dur = -1;
+  events_.push_back(std::move(event));
+  return events_.size() - 1;
+}
+
+void Tracer::EndSpan(size_t handle) {
+  if (handle >= events_.size()) return;
+  Event& event = events_[handle];
+  if (event.phase != 'X' || event.dur >= 0) return;
+  MicrosT now = Now();
+  event.dur = now > event.ts ? now - event.ts : 0;
+}
+
+void Tracer::CounterSample(int pid, const char* name, int64_t value) {
+  Event event;
+  event.phase = 'C';
+  event.name = name;
+  event.pid = pid + pid_offset_;
+  event.tid = 0;
+  event.ts = Now();
+  event.value_name = "value";
+  event.value = value;
+  events_.push_back(std::move(event));
+}
+
+void Tracer::Clear() {
+  events_.clear();
+  tids_.clear();
+  next_tid_.clear();
+}
+
+std::string Tracer::ToJson() const {
+  std::string out = "{\"traceEvents\": [\n";
+  bool first = true;
+  for (const Event& event : events_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "  {\"name\": \"";
+    AppendEscaped(&out, event.name);
+    out += "\", \"ph\": \"";
+    out += event.phase;
+    out += "\"";
+    if (event.phase == 'M') {
+      out += ", \"pid\": " + std::to_string(event.pid);
+      out += ", \"tid\": " + std::to_string(event.tid);
+      out += ", \"args\": {\"name\": \"";
+      AppendEscaped(&out, event.meta_name);
+      out += "\"}}";
+      continue;
+    }
+    out += ", \"cat\": \"";
+    AppendEscaped(&out, event.category);
+    out += "\", \"pid\": " + std::to_string(event.pid);
+    out += ", \"tid\": " + std::to_string(event.tid);
+    out += ", \"ts\": " + std::to_string(event.ts);
+    if (event.phase == 'X') {
+      out += ", \"dur\": " + std::to_string(event.dur >= 0 ? event.dur : 0);
+    }
+    if (event.phase == 'i') {
+      out += ", \"s\": \"t\"";
+    }
+    if (event.value_name != nullptr) {
+      out += ", \"args\": {\"";
+      AppendEscaped(&out, event.value_name);
+      out += "\": " + std::to_string(event.value) + "}";
+    }
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status Tracer::WriteJson(const std::string& path) const {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    return Status::NotFound("cannot open trace output \"" + path + "\"");
+  }
+  std::string json = ToJson();
+  size_t written = std::fwrite(json.data(), 1, json.size(), out);
+  bool ok = written == json.size() && std::ferror(out) == 0;
+  ok = std::fclose(out) == 0 && ok;
+  if (!ok) {
+    return Status::Internal("short write to trace output \"" + path + "\"");
+  }
+  return Status::OK();
+}
+
+}  // namespace mmconf::obs

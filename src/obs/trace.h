@@ -1,0 +1,103 @@
+#ifndef MMCONF_OBS_TRACE_H_
+#define MMCONF_OBS_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace mmconf::obs {
+
+/// Timeline recorder over the *simulation* clock, exporting Chrome
+/// `trace_event` JSON (load in chrome://tracing or https://ui.perfetto.dev).
+///
+/// Conventions (DESIGN.md §10): one trace pid per simulated network node
+/// (the sender side of an event), one tid per room/stream within that
+/// node (interned via Tid; tid 0 is the node's default lane). Spans
+/// ("X" complete events) cover intervals of virtual time — a propagation
+/// round from first send to last ack, a playout stall from deadline to
+/// play. Instants ("i") mark point decisions — a wire drop, a shed
+/// enhancement layer.
+///
+/// Benches that simulate several independent fleets in one process give
+/// each fleet its own pid namespace via set_pid_offset, so node 0 of
+/// sweep point 3 does not collide with node 0 of sweep point 0.
+class Tracer {
+ public:
+  /// `clock` must outlive the tracer (re-point with SetClock when a new
+  /// simulation starts).
+  explicit Tracer(const Clock* clock) : clock_(clock) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void SetClock(const Clock* clock) { clock_ = clock; }
+  /// Added to every pid passed in from here on (see class comment).
+  void set_pid_offset(int offset) { pid_offset_ = offset; }
+  int pid_offset() const { return pid_offset_; }
+
+  /// Names the process `pid` renders as ("process_name" metadata).
+  void SetProcessName(int pid, const std::string& name);
+
+  /// Interns `label` as a tid of `pid`, emitting "thread_name" metadata
+  /// on first use. Stable across calls; tid 0 is never handed out.
+  int Tid(int pid, const std::string& label);
+
+  /// Point event at the current virtual time. `value_name` != nullptr
+  /// attaches one numeric argument.
+  void Instant(int pid, int tid, const char* name, const char* category,
+               const char* value_name = nullptr, int64_t value = 0);
+
+  /// Complete event covering [start, end] of virtual time (clamped to a
+  /// non-negative duration).
+  void Span(int pid, int tid, const char* name, const char* category,
+            MicrosT start, MicrosT end, const char* value_name = nullptr,
+            int64_t value = 0);
+
+  /// Open span starting now; EndSpan stamps the duration. The returned
+  /// handle is only valid until Clear().
+  size_t BeginSpan(int pid, int tid, const char* name,
+                   const char* category);
+  void EndSpan(size_t handle);
+
+  /// Counter track sample ("C" event) at the current virtual time.
+  void CounterSample(int pid, const char* name, int64_t value);
+
+  size_t num_events() const { return events_.size(); }
+  void Clear();
+
+  /// Chrome trace JSON: {"traceEvents": [...]}. Events appear in record
+  /// order (deterministic for a deterministic simulation).
+  std::string ToJson() const;
+  Status WriteJson(const std::string& path) const;
+
+ private:
+  struct Event {
+    char phase = 'i';  ///< 'i' instant, 'X' complete, 'C' counter, 'M' meta
+    std::string name;
+    const char* category = "";
+    int pid = 0;
+    int tid = 0;
+    MicrosT ts = 0;
+    MicrosT dur = -1;  ///< 'X' only; -1 while a BeginSpan is open
+    const char* value_name = nullptr;
+    int64_t value = 0;
+    std::string meta_name;  ///< 'M' only: the process/thread name
+  };
+
+  MicrosT Now() const { return clock_ != nullptr ? clock_->NowMicros() : 0; }
+
+  const Clock* clock_;
+  int pid_offset_ = 0;
+  std::vector<Event> events_;
+  std::map<std::pair<int, std::string>, int> tids_;
+  std::map<int, int> next_tid_;  ///< per pid, starts at 1
+};
+
+}  // namespace mmconf::obs
+
+#endif  // MMCONF_OBS_TRACE_H_

@@ -21,17 +21,34 @@ std::string CacheKey(const std::string& component,
   return component + "/" + presentation;
 }
 
+void ClientCache::SetObserver(obs::MetricsRegistry* metrics) {
+  if (metrics != nullptr) {
+    m_hits_ = metrics->GetCounter("prefetch.cache.hits");
+    m_misses_ = metrics->GetCounter("prefetch.cache.misses");
+    m_evictions_ = metrics->GetCounter("prefetch.cache.evictions");
+    m_insertions_ = metrics->GetCounter("prefetch.cache.insertions");
+  } else {
+    m_hits_ = nullptr;
+    m_misses_ = nullptr;
+    m_evictions_ = nullptr;
+    m_insertions_ = nullptr;
+  }
+}
+
 bool ClientCache::Lookup(const std::string& key) {
   if (policy_ == CachePolicy::kNone) {
     ++stats_.misses;
+    if (m_misses_ != nullptr) m_misses_->Add();
     return false;
   }
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++stats_.misses;
+    if (m_misses_ != nullptr) m_misses_->Add();
     return false;
   }
   ++stats_.hits;
+  if (m_hits_ != nullptr) m_hits_->Add();
   lru_.erase(it->second.lru_position);
   lru_.push_front(key);
   it->second.lru_position = lru_.begin();
@@ -63,6 +80,7 @@ void ClientCache::Evict() {
   lru_.erase(it->second.lru_position);
   entries_.erase(it);
   ++stats_.evictions;
+  if (m_evictions_ != nullptr) m_evictions_->Add();
 }
 
 Status ClientCache::Insert(const std::string& key, size_t bytes,
@@ -84,6 +102,7 @@ Status ClientCache::Insert(const std::string& key, size_t bytes,
   entries_.emplace(key, Entry{bytes, score, lru_.begin()});
   used_ += bytes;
   ++stats_.insertions;
+  if (m_insertions_ != nullptr) m_insertions_->Add();
   return Status::OK();
 }
 

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace mmconf::prefetch {
 
@@ -51,6 +52,11 @@ class ClientCache {
   const CacheStats& stats() const { return stats_; }
   void ResetStats() { stats_ = CacheStats(); }
 
+  /// Mirrors hit/miss/evict/insert counts into `prefetch.cache.*`
+  /// counters of `metrics` (may be null to detach; must outlive the
+  /// cache). Handles are cached, so Lookup/Insert stay allocation-free.
+  void SetObserver(obs::MetricsRegistry* metrics);
+
   /// True (and counted as hit) when the key is buffered. kNone always
   /// misses.
   bool Lookup(const std::string& key);
@@ -79,6 +85,10 @@ class ClientCache {
   std::map<std::string, Entry> entries_;
   std::list<std::string> lru_;  ///< front = most recently used
   CacheStats stats_;
+  obs::Counter* m_hits_ = nullptr;
+  obs::Counter* m_misses_ = nullptr;
+  obs::Counter* m_evictions_ = nullptr;
+  obs::Counter* m_insertions_ = nullptr;
 };
 
 /// Canonical cache key for a component presentation.

@@ -26,6 +26,17 @@ void SortCandidates(std::vector<PrefetchCandidate>* candidates) {
 
 }  // namespace
 
+void PrefetchPredictor::SetObserver(obs::MetricsRegistry* metrics) {
+  if (metrics != nullptr) {
+    m_rank_calls_ = metrics->GetCounter("prefetch.rank.calls");
+    m_rank_candidates_ = metrics->GetHistogram("prefetch.rank.candidates",
+                                               {4, 16, 64, 256, 1024});
+  } else {
+    m_rank_calls_ = nullptr;
+    m_rank_candidates_ = nullptr;
+  }
+}
+
 Result<std::vector<PrefetchCandidate>> PrefetchPredictor::RankCandidates(
     const Assignment& current) const {
   const doc::MultimediaDocument& document = *document_;
@@ -131,6 +142,10 @@ Result<std::vector<PrefetchCandidate>> PrefetchPredictor::RankCandidates(
     }
   }
   SortCandidates(&candidates);
+  if (m_rank_calls_ != nullptr) {
+    m_rank_calls_->Add();
+    m_rank_candidates_->Observe(static_cast<int64_t>(candidates.size()));
+  }
   return candidates;
 }
 

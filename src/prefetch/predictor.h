@@ -7,6 +7,7 @@
 #include "common/result.h"
 #include "cpnet/assignment.h"
 #include "doc/document.h"
+#include "obs/metrics.h"
 
 namespace mmconf::prefetch {
 
@@ -59,8 +60,18 @@ class PrefetchPredictor {
   Result<std::vector<PrefetchCandidate>> RankCandidatesBaseline(
       const cpnet::Assignment& current) const;
 
+  /// Publishes ranking work into `prefetch.rank.*`: a call counter and a
+  /// candidates-per-call histogram (a deterministic work proxy — wall
+  /// time would break seed-for-seed metric reproducibility). May be null
+  /// to detach; must outlive the predictor.
+  void SetObserver(obs::MetricsRegistry* metrics);
+
  private:
   const doc::MultimediaDocument* document_;
+  /// Mutable: RankCandidates is logically const; observation is not a
+  /// semantic mutation.
+  mutable obs::Counter* m_rank_calls_ = nullptr;
+  mutable obs::Histogram* m_rank_candidates_ = nullptr;
 };
 
 /// Greedy plan: the highest-score candidates that fit a byte budget

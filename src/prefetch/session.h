@@ -52,6 +52,14 @@ class PrefetchSession {
   size_t bytes_prefetched() const { return prefetched_bytes_; }
   const cpnet::Assignment& current() const { return current_; }
 
+  /// Forwards to the buffer (`prefetch.cache.*`) and the predictor
+  /// (`prefetch.rank.*`). May be null to detach; must outlive the
+  /// session.
+  void SetObserver(obs::MetricsRegistry* metrics) {
+    cache_.SetObserver(metrics);
+    predictor_.SetObserver(metrics);
+  }
+
  private:
   const doc::MultimediaDocument* document_;
   net::Network* network_;

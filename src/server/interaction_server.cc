@@ -21,6 +21,69 @@ InteractionServer::InteractionServer(DatabaseServer* db,
       server_node_(server_node),
       db_node_(db_node) {}
 
+void InteractionServer::SetObserver(obs::MetricsRegistry* metrics,
+                                    obs::Tracer* tracer) {
+  metrics_ = metrics;
+  tracer_ = tracer;
+  if (metrics_ != nullptr) {
+    m_joins_ = metrics_->GetCounter("server.joins");
+    m_leaves_ = metrics_->GetCounter("server.leaves");
+    m_evictions_ = metrics_->GetCounter("server.evictions");
+    m_broadcasts_ = metrics_->GetCounter("server.broadcasts");
+    m_propagate_rounds_ = metrics_->GetCounter("server.propagate.rounds");
+    m_streams_opened_ = metrics_->GetCounter("server.streams.opened");
+    m_join_latency_ = metrics_->GetHistogram(
+        "server.join.latency_micros",
+        {10000, 50000, 100000, 250000, 500000, 1000000, 5000000});
+    m_delta_bytes_ = metrics_->GetHistogram(
+        "server.propagate.delta_bytes",
+        {1024, 4096, 16384, 65536, 262144, 1048576});
+    m_t2c_ = metrics_->GetHistogram(
+        "server.propagate.t2c_micros",
+        {10000, 50000, 100000, 250000, 500000, 1000000, 5000000});
+    m_reconfig_changed_ = metrics_->GetHistogram(
+        "server.reconfig.changed_vars", {1, 2, 4, 8, 16, 32});
+  } else {
+    m_joins_ = nullptr;
+    m_leaves_ = nullptr;
+    m_evictions_ = nullptr;
+    m_broadcasts_ = nullptr;
+    m_propagate_rounds_ = nullptr;
+    m_streams_opened_ = nullptr;
+    m_join_latency_ = nullptr;
+    m_delta_bytes_ = nullptr;
+    m_t2c_ = nullptr;
+    m_reconfig_changed_ = nullptr;
+  }
+  // Stale lanes/gauges would point into a previous observer's objects.
+  room_obs_.clear();
+  if (tracer_ != nullptr) {
+    tracer_->SetProcessName(server_node_, network_->NodeName(server_node_));
+    tracer_->SetProcessName(db_node_, network_->NodeName(db_node_));
+  }
+  for (auto& [room, scheduler] : stream_schedulers_) {
+    scheduler->SetObserver(metrics_, tracer_);
+  }
+}
+
+InteractionServer::RoomObs& InteractionServer::ObsFor(
+    const std::string& room_id) {
+  auto it = room_obs_.find(room_id);
+  if (it != room_obs_.end()) return it->second;
+  RoomObs obs;
+  if (tracer_ != nullptr) {
+    obs.tid = tracer_->Tid(server_node_, "room:" + room_id);
+  }
+  if (metrics_ != nullptr) {
+    const std::string prefix = "server.room." + room_id + ".";
+    obs.g_messages = metrics_->GetGauge(prefix + "messages");
+    obs.g_retries = metrics_->GetGauge(prefix + "retries");
+    obs.g_evictions = metrics_->GetGauge(prefix + "evictions");
+    obs.g_t2c = metrics_->GetGauge(prefix + "t2c_micros");
+  }
+  return room_obs_.emplace(room_id, obs).first->second;
+}
+
 void InteractionServer::UseReliableTransport(
     net::ReliableTransport* transport) {
   transport_ = transport;
@@ -65,6 +128,11 @@ void InteractionServer::OnDeliveryFailure(const net::FailedMessage& failure) {
   if (viewer.empty()) return;  // already evicted by an earlier failure
   members.erase(viewer);
   ++room_stats_[room_id].evictions;
+  if (m_evictions_ != nullptr) m_evictions_->Add();
+  if (tracer_ != nullptr) {
+    tracer_->Instant(server_node_, ObsFor(room_id).tid, "evict-member",
+                     "server", "node", failure.to);
+  }
   // The evicted member's pinned choices are released; the survivors get
   // the resulting reconfiguration (reliably, so it retries too).
   Result<ReconfigResult> result = room->Leave(viewer);
@@ -93,6 +161,27 @@ void InteractionServer::SettleRoomMessages(const std::string& room_id) {
     msg_room_.erase(id);
   }
   it->second = std::move(still_open);
+  if (metrics_ == nullptr && tracer_ == nullptr) return;
+  RoomObs& obs = ObsFor(room_id);
+  if (obs.g_messages != nullptr) {
+    obs.g_messages->Set(static_cast<int64_t>(stats.messages));
+    obs.g_retries->Set(static_cast<int64_t>(stats.retries));
+    obs.g_evictions->Set(static_cast<int64_t>(stats.evictions));
+  }
+  // The round's span and time-to-consistency are known only once its
+  // last message settles.
+  if (obs.round_open && it->second.empty() &&
+      stats.last_converged_at >= stats.last_propagate_at) {
+    obs.round_open = false;
+    MicrosT t2c = stats.last_converged_at - stats.last_propagate_at;
+    if (m_t2c_ != nullptr) m_t2c_->Observe(t2c);
+    if (obs.g_t2c != nullptr) obs.g_t2c->Set(t2c);
+    if (tracer_ != nullptr) {
+      tracer_->Span(server_node_, obs.tid, "propagate", "server",
+                    stats.last_propagate_at, stats.last_converged_at,
+                    "t2c_micros", t2c);
+    }
+  }
 }
 
 Result<RoomReliabilityStats> InteractionServer::RoomStats(
@@ -216,10 +305,22 @@ Result<MicrosT> InteractionServer::Join(const std::string& room_id,
       size_t cost,
       doc::TranscodedDeliveryCost(room->document(), room->configuration(),
                                   LevelFor(client.node)));
+  MicrosT requested_at = network_->clock()->NowMicros();
   MMCONF_ASSIGN_OR_RETURN(
       MicrosT delivered,
       Ship(server_node_, client.node, cost, "initial-content", room_id));
   bytes_propagated_ += cost;
+  if (m_joins_ != nullptr) {
+    m_joins_->Add();
+    if (delivered >= requested_at) {
+      m_join_latency_->Observe(delivered - requested_at);
+    }
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Span(server_node_, ObsFor(room_id).tid, "join", "server",
+                  requested_at, std::max(delivered, requested_at), "bytes",
+                  static_cast<int64_t>(cost));
+  }
   return delivered;
 }
 
@@ -228,6 +329,7 @@ Status InteractionServer::Leave(const std::string& room_id,
   MMCONF_ASSIGN_OR_RETURN(Room * room, GetRoom(room_id));
   MMCONF_ASSIGN_OR_RETURN(ReconfigResult result, room->Leave(viewer));
   endpoints_[room_id].erase(viewer);
+  if (m_leaves_ != nullptr) m_leaves_->Add();
   return Propagate(room, result, viewer);
 }
 
@@ -237,6 +339,14 @@ Status InteractionServer::Propagate(Room* room, const ReconfigResult& result,
   if (transport_ != nullptr) {
     room_stats_[room->id()].last_propagate_at =
         network_->clock()->NowMicros();
+    if (metrics_ != nullptr || tracer_ != nullptr) {
+      ObsFor(room->id()).round_open = true;
+    }
+  }
+  if (m_propagate_rounds_ != nullptr) {
+    m_propagate_rounds_->Add();
+    m_reconfig_changed_->Observe(
+        static_cast<int64_t>(result.changed_vars.size()));
   }
   // The room's presentation view already resolved result.configuration,
   // so the changed items need no name lookups, ancestor walks, or
@@ -279,6 +389,9 @@ Status InteractionServer::Propagate(Room* room, const ReconfigResult& result,
     // Per-client delta: the changed components, transcoded for this
     // member's downlink.
     size_t delta_bytes = delta_for(LevelFor(node));
+    if (m_delta_bytes_ != nullptr) {
+      m_delta_bytes_->Observe(static_cast<int64_t>(delta_bytes));
+    }
     if (transport_ != nullptr) {
       // Reliable path: the transport retries with backoff; a member is
       // evicted via OnDeliveryFailure only once its budget is exhausted.
@@ -344,6 +457,11 @@ Result<MicrosT> InteractionServer::Broadcast(const std::string& room_id,
                                              size_t bytes) {
   MMCONF_ASSIGN_OR_RETURN(Room * room, GetRoom(room_id));
   (void)room;
+  if (m_broadcasts_ != nullptr) m_broadcasts_->Add();
+  if (tracer_ != nullptr) {
+    tracer_->Instant(server_node_, ObsFor(room_id).tid, "broadcast",
+                     "server", "bytes", static_cast<int64_t>(bytes));
+  }
   MicrosT latest = 0;
   for (const auto& [viewer, node] : endpoints_[room_id]) {
     MMCONF_ASSIGN_OR_RETURN(
@@ -388,11 +506,13 @@ Result<stream::StreamId> InteractionServer::OpenStream(
   if (scheduler == nullptr) {
     scheduler =
         std::make_unique<stream::StreamScheduler>(transport_, server_node_);
+    scheduler->SetObserver(metrics_, tracer_);
   }
   stream::StreamId id = next_stream_id_++;
   MMCONF_RETURN_IF_ERROR(
       scheduler->Open(id, client, objects, options).status());
   stream_room_[id] = room_id;
+  if (m_streams_opened_ != nullptr) m_streams_opened_->Add();
   return id;
 }
 

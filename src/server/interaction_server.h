@@ -13,6 +13,8 @@
 #include "doc/tuning.h"
 #include "net/network.h"
 #include "net/reliable.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "prefetch/cache.h"
 #include "server/room.h"
 #include "storage/database.h"
@@ -199,6 +201,17 @@ class InteractionServer {
   /// Total bytes this server pushed to clients so far.
   size_t bytes_propagated() const { return bytes_propagated_; }
 
+  /// Publishes server activity into the obs layer: `server.*` counters
+  /// and histograms (join latency, per-member delta bytes, reconfig
+  /// sizes, propagate time-to-consistency), per-room registry gauges
+  /// (`server.room.<id>.*`, refreshed whenever the room's messages are
+  /// settled), and trace lanes (tid "room:<id>" under the server pid)
+  /// carrying propagate->converged spans and eviction instants. Names
+  /// the server/db processes after their network nodes and forwards the
+  /// observer to every room's stream scheduler, current and future.
+  /// Either pointer may be null; both must outlive the server.
+  void SetObserver(obs::MetricsRegistry* metrics, obs::Tracer* tracer);
+
  private:
   /// Sends `result`'s delta to every member except `origin` (empty
   /// origin = everyone, used for initial join payloads elsewhere).
@@ -230,6 +243,23 @@ class InteractionServer {
     Trigger trigger;
   };
 
+  /// Per-room observability state: the room's trace lane and its
+  /// registry-backed gauge views of RoomReliabilityStats (published by
+  /// SettleRoomMessages, so reads are as fresh as the stats they
+  /// mirror). `round_open` tracks an unconverged propagation round whose
+  /// span is emitted once the last ack settles.
+  struct RoomObs {
+    int tid = 0;
+    obs::Gauge* g_messages = nullptr;
+    obs::Gauge* g_retries = nullptr;
+    obs::Gauge* g_evictions = nullptr;
+    obs::Gauge* g_t2c = nullptr;
+    bool round_open = false;
+  };
+  /// Lazily interns the room's trace lane / gauges; safe no-handles
+  /// state when no observer is attached.
+  RoomObs& ObsFor(const std::string& room_id);
+
   storage::DatabaseServer* db_;
   net::Network* network_;
   net::ReliableTransport* transport_ = nullptr;
@@ -253,6 +283,22 @@ class InteractionServer {
   std::vector<RegisteredTrigger> triggers_;
   int next_trigger_id_ = 1;
   size_t bytes_propagated_ = 0;
+  /// Observability (null = not instrumented). The registry pointer is
+  /// kept (unlike the pure-handle subsystems) because rooms and their
+  /// gauges appear dynamically.
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  std::map<std::string, RoomObs> room_obs_;
+  obs::Counter* m_joins_ = nullptr;
+  obs::Counter* m_leaves_ = nullptr;
+  obs::Counter* m_evictions_ = nullptr;
+  obs::Counter* m_broadcasts_ = nullptr;
+  obs::Counter* m_propagate_rounds_ = nullptr;
+  obs::Counter* m_streams_opened_ = nullptr;
+  obs::Histogram* m_join_latency_ = nullptr;
+  obs::Histogram* m_delta_bytes_ = nullptr;
+  obs::Histogram* m_t2c_ = nullptr;
+  obs::Histogram* m_reconfig_changed_ = nullptr;
 };
 
 }  // namespace mmconf::server

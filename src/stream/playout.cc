@@ -102,6 +102,7 @@ void PlayoutBuffer::AdvanceTo(MicrosT t) {
       ++stats_.stalls;
       stats_.total_stall_micros += stall;
       stats_.max_stall_micros = std::max(stats_.max_stall_micros, stall);
+      if (on_stall_) on_stall_(object.deadline, play_at);
     }
     ++stats_.objects_played;
     stats_.layers_delivered_total += static_cast<size_t>(layers);

@@ -2,6 +2,7 @@
 #define MMCONF_STREAM_PLAYOUT_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/clock.h"
@@ -84,6 +85,16 @@ class PlayoutBuffer {
   /// Decodable layers of an already-played object.
   Result<int> DeliveredLayers(uint32_t index) const;
 
+  /// Invoked (during AdvanceTo) whenever an object plays late, with its
+  /// deadline and actual play time — the [deadline, played_at) interval
+  /// is the stall. Lets the owner emit a trace span without the buffer
+  /// knowing about tracing.
+  using StallCallback = std::function<void(MicrosT deadline,
+                                           MicrosT played_at)>;
+  void SetStallCallback(StallCallback callback) {
+    on_stall_ = std::move(callback);
+  }
+
  private:
   struct ObjectState {
     MicrosT deadline = 0;
@@ -104,6 +115,7 @@ class PlayoutBuffer {
   size_t next_to_play_ = 0;
   MicrosT last_played_at_ = 0;
   PlayoutStats stats_;
+  StallCallback on_stall_;
 };
 
 }  // namespace mmconf::stream

@@ -13,6 +13,63 @@ StreamScheduler::StreamScheduler(net::ReliableTransport* transport,
                                  net::NodeId server_node)
     : transport_(transport), server_node_(server_node) {}
 
+void StreamScheduler::SetObserver(obs::MetricsRegistry* metrics,
+                                  obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (metrics != nullptr) {
+    m_chunks_sent_ = metrics->GetCounter("stream.chunks.sent");
+    m_chunks_acked_ = metrics->GetCounter("stream.chunks.acked");
+    m_chunks_failed_ = metrics->GetCounter("stream.chunks.failed");
+    m_bytes_sent_ = metrics->GetCounter("stream.bytes.sent");
+    m_enh_dropped_ = metrics->GetCounter("stream.chunks.enhancement_dropped");
+    m_layers_dropped_ = metrics->GetCounter("stream.layers.dropped");
+    m_stalls_ = metrics->GetCounter("stream.stalls");
+    m_aborts_ = metrics->GetCounter("stream.aborts");
+    m_token_wait_ = metrics->GetHistogram(
+        "stream.token_wait_micros",
+        {1000, 5000, 10000, 50000, 100000, 500000});
+    m_stall_micros_ = metrics->GetHistogram(
+        "stream.stall_micros",
+        {10000, 50000, 100000, 250000, 500000, 1000000, 5000000});
+  } else {
+    m_chunks_sent_ = nullptr;
+    m_chunks_acked_ = nullptr;
+    m_chunks_failed_ = nullptr;
+    m_bytes_sent_ = nullptr;
+    m_enh_dropped_ = nullptr;
+    m_layers_dropped_ = nullptr;
+    m_stalls_ = nullptr;
+    m_aborts_ = nullptr;
+    m_token_wait_ = nullptr;
+    m_stall_micros_ = nullptr;
+  }
+  for (auto& [id, stream] : streams_) AttachStreamObs(stream);
+}
+
+void StreamScheduler::AttachStreamObs(StreamState& stream) {
+  if (tracer_ != nullptr) {
+    stream.tid = tracer_->Tid(server_node_,
+                              "stream:" + std::to_string(stream.id));
+  }
+  // The callback re-reads this scheduler's observer pointers at stall
+  // time, so attaching it unconditionally keeps later SetObserver calls
+  // effective for already-open streams.
+  StreamScheduler* self = this;
+  int tid = stream.tid;
+  stream.playout->SetStallCallback(
+      [self, tid](MicrosT deadline, MicrosT played_at) {
+        if (self->m_stalls_ != nullptr) {
+          self->m_stalls_->Add();
+          self->m_stall_micros_->Observe(played_at - deadline);
+        }
+        if (self->tracer_ != nullptr) {
+          self->tracer_->Span(self->server_node_, tid, "stall", "stream",
+                              deadline, played_at, "stall_micros",
+                              played_at - deadline);
+        }
+      });
+}
+
 Result<StreamId> StreamScheduler::Open(StreamId id, net::NodeId client,
                                        const std::vector<Bytes>& objects,
                                        const StreamOptions& options) {
@@ -77,7 +134,8 @@ Result<StreamId> StreamScheduler::Open(StreamId id, net::NodeId client,
   }
   client_state.latency_micros = latency;
   ++client_state.streams;
-  streams_.emplace(id, std::move(state));
+  auto emplaced = streams_.emplace(id, std::move(state));
+  AttachStreamObs(emplaced.first->second);
   return id;
 }
 
@@ -108,6 +166,7 @@ size_t StreamScheduler::HeadChunk(StreamState& stream) {
     int dropped = stream.dropped_from[chunk.object_index];
     if (!chunk.base && dropped >= 0 && chunk.layer >= dropped) {
       ++stream.stats.enhancement_chunks_dropped;
+      if (m_enh_dropped_ != nullptr) m_enh_dropped_->Add();
       ++stream.next_chunk;
       continue;
     }
@@ -155,12 +214,23 @@ void StreamScheduler::DropLayer(StreamState& stream, const Chunk& chunk) {
         static_cast<size_t>(ceiling - chunk.layer);
     stream.dropped_from[chunk.object_index] = chunk.layer;
     stream.playout->MarkLayerDropped(chunk.object_index, chunk.layer).ok();
+    if (m_layers_dropped_ != nullptr) {
+      m_layers_dropped_->Add(static_cast<int64_t>(ceiling - chunk.layer));
+    }
+    if (tracer_ != nullptr) {
+      tracer_->Instant(server_node_, stream.tid, "drop-layer", "stream",
+                       "layer", chunk.layer);
+    }
   }
 }
 
 void StreamScheduler::AbortStream(StreamState& stream) {
   stream.stats.aborted = true;
   stream.next_chunk = stream.chunks.size();
+  if (m_aborts_ != nullptr) m_aborts_->Add();
+  if (tracer_ != nullptr) {
+    tracer_->Instant(server_node_, stream.tid, "abort-stream", "stream");
+  }
 }
 
 void StreamScheduler::RefreshFinished(StreamState& stream) {
@@ -192,8 +262,10 @@ void StreamScheduler::ObserveAcks() {
             transport_->AckedAt(it->first).value_or(sent.sent_at + 1);
         client.estimator.OnAck(sent.bytes, sent.sent_at, acked);
         if (stream != nullptr) ++stream->stats.chunks_acked;
+        if (m_chunks_acked_ != nullptr) m_chunks_acked_->Add();
       } else if (stream != nullptr) {
         ++stream->stats.chunks_failed;
+        if (m_chunks_failed_ != nullptr) m_chunks_failed_->Add();
         // A lost base layer can never play: stop pouring bytes at a dead
         // member and let the room's eviction machinery handle the node.
         if (sent.base) AbortStream(*stream);
@@ -266,7 +338,13 @@ size_t StreamScheduler::Pump(MicrosT now) {
           continue;
         }
       }
-      if (!client.bucket.CanSend(chunk.bytes)) break;
+      if (!client.bucket.CanSend(chunk.bytes)) {
+        if (m_token_wait_ != nullptr) {
+          m_token_wait_->Observe(
+              client.bucket.WhenAvailable(chunk.bytes, now) - now);
+        }
+        break;
+      }
       Result<net::SendHandle> handle = transport_->Send(
           server_node_, node, chunk.bytes, ChunkTag(stream.id, chunk.seq));
       if (!handle.ok()) {
@@ -281,6 +359,10 @@ size_t StreamScheduler::Pump(MicrosT now) {
       ++stream.next_chunk;
       ++stream.stats.chunks_sent;
       stream.stats.bytes_sent += chunk.bytes;
+      if (m_chunks_sent_ != nullptr) {
+        m_chunks_sent_->Add();
+        m_bytes_sent_->Add(static_cast<int64_t>(chunk.bytes));
+      }
       ++sent_count;
     }
   }

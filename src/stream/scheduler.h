@@ -11,6 +11,8 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "net/reliable.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stream/chunk.h"
 #include "stream/chunker.h"
 #include "stream/playout.h"
@@ -111,10 +113,20 @@ class StreamScheduler {
   std::vector<StreamStats> AllStats() const;
   Result<const PlayoutBuffer*> Playout(StreamId id) const;
 
+  /// Publishes delivery decisions into the obs layer: `stream.*`
+  /// counters (chunks sent/acked/failed, shed layers), the token-bucket
+  /// wait and stall histograms, per-stream trace lanes (tid
+  /// "stream:<id>" under the server pid) with drop-layer instants and
+  /// stall spans. Attaches to streams already open as well as streams
+  /// opened later. Either pointer may be null; both must outlive the
+  /// scheduler.
+  void SetObserver(obs::MetricsRegistry* metrics, obs::Tracer* tracer);
+
  private:
   struct StreamState {
     StreamId id = 0;
     net::NodeId client = 0;
+    int tid = 0;  ///< trace lane under the server pid; 0 = untraced
     StreamOptions options;
     std::vector<Chunk> chunks;  ///< chunk index == chunk seq
     size_t next_chunk = 0;
@@ -159,11 +171,27 @@ class StreamScheduler {
   void AbortStream(StreamState& stream);
   void RefreshFinished(StreamState& stream);
   double RateFor(const ClientState& client) const;
+  /// Gives `stream` its trace lane and stall-span callback (no-op
+  /// without a tracer).
+  void AttachStreamObs(StreamState& stream);
 
   net::ReliableTransport* transport_;
   net::NodeId server_node_;
   std::map<StreamId, StreamState> streams_;
   std::map<net::NodeId, ClientState> clients_;
+  /// Observability (null = not instrumented); handles cached by
+  /// SetObserver so Pump/ObserveAcks pay plain increments only.
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* m_chunks_sent_ = nullptr;
+  obs::Counter* m_chunks_acked_ = nullptr;
+  obs::Counter* m_chunks_failed_ = nullptr;
+  obs::Counter* m_bytes_sent_ = nullptr;
+  obs::Counter* m_enh_dropped_ = nullptr;
+  obs::Counter* m_layers_dropped_ = nullptr;
+  obs::Counter* m_stalls_ = nullptr;
+  obs::Counter* m_aborts_ = nullptr;
+  obs::Histogram* m_token_wait_ = nullptr;
+  obs::Histogram* m_stall_micros_ = nullptr;
 };
 
 }  // namespace mmconf::stream

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Gate a fresh bench JSON report against a checked-in baseline.
+
+Usage:
+    tools/bench_check.py BASELINE.json FRESH.json [--tolerance 0.25]
+
+Every scalar in the baseline must appear at the same path in the fresh
+report: numbers within a relative tolerance (default +/-25%), booleans
+and strings exactly. Wall-clock fields (--skip, default baseline_us,
+fast_us, speedup) are ignored — the simulation is virtual-time
+deterministic, so everything else reproduces exactly and the tolerance
+is pure headroom against toolchain drift. Exits nonzero listing every
+violation.
+"""
+
+import argparse
+import json
+import sys
+
+DEFAULT_SKIP = "baseline_us,fast_us,speedup"
+
+
+def compare(base, fresh, path, tolerance, skip, violations):
+    if isinstance(base, dict):
+        if not isinstance(fresh, dict):
+            violations.append(f"{path}: expected object, got {type(fresh).__name__}")
+            return
+        for key, value in base.items():
+            if key in skip:
+                continue
+            if key not in fresh:
+                violations.append(f"{path}/{key}: missing from fresh report")
+                continue
+            compare(value, fresh[key], f"{path}/{key}", tolerance, skip, violations)
+    elif isinstance(base, list):
+        if not isinstance(fresh, list):
+            violations.append(f"{path}: expected array, got {type(fresh).__name__}")
+            return
+        if len(base) != len(fresh):
+            violations.append(f"{path}: length {len(fresh)} != baseline {len(base)}")
+            return
+        for i, (b, f) in enumerate(zip(base, fresh)):
+            compare(b, f, f"{path}[{i}]", tolerance, skip, violations)
+    elif isinstance(base, bool):
+        # bool before number: bool is an int subclass in Python.
+        if fresh is not base:
+            violations.append(f"{path}: {fresh!r} != baseline {base!r}")
+    elif isinstance(base, (int, float)):
+        if not isinstance(fresh, (int, float)) or isinstance(fresh, bool):
+            violations.append(f"{path}: {fresh!r} is not numeric")
+        elif base == 0:
+            if fresh != 0:
+                violations.append(f"{path}: {fresh} != baseline 0")
+        elif abs(fresh - base) > tolerance * abs(base):
+            violations.append(
+                f"{path}: {fresh} outside +/-{tolerance:.0%} of baseline {base}"
+            )
+    else:
+        if fresh != base:
+            violations.append(f"{path}: {fresh!r} != baseline {base!r}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="relative tolerance for numbers (default 0.25)")
+    parser.add_argument("--skip", default=DEFAULT_SKIP,
+                        help="comma-separated keys to ignore (wall-clock)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+
+    violations = []
+    skip = {k for k in args.skip.split(",") if k}
+    compare(base, fresh, "", args.tolerance, skip, violations)
+    if violations:
+        print(f"{args.fresh}: {len(violations)} violation(s) vs {args.baseline}:")
+        for violation in violations:
+            print(f"  {violation}")
+        return 1
+    print(f"{args.fresh}: within +/-{args.tolerance:.0%} of {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,16 +2,31 @@
 // throughput of the typed object tables + page-chained BLOB store across
 // payload sizes, plus a mixed workload resembling a live consultation
 // (images dominate bytes, texts dominate ops).
+//
+// The durability sweep exercises the sharded WAL tier
+// (storage/sharded_db): shard count x mutation mix, reporting WAL
+// record/byte/sync counts, verifying that replaying every shard's log
+// onto a fresh DatabaseServer reproduces it byte-for-byte, and
+// crash-recovering each shard through the seeded fault injector.
+// Results land in BENCH_storage.json (--json_out=PATH); --smoke shrinks
+// the workload and exits nonzero when a durability invariant breaks or
+// the JSON cannot be written. --metrics_out/--trace_out dump the obs
+// layer as in the other benches.
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "bench_obs.h"
+#include "common/clock.h"
 #include "common/rng.h"
 #include "storage/database.h"
+#include "storage/sharded_db.h"
+#include "storage/wal.h"
 
 namespace {
 
@@ -152,11 +167,285 @@ void BM_MixedWorkload(benchmark::State& state) {
 }
 BENCHMARK(BM_MixedWorkload);
 
+// --- durability sweep: sharded WAL tier ------------------------------
+
+struct MutationMix {
+  const char* name;
+  int store_pct;   // remainder after store+modify is deletes
+  int modify_pct;
+};
+
+constexpr MutationMix kMixes[] = {
+    {"store-heavy", 70, 20},
+    {"balanced", 40, 40},
+    {"churn", 25, 35},
+};
+
+struct DurabilityRow {
+  size_t shards = 0;
+  std::string mix;
+  size_t mutations = 0;
+  size_t stores = 0;
+  size_t modifies = 0;
+  size_t deletes = 0;
+  size_t objects = 0;
+  size_t wal_records = 0;
+  size_t wal_bytes = 0;
+  size_t syncs = 0;
+  size_t replayed_records = 0;
+  bool replay_matches = false;
+  bool crash_recovered = false;
+
+  bool Ok() const { return replay_matches && crash_recovered; }
+};
+
+DurabilityRow RunDurabilityPoint(size_t shards, const MutationMix& mix,
+                                 size_t mutations,
+                                 const bench::ObsSinks& sinks, int index) {
+  Clock clock;
+  if (sinks.enabled()) sinks.BeginFleet(&clock, index);
+  storage::ShardedDatabaseServer::Options options;
+  options.num_shards = shards;
+  storage::ShardedDatabaseServer db(&clock, options);
+  if (sinks.enabled()) db.SetObserver(sinks.metrics, sinks.tracer, index);
+  db.RegisterStandardTypes().ok();
+
+  DurabilityRow row;
+  row.shards = shards;
+  row.mix = mix.name;
+  row.mutations = mutations;
+  Rng rng(1000 + shards * 10 + static_cast<uint64_t>(mix.store_pct));
+  std::vector<ObjectRef> live;
+  for (size_t step = 0; step < mutations; ++step) {
+    uint64_t roll = rng.NextBelow(100);
+    if (roll < static_cast<uint64_t>(mix.store_pct) || live.empty()) {
+      Bytes blob = RandomBytes(rng.NextBelow(2048), rng);
+      live.push_back(db.Store("Image",
+                              {{"FLD_QUALITY",
+                                static_cast<int64_t>(step)},
+                               {"FLD_TEXTS", std::string("t")},
+                               {"FLD_CM", std::string("c")}},
+                              {{"FLD_DATA", blob}})
+                         .value());
+      ++row.stores;
+    } else if (roll <
+               static_cast<uint64_t>(mix.store_pct + mix.modify_pct)) {
+      const ObjectRef& ref = live[rng.NextBelow(live.size())];
+      db.Modify(ref,
+                {{"FLD_QUALITY", static_cast<int64_t>(step)}},
+                {{"FLD_DATA", RandomBytes(rng.NextBelow(2048), rng)}})
+          .ok();
+      ++row.modifies;
+    } else {
+      size_t pick = rng.NextBelow(live.size());
+      db.Delete(live[pick]).ok();
+      live.erase(live.begin() + pick);
+      ++row.deletes;
+    }
+    clock.AdvanceMicros(static_cast<MicrosT>(rng.NextBelow(2500)));
+  }
+  db.SyncAll();
+  row.objects = db.List("Image").value().size();
+
+  // Replay every shard's log onto a fresh server: the recovered image
+  // must be byte-identical to the live shard.
+  row.replay_matches = true;
+  for (size_t s = 0; s < db.num_shards(); ++s) {
+    const storage::WriteAheadLog* wal = db.shard_wal(s);
+    row.wal_records += wal->durable_records();
+    row.wal_bytes += wal->durable().size();
+    row.syncs += wal->sync_count();
+    DatabaseServer fresh;
+    auto stats =
+        storage::ShardedDatabaseServer::ReplayLogInto(wal->durable(),
+                                                      &fresh);
+    if (!stats.ok() || !stats.value().clean_end ||
+        fresh.Serialize() != db.shard(s)->Serialize()) {
+      row.replay_matches = false;
+      continue;
+    }
+    row.replayed_records += stats.value().records_applied;
+  }
+
+  // Crash each shard with a torn tail (pending appends mid-write) and
+  // recover it through the facade.
+  for (size_t i = 0; i < 16 && i < live.size(); ++i) {
+    db.Modify(live[i], {{"FLD_QUALITY", int64_t{-1}}}, {}).ok();
+  }
+  row.crash_recovered = true;
+  storage::WalCrashInjector injector(shards * 977 +
+                                     static_cast<uint64_t>(mix.store_pct));
+  for (size_t s = 0; s < db.num_shards(); ++s) {
+    storage::WalCrashImage image =
+        injector.Crash(*db.shard_wal(s), storage::WalCrashKind::kTornTail);
+    auto stats = db.RecoverShardFromLog(s, image.log);
+    if (!stats.ok() ||
+        stats.value().records_applied != image.clean_records ||
+        !db.shard(s)->blob_store().VerifyAllPages().ok()) {
+      row.crash_recovered = false;
+    }
+  }
+  return row;
+}
+
+std::vector<DurabilityRow> RunDurabilitySweep(bool smoke,
+                                              const bench::ObsSinks& sinks) {
+  const size_t mutations = smoke ? 300 : 3000;
+  std::printf("== durability: sharded WAL tier, %zu mutations per point "
+              "(%s) ==\n",
+              mutations, smoke ? "smoke" : "full");
+  std::printf("%-8s %-12s %-9s %-12s %-11s %-7s %-9s %-8s\n", "shards",
+              "mix", "objects", "wal-recs", "wal-bytes", "syncs", "replay",
+              "crash");
+  std::vector<DurabilityRow> rows;
+  int index = 0;
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{4}}) {
+    for (const MutationMix& mix : kMixes) {
+      DurabilityRow row =
+          RunDurabilityPoint(shards, mix, mutations, sinks, index++);
+      std::printf("%-8zu %-12s %-9zu %-12zu %-11zu %-7zu %-9s %-8s\n",
+                  row.shards, row.mix.c_str(), row.objects, row.wal_records,
+                  row.wal_bytes, row.syncs,
+                  row.replay_matches ? "exact" : "DIVERGED",
+                  row.crash_recovered ? "ok" : "FAILED");
+      rows.push_back(row);
+    }
+  }
+  std::printf("\n");
+  return rows;
+}
+
+bool WriteJson(const std::string& path,
+               const std::vector<DurabilityRow>& rows, bool smoke) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"storage_durability_sweep\",\n"
+               "  \"smoke\": %s,\n  \"sweep\": [\n",
+               smoke ? "true" : "false");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const DurabilityRow& row = rows[i];
+    std::fprintf(
+        out,
+        "    {\"shards\": %zu, \"mix\": \"%s\", \"mutations\": %zu, "
+        "\"stores\": %zu, \"modifies\": %zu, \"deletes\": %zu, "
+        "\"objects\": %zu, \"wal_records\": %zu, \"wal_bytes\": %zu, "
+        "\"syncs\": %zu, \"replayed_records\": %zu, "
+        "\"replay_matches\": %s, \"crash_recovered\": %s}%s\n",
+        row.shards, row.mix.c_str(), row.mutations, row.stores,
+        row.modifies, row.deletes, row.objects, row.wal_records,
+        row.wal_bytes, row.syncs, row.replayed_records,
+        row.replay_matches ? "true" : "false",
+        row.crash_recovered ? "true" : "false",
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  return bench::CloseChecked(out, path);
+}
+
+void BM_ShardedStore(benchmark::State& state) {
+  Clock clock;
+  storage::ShardedDatabaseServer::Options options;
+  options.num_shards = static_cast<size_t>(state.range(0));
+  storage::ShardedDatabaseServer db(&clock, options);
+  db.RegisterStandardTypes().ok();
+  Rng rng(6);
+  Bytes payload = RandomBytes(65536, rng);
+  for (auto _ : state) {
+    auto ref = db.Store("Image",
+                        {{"FLD_QUALITY", int64_t{90}},
+                         {"FLD_TEXTS", std::string("t")},
+                         {"FLD_CM", std::string("c")}},
+                        {{"FLD_DATA", payload}})
+                   .value();
+    benchmark::DoNotOptimize(ref);
+    clock.AdvanceMicros(1000);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 65536);
+}
+BENCHMARK(BM_ShardedStore)->Arg(1)->Arg(4);
+
+void BM_WalReplay(benchmark::State& state) {
+  Clock clock;
+  storage::ShardedDatabaseServer db(&clock);
+  db.RegisterStandardTypes().ok();
+  Rng rng(8);
+  for (int i = 0; i < 128; ++i) {
+    db.Store("Image",
+             {{"FLD_QUALITY", int64_t{i}},
+              {"FLD_TEXTS", std::string("t")},
+              {"FLD_CM", std::string("c")}},
+             {{"FLD_DATA", RandomBytes(4096, rng)}})
+        .value();
+  }
+  db.SyncAll();
+  Bytes log = db.shard_wal(0)->durable();
+  for (auto _ : state) {
+    DatabaseServer fresh;
+    benchmark::DoNotOptimize(
+        storage::ShardedDatabaseServer::ReplayLogInto(log, &fresh));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(log.size()));
+}
+BENCHMARK(BM_WalReplay);
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintFigure7();
-  benchmark::Initialize(&argc, argv);
+  bool smoke = false;
+  std::string json_path = "BENCH_storage.json";
+  std::string metrics_path;
+  std::string trace_path;
+  // Strip our flags before google-benchmark sees (and rejects) them.
+  std::vector<char*> passthrough = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--json_out=", 11) == 0) {
+      json_path = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--metrics_out=", 14) == 0) {
+      metrics_path = argv[i] + 14;
+    } else if (std::strncmp(argv[i], "--trace_out=", 12) == 0) {
+      trace_path = argv[i] + 12;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  // An unwritable output path should fail before the sweep, not after.
+  if (!bench::ProbeWritable(json_path)) return 1;
+  if (!metrics_path.empty() && !bench::ProbeWritable(metrics_path)) return 1;
+  if (!trace_path.empty() && !bench::ProbeWritable(trace_path)) return 1;
+
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer(nullptr);
+  bench::ObsSinks sinks;
+  if (!metrics_path.empty()) sinks.metrics = &registry;
+  if (!trace_path.empty()) sinks.tracer = &tracer;
+
+  if (!smoke) PrintFigure7();
+  std::vector<DurabilityRow> rows = RunDurabilitySweep(smoke, sinks);
+  bool wrote = WriteJson(json_path, rows, smoke);
+  if (!metrics_path.empty()) {
+    wrote = bench::WriteFileChecked(metrics_path,
+                                    registry.Snapshot().ToJson()) &&
+            wrote;
+  }
+  if (!trace_path.empty()) {
+    wrote = bench::WriteFileChecked(trace_path, tracer.ToJson()) && wrote;
+  }
+  bool durable = true;
+  for (const DurabilityRow& row : rows) durable = durable && row.Ok();
+  if (smoke) {
+    // ctest perf smoke: fail when WAL replay diverges from the live
+    // shard, crash recovery breaks, or the JSON cannot be produced;
+    // timing itself is not asserted.
+    return durable && wrote ? 0 : 1;
+  }
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return durable && wrote ? 0 : 1;
 }

@@ -13,6 +13,7 @@
 #include "imaging/ops.h"
 #include "media/synthetic.h"
 #include "server/interaction_server.h"
+#include "storage/database.h"
 
 using namespace mmconf;
 

@@ -7,12 +7,11 @@
 namespace mmconf::server {
 
 using doc::MultimediaDocument;
-using storage::DatabaseServer;
 using storage::FieldType;
 using storage::MediaTypeEntry;
 using storage::ObjectRef;
 
-InteractionServer::InteractionServer(DatabaseServer* db,
+InteractionServer::InteractionServer(storage::ObjectStore* db,
                                      net::Network* network,
                                      net::NodeId server_node,
                                      net::NodeId db_node)
@@ -200,7 +199,7 @@ bool InteractionServer::RoomConverged(const std::string& room_id) {
 }
 
 Status InteractionServer::RegisterDocumentType() {
-  if (db_->catalog().HasType("Document")) return Status::OK();
+  if (db_->HasType("Document")) return Status::OK();
   MediaTypeEntry entry{"Document", "application/x-mm-document", "read-write",
                        "DOCUMENT_OBJECTS_TABLE",
                        "multimedia documents: component tree + CP-net"};

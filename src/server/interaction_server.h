@@ -17,7 +17,7 @@
 #include "obs/trace.h"
 #include "prefetch/cache.h"
 #include "server/room.h"
-#include "storage/database.h"
+#include "storage/object_store.h"
 #include "stream/scheduler.h"
 
 namespace mmconf::server {
@@ -53,10 +53,12 @@ struct RoomReliabilityStats {
 /// simulated network with only the changed components' bytes.
 class InteractionServer {
  public:
-  /// `db` and `network` must outlive the server. `server_node` /
-  /// `db_node` are this server's and the database's network locations
-  /// (the server->db link models the JDBC hop).
-  InteractionServer(storage::DatabaseServer* db, net::Network* network,
+  /// `db` and `network` must outlive the server. `db` is any
+  /// ObjectStore implementation — a single DatabaseServer or the
+  /// durable ShardedDatabaseServer facade (storage/sharded_db.h).
+  /// `server_node` / `db_node` are this server's and the database's
+  /// network locations (the server->db link models the JDBC hop).
+  InteractionServer(storage::ObjectStore* db, net::Network* network,
                     net::NodeId server_node, net::NodeId db_node);
 
   InteractionServer(const InteractionServer&) = delete;
@@ -260,7 +262,7 @@ class InteractionServer {
   /// state when no observer is attached.
   RoomObs& ObsFor(const std::string& room_id);
 
-  storage::DatabaseServer* db_;
+  storage::ObjectStore* db_;
   net::Network* network_;
   net::ReliableTransport* transport_ = nullptr;
   net::NodeId server_node_;

@@ -74,7 +74,9 @@ Result<Bytes> BlobStore::GetRange(BlobId id, size_t offset,
   }
   const BlobMeta& meta = it->second;
   if (offset >= meta.size) return Bytes{};
-  size_t end = std::min(meta.size, offset + length);
+  // `offset + length` can wrap for huge lengths (e.g. SIZE_MAX meaning
+  // "to the end"); clamp against the remaining bytes instead.
+  size_t end = length < meta.size - offset ? offset + length : meta.size;
   Bytes out;
   out.reserve(end - offset);
   size_t first_page = offset / kPagePayload;
@@ -95,13 +97,14 @@ Status BlobStore::Update(BlobId id, const Bytes& data) {
   if (it == blobs_.end()) {
     return Status::NotFound("blob " + std::to_string(id));
   }
-  // Release old pages, then write fresh (shadow-write semantics: meta is
-  // swapped only after all pages are written).
+  // Shadow-write semantics: the replacement is written to fresh pages
+  // while the old chain stays intact, meta is swapped, and only then do
+  // the old pages return to the free list. Releasing first would hand
+  // the LIFO AllocPage the old pages immediately, overwriting the
+  // version a concurrent reader (or a crash mid-update) still needs.
   BlobMeta fresh;
   fresh.size = data.size();
   size_t offset = 0;
-  std::vector<uint32_t> released = std::move(it->second.page_indices);
-  free_pages_.insert(free_pages_.end(), released.begin(), released.end());
   while (offset < data.size()) {
     size_t n = std::min(kPagePayload, data.size() - offset);
     uint32_t page = AllocPage();
@@ -109,7 +112,9 @@ Status BlobStore::Update(BlobId id, const Bytes& data) {
     fresh.page_indices.push_back(page);
     offset += n;
   }
+  std::vector<uint32_t> released = std::move(it->second.page_indices);
   it->second = std::move(fresh);
+  free_pages_.insert(free_pages_.end(), released.begin(), released.end());
   return Status::OK();
 }
 

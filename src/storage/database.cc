@@ -76,6 +76,32 @@ Result<ObjectRef> DatabaseServer::Store(
   return ObjectRef{type, *row};
 }
 
+Result<ObjectRef> DatabaseServer::StoreWithId(
+    const std::string& type, ObjectId id,
+    std::map<std::string, FieldValue> fields,
+    const std::map<std::string, Bytes>& blob_payloads) {
+  MMCONF_ASSIGN_OR_RETURN(ObjectTable * table, catalog_.TableFor(type));
+  std::vector<BlobId> written;
+  for (const auto& [name, payload] : blob_payloads) {
+    Result<BlobId> blob = blobs_.Put(payload);
+    if (!blob.ok()) {
+      for (BlobId b : written) blobs_.Delete(b).ok();
+      return blob.status();
+    }
+    written.push_back(*blob);
+    fields[name] = *blob;
+  }
+  ObjectRecord record;
+  record.id = id;
+  record.fields = std::move(fields);
+  Status restored = table->RestoreRow(std::move(record));
+  if (!restored.ok()) {
+    for (BlobId b : written) blobs_.Delete(b).ok();
+    return restored;
+  }
+  return ObjectRef{type, id};
+}
+
 Result<ObjectRecord> DatabaseServer::FetchRecord(const ObjectRef& ref) const {
   MMCONF_ASSIGN_OR_RETURN(const ObjectTable* table,
                           catalog_.TableFor(ref.type));
@@ -303,6 +329,10 @@ Status DatabaseServer::SaveToFile(const std::string& path) const {
 }
 
 Status DatabaseServer::LoadFromFile(const std::string& path) {
+  // An interrupted SaveToFile can leave `path`.tmp behind. It is at best
+  // a torn duplicate of the snapshot we are about to read, so it must
+  // never be loaded; drop it so the directory converges to one file.
+  std::remove((path + ".tmp").c_str());
   FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return Status::NotFound("cannot open " + path);
@@ -313,7 +343,15 @@ Status DatabaseServer::LoadFromFile(const std::string& path) {
   while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
     snapshot.insert(snapshot.end(), buffer, buffer + n);
   }
+  bool read_error = std::ferror(f) != 0;
   std::fclose(f);
+  if (read_error) {
+    return Status::Corruption("error reading " + path);
+  }
+  if (snapshot.size() < 8) {
+    return Status::Corruption("snapshot " + path + " truncated to " +
+                              std::to_string(snapshot.size()) + " bytes");
+  }
   return LoadFrom(snapshot);
 }
 

@@ -1,0 +1,87 @@
+#ifndef MMCONF_STORAGE_OBJECT_STORE_H_
+#define MMCONF_STORAGE_OBJECT_STORE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/catalog.h"
+#include "storage/object_table.h"
+
+namespace mmconf::storage {
+
+/// Handle identifying one stored multimedia object: its media type plus
+/// row id in the type's object table. Refs are stable across snapshots,
+/// WAL recovery, and shard rebalancing.
+struct ObjectRef {
+  std::string type;
+  ObjectId id = 0;
+};
+
+bool operator==(const ObjectRef& a, const ObjectRef& b);
+bool operator<(const ObjectRef& a, const ObjectRef& b);
+
+/// The database-server tier's storage contract (the paper's Fig. 1 "This
+/// module is responsible for storing and fetching multimedia objects
+/// from the database"). DatabaseServer implements it as a single
+/// in-process instance; ShardedDatabaseServer implements it as N
+/// hash-routed shards with per-shard write-ahead logs. The interaction
+/// server programs against this interface, so durability and sharding
+/// are swappable behind it.
+class ObjectStore {
+ public:
+  virtual ~ObjectStore() = default;
+
+  /// Registers the Fig. 7 standard types ("Image", "Audio", "Cmp",
+  /// "Text"). Idempotent setup helper.
+  virtual Status RegisterStandardTypes() = 0;
+
+  /// Registers an additional media type (the schema-evolution path the
+  /// paper designed Fig. 7 for).
+  virtual Status RegisterType(const MediaTypeEntry& entry,
+                              std::vector<FieldDef> table_schema) = 0;
+
+  /// True when `type_name` is registered.
+  virtual bool HasType(const std::string& type_name) const = 0;
+
+  /// Stores an object: blob payloads are written to the BLOB store and
+  /// their ids substituted into the record's blob columns.
+  virtual Result<ObjectRef> Store(
+      const std::string& type, std::map<std::string, FieldValue> fields,
+      const std::map<std::string, Bytes>& blob_payloads) = 0;
+
+  /// Fetches the scalar record of an object.
+  virtual Result<ObjectRecord> FetchRecord(const ObjectRef& ref) const = 0;
+
+  /// Fetches one blob column's payload.
+  virtual Result<Bytes> FetchBlob(const ObjectRef& ref,
+                                  const std::string& blob_field) const = 0;
+
+  /// Fetches a byte range of one blob column (progressive delivery).
+  virtual Result<Bytes> FetchBlobRange(const ObjectRef& ref,
+                                       const std::string& blob_field,
+                                       size_t offset, size_t length) const = 0;
+
+  /// Size in bytes of one blob column's payload.
+  virtual Result<size_t> BlobSize(const ObjectRef& ref,
+                                  const std::string& blob_field) const = 0;
+
+  /// Updates scalar columns and/or replaces blob payloads.
+  virtual Status Modify(const ObjectRef& ref,
+                        const std::map<std::string, FieldValue>& fields,
+                        const std::map<std::string, Bytes>& blob_payloads) = 0;
+
+  /// Deletes an object and all blobs it references.
+  virtual Status Delete(const ObjectRef& ref) = 0;
+
+  /// Lists all objects of a type in ascending id order.
+  virtual Result<std::vector<ObjectRef>> List(
+      const std::string& type) const = 0;
+};
+
+}  // namespace mmconf::storage
+
+#endif  // MMCONF_STORAGE_OBJECT_STORE_H_

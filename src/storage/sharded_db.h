@@ -1,0 +1,158 @@
+#ifndef MMCONF_STORAGE_SHARDED_DB_H_
+#define MMCONF_STORAGE_SHARDED_DB_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "storage/database.h"
+#include "storage/object_store.h"
+#include "storage/wal.h"
+
+namespace mmconf::storage {
+
+/// Durable, sharded database-server tier: N DatabaseServer shards, each
+/// fronted by its own WriteAheadLog, behind one ObjectStore facade. The
+/// ROADMAP's sharding/heavy-traffic direction plus the durability story
+/// the paper delegates to Oracle.
+///
+/// Object ids are assigned by the facade (per type, monotonically), so
+/// a ref routes to its shard by hash(type, id) alone — no routing table
+/// to persist. All Store/Modify/Delete mutations are validated against
+/// the shard first and then appended to that shard's WAL, so each log
+/// is the exact successful mutation history of its shard: replaying a
+/// log prefix onto a fresh DatabaseServer reproduces the shard's
+/// serialized image at that point byte for byte (ids, blob ids and all).
+/// Type registrations are fanned out to — and logged by — every shard.
+class ShardedDatabaseServer : public ObjectStore {
+ public:
+  struct Options {
+    size_t num_shards = 1;
+    WriteAheadLog::Options wal;
+  };
+
+  /// `clock` drives WAL group-commit batching and must outlive the
+  /// facade. `options.num_shards` must be >= 1 (clamped).
+  explicit ShardedDatabaseServer(const Clock* clock);
+  ShardedDatabaseServer(const Clock* clock, Options options);
+
+  ShardedDatabaseServer(const ShardedDatabaseServer&) = delete;
+  ShardedDatabaseServer& operator=(const ShardedDatabaseServer&) = delete;
+
+  // --- ObjectStore ---
+  Status RegisterStandardTypes() override;
+  Status RegisterType(const MediaTypeEntry& entry,
+                      std::vector<FieldDef> table_schema) override;
+  bool HasType(const std::string& type_name) const override;
+  Result<ObjectRef> Store(
+      const std::string& type, std::map<std::string, FieldValue> fields,
+      const std::map<std::string, Bytes>& blob_payloads) override;
+  Result<ObjectRecord> FetchRecord(const ObjectRef& ref) const override;
+  Result<Bytes> FetchBlob(const ObjectRef& ref,
+                          const std::string& blob_field) const override;
+  Result<Bytes> FetchBlobRange(const ObjectRef& ref,
+                               const std::string& blob_field, size_t offset,
+                               size_t length) const override;
+  Result<size_t> BlobSize(const ObjectRef& ref,
+                          const std::string& blob_field) const override;
+  Status Modify(const ObjectRef& ref,
+                const std::map<std::string, FieldValue>& fields,
+                const std::map<std::string, Bytes>& blob_payloads) override;
+  Status Delete(const ObjectRef& ref) override;
+  /// Merged across shards, ascending id order — stays correct across
+  /// rebalances because ids (not shard positions) identify objects.
+  Result<std::vector<ObjectRef>> List(
+      const std::string& type) const override;
+
+  // --- sharding ---
+  size_t num_shards() const { return shards_.size(); }
+  /// The shard `ref` routes to (stable for a given shard count).
+  size_t ShardOf(const ObjectRef& ref) const;
+  DatabaseServer* shard(size_t index) { return shards_[index]->db.get(); }
+  const DatabaseServer* shard(size_t index) const {
+    return shards_[index]->db.get();
+  }
+  WriteAheadLog* shard_wal(size_t index) { return &shards_[index]->wal; }
+  const WriteAheadLog* shard_wal(size_t index) const {
+    return &shards_[index]->wal;
+  }
+
+  /// Re-shards every object onto `new_num_shards` fresh shards with
+  /// fresh WALs (a checkpoint: the new logs start from the re-stored
+  /// state). ObjectRefs remain valid — only the hash modulus changes.
+  Status Rebalance(size_t new_num_shards);
+
+  // --- durability ---
+  /// Group-commit barrier on every shard's WAL.
+  void SyncAll();
+
+  /// Replays a log image onto `fresh` (a newly constructed
+  /// DatabaseServer), stopping cleanly at a torn or corrupt tail.
+  static Result<WalReplayStats> ReplayLogInto(const Bytes& log,
+                                              DatabaseServer* fresh);
+
+  /// Crash recovery: rebuilds shard `index` from `log` (typically a
+  /// WalCrashImage), replacing its DatabaseServer and resetting its WAL
+  /// to the clean prefix so post-recovery appends continue the history.
+  /// Facade id counters are re-derived from the surviving shards.
+  Result<WalReplayStats> RecoverShardFromLog(size_t index, const Bytes& log);
+
+  /// Publishes storage activity into the obs layer: `storage.wal.*`
+  /// counters (appends, synced batches, replayed records, truncations),
+  /// `storage.recoveries` / `storage.rebalances`, per-shard object and
+  /// byte gauges (`storage.shard.<i>.*`), and recovery/rebalance spans
+  /// on the tracer lane `pid`:"storage". Either pointer may be null;
+  /// both must outlive the facade.
+  void SetObserver(obs::MetricsRegistry* metrics, obs::Tracer* tracer,
+                   int pid = 0);
+
+ private:
+  struct Shard {
+    std::unique_ptr<DatabaseServer> db;
+    WriteAheadLog wal;
+    obs::Gauge* g_objects = nullptr;
+    obs::Gauge* g_bytes = nullptr;
+
+    Shard(const Clock* clock, WriteAheadLog::Options options)
+        : db(std::make_unique<DatabaseServer>()), wal(clock, options) {}
+  };
+
+  /// Appends an already-applied mutation to shard `index`'s WAL and
+  /// refreshes that shard's gauges.
+  void Log(size_t index, WalOp op, const Bytes& payload);
+  void RefreshShardGauges(size_t index);
+  /// Recomputes per-type next ids from the shards (recovery/rebalance).
+  void RebuildIdCounters();
+  /// Registered types with their schemas, from shard 0 (all shards
+  /// agree by construction).
+  std::vector<std::pair<MediaTypeEntry, std::vector<FieldDef>>> TypeSpecs()
+      const;
+
+  const Clock* clock_;
+  WriteAheadLog::Options wal_options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Next id to assign per type. Ids are unique per type across shards.
+  std::map<std::string, ObjectId> next_ids_;
+  /// Observability (null = not instrumented).
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  int trace_pid_ = 0;
+  int trace_tid_ = 0;
+  obs::Counter* m_appends_ = nullptr;
+  obs::Counter* m_append_bytes_ = nullptr;
+  obs::Counter* m_syncs_ = nullptr;
+  obs::Counter* m_truncations_ = nullptr;
+  obs::Counter* m_replayed_records_ = nullptr;
+  obs::Counter* m_recoveries_ = nullptr;
+  obs::Counter* m_rebalances_ = nullptr;
+};
+
+}  // namespace mmconf::storage
+
+#endif  // MMCONF_STORAGE_SHARDED_DB_H_

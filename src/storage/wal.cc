@@ -1,0 +1,203 @@
+#include "storage/wal.h"
+
+#include <algorithm>
+
+namespace mmconf::storage {
+
+WriteAheadLog::WriteAheadLog(const Clock* clock)
+    : WriteAheadLog(clock, Options()) {}
+
+WriteAheadLog::WriteAheadLog(const Clock* clock, Options options)
+    : clock_(clock),
+      options_(options),
+      last_sync_at_(clock != nullptr ? clock->NowMicros() : 0) {}
+
+uint64_t WriteAheadLog::Append(WalOp op, const Bytes& payload) {
+  uint64_t lsn = next_lsn_++;
+  ByteWriter body;
+  body.PutU64(lsn);
+  body.PutU8(static_cast<uint8_t>(op));
+  body.PutRaw(payload.data(), payload.size());
+  Bytes framed_body = body.Take();
+  ByteWriter record;
+  record.PutU32(Crc32c(framed_body));
+  record.PutU32(static_cast<uint32_t>(framed_body.size()));
+  record.PutRaw(framed_body.data(), framed_body.size());
+  Bytes bytes = record.Take();
+  pending_.insert(pending_.end(), bytes.begin(), bytes.end());
+  ++pending_records_;
+  MaybeGroupCommit();
+  return lsn;
+}
+
+void WriteAheadLog::MaybeGroupCommit() {
+  if (pending_.empty()) return;
+  if (pending_.size() >= options_.group_commit_bytes) {
+    Sync();
+    return;
+  }
+  MicrosT now = clock_ != nullptr ? clock_->NowMicros() : 0;
+  if (now - last_sync_at_ >= options_.group_commit_interval_micros) Sync();
+}
+
+void WriteAheadLog::Sync() {
+  last_sync_at_ = clock_ != nullptr ? clock_->NowMicros() : 0;
+  if (pending_.empty()) return;
+  durable_.insert(durable_.end(), pending_.begin(), pending_.end());
+  durable_records_ += pending_records_;
+  pending_.clear();
+  pending_records_ = 0;
+  sync_points_.push_back({durable_.size(), durable_records_});
+}
+
+void WriteAheadLog::Truncate() {
+  durable_.clear();
+  pending_.clear();
+  durable_records_ = 0;
+  pending_records_ = 0;
+  sync_points_.clear();
+  next_lsn_ = 1;
+  last_sync_at_ = clock_ != nullptr ? clock_->NowMicros() : 0;
+}
+
+void WriteAheadLog::RestoreDurable(Bytes log, size_t records) {
+  durable_ = std::move(log);
+  pending_.clear();
+  durable_records_ = records;
+  pending_records_ = 0;
+  sync_points_.clear();
+  if (records > 0) sync_points_.push_back({durable_.size(), records});
+  next_lsn_ = records + 1;
+  last_sync_at_ = clock_ != nullptr ? clock_->NowMicros() : 0;
+}
+
+Bytes WriteAheadLog::FullImage() const {
+  Bytes image = durable_;
+  image.insert(image.end(), pending_.begin(), pending_.end());
+  return image;
+}
+
+Result<WalReplayStats> WriteAheadLog::Replay(
+    const Bytes& log,
+    const std::function<Status(WalOp op, const Bytes& payload)>& apply) {
+  WalReplayStats stats;
+  size_t pos = 0;
+  uint64_t expected_lsn = 1;
+  while (pos < log.size()) {
+    if (log.size() - pos < 8) {
+      stats.clean_end = false;
+      stats.stop_reason = "torn record header";
+      break;
+    }
+    ByteReader header(log.data() + pos, 8);
+    uint32_t crc = header.GetU32().value();
+    uint32_t length = header.GetU32().value();
+    // lsn (8) + op (1) is the minimum body; an impossible length is
+    // frame damage, not a record.
+    if (length < 9 || log.size() - pos - 8 < length) {
+      stats.clean_end = false;
+      stats.stop_reason = "torn record body";
+      break;
+    }
+    const uint8_t* body = log.data() + pos + 8;
+    if (Crc32c(body, length) != crc) {
+      stats.clean_end = false;
+      stats.stop_reason = "record checksum mismatch";
+      break;
+    }
+    ByteReader r(body, length);
+    uint64_t lsn = r.GetU64().value();
+    uint8_t op = r.GetU8().value();
+    if (lsn != expected_lsn) {
+      stats.clean_end = false;
+      stats.stop_reason = "lsn gap";
+      break;
+    }
+    if (op > static_cast<uint8_t>(WalOp::kDelete)) {
+      stats.clean_end = false;
+      stats.stop_reason = "unknown op";
+      break;
+    }
+    if (apply != nullptr) {
+      Bytes payload(body + 9, body + length);
+      MMCONF_RETURN_IF_ERROR(apply(static_cast<WalOp>(op), payload));
+    }
+    pos += 8 + length;
+    ++expected_lsn;
+    ++stats.records_applied;
+    stats.bytes_scanned = pos;
+  }
+  return stats;
+}
+
+WalReplayStats WriteAheadLog::Scan(const Bytes& log) {
+  // Scan cannot hit an apply error, so value() is safe.
+  return Replay(log, nullptr).value();
+}
+
+const char* WalCrashKindToString(WalCrashKind kind) {
+  switch (kind) {
+    case WalCrashKind::kTornTail:
+      return "torn-tail";
+    case WalCrashKind::kPartialPageWrite:
+      return "partial-page";
+    case WalCrashKind::kFsyncLostSuffix:
+      return "fsync-lost";
+  }
+  return "unknown";
+}
+
+WalCrashImage WalCrashInjector::Crash(const WriteAheadLog& wal,
+                                      WalCrashKind kind) {
+  WalCrashImage image;
+  image.kind = kind;
+  switch (kind) {
+    case WalCrashKind::kTornTail: {
+      // The durable region survives; the pending batch was mid-write,
+      // so a random strict prefix of it reached the disk.
+      image.log = wal.durable();
+      const Bytes& pending = wal.pending();
+      if (!pending.empty()) {
+        size_t kept = static_cast<size_t>(rng_.NextBelow(pending.size()));
+        image.log.insert(image.log.end(), pending.begin(),
+                         pending.begin() + kept);
+      }
+      break;
+    }
+    case WalCrashKind::kPartialPageWrite: {
+      // Everything appended so far was heading to disk, but the final
+      // 4KB page only partially made it; its lost suffix reads back as
+      // zeros (a real torn sector write).
+      image.log = wal.FullImage();
+      if (!image.log.empty()) {
+        size_t last_page_begin = (image.log.size() - 1) / kPageSize * kPageSize;
+        size_t page_bytes = image.log.size() - last_page_begin;
+        size_t kept = static_cast<size_t>(rng_.NextBelow(page_bytes));
+        std::fill(image.log.begin() + last_page_begin + kept,
+                  image.log.end(), uint8_t{0});
+      }
+      break;
+    }
+    case WalCrashKind::kFsyncLostSuffix: {
+      // The device acknowledged syncs it never performed: roll back to
+      // a seed-chosen earlier group-commit boundary.
+      const std::vector<WalSyncPoint>& points = wal.sync_points();
+      if (points.empty()) {
+        image.log = Bytes{};
+      } else {
+        size_t idx = static_cast<size_t>(rng_.NextBelow(points.size()));
+        image.log.assign(wal.durable().begin(),
+                         wal.durable().begin() + points[idx].bytes);
+      }
+      break;
+    }
+  }
+  image.clean_records = WriteAheadLog::Scan(image.log).records_applied;
+  return image;
+}
+
+WalCrashImage WalCrashInjector::CrashRandom(const WriteAheadLog& wal) {
+  return Crash(wal, static_cast<WalCrashKind>(rng_.NextBelow(3)));
+}
+
+}  // namespace mmconf::storage

@@ -1,0 +1,189 @@
+#ifndef MMCONF_STORAGE_WAL_H_
+#define MMCONF_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace mmconf::storage {
+
+/// Mutation kinds a WAL record can carry. The payload encoding is owned
+/// by the writer (ShardedDatabaseServer for the database tier); the log
+/// itself only frames and checksums opaque payloads.
+enum class WalOp : uint8_t {
+  kRegisterStandardTypes = 0,
+  kRegisterType = 1,
+  kStore = 2,
+  kModify = 3,
+  kDelete = 4,
+};
+
+/// A group-commit barrier: after `records` records, the durable image
+/// was `bytes` long and everything before it had been fsynced.
+struct WalSyncPoint {
+  size_t bytes = 0;
+  size_t records = 0;
+
+  bool operator==(const WalSyncPoint&) const = default;
+};
+
+/// Result of scanning/replaying a log image.
+struct WalReplayStats {
+  size_t records_applied = 0;  ///< complete, checksum-clean records
+  size_t bytes_scanned = 0;    ///< log bytes covered by those records
+  bool clean_end = true;       ///< false when the tail was torn/corrupt
+  std::string stop_reason;     ///< empty, or why the scan stopped early
+};
+
+/// Write-ahead log for the storage tier, mirroring the deterministic
+/// fault-injection style of net::Network. Records are framed as
+///
+///   u32 crc32c   over everything after the length field
+///   u32 length   of (lsn + op + payload)
+///   u64 lsn      sequential from 1, gaps mean a corrupt splice
+///   u8  op       WalOp
+///   ...          opaque payload
+///
+/// Appends buffer in a pending (page-cache) region; a group commit
+/// (`Sync`) moves the batch to the durable region. Group commits happen
+/// automatically when the pending batch exceeds `group_commit_bytes` or
+/// when `group_commit_interval_micros` of simulated time passed since
+/// the last sync — batching amortizes the (virtual) fsync cost exactly
+/// like a real engine batches journal writes. Only the durable region
+/// survives a crash; the injector below additionally damages its tail.
+class WriteAheadLog {
+ public:
+  struct Options {
+    /// Sync at the first append at least this far past the last sync.
+    MicrosT group_commit_interval_micros = 5000;
+    /// Sync whenever the pending batch reaches this many bytes.
+    size_t group_commit_bytes = 64 * 1024;
+  };
+
+  /// `clock` drives group-commit timing and must outlive the log.
+  explicit WriteAheadLog(const Clock* clock);
+  WriteAheadLog(const Clock* clock, Options options);
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+  WriteAheadLog(WriteAheadLog&&) = default;
+  WriteAheadLog& operator=(WriteAheadLog&&) = default;
+
+  /// Appends one record, returning its lsn. May trigger a group commit
+  /// per the options; the record itself lands in the pending region.
+  uint64_t Append(WalOp op, const Bytes& payload);
+
+  /// Group-commit barrier: makes every pending record durable. No-op on
+  /// an empty pending batch (no empty sync points are recorded).
+  void Sync();
+
+  /// Drops the whole log (durable and pending) and restarts lsn
+  /// assignment — the post-checkpoint truncation after a snapshot or a
+  /// rebalance made the history redundant.
+  void Truncate();
+
+  /// Replaces the log with a recovered durable image holding `records`
+  /// clean records (the post-crash recovery path). Pending appends are
+  /// discarded and lsn assignment resumes after the surviving history.
+  void RestoreDurable(Bytes log, size_t records);
+
+  /// The bytes that survive a clean crash (pending appends are lost).
+  const Bytes& durable() const { return durable_; }
+  /// Not-yet-synced bytes (lost on any crash, may tear the tail).
+  const Bytes& pending() const { return pending_; }
+  /// Durable + pending: what a crash-free shutdown would leave behind.
+  Bytes FullImage() const;
+
+  size_t durable_records() const { return durable_records_; }
+  size_t pending_records() const { return pending_records_; }
+  size_t total_records() const {
+    return durable_records_ + pending_records_;
+  }
+  size_t sync_count() const { return sync_points_.size(); }
+  /// Group-commit boundaries in append order.
+  const std::vector<WalSyncPoint>& sync_points() const {
+    return sync_points_;
+  }
+
+  /// Scans `log` from the front, calling `apply(op, payload)` for every
+  /// complete, checksum-clean, lsn-sequential record. Stops cleanly at
+  /// a torn or corrupt tail (clean_end = false, records after the
+  /// damage are ignored — standard WAL recovery). An `apply` error
+  /// aborts the replay with that error.
+  static Result<WalReplayStats> Replay(
+      const Bytes& log,
+      const std::function<Status(WalOp op, const Bytes& payload)>& apply);
+
+  /// Replay without side effects: how many clean records `log` holds.
+  static WalReplayStats Scan(const Bytes& log);
+
+ private:
+  void MaybeGroupCommit();
+
+  const Clock* clock_;
+  Options options_;
+  Bytes durable_;
+  Bytes pending_;
+  size_t durable_records_ = 0;
+  size_t pending_records_ = 0;
+  std::vector<WalSyncPoint> sync_points_;
+  uint64_t next_lsn_ = 1;
+  MicrosT last_sync_at_ = 0;
+};
+
+/// Crash faults the injector can press into a log image. Mirrors
+/// net::FaultSpec's seeded-determinism contract: a given seed produces
+/// the same damage for the same log, independent of anything else.
+enum class WalCrashKind : uint8_t {
+  /// Crash mid-append: the durable region plus a prefix of the pending
+  /// batch that ends mid-record.
+  kTornTail = 0,
+  /// The final 4KB page of the image was only partially written; its
+  /// lost suffix reads back as zeros.
+  kPartialPageWrite = 1,
+  /// A lying fsync: the image rolls back to an earlier group-commit
+  /// boundary chosen by the seed.
+  kFsyncLostSuffix = 2,
+};
+
+const char* WalCrashKindToString(WalCrashKind kind);
+
+/// What a simulated crash left on disk.
+struct WalCrashImage {
+  WalCrashKind kind = WalCrashKind::kTornTail;
+  Bytes log;                ///< post-crash log image
+  size_t clean_records = 0; ///< complete records recovery will replay
+};
+
+/// Seeded crash-fault injector for WriteAheadLog images. All randomness
+/// comes from the constructor seed, so a (seed, log) pair reproduces
+/// the exact same damage in every run — the property the deterministic
+/// recovery tests sweep over.
+class WalCrashInjector {
+ public:
+  static constexpr size_t kPageSize = 4096;
+
+  explicit WalCrashInjector(uint64_t seed) : rng_(seed) {}
+
+  /// Produces the post-crash image for `kind`. The returned
+  /// clean_records counts the complete records a subsequent Replay will
+  /// apply (verified against Scan).
+  WalCrashImage Crash(const WriteAheadLog& wal, WalCrashKind kind);
+
+  /// Picks one of the three kinds at random.
+  WalCrashImage CrashRandom(const WriteAheadLog& wal);
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace mmconf::storage
+
+#endif  // MMCONF_STORAGE_WAL_H_

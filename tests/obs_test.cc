@@ -14,6 +14,7 @@
 #include "obs/trace.h"
 #include "prefetch/cache.h"
 #include "server/interaction_server.h"
+#include "storage/database.h"
 #include "stream/scheduler.h"
 
 namespace mmconf::obs {

@@ -119,6 +119,47 @@ TEST_F(PersistenceTest, SaveIsAtomicOverExistingSnapshot) {
   std::remove(path.c_str());
 }
 
+TEST_F(PersistenceTest, LoadIgnoresAndRemovesLeftoverTmpFile) {
+  const std::string path = "/tmp/mmconf_persistence_leftover.db";
+  const std::string tmp = path + ".tmp";
+  ASSERT_TRUE(db_.SaveToFile(path).ok());
+  // Simulate a save interrupted mid-write: a half-written .tmp next to
+  // a good snapshot. Load must use the snapshot and clean up the .tmp.
+  FILE* f = std::fopen(tmp.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("torn half-written snapshot", f);
+  std::fclose(f);
+  DatabaseServer restored;
+  ASSERT_TRUE(restored.LoadFromFile(path).ok());
+  EXPECT_EQ(restored.FetchBlob(image_ref_, "FLD_DATA").value(),
+            image_payload_);
+  f = std::fopen(tmp.c_str(), "rb");
+  EXPECT_EQ(f, nullptr) << "leftover .tmp should have been removed";
+  if (f != nullptr) std::fclose(f);
+  std::remove(path.c_str());
+}
+
+TEST_F(PersistenceTest, TruncatedSnapshotFileIsCorruptionNotCrash) {
+  const std::string path = "/tmp/mmconf_persistence_truncated.db";
+  ASSERT_TRUE(db_.SaveToFile(path).ok());
+  Bytes full = db_.Serialize();
+  // Every truncation point — including cutting into the trailing CRC —
+  // must surface as Corruption, never a crash or a partial load.
+  for (size_t keep : {size_t{0}, size_t{3}, size_t{7}, full.size() / 2,
+                      full.size() - 2}) {
+    FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    if (keep > 0) {
+      ASSERT_EQ(std::fwrite(full.data(), 1, keep, f), keep);
+    }
+    std::fclose(f);
+    DatabaseServer restored;
+    EXPECT_TRUE(restored.LoadFromFile(path).IsCorruption())
+        << "truncated to " << keep << " bytes";
+  }
+  std::remove(path.c_str());
+}
+
 TEST(PersistenceEmptyTest, EmptyDatabaseRoundTrips) {
   DatabaseServer db;
   Bytes snapshot = db.Serialize();

@@ -9,6 +9,7 @@
 #include "net/reliable.h"
 #include "server/interaction_server.h"
 #include "server/room.h"
+#include "storage/database.h"
 
 namespace mmconf::server {
 namespace {

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+
 #include "common/rng.h"
 #include "storage/blob_store.h"
 #include "storage/catalog.h"
@@ -77,6 +80,46 @@ TEST(BlobStoreTest, UpdateReplacesContent) {
   EXPECT_TRUE(store.Update(id, v2).ok());
   EXPECT_EQ(store.Get(id).value(), v2);
   EXPECT_TRUE(store.Update(999, v1).IsNotFound());
+}
+
+TEST(BlobStoreTest, UpdateShadowWritesBeforeReleasingOldPages) {
+  BlobStore store;
+  Rng rng(14);
+  Bytes v1 = RandomBytes(BlobStore::kPagePayload * 4, rng);
+  Bytes v2 = RandomBytes(BlobStore::kPagePayload * 4, rng);
+  BlobId id = store.Put(v1).value();
+  size_t pages_v1 = store.page_count();
+  ASSERT_EQ(store.free_page_count(), 0u);
+  EXPECT_TRUE(store.Update(id, v2).ok());
+  // Shadow-write contract: the replacement is written to FRESH pages
+  // before the old version's pages are released, so with an empty free
+  // list the store must grow — reusing the old pages in place would
+  // overwrite the prior version mid-update.
+  EXPECT_EQ(store.page_count(), pages_v1 * 2);
+  EXPECT_EQ(store.free_page_count(), pages_v1);
+  EXPECT_EQ(store.Get(id).value(), v2);
+  // The released pages are reusable afterwards.
+  BlobId other = store.Put(RandomBytes(BlobStore::kPagePayload * 4, rng))
+                     .value();
+  EXPECT_EQ(store.page_count(), pages_v1 * 2);
+  EXPECT_EQ(store.free_page_count(), 0u);
+  EXPECT_TRUE(store.Contains(other));
+  EXPECT_TRUE(store.VerifyAllPages().ok());
+}
+
+TEST(BlobStoreTest, GetRangeHugeLengthDoesNotOverflow) {
+  BlobStore store;
+  Rng rng(15);
+  Bytes data = RandomBytes(10000, rng);
+  BlobId id = store.Put(data).value();
+  // offset + SIZE_MAX wraps size_t; the range must clamp to the blob
+  // end instead of computing a bogus empty (or crashing) window.
+  Bytes tail = store.GetRange(id, 100, SIZE_MAX).value();
+  ASSERT_EQ(tail.size(), data.size() - 100);
+  EXPECT_TRUE(std::equal(tail.begin(), tail.end(), data.begin() + 100));
+  Bytes whole = store.GetRange(id, 0, SIZE_MAX).value();
+  EXPECT_EQ(whole, data);
+  EXPECT_TRUE(store.GetRange(id, data.size(), SIZE_MAX).value().empty());
 }
 
 TEST(BlobStoreTest, CorruptionDetectedOnRead) {

@@ -12,6 +12,7 @@
 #include "net/reliable.h"
 #include "prefetch/cache.h"
 #include "server/interaction_server.h"
+#include "storage/database.h"
 #include "stream/chunk.h"
 #include "stream/chunker.h"
 #include "stream/playout.h"

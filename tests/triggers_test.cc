@@ -5,6 +5,7 @@
 
 #include "doc/builder.h"
 #include "server/interaction_server.h"
+#include "storage/database.h"
 
 namespace mmconf::server {
 namespace {

@@ -1,0 +1,47 @@
+#include "federation/placement.h"
+
+#include <algorithm>
+
+namespace mmconf::federation {
+
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t hash = 14695981039346656037ull;
+  for (char c : s) {
+    hash ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+RoomPlacement::RoomPlacement(size_t num_nodes)
+    : num_nodes_(std::max<size_t>(num_nodes, 1)) {}
+
+size_t RoomPlacement::NodeFor(const std::string& room_id) const {
+  auto pin = pins_.find(room_id);
+  if (pin != pins_.end()) return pin->second;
+  return HashNodeFor(room_id);
+}
+
+size_t RoomPlacement::HashNodeFor(const std::string& room_id) const {
+  return static_cast<size_t>(Fnv1a(room_id) % num_nodes_);
+}
+
+Status RoomPlacement::Pin(const std::string& room_id, size_t node) {
+  if (node >= num_nodes_) {
+    return Status::OutOfRange("node " + std::to_string(node) +
+                              " out of range (" +
+                              std::to_string(num_nodes_) + " nodes)");
+  }
+  pins_[room_id] = node;
+  return Status::OK();
+}
+
+void RoomPlacement::Unpin(const std::string& room_id) {
+  pins_.erase(room_id);
+}
+
+bool RoomPlacement::IsPinned(const std::string& room_id) const {
+  return pins_.count(room_id) > 0;
+}
+
+}  // namespace mmconf::federation

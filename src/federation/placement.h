@@ -1,0 +1,47 @@
+#ifndef MMCONF_FEDERATION_PLACEMENT_H_
+#define MMCONF_FEDERATION_PLACEMENT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+namespace mmconf::federation {
+
+/// FNV-1a of a room id — the placement hash. Stable across processes
+/// and platforms (no std::hash), so every front door in a deployment
+/// computes the same node for the same room.
+uint64_t Fnv1a(const std::string& s);
+
+/// Deterministic room -> interaction-node placement: hash of the room id
+/// modulo the node count, overridden by an explicit pin table. Pins are
+/// how migrations stick (a migrated room pins to its new node) and how
+/// operators drain a node by hand.
+class RoomPlacement {
+ public:
+  explicit RoomPlacement(size_t num_nodes);
+
+  size_t num_nodes() const { return num_nodes_; }
+  size_t num_pins() const { return pins_.size(); }
+
+  /// The node serving `room_id`: its pin if one exists, else the hash.
+  size_t NodeFor(const std::string& room_id) const;
+
+  /// The hash placement alone, ignoring pins (what NodeFor falls back
+  /// to after Unpin).
+  size_t HashNodeFor(const std::string& room_id) const;
+
+  /// OutOfRange unless node < num_nodes().
+  Status Pin(const std::string& room_id, size_t node);
+  void Unpin(const std::string& room_id);
+  bool IsPinned(const std::string& room_id) const;
+
+ private:
+  size_t num_nodes_;
+  std::map<std::string, size_t> pins_;
+};
+
+}  // namespace mmconf::federation
+
+#endif  // MMCONF_FEDERATION_PLACEMENT_H_

@@ -41,6 +41,11 @@ class FreezeRegistry {
 
   size_t frozen_count() const { return holders_.size(); }
 
+  /// Full registry view (object key -> holder), for state snapshots.
+  const std::map<std::string, std::string>& holders() const {
+    return holders_;
+  }
+
  private:
   std::map<std::string, std::string> holders_;  // object key -> partner
 };

@@ -14,7 +14,9 @@ bool HasPrefix(const std::string& s, const char* prefix) {
 }
 
 /// Parses "<seq>:<rest>" (or just "<seq>") after `offset`; returns false
-/// on malformed input.
+/// on malformed input, including digit strings that overflow uint64_t —
+/// a corrupted wire tag must never silently wrap onto a live seq and get
+/// falsely deduped as "already seen".
 bool ParseSeq(const std::string& tag, size_t offset, uint64_t* seq,
               std::string* rest) {
   size_t end = tag.find(':', offset);
@@ -24,7 +26,9 @@ bool ParseSeq(const std::string& tag, size_t offset, uint64_t* seq,
   uint64_t value = 0;
   for (char c : digits) {
     if (c < '0' || c > '9') return false;
-    value = value * 10 + static_cast<uint64_t>(c - '0');
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;
+    value = value * 10 + digit;
   }
   *seq = value;
   if (rest != nullptr) {
@@ -94,7 +98,60 @@ MicrosT ReliableTransport::Attempt(InFlight& msg) {
   // now) just burns the attempt and waits out the same timeout.
   MicrosT basis = eta.ok() ? std::max(*eta, now) : now;
   msg.next_deadline = basis + msg.timeout;
-  return eta.ok() ? *eta : 0;
+  return eta.ok() ? *eta : kEtaLinkDown;
+}
+
+bool ReliableTransport::Channel::MarkSeen(uint64_t seq) {
+  if (seq <= seen_watermark) return false;
+  if (seq == seen_watermark + 1) {
+    ++seen_watermark;
+    // Absorb the tail seqs the new watermark now reaches.
+    auto it = seen_tail.begin();
+    while (it != seen_tail.end() && *it == seen_watermark + 1) {
+      ++seen_watermark;
+      it = seen_tail.erase(it);
+    }
+    return true;
+  }
+  bool fresh = seen_tail.insert(seq).second;
+  while (seen_tail.size() > kMaxDedupTail) {
+    // Abandon the oldest gap: jump the watermark onto the lowest tail
+    // seq and absorb the contiguous run above it.
+    auto it = seen_tail.begin();
+    seen_watermark = *it;
+    it = seen_tail.erase(it);
+    while (it != seen_tail.end() && *it == seen_watermark + 1) {
+      ++seen_watermark;
+      it = seen_tail.erase(it);
+    }
+  }
+  return fresh;
+}
+
+void ReliableTransport::Complete(MsgId id, Completed record) {
+  if (completed_.emplace(id, record).second) {
+    completed_order_.push_back(id);
+  }
+  if (policy_.completed_retention == 0) return;
+  while (completed_.size() > policy_.completed_retention &&
+         !completed_order_.empty()) {
+    // The front may already be gone via Forget; just skip it then.
+    completed_.erase(completed_order_.front());
+    completed_order_.pop_front();
+  }
+}
+
+void ReliableTransport::Forget(MsgId id) { completed_.erase(id); }
+
+ReliableTransport::StateFootprint ReliableTransport::Footprint() const {
+  StateFootprint fp;
+  fp.inflight = inflight_.size();
+  fp.completed = completed_.size();
+  for (const auto& [key, channel] : channels_) {
+    fp.dedup_tail += channel.seen_tail.size();
+    fp.unacked_seqs += channel.unacked_by_seq.size();
+  }
+  return fp;
 }
 
 Result<SendHandle> ReliableTransport::Send(NodeId from, NodeId to,
@@ -155,9 +212,8 @@ void ReliableTransport::Process(Delivery delivery,
                       msg.first_sent_at, delivery.delivered_at, "attempts",
                       msg.attempts);
       }
-      completed_[id] =
-          Completed{SendState::kAcked, delivery.delivered_at,
-                    it->second.attempts};
+      Complete(id, Completed{SendState::kAcked, delivery.delivered_at,
+                             it->second.attempts});
       inflight_.erase(it);
       ++channel.stats.acked;
     }
@@ -182,7 +238,7 @@ void ReliableTransport::Process(Delivery delivery,
       ++channel.stats.acks_sent;
       if (m_acks_sent_ != nullptr) m_acks_sent_->Add();
     }
-    if (!channel.seen.insert(seq).second) {
+    if (!channel.MarkSeen(seq)) {
       ++channel.stats.duplicates_suppressed;
       if (m_dedup_ != nullptr) m_dedup_->Add();
       return;
@@ -214,7 +270,7 @@ void ReliableTransport::HandleTimeouts(MicrosT now) {
         tracer_->Instant(msg.from, 0, "rel-failed", "rel", "attempts",
                          msg.attempts);
       }
-      completed_[id] = Completed{SendState::kFailed, 0, msg.attempts};
+      Complete(id, Completed{SendState::kFailed, 0, msg.attempts});
       failures.push_back(
           FailedMessage{id, msg.from, msg.to, msg.tag, msg.attempts});
       inflight_.erase(it);

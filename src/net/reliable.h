@@ -2,6 +2,7 @@
 #define MMCONF_NET_RELIABLE_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <set>
@@ -29,6 +30,11 @@ struct RetryPolicy {
   double backoff_factor = 2.0;
   MicrosT max_timeout_micros = 2000000;
   int max_attempts = 5;
+  /// Completed-message records (acked/failed) kept for StateOf/AckedAt
+  /// queries. Seqs are monotone and senders query soon after completion,
+  /// so old records only cost memory; beyond the cap the oldest (by
+  /// completion order) are dropped and query as NotFound. 0 = unbounded.
+  size_t completed_retention = 1 << 16;
 };
 
 /// Lifecycle of a reliable message.
@@ -38,12 +44,20 @@ enum class SendState {
   kFailed,    ///< retry budget exhausted without an ack
 };
 
+/// Sentinel ETA: the link was down at send time, so the first attempt
+/// could not be scheduled and no delivery estimate exists. The message
+/// is still in flight — retries may deliver it once the link returns.
+/// Distinct from any real timestamp (virtual time starts at 0), so
+/// callers can no longer mistake "unknown" for "delivered at t=0".
+inline constexpr MicrosT kEtaLinkDown = -1;
+
 /// What Send() hands back: the id to query later and the sender's
-/// estimate of the first attempt's delivery time (0 when the link was
-/// down at send time and the first attempt could not be scheduled).
+/// estimate of the first attempt's delivery time (kEtaLinkDown when the
+/// link was down at send time and the first attempt could not be
+/// scheduled).
 struct SendHandle {
   MsgId id = 0;
-  MicrosT first_attempt_eta = 0;
+  MicrosT first_attempt_eta = kEtaLinkDown;
 };
 
 /// Per-channel (directed node pair) reliability counters.
@@ -104,7 +118,7 @@ class ReliableTransport {
   /// terminates: every pending message either acks or exhausts its cap.
   std::vector<Delivery> AdvanceUntilIdle();
 
-  /// NotFound for an id this transport never issued.
+  /// NotFound for an id this transport never issued (or already forgot).
   Result<SendState> StateOf(MsgId id) const;
   /// Ack arrival time; FailedPrecondition unless the message is kAcked.
   Result<MicrosT> AckedAt(MsgId id) const;
@@ -126,6 +140,23 @@ class ReliableTransport {
   /// failures emit instants. Either pointer may be null; both must
   /// outlive the transport.
   void SetObserver(obs::MetricsRegistry* metrics, obs::Tracer* tracer);
+
+  /// Drops the completed-state record of `id`: StateOf/AckedAt/
+  /// AttemptsOf return NotFound afterwards. Callers that have folded a
+  /// message's outcome into their own accounting call this so week-long
+  /// runs don't accumulate one record per message ever sent. No-op for
+  /// in-flight or unknown ids.
+  void Forget(MsgId id);
+
+  /// Bookkeeping sizes — everything that grows with traffic. The
+  /// regression tests assert these stay bounded under sustained load.
+  struct StateFootprint {
+    size_t inflight = 0;        ///< messages awaiting ack or expiry
+    size_t completed = 0;       ///< retained completed-message records
+    size_t dedup_tail = 0;      ///< out-of-order seqs above the watermarks
+    size_t unacked_seqs = 0;    ///< sender-side seq->id entries
+  };
+  StateFootprint Footprint() const;
 
   ChannelStats StatsFor(NodeId from, NodeId to) const;
   ChannelStats TotalStats() const;
@@ -154,8 +185,25 @@ class ReliableTransport {
   struct Channel {
     uint64_t next_seq = 1;
     std::map<uint64_t, MsgId> unacked_by_seq;  ///< sender side
-    std::set<uint64_t> seen;                   ///< receiver-side dedup
+    /// Receiver-side dedup, compacted: seqs are monotone per channel, so
+    /// every seq <= seen_watermark counts as seen and only the sparse
+    /// out-of-order tail above the watermark is stored explicitly. The
+    /// tail shrinks back into the watermark as gaps fill, so dedup state
+    /// stays proportional to current reordering, not channel lifetime.
+    uint64_t seen_watermark = 0;
+    std::set<uint64_t> seen_tail;
     ChannelStats stats;
+
+    /// Hard cap on the tail: a seq whose sender exhausted its retry
+    /// budget leaves a permanent gap that would otherwise pin the
+    /// watermark forever. Beyond the cap the oldest gap is abandoned
+    /// (watermark jumps over it) — by then the sender's retransmit
+    /// window is thousands of messages in the past, so treating a
+    /// late straggler in that gap as a duplicate is the safe side.
+    static constexpr size_t kMaxDedupTail = 4096;
+
+    /// Records `seq` as seen; false when it was already seen.
+    bool MarkSeen(uint64_t seq);
   };
 
   struct Completed {
@@ -177,9 +225,14 @@ class ReliableTransport {
 
   Network* network_;
   RetryPolicy policy_;
+  /// Moves a finished message into completed_, evicting the oldest
+  /// records beyond the retention window.
+  void Complete(MsgId id, Completed record);
+
   MsgId next_id_ = 1;
   std::map<MsgId, InFlight> inflight_;
   std::map<MsgId, Completed> completed_;
+  std::deque<MsgId> completed_order_;  ///< completion order, for eviction
   std::map<std::pair<NodeId, NodeId>, Channel> channels_;
   FailureCallback on_failure_;
   /// Observability (null = not instrumented); handles cached by

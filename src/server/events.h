@@ -47,6 +47,11 @@ struct UserAction {
   /// kSegmentOp: number of segments.
   int num_segments = 4;
   MicrosT timestamp = 0;
+  /// The §4.2 importance decision as recorded in the action log: whether
+  /// the operation extended the shared CP-net (true) or only the acting
+  /// viewer's private overlay. Kept on the logged copy so replaying the
+  /// log (room migration) reproduces the same document evolution.
+  bool globally_important = false;
 };
 
 }  // namespace mmconf::server

@@ -84,11 +84,11 @@ InteractionServer::RoomObs& InteractionServer::ObsFor(
 }
 
 void InteractionServer::UseReliableTransport(
-    net::ReliableTransport* transport) {
+    net::ReliableTransport* transport, bool install_failure_callback) {
   transport_ = transport;
-  if (transport_ != nullptr) {
+  if (transport_ != nullptr && install_failure_callback) {
     transport_->SetFailureCallback([this](const net::FailedMessage& failure) {
-      OnDeliveryFailure(failure);
+      HandleDeliveryFailure(failure);
     });
   }
 }
@@ -109,7 +109,8 @@ Result<MicrosT> InteractionServer::Ship(net::NodeId from, net::NodeId to,
   return handle.first_attempt_eta;
 }
 
-void InteractionServer::OnDeliveryFailure(const net::FailedMessage& failure) {
+void InteractionServer::HandleDeliveryFailure(
+    const net::FailedMessage& failure) {
   auto tracked = msg_room_.find(failure.id);
   if (tracked == msg_room_.end() || failure.from != server_node_) return;
   const std::string room_id = tracked->second;
@@ -146,7 +147,12 @@ void InteractionServer::SettleRoomMessages(const std::string& room_id) {
   std::vector<net::MsgId> still_open;
   for (net::MsgId id : it->second) {
     Result<net::SendState> state = transport_->StateOf(id);
-    if (!state.ok()) continue;
+    if (!state.ok()) {
+      // The transport already forgot this message (retention window):
+      // treat it as settled rather than leaking its room mapping.
+      msg_room_.erase(id);
+      continue;
+    }
     if (*state == net::SendState::kInFlight) {
       still_open.push_back(id);
       continue;
@@ -158,6 +164,8 @@ void InteractionServer::SettleRoomMessages(const std::string& room_id) {
       stats.last_converged_at = std::max(stats.last_converged_at, acked);
     }
     msg_room_.erase(id);
+    // Folded into stats — the transport no longer needs the record.
+    transport_->Forget(id);
   }
   it->second = std::move(still_open);
   if (metrics_ == nullptr && tracer_ == nullptr) return;
@@ -245,6 +253,30 @@ Result<Room*> InteractionServer::OpenRoomWithDocument(
   rooms_.emplace(room_id, std::move(room));
   endpoints_[room_id] = {};
   return raw;
+}
+
+Result<Room*> InteractionServer::AdoptRoom(
+    const std::string& room_id, std::unique_ptr<Room> room,
+    std::map<std::string, net::NodeId> members) {
+  if (room == nullptr) {
+    return Status::InvalidArgument("room must not be null");
+  }
+  if (rooms_.count(room_id) > 0) {
+    return Status::AlreadyExists("room \"" + room_id + "\" already open");
+  }
+  Room* raw = room.get();
+  rooms_.emplace(room_id, std::move(room));
+  endpoints_[room_id] = std::move(members);
+  return raw;
+}
+
+Result<std::map<std::string, net::NodeId>> InteractionServer::RoomEndpoints(
+    const std::string& room_id) const {
+  auto it = endpoints_.find(room_id);
+  if (it == endpoints_.end()) {
+    return Status::NotFound("no room \"" + room_id + "\"");
+  }
+  return it->second;
 }
 
 Result<Room*> InteractionServer::GetRoom(const std::string& room_id) {
@@ -652,6 +684,95 @@ size_t InteractionServer::num_streams() const {
     total += scheduler->num_streams();
   }
   return total;
+}
+
+void InteractionServer::SeedStreamIds(stream::StreamId first) {
+  next_stream_id_ = std::max(next_stream_id_, first);
+}
+
+Result<std::vector<stream::StreamCarryover>>
+InteractionServer::ExportRoomStreams(const std::string& room_id) {
+  if (rooms_.count(room_id) == 0) {
+    return Status::NotFound("no room \"" + room_id + "\"");
+  }
+  auto scheduler_it = stream_schedulers_.find(room_id);
+  if (scheduler_it == stream_schedulers_.end()) {
+    return std::vector<stream::StreamCarryover>();
+  }
+  stream::StreamScheduler* scheduler = scheduler_it->second.get();
+  scheduler->ObserveAcks();
+  std::vector<stream::StreamId> ids;
+  for (const auto& [id, room] : stream_room_) {
+    if (room == room_id && scheduler->Owns(id)) ids.push_back(id);
+  }
+  // All-or-nothing: every stream must be exportable before any is
+  // closed, so a FailedPrecondition leaves the room fully intact.
+  std::vector<stream::StreamCarryover> exported;
+  for (stream::StreamId id : ids) {
+    MMCONF_ASSIGN_OR_RETURN(stream::StreamCarryover carry,
+                            scheduler->ExportStream(id));
+    if (!carry.chunks.empty()) exported.push_back(std::move(carry));
+  }
+  for (stream::StreamId id : ids) {
+    scheduler->Close(id).ok();
+    stream_room_.erase(id);
+  }
+  return exported;
+}
+
+Status InteractionServer::AdoptStream(const std::string& room_id,
+                                      const stream::StreamCarryover& carry,
+                                      MicrosT deadline_shift) {
+  if (transport_ == nullptr) {
+    return Status::FailedPrecondition("streaming needs a reliable transport");
+  }
+  if (rooms_.count(room_id) == 0) {
+    return Status::NotFound("no room \"" + room_id + "\"");
+  }
+  if (stream_room_.count(carry.id) > 0) {
+    return Status::AlreadyExists("stream " + std::to_string(carry.id) +
+                                 " already tracked here");
+  }
+  auto& scheduler = stream_schedulers_[room_id];
+  if (scheduler == nullptr) {
+    scheduler =
+        std::make_unique<stream::StreamScheduler>(transport_, server_node_);
+    scheduler->SetObserver(metrics_, tracer_);
+  }
+  MMCONF_RETURN_IF_ERROR(scheduler->ImportStream(carry, deadline_shift));
+  stream_room_[carry.id] = room_id;
+  next_stream_id_ = std::max(next_stream_id_, carry.id + 1);
+  return Status::OK();
+}
+
+void InteractionServer::ObserveStreamAcks() {
+  for (auto& [room, scheduler] : stream_schedulers_) {
+    scheduler->ObserveAcks();
+  }
+}
+
+size_t InteractionServer::PumpStreams(MicrosT now) {
+  size_t sent = 0;
+  for (auto& [room, scheduler] : stream_schedulers_) {
+    sent += scheduler->Pump(now);
+  }
+  return sent;
+}
+
+MicrosT InteractionServer::NextStreamActionAt(MicrosT now) const {
+  MicrosT next = -1;
+  for (const auto& [room, scheduler] : stream_schedulers_) {
+    MicrosT at = scheduler->NextActionAt(now);
+    if (at >= 0 && (next < 0 || at < next)) next = at;
+  }
+  return next;
+}
+
+bool InteractionServer::RouteDelivery(const net::Delivery& delivery) {
+  for (auto& [room, scheduler] : stream_schedulers_) {
+    if (scheduler->OnDelivery(delivery)) return true;
+  }
+  return false;
 }
 
 Status InteractionServer::AttachClientCache(const std::string& room_id,

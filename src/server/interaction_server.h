@@ -70,9 +70,20 @@ class InteractionServer {
   /// longer evicted on the first failed send: messages are retried with
   /// backoff, and only when the retry budget is exhausted does the
   /// server evict the unreachable member and re-optimize for the
-  /// survivors. Installs the transport's failure callback.
-  void UseReliableTransport(net::ReliableTransport* transport);
+  /// survivors. Installs the transport's failure callback unless
+  /// `install_failure_callback` is false — a federation tier sharing one
+  /// transport between several servers installs its own dispatcher and
+  /// routes each failure to the owning server's HandleDeliveryFailure.
+  void UseReliableTransport(net::ReliableTransport* transport,
+                            bool install_failure_callback = true);
   net::ReliableTransport* transport() const { return transport_; }
+  net::NodeId server_node() const { return server_node_; }
+
+  /// Transport failure entry point: evicts the member behind the dead
+  /// link from the message's room and propagates the re-optimization.
+  /// Wired as the transport callback by UseReliableTransport; called
+  /// directly by a federation tier's shared-transport dispatcher.
+  void HandleDeliveryFailure(const net::FailedMessage& failure);
 
   /// Reliability counters for a room (zeroed when no transport is set).
   /// Querying settles completed messages: retries and convergence time
@@ -103,6 +114,19 @@ class InteractionServer {
   Result<Room*> GetRoom(const std::string& room_id);
   Status CloseRoom(const std::string& room_id);
 
+  /// Adopts a room built elsewhere (migration target side): registers it
+  /// together with its member endpoints without shipping anyone initial
+  /// content — the members already hold the presentation they watched on
+  /// the source node. AlreadyExists if the room id is taken here.
+  Result<Room*> AdoptRoom(const std::string& room_id,
+                          std::unique_ptr<Room> room,
+                          std::map<std::string, net::NodeId> members);
+
+  /// The room's member -> network node map (migration reads it on the
+  /// source to re-register everyone on the target).
+  Result<std::map<std::string, net::NodeId>> RoomEndpoints(
+      const std::string& room_id) const;
+
   /// Persists the room's consultation minutes (rendered action log) as a
   /// Text object in the database — the intro scenario's "results of the
   /// discussions ... stored ... for future search and reference". The
@@ -111,7 +135,9 @@ class InteractionServer {
   size_t num_rooms() const { return rooms_.size(); }
 
   /// Adds a member and ships them the full current presentation; returns
-  /// the simulated delivery timestamp of their initial content.
+  /// the simulated delivery timestamp of their initial content, or
+  /// net::kEtaLinkDown when the member's link was down at send time and
+  /// the transport is still retrying the content.
   Result<MicrosT> Join(const std::string& room_id,
                        const ClientEndpoint& client);
 
@@ -189,6 +215,37 @@ class InteractionServer {
   bool StreamsIdle() const;
   size_t num_streams() const;
 
+  /// Reserves the stream-id space: ids issued from now on are >= `first`.
+  /// A federation tier gives each node a disjoint range so streams keep
+  /// their ids when they migrate between nodes.
+  void SeedStreamIds(stream::StreamId first);
+
+  /// Migration source side: snapshots and closes every live stream of
+  /// the room (see stream::StreamCarryover). FailedPrecondition while
+  /// any of them still has chunks in flight — settle the transport
+  /// first. Finished/aborted streams are closed and not carried.
+  Result<std::vector<stream::StreamCarryover>> ExportRoomStreams(
+      const std::string& room_id);
+
+  /// Migration target side: adopts one exported stream into the room's
+  /// scheduler, shifting its remaining deadlines by `deadline_shift`.
+  Status AdoptStream(const std::string& room_id,
+                     const stream::StreamCarryover& carry,
+                     MicrosT deadline_shift);
+
+  /// --- Shared-transport pumping primitives (federation) ---
+  /// When several servers share one ReliableTransport, no single server
+  /// may pump it (AdvanceStreams would swallow the other servers'
+  /// deliveries). The tier owns the pump loop and uses these to drive
+  /// each server's schedulers and to offer every delivery to each server
+  /// in turn.
+  void ObserveStreamAcks();
+  size_t PumpStreams(MicrosT now);
+  MicrosT NextStreamActionAt(MicrosT now) const;
+  /// True when the delivery was consumed as a chunk of one of this
+  /// server's streams.
+  bool RouteDelivery(const net::Delivery& delivery);
+
   /// Registers a member's client-side buffer so the server can observe
   /// prefetch hits/misses/evictions per room and budget streaming
   /// against it. The cache must outlive the membership.
@@ -222,13 +279,10 @@ class InteractionServer {
 
   /// One server-originated send: via the transport when configured
   /// (tracking the message under `room_id` unless empty), else straight
-  /// on the wire. Returns the (estimated) delivery timestamp.
+  /// on the wire. Returns the (estimated) delivery timestamp, or
+  /// net::kEtaLinkDown when the first attempt could not be scheduled.
   Result<MicrosT> Ship(net::NodeId from, net::NodeId to, size_t bytes,
                        std::string tag, const std::string& room_id);
-
-  /// Transport failure callback: evicts the member behind the dead link
-  /// from the message's room and propagates the re-optimization.
-  void OnDeliveryFailure(const net::FailedMessage& failure);
 
   /// Folds finished transport messages into the room's stats.
   void SettleRoomMessages(const std::string& room_id);

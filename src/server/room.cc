@@ -168,7 +168,9 @@ Result<ReconfigResult> Room::ApplyOperation(const UserAction& action,
     return Status::InvalidArgument("operations apply to primitive "
                                    "components only");
   }
-  action_log_.push_back(action);
+  UserAction logged = action;
+  logged.globally_important = globally_important;
+  action_log_.push_back(logged);
 
   // Section 4.2: segmentation-style operations extend the preference
   // model, globally or per viewer.
@@ -212,6 +214,9 @@ Result<ReconfigResult> Room::AddComponent(
   MMCONF_RETURN_IF_ERROR(
       document_.AddComponent(parent_composite, std::move(component))
           .status());
+  // The component payload cannot be stored in the action log, so from
+  // here on the log no longer reproduces the room (see replayable()).
+  replayable_ = false;
   overlays_.clear();  // Rebinding invalidated overlay variable ids.
   // The old configuration's variable ids are stale after rebinding:
   // treat the structural change as a full redisplay.
@@ -227,6 +232,7 @@ Result<ReconfigResult> Room::RemoveComponent(const std::string& viewer,
   }
   MMCONF_RETURN_IF_ERROR(freezes_.CheckMutable(component, viewer));
   MMCONF_RETURN_IF_ERROR(document_.RemoveComponent(component));
+  replayable_ = false;
   // Drop state that referenced the removed component.
   for (auto& [member, member_choices] : choices_) {
     member_choices.erase(component);
@@ -287,6 +293,93 @@ std::string Room::RenderActionLog() const {
     out += '\n';
   }
   return out;
+}
+
+Bytes Room::Serialize() const {
+  // Text header, then the raw encoded document. Every container below is
+  // an ordered map (or an append-only vector), so two rooms with equal
+  // state produce identical bytes.
+  std::string out;
+  out += "room " + id_ + "\n";
+  out += "replayable " + std::string(replayable_ ? "1" : "0") + "\n";
+  out += "next_seq " + std::to_string(next_sequence_) + "\n";
+  out += "config " + configuration_.ToString() + "\n";
+  for (const auto& [viewer, viewer_choices] : choices_) {
+    out += "member " + viewer + "\n";
+    for (const auto& [component, choice] : viewer_choices) {
+      out += "choice " + viewer + " " + component + " " +
+             choice.presentation + " @" + std::to_string(choice.sequence) +
+             "\n";
+    }
+  }
+  for (const auto& [viewer, overlay] : overlays_) {
+    if (overlay == nullptr || overlay->size() == 0) continue;
+    out += "overlay " + viewer + "\n";
+    for (size_t v = 0; v < overlay->size(); ++v) {
+      const cpnet::VarId var = static_cast<cpnet::VarId>(v);
+      out += "  var " + overlay->VariableName(var) + " {";
+      for (const std::string& value : overlay->ValueNames(var)) {
+        out += " " + value;
+      }
+      out += " }\n";
+    }
+  }
+  for (const auto& [component, holder] : freezes_.holders()) {
+    out += "freeze " + component + " by " + holder + "\n";
+  }
+  for (const UserAction& action : action_log_) {
+    out += "log " + std::string(ActionTypeToString(action.type)) + " " +
+           action.viewer + " " + action.component + " " +
+           action.presentation + " " + action.text + " e" +
+           std::to_string(action.element_id) + " s" +
+           std::to_string(action.num_segments) + " g" +
+           (action.globally_important ? "1" : "0") + "\n";
+  }
+  Bytes doc = document_.Encode();
+  out += "doc " + std::to_string(doc.size()) + "\n";
+  Bytes snapshot(out.begin(), out.end());
+  snapshot.insert(snapshot.end(), doc.begin(), doc.end());
+  return snapshot;
+}
+
+Status Room::ApplyLogged(const UserAction& action) {
+  switch (action.type) {
+    case ActionType::kJoin:
+      return Join(action.viewer);
+    case ActionType::kLeave:
+      return Leave(action.viewer).status();
+    case ActionType::kChoice:
+      return SubmitChoice(action.viewer, action.component,
+                          action.presentation)
+          .status();
+    case ActionType::kReleaseChoice:
+      return SubmitChoice(action.viewer, action.component, "").status();
+    case ActionType::kFreeze:
+      return Freeze(action.viewer, action.component);
+    case ActionType::kReleaseFreeze:
+      return ReleaseFreeze(action.viewer, action.component);
+    case ActionType::kAnnotateText:
+    case ActionType::kAnnotateLine:
+    case ActionType::kDeleteElement:
+    case ActionType::kZoom:
+    case ActionType::kSegmentOp:
+      return ApplyOperation(action, action.globally_important).status();
+  }
+  return Status::InvalidArgument("unknown action type");
+}
+
+Result<std::unique_ptr<Room>> Room::Replay(
+    const std::string& id, doc::MultimediaDocument pristine,
+    const std::vector<UserAction>& log) {
+  auto room = std::make_unique<Room>(id, std::move(pristine));
+  for (const UserAction& action : log) {
+    // A per-action failure is not divergence: an action that was rejected
+    // when first applied (frozen component, unknown value) is rejected
+    // identically here and leaves the identical log entry. Real
+    // divergence is caught by the caller's Serialize() comparison.
+    room->ApplyLogged(action).ok();
+  }
+  return room;
 }
 
 Result<cpnet::ViewerOverlay*> Room::OverlayFor(const std::string& viewer) {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "cpnet/assignment.h"
@@ -118,6 +119,35 @@ class Room {
   /// Flattened choice events of every member, newest last.
   std::vector<doc::ViewerChoice> AllChoices() const;
 
+  /// --- State snapshot and replay (room migration between interaction
+  /// nodes, src/federation/) ---
+
+  /// Deterministic byte snapshot of the full room state: document,
+  /// configuration, members, timed choices, overlay shapes, freezes, and
+  /// the action log with its importance flags. Two rooms that evolved
+  /// through the same action sequence serialize identically — the
+  /// equality a migration verifies before cutting over.
+  Bytes Serialize() const;
+
+  /// Re-applies one logged action through the public mutators. Failures
+  /// are returned, not fatal: an action that failed when first applied
+  /// (e.g. a frozen component) fails the same way on replay, leaving the
+  /// same log entry behind.
+  Status ApplyLogged(const UserAction& action);
+
+  /// Rebuilds a room by replaying `log` against the pristine document
+  /// the room was opened on. FailedPrecondition when the log is not
+  /// replayable (see replayable()).
+  static Result<std::unique_ptr<Room>> Replay(
+      const std::string& id, doc::MultimediaDocument pristine,
+      const std::vector<UserAction>& log);
+
+  /// False once the document was structurally edited in place
+  /// (AddComponent / RemoveComponent): those edits carry payloads the
+  /// action log cannot store, so the log alone no longer reproduces the
+  /// room and migration must refuse it.
+  bool replayable() const { return replayable_; }
+
  private:
   /// Recomputes the configuration from all members' choices, producing
   /// the delta against the previous configuration.
@@ -140,6 +170,7 @@ class Room {
   std::map<std::string, std::unique_ptr<cpnet::ViewerOverlay>> overlays_;
   imaging::FreezeRegistry freezes_;
   std::vector<UserAction> action_log_;
+  bool replayable_ = true;
 };
 
 }  // namespace mmconf::server

@@ -156,6 +156,121 @@ Status StreamScheduler::Close(StreamId id) {
   return Status::OK();
 }
 
+Result<StreamCarryover> StreamScheduler::ExportStream(StreamId id) const {
+  auto it = streams_.find(id);
+  if (it == streams_.end()) {
+    return Status::NotFound("no stream " + std::to_string(id));
+  }
+  const StreamState& stream = it->second;
+  if (stream.outstanding > 0) {
+    return Status::FailedPrecondition(
+        "stream " + std::to_string(id) + " has " +
+        std::to_string(stream.outstanding) +
+        " chunks in flight; drain the transport and ObserveAcks first");
+  }
+  StreamCarryover carry;
+  carry.id = stream.id;
+  carry.client = stream.client;
+  carry.options = stream.options;
+  carry.stats = stream.stats;
+  carry.stats.playout = stream.playout->stats();
+  if (stream.stats.aborted || stream.next_chunk >= stream.chunks.size()) {
+    return carry;  // nothing left to send: counters only
+  }
+  // Cut at the object boundary of the first unsent chunk; that object
+  // restarts from its base on the importing node.
+  const uint32_t resume = stream.chunks[stream.next_chunk].object_index;
+  uint32_t seq = 0;
+  for (const Chunk& chunk : stream.chunks) {
+    if (chunk.object_index < resume) continue;
+    Chunk moved = chunk;
+    moved.seq = seq++;
+    moved.object_index = chunk.object_index - resume;
+    carry.chunks.push_back(moved);
+  }
+  for (size_t k = resume; k < stream.layer_counts.size(); ++k) {
+    carry.layer_counts.push_back(stream.layer_counts[k]);
+    carry.object_deadlines.push_back(
+        stream.options.start_deadline_micros +
+        static_cast<MicrosT>(k) * stream.options.interval_micros);
+  }
+  return carry;
+}
+
+Status StreamScheduler::ImportStream(const StreamCarryover& carry,
+                                     MicrosT deadline_shift) {
+  if (streams_.count(carry.id) > 0) {
+    return Status::AlreadyExists("stream " + std::to_string(carry.id) +
+                                 " already open here");
+  }
+  if (deadline_shift < 0) {
+    return Status::InvalidArgument("deadline shift must be >= 0");
+  }
+  if (carry.object_deadlines.size() != carry.layer_counts.size()) {
+    return Status::InvalidArgument("malformed carryover: deadline/layer "
+                                   "vectors disagree");
+  }
+  StreamState state;
+  state.id = carry.id;
+  state.client = carry.client;
+  state.options = carry.options;
+  state.options.start_deadline_micros += deadline_shift;
+  state.chunks = carry.chunks;
+  // Rebuild the playout expectations from chunk metadata: the per-layer
+  // byte totals are exactly the sums the Chunker cut them from.
+  std::vector<std::vector<size_t>> layer_bytes(carry.layer_counts.size());
+  for (size_t k = 0; k < carry.layer_counts.size(); ++k) {
+    layer_bytes[k].assign(
+        static_cast<size_t>(std::max(carry.layer_counts[k], 1)), 0);
+  }
+  for (Chunk& chunk : state.chunks) {
+    chunk.stream = carry.id;
+    chunk.deadline += deadline_shift;
+    if (chunk.object_index >= layer_bytes.size() ||
+        static_cast<size_t>(chunk.layer) >=
+            layer_bytes[chunk.object_index].size()) {
+      return Status::InvalidArgument("malformed carryover: chunk outside "
+                                     "its object's layer plan");
+    }
+    layer_bytes[chunk.object_index][static_cast<size_t>(chunk.layer)] +=
+        chunk.bytes;
+  }
+  state.playout =
+      std::make_unique<PlayoutBuffer>(carry.options.playout_buffer_bytes);
+  for (size_t k = 0; k < carry.object_deadlines.size(); ++k) {
+    MMCONF_RETURN_IF_ERROR(state.playout->ExpectObject(
+        static_cast<uint32_t>(k), carry.object_deadlines[k] + deadline_shift,
+        layer_bytes[k]));
+  }
+  state.layer_counts = carry.layer_counts;
+  state.dropped_from.assign(carry.layer_counts.size(), -1);
+  state.stats = carry.stats;
+  state.stats.playout = PlayoutStats{};  // playout restarts here
+  state.stats.finished = false;
+  state.stats.client = carry.client;
+
+  ClientState& client_state = clients_[carry.client];
+  if (client_state.streams == 0 && client_state.outstanding.empty()) {
+    double rate = carry.stats.estimated_rate_bytes_per_sec;
+    if (rate <= 0) {
+      Result<net::LinkSpec> link =
+          transport_->network()->GetLink(server_node_, carry.client);
+      rate = link.ok() ? link->bandwidth_bytes_per_sec : 1e6;
+    }
+    size_t burst =
+        std::max<size_t>(2 * carry.options.chunk_bytes, 16 << 10);
+    client_state.bucket = TokenBucket(rate, burst);
+    client_state.estimator = AckRateEstimator(rate);
+  }
+  Result<net::LinkSpec> link =
+      transport_->network()->GetLink(server_node_, carry.client);
+  if (link.ok()) client_state.latency_micros = link->latency_micros;
+  ++client_state.streams;
+  auto emplaced = streams_.emplace(carry.id, std::move(state));
+  AttachStreamObs(emplaced.first->second);
+  return Status::OK();
+}
+
 double StreamScheduler::RateFor(const ClientState& client) const {
   return std::max(client.estimator.BytesPerSec(), 1.0);
 }
@@ -245,11 +360,28 @@ void StreamScheduler::ObserveAcks() {
     for (auto it = client.outstanding.begin();
          it != client.outstanding.end();) {
       Result<net::SendState> state = transport_->StateOf(it->first);
-      if (!state.ok() || *state == net::SendState::kInFlight) {
+      if (state.ok() && *state == net::SendState::kInFlight) {
         ++it;
         continue;
       }
       SentChunk sent = it->second;
+      if (!state.ok()) {
+        // The transport's completed record was already evicted (retention
+        // window): the outcome is unknowable. Release the bookkeeping —
+        // counting it failed but not aborting keeps the stream moving
+        // instead of wedging on a chunk that will never resolve.
+        client.inflight_bytes -= std::min(client.inflight_bytes, sent.bytes);
+        auto orphan_it = streams_.find(sent.stream);
+        if (orphan_it != streams_.end()) {
+          if (orphan_it->second.outstanding > 0) {
+            --orphan_it->second.outstanding;
+          }
+          ++orphan_it->second.stats.chunks_failed;
+        }
+        if (m_chunks_failed_ != nullptr) m_chunks_failed_->Add();
+        it = client.outstanding.erase(it);
+        continue;
+      }
       client.inflight_bytes -= std::min(client.inflight_bytes, sent.bytes);
       auto stream_it = streams_.find(sent.stream);
       StreamState* stream =
@@ -270,6 +402,8 @@ void StreamScheduler::ObserveAcks() {
         // member and let the room's eviction machinery handle the node.
         if (sent.base) AbortStream(*stream);
       }
+      // Folded into stream accounting — free the transport's record.
+      transport_->Forget(it->first);
       it = client.outstanding.erase(it);
     }
     client.bucket.SetRate(client.estimator.BytesPerSec());

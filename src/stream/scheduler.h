@@ -56,6 +56,28 @@ struct StreamStats {
   PlayoutStats playout;
 };
 
+/// Portable position of a live stream, for carrying it across
+/// interaction nodes (room migration, src/federation/). The export is
+/// cut at an object boundary: the first object with an unsent chunk and
+/// everything after it moves, re-streamed in full by the importing node
+/// (a partially shipped object restarts from its base layer rather than
+/// resuming mid-layer — the playout buffer on the far side is rebuilt
+/// from scratch). Already-played objects never move.
+struct StreamCarryover {
+  StreamId id = 0;
+  net::NodeId client = 0;
+  StreamOptions options;
+  /// Chunks of the remaining objects: seqs re-based to 0 (the scheduler
+  /// indexes chunks by seq), object indices re-based to 0, deadlines
+  /// still absolute (ImportStream applies the shift).
+  std::vector<Chunk> chunks;
+  /// Per remaining object: absolute playout deadline and layer count.
+  std::vector<MicrosT> object_deadlines;
+  std::vector<int> layer_counts;
+  /// Cumulative counters from the exporting node; playout restarts.
+  StreamStats stats;
+};
+
 /// Per-room earliest-deadline-first delivery scheduler for layered media
 /// streams over the reliable transport.
 ///
@@ -89,6 +111,18 @@ class StreamScheduler {
   Status Close(StreamId id);
   bool Owns(StreamId id) const { return streams_.count(id) > 0; }
   size_t num_streams() const { return streams_.size(); }
+
+  /// Snapshots the stream's position for migration (see StreamCarryover).
+  /// FailedPrecondition while chunks are in flight — drain the transport
+  /// and ObserveAcks first. The stream stays open; Close it once the
+  /// importing side has adopted the carryover.
+  Result<StreamCarryover> ExportStream(StreamId id) const;
+
+  /// Re-creates a migrated stream from a carryover. Every deadline is
+  /// shifted by `deadline_shift` (>= 0): the importing node rebases
+  /// deadlines the migration outage has already blown rather than
+  /// stalling the whole tail. AlreadyExists if the id is taken here.
+  Status ImportStream(const StreamCarryover& carry, MicrosT deadline_shift);
 
   /// Folds acked/failed chunk messages into rate estimates and stream
   /// accounting. Call before Pump once the transport has been advanced.

@@ -90,10 +90,13 @@ TEST_F(ReliableTest, RetryBudgetExhaustionFailsAndFiresCallback) {
 }
 
 TEST_F(ReliableTest, SendSucceedsOnDownLinkAndRecoversWhenItReturns) {
-  // No link at send time: the transport accepts and keeps trying.
+  // No link at send time: the transport accepts and keeps trying. The
+  // handle's ETA is the explicit sentinel, not a real timestamp a caller
+  // could mistake for "delivered at t=0".
   ASSERT_TRUE(network_->RemoveLink(a_, b_).ok());
   SendHandle handle = transport_->Send(a_, b_, 1000, "patient").value();
-  EXPECT_EQ(handle.first_attempt_eta, 0);
+  EXPECT_EQ(handle.first_attempt_eta, kEtaLinkDown);
+  EXPECT_LT(handle.first_attempt_eta, 0);
   // The link comes back before the budget runs out.
   ASSERT_TRUE(network_->SetLink(a_, b_, {1e6, 5000}).ok());
   std::vector<Delivery> got = transport_->AdvanceUntilIdle();
@@ -163,6 +166,103 @@ TEST_F(ReliableTest, LossySequenceIsDeliveredExactlyOnceInOrderEnough) {
   EXPECT_GT(stats.acked, static_cast<size_t>(kMessages) / 2);
   EXPECT_GT(stats.retries, 0u);
   EXPECT_EQ(transport_->in_flight(), 0u);
+}
+
+TEST_F(ReliableTest, OverlongSeqTagIsRejectedNotWrapped) {
+  // 2^64 + 2 as decimal digits: pre-fix ParseSeq silently wrapped this
+  // to seq 2, poisoning the dedup set so the *real* seq 2 was falsely
+  // suppressed. It must be rejected instead.
+  transport_->Send(a_, b_, 100, "m1").value();
+  transport_->AdvanceUntilIdle();
+  network_->Send(a_, b_, 100, "rel:18446744073709551618:evil").value();
+  std::vector<Delivery> attack = transport_->AdvanceUntilIdle();
+  EXPECT_TRUE(attack.empty());  // malformed reliable frame is dropped
+  transport_->Send(a_, b_, 100, "m2").value();
+  std::vector<Delivery> got = transport_->AdvanceUntilIdle();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].tag, "m2");
+}
+
+TEST_F(ReliableTest, MaxUint64SeqStillParses) {
+  // Exactly UINT64_MAX is a legal (if absurd) seq: the overflow check
+  // must not reject the boundary value itself.
+  network_->Send(a_, b_, 100, "rel:18446744073709551615:max").value();
+  std::vector<Delivery> got = transport_->AdvanceUntilIdle();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].tag, "max");
+}
+
+TEST_F(ReliableTest, ForgetDropsCompletedRecord) {
+  SendHandle handle = transport_->Send(a_, b_, 100, "done").value();
+  transport_->AdvanceUntilIdle();
+  ASSERT_EQ(transport_->StateOf(handle.id).value(), SendState::kAcked);
+  transport_->Forget(handle.id);
+  EXPECT_TRUE(transport_->StateOf(handle.id).status().IsNotFound());
+  EXPECT_TRUE(transport_->AckedAt(handle.id).status().IsFailedPrecondition());
+  EXPECT_EQ(transport_->Footprint().completed, 0u);
+}
+
+TEST_F(ReliableTest, CompletedRetentionEvictsOldestRecords) {
+  RetryPolicy policy = FastPolicy();
+  policy.completed_retention = 4;
+  ReliableTransport bounded(network_.get(), policy);
+  std::vector<MsgId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(bounded.Send(a_, b_, 100, "m" + std::to_string(i))->id);
+    bounded.AdvanceUntilIdle();
+  }
+  EXPECT_EQ(bounded.Footprint().completed, 4u);
+  EXPECT_TRUE(bounded.StateOf(ids[0]).status().IsNotFound());
+  EXPECT_TRUE(bounded.StateOf(ids[5]).status().IsNotFound());
+  EXPECT_EQ(bounded.StateOf(ids[9]).value(), SendState::kAcked);
+}
+
+TEST_F(ReliableTest, StateStaysBoundedOverHundredThousandMessages) {
+  // The week-long-federated-run regression: per-channel dedup state must
+  // compact to a watermark and completed records must stay within the
+  // retention window, no matter how many messages the channel carried.
+  RetryPolicy policy = FastPolicy();
+  policy.completed_retention = 512;
+  ReliableTransport bounded(network_.get(), policy);
+  constexpr size_t kTotal = 100000;
+  constexpr size_t kBatch = 1000;
+  for (size_t batch = 0; batch < kTotal / kBatch; ++batch) {
+    for (size_t i = 0; i < kBatch; ++i) {
+      bounded.Send(a_, b_, 32, "t").value();
+    }
+    bounded.AdvanceUntilIdle();
+  }
+  EXPECT_EQ(bounded.TotalStats().acked, kTotal);
+  ReliableTransport::StateFootprint fp = bounded.Footprint();
+  EXPECT_EQ(fp.inflight, 0u);
+  EXPECT_EQ(fp.unacked_seqs, 0u);
+  EXPECT_LE(fp.completed, 512u);
+  // In-order channel: the dedup set is exactly one watermark, no tail.
+  EXPECT_EQ(fp.dedup_tail, 0u);
+}
+
+TEST_F(ReliableTest, DedupTailStaysSparseUnderLossAndReordering) {
+  FaultSpec fault;
+  fault.drop_probability = 0.25;
+  fault.duplicate_probability = 0.1;
+  fault.jitter_micros = 4000;
+  ASSERT_TRUE(network_->SetDuplexFault(a_, b_, fault).ok());
+  RetryPolicy policy = FastPolicy();
+  policy.max_attempts = 10;
+  ReliableTransport lossy(network_.get(), policy);
+  constexpr size_t kTotal = 2000;
+  for (size_t i = 0; i < kTotal; ++i) {
+    lossy.Send(a_, b_, 64, "l").value();
+    if (i % 50 == 49) lossy.AdvanceUntilIdle();
+  }
+  lossy.AdvanceUntilIdle();
+  ChannelStats stats = lossy.StatsFor(a_, b_);
+  EXPECT_EQ(stats.acked + stats.failed, kTotal);
+  ReliableTransport::StateFootprint fp = lossy.Footprint();
+  EXPECT_EQ(fp.inflight, 0u);
+  // Failed messages leave permanent gaps; the tail may hold the seqs
+  // above them but stays far below one-entry-per-message.
+  EXPECT_LT(fp.dedup_tail, kTotal / 4);
 }
 
 TEST(ReliableDeterminismTest, SameSeedReproducesIdenticalCounters) {

@@ -3,23 +3,42 @@
 // claim that CP-nets "support fast algorithms for optimal configuration
 // determination": the topological sweep vs. exhaustive enumeration
 // ablation, swept over network size.
+//
+// Plus the incremental-recompletion ablation: RecompleteInto over the
+// flat arena (watched cone sweep) against a full OptimalCompletion per
+// pin, over chain / fan-out / random net shapes, with byte-identity and
+// brute-force oracle checks. Results are printed and written as
+// machine-readable JSON (BENCH_cpnet.json; override with
+// --json_out=PATH). --smoke shrinks the scenarios for a ctest-able perf
+// smoke run and skips the slower figures and google-benchmark sweeps.
+//
+// --metrics_out=PATH dumps the obs MetricsRegistry snapshot (the
+// cpnet.sweep.* / cpnet.recomplete.* work counters accumulated by the
+// check pass; byte-identical across runs).
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <vector>
 
+#include "bench_obs.h"
 #include "common/rng.h"
 #include "cpnet/brute_force.h"
 #include "cpnet/cpnet.h"
 #include "doc/builder.h"
+#include "obs/metrics.h"
 
 namespace {
+
+namespace obs = mmconf::obs;
 
 using mmconf::Rng;
 using mmconf::cpnet::Assignment;
 using mmconf::cpnet::BruteForceOptimalCompletion;
+using mmconf::cpnet::BruteForceRecompleteFrom;
 using mmconf::cpnet::CpNet;
 using mmconf::cpnet::ValueId;
 using mmconf::cpnet::VarId;
@@ -140,6 +159,177 @@ CpNet MakeFanOutNet(int n) {
   return net;
 }
 
+// --- Incremental-recompletion ablation ------------------------------
+
+double NowUs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+             .count() /
+         1000.0;
+}
+
+struct ScenarioResult {
+  std::string name;
+  size_t vars = 0;
+  size_t pairs = 0;           ///< (variable, value) pins swept
+  uint64_t rows_touched = 0;  ///< CPT rows the watched sweep read
+  uint64_t vars_skipped = 0;  ///< cone vars skipped as clean
+  double baseline_us = 0;     ///< per full OptimalCompletion pin
+  double fast_us = 0;         ///< per RecompleteInto pin
+  bool identical = false;     ///< fast == full sweep on every pin
+  bool oracle_match = true;   ///< fast == brute force (small nets only)
+  double Speedup() const {
+    return fast_us > 0 ? baseline_us / fast_us : 0;
+  }
+};
+
+/// Sweeps every (variable, value) pin of `net` through both the
+/// incremental path (RecompleteInto over the shared base optimum) and
+/// the full-sweep baseline (OptimalCompletion of the single-pin
+/// evidence), checking byte-identity pin by pin. Nets small enough to
+/// enumerate are additionally pinned against the brute-force oracle.
+ScenarioResult RunScenario(const std::string& name, const CpNet& net,
+                           int reps, obs::MetricsRegistry* metrics) {
+  ScenarioResult result;
+  result.name = name;
+  result.vars = net.num_variables();
+  result.identical = true;
+
+  Assignment base = net.OptimalOutcome().value();
+  Assignment fast(net.num_variables());
+
+  // Check pass: deterministic work counters come from exactly this one
+  // sweep over all pins (the timing loops below run unobserved).
+  obs::MetricsRegistry work;
+  net.SetObserver(&work);
+  const bool oracle_feasible = net.num_variables() <= 12;
+  for (VarId v = 0; v < static_cast<VarId>(net.num_variables()); ++v) {
+    for (ValueId value = 0; value < net.DomainSize(v); ++value) {
+      ++result.pairs;
+      net.RecompleteInto(base, v, value, &fast).ok();
+      Assignment evidence(net.num_variables());
+      evidence.Set(v, value);
+      Assignment full = net.OptimalCompletion(evidence).value();
+      if (!(fast == full)) result.identical = false;
+      if (oracle_feasible) {
+        Assignment oracle =
+            BruteForceRecompleteFrom(net, Assignment(net.num_variables()),
+                                     v, value)
+                .value();
+        if (!(fast == oracle)) result.oracle_match = false;
+      }
+    }
+  }
+  result.rows_touched =
+      work.GetCounter("cpnet.recomplete.rows_touched")->value();
+  result.vars_skipped =
+      work.GetCounter("cpnet.recomplete.vars_skipped")->value();
+  // The caller's registry accumulates the same pass across scenarios.
+  net.SetObserver(metrics);
+  if (metrics != nullptr) {
+    for (VarId v = 0; v < static_cast<VarId>(net.num_variables()); ++v) {
+      for (ValueId value = 0; value < net.DomainSize(v); ++value) {
+        net.RecompleteInto(base, v, value, &fast).ok();
+      }
+    }
+  }
+  net.SetObserver(nullptr);  // timing loops run unobserved
+
+  double t0 = NowUs();
+  for (int rep = 0; rep < reps; ++rep) {
+    for (VarId v = 0; v < static_cast<VarId>(net.num_variables()); ++v) {
+      for (ValueId value = 0; value < net.DomainSize(v); ++value) {
+        Assignment evidence(net.num_variables());
+        evidence.Set(v, value);
+        benchmark::DoNotOptimize(net.OptimalCompletion(evidence));
+      }
+    }
+  }
+  result.baseline_us =
+      (NowUs() - t0) / (reps * static_cast<double>(result.pairs));
+  double t1 = NowUs();
+  for (int rep = 0; rep < reps; ++rep) {
+    for (VarId v = 0; v < static_cast<VarId>(net.num_variables()); ++v) {
+      for (ValueId value = 0; value < net.DomainSize(v); ++value) {
+        benchmark::DoNotOptimize(net.RecompleteInto(base, v, value, &fast));
+      }
+    }
+  }
+  result.fast_us =
+      (NowUs() - t1) / (reps * static_cast<double>(result.pairs));
+  return result;
+}
+
+std::vector<ScenarioResult> RunRecompleteAblation(
+    bool smoke, obs::MetricsRegistry* metrics) {
+  const int n = smoke ? 64 : 512;
+  const int reps = smoke ? 2 : 10;
+  Rng rng(2003);
+  std::vector<ScenarioResult> results;
+  results.push_back(
+      RunScenario("chain", MakeChainNet(n), reps, metrics));
+  results.push_back(
+      RunScenario("fanout", MakeFanOutNet(n), reps, metrics));
+  results.push_back(RunScenario(
+      "random",
+      mmconf::doc::MakeRandomCpNet(smoke ? 24 : 96, 3, 3, rng), reps,
+      metrics));
+  // Small net: every pin double-checked against exhaustive enumeration.
+  results.push_back(RunScenario(
+      "oracle", mmconf::doc::MakeRandomCpNet(10, 2, 3, rng), reps,
+      metrics));
+
+  std::printf("== CP-net recompletion: watched cone sweep vs full sweep "
+              "(%s) ==\n", smoke ? "smoke" : "full");
+  std::printf("%-10s %-6s %-7s %-12s %-12s %-14s %-12s %-9s %-10s %s\n",
+              "scenario", "vars", "pairs", "rows", "skipped",
+              "baseline(us)", "fast(us)", "speedup", "identical",
+              "oracle");
+  for (const ScenarioResult& result : results) {
+    std::printf(
+        "%-10s %-6zu %-7zu %-12llu %-12llu %-14.3f %-12.3f %-9.1f "
+        "%-10s %s\n",
+        result.name.c_str(), result.vars, result.pairs,
+        static_cast<unsigned long long>(result.rows_touched),
+        static_cast<unsigned long long>(result.vars_skipped),
+        result.baseline_us, result.fast_us, result.Speedup(),
+        result.identical ? "yes" : "NO",
+        result.oracle_match ? "yes" : "NO");
+  }
+  std::printf("\n");
+  return results;
+}
+
+bool WriteJson(const std::string& path,
+               const std::vector<ScenarioResult>& results, bool smoke) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"cpnet_recomplete\",\n"
+               "  \"smoke\": %s,\n  \"scenarios\": [\n",
+               smoke ? "true" : "false");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& result = results[i];
+    std::fprintf(
+        out,
+        "    {\"name\": \"%s\", \"vars\": %zu, \"pairs\": %zu, "
+        "\"rows_touched\": %llu, \"vars_skipped\": %llu, "
+        "\"baseline_us\": %.3f, \"fast_us\": %.3f, \"speedup\": %.2f, "
+        "\"identical\": %s, \"oracle_match\": %s}%s\n",
+        result.name.c_str(), result.vars, result.pairs,
+        static_cast<unsigned long long>(result.rows_touched),
+        static_cast<unsigned long long>(result.vars_skipped),
+        result.baseline_us, result.fast_us, result.Speedup(),
+        result.identical ? "true" : "false",
+        result.oracle_match ? "true" : "false",
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  return mmconf::bench::CloseChecked(out, path);
+}
+
 /// Full re-sweep under a single-variable pin — the "before" of the
 /// incremental re-optimization; compare against BM_RecompleteFrom* with
 /// the same shape and pin.
@@ -208,8 +398,54 @@ BENCHMARK(BM_ImprovingFlips)->Arg(32)->Arg(256);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_cpnet.json";
+  std::string metrics_path;
+  // Strip our flags before google-benchmark sees (and rejects) them.
+  std::vector<char*> passthrough = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--json_out=", 11) == 0) {
+      json_path = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--metrics_out=", 14) == 0) {
+      metrics_path = argv[i] + 14;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  // An unwritable output path should fail before the sweep, not after.
+  if (!mmconf::bench::ProbeWritable(json_path)) return 1;
+  if (!metrics_path.empty() &&
+      !mmconf::bench::ProbeWritable(metrics_path)) {
+    return 1;
+  }
+
+  mmconf::obs::MetricsRegistry registry;
+  mmconf::obs::MetricsRegistry* metrics =
+      metrics_path.empty() ? nullptr : &registry;
+
+  std::vector<ScenarioResult> results =
+      RunRecompleteAblation(smoke, metrics);
+  bool wrote = WriteJson(json_path, results, smoke);
+  if (!metrics_path.empty()) {
+    wrote = mmconf::bench::WriteFileChecked(
+                metrics_path, registry.Snapshot().ToJson()) &&
+            wrote;
+  }
+  bool checks_ok = true;
+  for (const ScenarioResult& result : results) {
+    checks_ok = checks_ok && result.identical && result.oracle_match;
+  }
+  if (smoke) {
+    // ctest perf smoke: fail when the incremental sweep disagrees with
+    // the full sweep or the oracle, or the JSON cannot be produced;
+    // timing itself is not asserted.
+    return checks_ok && wrote ? 0 : 1;
+  }
   PrintFigure2();
-  benchmark::Initialize(&argc, argv);
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return checks_ok && wrote ? 0 : 1;
 }

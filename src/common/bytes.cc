@@ -1,6 +1,8 @@
 #include "common/bytes.h"
 
 #include <array>
+#include <cstdlib>
+#include <cstring>
 
 namespace mmconf {
 
@@ -146,24 +148,175 @@ Result<Bytes> ByteReader::GetBytes() {
 
 namespace {
 
-std::array<uint32_t, 256> MakeCrcTable() {
-  std::array<uint32_t, 256> table{};
+using CrcTables = std::array<std::array<uint32_t, 256>, 8>;
+
+/// tables[0] is the classic byte-at-a-time table; tables[k] maps a byte
+/// k positions deeper into the window for slicing-by-8.
+CrcTables MakeCrcTables() {
+  CrcTables tables{};
   const uint32_t poly = 0x82f63b78;  // Castagnoli, reflected.
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t c = i;
     for (int k = 0; k < 8; ++k) c = (c & 1) ? (poly ^ (c >> 1)) : (c >> 1);
-    table[i] = c;
+    tables[0][i] = c;
   }
-  return table;
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = tables[0][i];
+    for (size_t k = 1; k < 8; ++k) {
+      c = tables[0][c & 0xff] ^ (c >> 8);
+      tables[k][i] = c;
+    }
+  }
+  return tables;
+}
+
+const CrcTables& GetCrcTables() {
+  static const CrcTables tables = MakeCrcTables();
+  return tables;
+}
+
+uint32_t Crc32cTable(const uint8_t* data, size_t n, uint32_t seed) {
+  const CrcTables& t = GetCrcTables();
+  uint32_t c = seed ^ 0xffffffffu;
+  for (size_t i = 0; i < n; ++i) c = t[0][(c ^ data[i]) & 0xff] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+uint32_t Crc32cSlice8(const uint8_t* data, size_t n, uint32_t seed) {
+  const CrcTables& t = GetCrcTables();
+  uint32_t c = seed ^ 0xffffffffu;
+  const uint8_t* p = data;
+  // Eight bytes per iteration: fold the running CRC into the first
+  // little-endian word, then look every byte up in its own table. The
+  // byte-assembled loads compile to plain 32-bit loads on little-endian
+  // targets while staying endian-correct everywhere.
+  while (n >= 8) {
+    uint32_t lo = static_cast<uint32_t>(p[0]) |
+                  static_cast<uint32_t>(p[1]) << 8 |
+                  static_cast<uint32_t>(p[2]) << 16 |
+                  static_cast<uint32_t>(p[3]) << 24;
+    uint32_t hi = static_cast<uint32_t>(p[4]) |
+                  static_cast<uint32_t>(p[5]) << 8 |
+                  static_cast<uint32_t>(p[6]) << 16 |
+                  static_cast<uint32_t>(p[7]) << 24;
+    lo ^= c;
+    c = t[7][lo & 0xff] ^ t[6][(lo >> 8) & 0xff] ^ t[5][(lo >> 16) & 0xff] ^
+        t[4][lo >> 24] ^ t[3][hi & 0xff] ^ t[2][(hi >> 8) & 0xff] ^
+        t[1][(hi >> 16) & 0xff] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  for (; n > 0; --n) c = t[0][(c ^ *p++) & 0xff] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(MMCONF_FORCE_SCALAR)
+#define MMCONF_CRC32C_HW 1
+
+__attribute__((target("sse4.2"))) uint32_t Crc32cHardware(
+    const uint8_t* data, size_t n, uint32_t seed) {
+  uint64_t c = seed ^ 0xffffffffu;
+  const uint8_t* p = data;
+  while (n >= 8) {
+    uint64_t v;
+    std::memcpy(&v, p, 8);
+    c = __builtin_ia32_crc32di(c, v);
+    p += 8;
+    n -= 8;
+  }
+  uint32_t c32 = static_cast<uint32_t>(c);
+  if (n >= 4) {
+    uint32_t v;
+    std::memcpy(&v, p, 4);
+    c32 = __builtin_ia32_crc32si(c32, v);
+    p += 4;
+    n -= 4;
+  }
+  if (n >= 2) {
+    uint16_t v;
+    std::memcpy(&v, p, 2);
+    c32 = __builtin_ia32_crc32hi(c32, v);
+    p += 2;
+    n -= 2;
+  }
+  if (n >= 1) c32 = __builtin_ia32_crc32qi(c32, *p);
+  return c32 ^ 0xffffffffu;
+}
+
+bool HardwareCrcAvailable() { return __builtin_cpu_supports("sse4.2"); }
+
+#endif  // MMCONF_CRC32C_HW
+
+using CrcFn = uint32_t (*)(const uint8_t*, size_t, uint32_t);
+
+struct CrcDispatch {
+  CrcFn fn;
+  Crc32cImpl impl;
+};
+
+/// kAuto resolves to the fastest available engine; kHardware resolves to
+/// {nullptr} when this build/CPU cannot run it.
+CrcDispatch ResolveCrc(Crc32cImpl impl) {
+  switch (impl) {
+    case Crc32cImpl::kTable:
+      return {Crc32cTable, Crc32cImpl::kTable};
+    case Crc32cImpl::kSlice8:
+      return {Crc32cSlice8, Crc32cImpl::kSlice8};
+    case Crc32cImpl::kHardware:
+#ifdef MMCONF_CRC32C_HW
+      if (HardwareCrcAvailable()) {
+        return {Crc32cHardware, Crc32cImpl::kHardware};
+      }
+#endif
+      return {nullptr, Crc32cImpl::kHardware};
+    case Crc32cImpl::kAuto:
+      break;
+  }
+#ifdef MMCONF_CRC32C_HW
+  if (HardwareCrcAvailable()) {
+    return {Crc32cHardware, Crc32cImpl::kHardware};
+  }
+#endif
+  return {Crc32cSlice8, Crc32cImpl::kSlice8};
+}
+
+/// First-use engine choice: the MMCONF_CRC32C environment variable
+/// ("table", "slice8", "hardware") overrides auto-detection — for A/B
+/// timing and for pinning the portable engine when triaging a machine.
+/// Unknown values and unavailable engines fall back to kAuto.
+CrcDispatch InitialCrcDispatch() {
+  const char* requested = std::getenv("MMCONF_CRC32C");
+  if (requested != nullptr) {
+    Crc32cImpl impl = Crc32cImpl::kAuto;
+    if (std::strcmp(requested, "table") == 0) impl = Crc32cImpl::kTable;
+    if (std::strcmp(requested, "slice8") == 0) impl = Crc32cImpl::kSlice8;
+    if (std::strcmp(requested, "hardware") == 0) {
+      impl = Crc32cImpl::kHardware;
+    }
+    CrcDispatch resolved = ResolveCrc(impl);
+    if (resolved.fn != nullptr) return resolved;
+  }
+  return ResolveCrc(Crc32cImpl::kAuto);
+}
+
+CrcDispatch& GlobalCrcDispatch() {
+  static CrcDispatch dispatch = InitialCrcDispatch();
+  return dispatch;
 }
 
 }  // namespace
 
 uint32_t Crc32c(const uint8_t* data, size_t n, uint32_t seed) {
-  static const std::array<uint32_t, 256> table = MakeCrcTable();
-  uint32_t c = seed ^ 0xffffffffu;
-  for (size_t i = 0; i < n; ++i) c = table[(c ^ data[i]) & 0xff] ^ (c >> 8);
-  return c ^ 0xffffffffu;
+  return GlobalCrcDispatch().fn(data, n, seed);
 }
+
+bool SetCrc32cImpl(Crc32cImpl impl) {
+  CrcDispatch resolved = ResolveCrc(impl);
+  if (resolved.fn == nullptr) return false;
+  GlobalCrcDispatch() = resolved;
+  return true;
+}
+
+Crc32cImpl ActiveCrc32cImpl() { return GlobalCrcDispatch().impl; }
 
 }  // namespace mmconf

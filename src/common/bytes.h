@@ -76,10 +76,33 @@ class ByteReader {
   size_t pos_ = 0;
 };
 
-/// CRC32 (Castagnoli polynomial, software table) used for BLOB page
-/// checksums and corruption detection tests.
+/// CRC32 (Castagnoli polynomial) used for WAL frames, BLOB page
+/// checksums, reliable-transport verification, and corruption detection
+/// tests. Dispatches at runtime to the fastest implementation the CPU
+/// offers (see Crc32cImpl); every implementation computes the identical
+/// checksum, so stored and on-wire values stay valid regardless of which
+/// one produced them.
 uint32_t Crc32c(const uint8_t* data, size_t n, uint32_t seed = 0);
 inline uint32_t Crc32c(const Bytes& b) { return Crc32c(b.data(), b.size()); }
+
+/// Selectable Crc32c engine. All engines produce byte-identical
+/// checksums; the choice only trades speed.
+enum class Crc32cImpl {
+  kAuto,      ///< kHardware when the CPU supports SSE4.2, else kSlice8
+  kTable,     ///< byte-at-a-time single-table software (the oracle)
+  kSlice8,    ///< slicing-by-8: eight parallel table lookups per 8 bytes
+  kHardware,  ///< SSE4.2 crc32 instruction (x86-64, runtime-detected)
+};
+
+/// Repoints Crc32c() at `impl`. Returns false — leaving the current
+/// selection unchanged — when the requested engine is unavailable
+/// (kHardware without SSE4.2 support, or in a forced-scalar build). Not
+/// synchronized: call during startup or single-threaded tests. The
+/// initial selection honors the MMCONF_CRC32C environment variable
+/// ("table", "slice8", "hardware") before falling back to kAuto.
+bool SetCrc32cImpl(Crc32cImpl impl);
+/// The engine Crc32c() currently dispatches to (never kAuto).
+Crc32cImpl ActiveCrc32cImpl();
 
 }  // namespace mmconf
 

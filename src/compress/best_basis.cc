@@ -30,36 +30,6 @@ double L1Cost(const Plane& plane) {
 
 namespace {
 
-/// One 2D analysis/synthesis step confined to the region
-/// [x0, x0+w) x [y0, y0+h) of `plane`.
-Status TransformRegion(Plane& plane, int x0, int y0, int w, int h,
-                       WaveletBasis basis, bool forward) {
-  std::vector<double> line;
-  line.resize(static_cast<size_t>(w));
-  for (int y = 0; y < h; ++y) {
-    for (int x = 0; x < w; ++x) {
-      line[static_cast<size_t>(x)] = plane.at(x0 + x, y0 + y);
-    }
-    MMCONF_RETURN_IF_ERROR(forward ? DwtStep(line, basis)
-                                   : IdwtStep(line, basis));
-    for (int x = 0; x < w; ++x) {
-      plane.at(x0 + x, y0 + y) = line[static_cast<size_t>(x)];
-    }
-  }
-  line.resize(static_cast<size_t>(h));
-  for (int x = 0; x < w; ++x) {
-    for (int y = 0; y < h; ++y) {
-      line[static_cast<size_t>(y)] = plane.at(x0 + x, y0 + y);
-    }
-    MMCONF_RETURN_IF_ERROR(forward ? DwtStep(line, basis)
-                                   : IdwtStep(line, basis));
-    for (int y = 0; y < h; ++y) {
-      plane.at(x0 + x, y0 + y) = line[static_cast<size_t>(y)];
-    }
-  }
-  return Status::OK();
-}
-
 Plane ExtractRegion(const Plane& plane, int x0, int y0, int w, int h) {
   Plane out(w, h);
   for (int y = 0; y < h; ++y) {
@@ -77,7 +47,7 @@ Result<BasisNode> Search(const Plane& tile, int depth_left,
     return node;
   }
   Plane analyzed = tile;
-  MMCONF_RETURN_IF_ERROR(TransformRegion(analyzed, 0, 0, analyzed.width,
+  MMCONF_RETURN_IF_ERROR(Transform2DRegion(analyzed, 0, 0, analyzed.width,
                                          analyzed.height, basis,
                                          /*forward=*/true));
   const int hw = tile.width / 2;
@@ -112,7 +82,7 @@ Status ApplyRegion(Plane& plane, const BasisNode& node, int x0, int y0,
   const int offsets[4][2] = {{0, 0}, {hw, 0}, {0, hh}, {hw, hh}};
   if (forward) {
     MMCONF_RETURN_IF_ERROR(
-        TransformRegion(plane, x0, y0, w, h, basis, true));
+        Transform2DRegion(plane, x0, y0, w, h, basis, true));
     for (int q = 0; q < 4; ++q) {
       MMCONF_RETURN_IF_ERROR(ApplyRegion(plane, node.children[q],
                                          x0 + offsets[q][0],
@@ -127,7 +97,7 @@ Status ApplyRegion(Plane& plane, const BasisNode& node, int x0, int y0,
                                          false));
     }
     MMCONF_RETURN_IF_ERROR(
-        TransformRegion(plane, x0, y0, w, h, basis, false));
+        Transform2DRegion(plane, x0, y0, w, h, basis, false));
   }
   return Status::OK();
 }

@@ -1,79 +1,270 @@
 #include "compress/wavelet.h"
 
 #include <cmath>
+#include <cstring>
+
+#include "obs/metrics.h"
 
 namespace mmconf::compress {
 
 namespace {
 
-struct FilterPair {
-  std::vector<double> low;
-  std::vector<double> high;
+// Filter taps as compile-time constants (17 significant digits
+// round-trip IEEE doubles exactly; WaveletTapsMatchDefiningExpressions
+// in compress_test.cc pins them bit-for-bit to the defining
+// expressions). kDaub4High follows g[k] = (-1)^k * h[3-k].
+inline constexpr double kHaarTap = 0.70710678118654746;  // 1/sqrt(2)
+inline constexpr double kDaub4Low[4] = {
+    0.4829629131445341,    // (1 + sqrt(3)) / (4 * sqrt(2))
+    0.83651630373780772,   // (3 + sqrt(3)) / (4 * sqrt(2))
+    0.22414386804201339,   // (3 - sqrt(3)) / (4 * sqrt(2))
+    -0.12940952255126034,  // (1 - sqrt(3)) / (4 * sqrt(2))
 };
 
-FilterPair FiltersFor(WaveletBasis basis) {
-  switch (basis) {
-    case WaveletBasis::kHaar: {
-      const double s = 1.0 / std::sqrt(2.0);
-      return {{s, s}, {s, -s}};
-    }
-    case WaveletBasis::kDaub4: {
-      const double s3 = std::sqrt(3.0);
-      const double norm = 4.0 * std::sqrt(2.0);
-      std::vector<double> low = {(1 + s3) / norm, (3 + s3) / norm,
-                                 (3 - s3) / norm, (1 - s3) / norm};
-      // g[k] = (-1)^k * h[L-1-k]
-      std::vector<double> high(low.size());
-      for (size_t k = 0; k < low.size(); ++k) {
-        high[k] = (k % 2 == 0 ? 1.0 : -1.0) * low[low.size() - 1 - k];
-      }
-      return {std::move(low), std::move(high)};
-    }
+// Profiling hooks (nullptr when detached): 1D line transforms, 2D region
+// passes, and the scratch arena's high-water byte count.
+obs::Counter* g_line_steps = nullptr;
+obs::Counter* g_region_passes = nullptr;
+obs::Gauge* g_scratch_bytes = nullptr;
+
+void NoteScratch(const KernelScratch& scratch) {
+  if (g_scratch_bytes != nullptr &&
+      static_cast<int64_t>(scratch.capacity_bytes()) >
+          g_scratch_bytes->value()) {
+    g_scratch_bytes->Set(static_cast<int64_t>(scratch.capacity_bytes()));
   }
-  return {};
+}
+
+// ---- 1D line kernels -------------------------------------------------
+// All operate out-of-place (in != out), length n even >= 2, periodic
+// boundary. The interior loops are flat — no modulo, no branches — and
+// the wrap-around tail is a dedicated epilogue, so the compiler can
+// vectorize the body. Accumulation order matches the original
+// filter-loop formulation term for term.
+
+void DwtLineHaar(const double* in, double* out, size_t n) {
+  const size_t half = n / 2;
+  const double s = kHaarTap;
+  for (size_t k = 0; k < half; ++k) {
+    const double x0 = in[2 * k];
+    const double x1 = in[2 * k + 1];
+    out[k] = s * x0 + s * x1;
+    out[half + k] = s * x0 - s * x1;
+  }
+}
+
+void IdwtLineHaar(const double* in, double* out, size_t n) {
+  const size_t half = n / 2;
+  const double s = kHaarTap;
+  for (size_t k = 0; k < half; ++k) {
+    const double a = in[k];
+    const double d = in[half + k];
+    out[2 * k] = s * a + s * d;
+    out[2 * k + 1] = s * a - s * d;
+  }
+}
+
+void DwtLineDaub4(const double* in, double* out, size_t n) {
+  const size_t half = n / 2;
+  const double l0 = kDaub4Low[0], l1 = kDaub4Low[1], l2 = kDaub4Low[2],
+               l3 = kDaub4Low[3];
+  const double g0 = l3, g1 = -l2, g2 = l1, g3 = -l0;
+  // Interior: windows [2k, 2k+3] that stay inside the signal.
+  for (size_t k = 0; k + 1 < half; ++k) {
+    const double x0 = in[2 * k];
+    const double x1 = in[2 * k + 1];
+    const double x2 = in[2 * k + 2];
+    const double x3 = in[2 * k + 3];
+    out[k] = l0 * x0 + l1 * x1 + l2 * x2 + l3 * x3;
+    out[half + k] = g0 * x0 + g1 * x1 + g2 * x2 + g3 * x3;
+  }
+  // Boundary: the last window wraps to the first two samples.
+  const double x0 = in[n - 2];
+  const double x1 = in[n - 1];
+  const double x2 = in[0];
+  const double x3 = in[1];
+  out[half - 1] = l0 * x0 + l1 * x1 + l2 * x2 + l3 * x3;
+  out[n - 1] = g0 * x0 + g1 * x1 + g2 * x2 + g3 * x3;
+}
+
+void IdwtLineDaub4(const double* in, double* out, size_t n) {
+  const size_t half = n / 2;
+  const double l0 = kDaub4Low[0], l1 = kDaub4Low[1], l2 = kDaub4Low[2],
+               l3 = kDaub4Low[3];
+  const double g0 = l3, g1 = -l2, g2 = l1, g3 = -l0;
+  // Each output sample receives exactly two filter contributions; the
+  // first pass writes the m ∈ {0,1} terms, the second accumulates the
+  // m ∈ {2,3} terms shifted down one window (wrapping at the boundary).
+  for (size_t k = 0; k < half; ++k) {
+    const double a = in[k];
+    const double d = in[half + k];
+    out[2 * k] = l0 * a + g0 * d;
+    out[2 * k + 1] = l1 * a + g1 * d;
+  }
+  for (size_t k = 0; k + 1 < half; ++k) {
+    const double a = in[k];
+    const double d = in[half + k];
+    out[2 * k + 2] += l2 * a + g2 * d;
+    out[2 * k + 3] += l3 * a + g3 * d;
+  }
+  const double a = in[half - 1];
+  const double d = in[n - 1];
+  out[0] += l2 * a + g2 * d;
+  out[1] += l3 * a + g3 * d;
+}
+
+void TransformLine(const double* in, double* out, size_t n,
+                   WaveletBasis basis, bool forward) {
+  if (basis == WaveletBasis::kHaar) {
+    forward ? DwtLineHaar(in, out, n) : IdwtLineHaar(in, out, n);
+  } else {
+    forward ? DwtLineDaub4(in, out, n) : IdwtLineDaub4(in, out, n);
+  }
+  if (g_line_steps != nullptr) g_line_steps->Add(1);
+}
+
+Status CheckLineLength(size_t n, bool forward) {
+  if (n < 2 || n % 2 != 0) {
+    if (forward) {
+      return Status::InvalidArgument(
+          "DWT step needs even length >= 2, got " + std::to_string(n));
+    }
+    return Status::InvalidArgument("IDWT step needs even length >= 2");
+  }
+  return Status::OK();
 }
 
 }  // namespace
 
+KernelScratch& ThreadKernelScratch() {
+  thread_local KernelScratch scratch;
+  return scratch;
+}
+
 Status DwtStep(std::vector<double>& signal, WaveletBasis basis) {
-  const size_t n = signal.size();
-  if (n < 2 || n % 2 != 0) {
-    return Status::InvalidArgument("DWT step needs even length >= 2, got " +
-                                   std::to_string(n));
-  }
-  FilterPair filters = FiltersFor(basis);
-  const size_t half = n / 2;
-  std::vector<double> out(n);
-  for (size_t k = 0; k < half; ++k) {
-    double a = 0, d = 0;
-    for (size_t m = 0; m < filters.low.size(); ++m) {
-      double x = signal[(2 * k + m) % n];
-      a += filters.low[m] * x;
-      d += filters.high[m] * x;
-    }
-    out[k] = a;
-    out[half + k] = d;
-  }
-  signal = std::move(out);
+  MMCONF_RETURN_IF_ERROR(CheckLineLength(signal.size(), /*forward=*/true));
+  KernelScratch& scratch = ThreadKernelScratch();
+  double* out = scratch.Line(signal.size());
+  TransformLine(signal.data(), out, signal.size(), basis, /*forward=*/true);
+  std::memcpy(signal.data(), out, signal.size() * sizeof(double));
+  NoteScratch(scratch);
   return Status::OK();
 }
 
 Status IdwtStep(std::vector<double>& signal, WaveletBasis basis) {
-  const size_t n = signal.size();
-  if (n < 2 || n % 2 != 0) {
-    return Status::InvalidArgument("IDWT step needs even length >= 2");
+  MMCONF_RETURN_IF_ERROR(CheckLineLength(signal.size(), /*forward=*/false));
+  KernelScratch& scratch = ThreadKernelScratch();
+  double* out = scratch.Line(signal.size());
+  TransformLine(signal.data(), out, signal.size(), basis,
+                /*forward=*/false);
+  std::memcpy(signal.data(), out, signal.size() * sizeof(double));
+  NoteScratch(scratch);
+  return Status::OK();
+}
+
+Status Transform2DRegion(Plane& plane, int x0, int y0, int w, int h,
+                         WaveletBasis basis, bool forward) {
+  if (w < 2 || h < 2 || w % 2 != 0 || h % 2 != 0) {
+    return Status::InvalidArgument(
+        "2D transform region needs even dimensions >= 2, got " +
+        std::to_string(w) + "x" + std::to_string(h));
   }
-  FilterPair filters = FiltersFor(basis);
-  const size_t half = n / 2;
-  std::vector<double> out(n, 0.0);
-  for (size_t k = 0; k < half; ++k) {
-    for (size_t m = 0; m < filters.low.size(); ++m) {
-      size_t idx = (2 * k + m) % n;
-      out[idx] += filters.low[m] * signal[k] +
-                  filters.high[m] * signal[half + k];
+  if (x0 < 0 || y0 < 0 || x0 + w > plane.width || y0 + h > plane.height) {
+    return Status::InvalidArgument("transform region outside plane");
+  }
+  KernelScratch& scratch = ThreadKernelScratch();
+  // Rows are contiguous in the plane: transform each span into line
+  // scratch and copy back.
+  double* line = scratch.Line(static_cast<size_t>(w));
+  for (int y = 0; y < h; ++y) {
+    double* row = &plane.at(x0, y0 + y);
+    TransformLine(row, line, static_cast<size_t>(w), basis, forward);
+    std::memcpy(row, line, static_cast<size_t>(w) * sizeof(double));
+  }
+  // Columns: instead of gathering one strided column at a time, combine
+  // whole rows so every inner loop runs unit-stride over x across all w
+  // columns at once (per-element arithmetic identical to the 1D line
+  // kernels). Results build up in block scratch, then land back in the
+  // region in one pass.
+  const size_t sw = static_cast<size_t>(w);
+  double* block = scratch.Block(sw * static_cast<size_t>(h));
+  const auto row_in = [&](int yy) -> const double* {
+    return &plane.at(x0, y0 + yy);
+  };
+  const auto row_out = [&](int yy) -> double* {
+    return block + static_cast<size_t>(yy) * sw;
+  };
+  const int half = h / 2;
+  if (basis == WaveletBasis::kHaar) {
+    const double s = kHaarTap;
+    for (int k = 0; k < half; ++k) {
+      const double* r0 = row_in(forward ? 2 * k : k);
+      const double* r1 = row_in(forward ? 2 * k + 1 : half + k);
+      double* o0 = row_out(forward ? k : 2 * k);
+      double* o1 = row_out(forward ? half + k : 2 * k + 1);
+      // Analysis and synthesis share the butterfly; only the row
+      // pairing above differs.
+      for (int x = 0; x < w; ++x) {
+        o0[x] = s * r0[x] + s * r1[x];
+        o1[x] = s * r0[x] - s * r1[x];
+      }
+    }
+  } else if (forward) {
+    const double l0 = kDaub4Low[0], l1 = kDaub4Low[1], l2 = kDaub4Low[2],
+                 l3 = kDaub4Low[3];
+    const double g0 = l3, g1 = -l2, g2 = l1, g3 = -l0;
+    for (int k = 0; k < half; ++k) {
+      const double* r0 = row_in(2 * k);
+      const double* r1 = row_in(2 * k + 1);
+      // The wrap only affects which rows feed the window — resolved out
+      // here, never inside the x loop.
+      const double* r2 = row_in((2 * k + 2) % h);
+      const double* r3 = row_in((2 * k + 3) % h);
+      double* oa = row_out(k);
+      double* od = row_out(half + k);
+      for (int x = 0; x < w; ++x) {
+        oa[x] = l0 * r0[x] + l1 * r1[x] + l2 * r2[x] + l3 * r3[x];
+        od[x] = g0 * r0[x] + g1 * r1[x] + g2 * r2[x] + g3 * r3[x];
+      }
+    }
+  } else {
+    const double l0 = kDaub4Low[0], l1 = kDaub4Low[1], l2 = kDaub4Low[2],
+                 l3 = kDaub4Low[3];
+    const double g0 = l3, g1 = -l2, g2 = l1, g3 = -l0;
+    for (int k = 0; k < half; ++k) {
+      const double* a = row_in(k);
+      const double* d = row_in(half + k);
+      double* o0 = row_out(2 * k);
+      double* o1 = row_out(2 * k + 1);
+      for (int x = 0; x < w; ++x) {
+        o0[x] = l0 * a[x] + g0 * d[x];
+        o1[x] = l1 * a[x] + g1 * d[x];
+      }
+    }
+    for (int k = 0; k + 1 < half; ++k) {
+      const double* a = row_in(k);
+      const double* d = row_in(half + k);
+      double* o2 = row_out(2 * k + 2);
+      double* o3 = row_out(2 * k + 3);
+      for (int x = 0; x < w; ++x) {
+        o2[x] += l2 * a[x] + g2 * d[x];
+        o3[x] += l3 * a[x] + g3 * d[x];
+      }
+    }
+    const double* a = row_in(half - 1);
+    const double* d = row_in(h - 1);
+    double* o0 = row_out(0);
+    double* o1 = row_out(1);
+    for (int x = 0; x < w; ++x) {
+      o0[x] += l2 * a[x] + g2 * d[x];
+      o1[x] += l3 * a[x] + g3 * d[x];
     }
   }
-  signal = std::move(out);
+  for (int yy = 0; yy < h; ++yy) {
+    std::memcpy(&plane.at(x0, y0 + yy), row_out(yy), sw * sizeof(double));
+  }
+  if (g_region_passes != nullptr) g_region_passes->Add(1);
+  NoteScratch(scratch);
   return Status::OK();
 }
 
@@ -87,31 +278,6 @@ int MaxDwtLevels(int width, int height) {
   return levels;
 }
 
-namespace {
-
-Status Transform2DLevel(Plane& plane, int w, int h, WaveletBasis basis,
-                        bool forward) {
-  // Rows.
-  std::vector<double> row(static_cast<size_t>(w));
-  for (int y = 0; y < h; ++y) {
-    for (int x = 0; x < w; ++x) row[static_cast<size_t>(x)] = plane.at(x, y);
-    MMCONF_RETURN_IF_ERROR(forward ? DwtStep(row, basis)
-                                   : IdwtStep(row, basis));
-    for (int x = 0; x < w; ++x) plane.at(x, y) = row[static_cast<size_t>(x)];
-  }
-  // Columns.
-  std::vector<double> col(static_cast<size_t>(h));
-  for (int x = 0; x < w; ++x) {
-    for (int y = 0; y < h; ++y) col[static_cast<size_t>(y)] = plane.at(x, y);
-    MMCONF_RETURN_IF_ERROR(forward ? DwtStep(col, basis)
-                                   : IdwtStep(col, basis));
-    for (int y = 0; y < h; ++y) plane.at(x, y) = col[static_cast<size_t>(y)];
-  }
-  return Status::OK();
-}
-
-}  // namespace
-
 Status Dwt2D(Plane& plane, int levels, WaveletBasis basis) {
   if (levels < 0 || levels > MaxDwtLevels(plane.width, plane.height)) {
     return Status::InvalidArgument(
@@ -121,7 +287,7 @@ Status Dwt2D(Plane& plane, int levels, WaveletBasis basis) {
   int w = plane.width, h = plane.height;
   for (int level = 0; level < levels; ++level) {
     MMCONF_RETURN_IF_ERROR(
-        Transform2DLevel(plane, w, h, basis, /*forward=*/true));
+        Transform2DRegion(plane, 0, 0, w, h, basis, /*forward=*/true));
     w /= 2;
     h /= 2;
   }
@@ -136,7 +302,7 @@ Status Idwt2D(Plane& plane, int levels, WaveletBasis basis) {
     int w = plane.width >> level;
     int h = plane.height >> level;
     MMCONF_RETURN_IF_ERROR(
-        Transform2DLevel(plane, w, h, basis, /*forward=*/false));
+        Transform2DRegion(plane, 0, 0, w, h, basis, /*forward=*/false));
   }
   return Status::OK();
 }
@@ -158,6 +324,18 @@ Result<Plane> ReconstructAtScale(const Plane& analyzed, int levels,
   double scale = std::pow(2.0, -scale_log2);
   for (double& v : sub.data) v *= scale;
   return sub;
+}
+
+void SetKernelObserver(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    g_line_steps = nullptr;
+    g_region_passes = nullptr;
+    g_scratch_bytes = nullptr;
+    return;
+  }
+  g_line_steps = metrics->GetCounter("compress.kernel.line_steps");
+  g_region_passes = metrics->GetCounter("compress.kernel.region_passes");
+  g_scratch_bytes = metrics->GetGauge("compress.kernel.scratch_bytes");
 }
 
 }  // namespace mmconf::compress

@@ -1,11 +1,16 @@
 #ifndef MMCONF_COMPRESS_WAVELET_H_
 #define MMCONF_COMPRESS_WAVELET_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
 #include "compress/plane.h"
+
+namespace mmconf::obs {
+class MetricsRegistry;
+}  // namespace mmconf::obs
 
 namespace mmconf::compress {
 
@@ -15,11 +20,54 @@ enum class WaveletBasis : uint8_t {
   kDaub4 = 1,
 };
 
+/// Reusable scratch arena for the transform kernels: two growable double
+/// buffers (a line and a block) that are requested per call and never
+/// shrink, so steady-state transforms perform zero heap allocation. The
+/// kernels keep one per thread (see ThreadKernelScratch); Line/Block
+/// return pointers that stay valid until the next request of the same
+/// buffer.
+class KernelScratch {
+ public:
+  /// At least `n` doubles of line scratch (1D transforms, row passes).
+  double* Line(size_t n) {
+    if (line_.size() < n) line_.resize(n);
+    return line_.data();
+  }
+  /// At least `n` doubles of block scratch (vectorized column passes).
+  double* Block(size_t n) {
+    if (block_.size() < n) block_.resize(n);
+    return block_.data();
+  }
+  size_t capacity_bytes() const {
+    return (line_.capacity() + block_.capacity()) * sizeof(double);
+  }
+
+ private:
+  std::vector<double> line_;
+  std::vector<double> block_;
+};
+
+/// The calling thread's kernel scratch arena. All transforms below draw
+/// from it, so a warmed-up thread transforms without touching the heap.
+KernelScratch& ThreadKernelScratch();
+
 /// One-level 1D analysis with periodic boundary handling: `signal` (even
-/// length) becomes [approx | detail], each of half length.
+/// length) becomes [approx | detail], each of half length. Filter taps
+/// live in fixed static tables and the periodic wrap is handled by a
+/// dedicated boundary iteration, so the interior loop is flat
+/// (autovectorizable, no `% n`, no per-call allocation).
 Status DwtStep(std::vector<double>& signal, WaveletBasis basis);
 /// Inverse of DwtStep.
 Status IdwtStep(std::vector<double>& signal, WaveletBasis basis);
+
+/// One 2D analysis (forward) or synthesis step confined to the region
+/// [x0, x0+w) x [y0, y0+h) of `plane`: rows first, then columns, periodic
+/// within the region — the shared kernel behind Dwt2D, the wavelet-packet
+/// tiling, and the best-basis recursion. The column pass processes all
+/// `w` columns simultaneously with unit-stride inner loops over x.
+/// Requires even w, h >= 2 and the region inside the plane.
+Status Transform2DRegion(Plane& plane, int x0, int y0, int w, int h,
+                         WaveletBasis basis, bool forward);
 
 /// Maximum number of 2D DWT levels applicable to a width x height plane
 /// (each level requires both current dimensions to be even).
@@ -40,6 +88,12 @@ Status Idwt2D(Plane& plane, int levels, WaveletBasis basis);
 /// synthesize a faithful thumbnail from the coefficient prefix.
 Result<Plane> ReconstructAtScale(const Plane& analyzed, int levels,
                                  int scale_log2, WaveletBasis basis);
+
+/// Wires the codec kernel profiling counters (compress.kernel.*: 1D line
+/// transforms, 2D region passes, scratch high-water bytes) into
+/// `metrics`; pass nullptr to detach. Process-wide, like the kernels
+/// themselves.
+void SetKernelObserver(obs::MetricsRegistry* metrics);
 
 }  // namespace mmconf::compress
 

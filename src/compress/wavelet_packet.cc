@@ -9,36 +9,13 @@ int MaxPacketDepth(int width, int height) { return MaxDwtLevels(width, height); 
 namespace {
 
 /// Applies one analysis/synthesis step to every (tw x th) tile of the
-/// plane.
+/// plane via the shared allocation-free region kernel.
 Status TransformTiles(Plane& plane, int tw, int th, WaveletBasis basis,
                       bool forward) {
-  std::vector<double> line;
   for (int ty = 0; ty < plane.height; ty += th) {
     for (int tx = 0; tx < plane.width; tx += tw) {
-      // Rows of the tile.
-      line.resize(static_cast<size_t>(tw));
-      for (int y = 0; y < th; ++y) {
-        for (int x = 0; x < tw; ++x) {
-          line[static_cast<size_t>(x)] = plane.at(tx + x, ty + y);
-        }
-        MMCONF_RETURN_IF_ERROR(forward ? DwtStep(line, basis)
-                                       : IdwtStep(line, basis));
-        for (int x = 0; x < tw; ++x) {
-          plane.at(tx + x, ty + y) = line[static_cast<size_t>(x)];
-        }
-      }
-      // Columns of the tile.
-      line.resize(static_cast<size_t>(th));
-      for (int x = 0; x < tw; ++x) {
-        for (int y = 0; y < th; ++y) {
-          line[static_cast<size_t>(y)] = plane.at(tx + x, ty + y);
-        }
-        MMCONF_RETURN_IF_ERROR(forward ? DwtStep(line, basis)
-                                       : IdwtStep(line, basis));
-        for (int y = 0; y < th; ++y) {
-          plane.at(tx + x, ty + y) = line[static_cast<size_t>(y)];
-        }
-      }
+      MMCONF_RETURN_IF_ERROR(
+          Transform2DRegion(plane, tx, ty, tw, th, basis, forward));
     }
   }
   return Status::OK();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.h"
+
 namespace mmconf::cpnet {
 
 VarId CpNet::AddVariable(std::string name,
@@ -78,7 +80,7 @@ Status CpNet::Validate() {
   for (size_t v = 0; v < n; ++v) {
     if (in_degree[v] == 0) frontier.push_back(static_cast<VarId>(v));
   }
-  // Children adjacency.
+  // Children adjacency (build-side; flattened into the arena below).
   std::vector<std::vector<VarId>> children(n);
   for (size_t v = 0; v < n; ++v) {
     for (VarId p : variables_[v].parents) {
@@ -110,19 +112,64 @@ Status CpNet::Validate() {
     }
   }
   topo_order_ = std::move(order);
-  children_ = std::move(children);
 
-  // Mixed-radix parent strides: the CPT row of v under an outcome is
-  // sum_i strides[i] * outcome[parents[i]], matching Cpt::RowIndex (first
-  // parent most significant).
-  parent_strides_.assign(n, {});
+  // ---- Arena compilation ----------------------------------------------
+  // From here on everything is known-good; build the index-addressed
+  // records and the shared pools the query methods run on.
+  recs_.assign(n, VarRec{});
+  parent_pool_.clear();
+  children_pool_.clear();
+  cone_pool_.clear();
+  rankings_pool_.clear();
+
+  size_t total_parents = 0;
+  size_t total_rankings = 0;
   for (size_t v = 0; v < n; ++v) {
-    const std::vector<VarId>& parents = variables_[v].parents;
-    std::vector<size_t>& strides = parent_strides_[v];
-    strides.assign(parents.size(), 1);
-    for (size_t i = parents.size(); i-- > 1;) {
-      strides[i - 1] =
-          strides[i] * static_cast<size_t>(DomainSize(parents[i]));
+    total_parents += variables_[v].parents.size();
+    total_rankings += variables_[v].cpt.num_rows() *
+                      static_cast<size_t>(variables_[v].cpt.domain_size());
+  }
+  parent_pool_.reserve(total_parents);
+  children_pool_.reserve(total_parents);  // one child slot per arc
+  rankings_pool_.reserve(total_rankings);
+
+  for (size_t v = 0; v < n; ++v) {
+    const Variable& var = variables_[v];
+    VarRec& rec = recs_[v];
+    rec.domain = static_cast<int32_t>(var.value_names.size());
+
+    // Parent arcs with mixed-radix strides: the CPT row of v under an
+    // outcome is sum_i stride[i] * outcome[parents[i]], matching
+    // Cpt::RowIndex (first parent most significant). The parent's domain
+    // rides along so value range checks never leave this cache line.
+    rec.parents_off = static_cast<uint32_t>(parent_pool_.size());
+    rec.parents_len = static_cast<uint32_t>(var.parents.size());
+    size_t stride = 1;
+    const size_t first_arc = parent_pool_.size();
+    for (VarId p : var.parents) {
+      ParentArc arc;
+      arc.parent = p;
+      arc.domain = static_cast<int32_t>(DomainSize(p));
+      parent_pool_.push_back(arc);
+    }
+    for (size_t i = var.parents.size(); i-- > 0;) {
+      parent_pool_[first_arc + i].stride = stride;
+      stride *= static_cast<size_t>(parent_pool_[first_arc + i].domain);
+    }
+
+    rec.children_off = static_cast<uint32_t>(children_pool_.size());
+    rec.children_len = static_cast<uint32_t>(children[v].size());
+    children_pool_.insert(children_pool_.end(), children[v].begin(),
+                          children[v].end());
+
+    // CPT rows, best value first: row r of v is the domain-long slice at
+    // rankings_pool_[rows_off + r * domain].
+    rec.rows_off = rankings_pool_.size();
+    rec.num_rows = var.cpt.num_rows();
+    for (size_t row = 0; row < rec.num_rows; ++row) {
+      const PreferenceRanking* ranking = var.cpt.RankingOrNull(row);
+      rankings_pool_.insert(rankings_pool_.end(), ranking->begin(),
+                            ranking->end());
     }
   }
 
@@ -132,9 +179,9 @@ Status CpNet::Validate() {
   for (size_t i = 0; i < n; ++i) {
     topo_pos[static_cast<size_t>(topo_order_[i])] = i;
   }
-  descendant_cone_.assign(n, {});
   std::vector<char> reached(n);
   std::vector<VarId> stack;
+  std::vector<VarId> cone;
   for (size_t v = 0; v < n; ++v) {
     std::fill(reached.begin(), reached.end(), 0);
     stack.assign(1, static_cast<VarId>(v));
@@ -142,14 +189,16 @@ Status CpNet::Validate() {
     while (!stack.empty()) {
       VarId at = stack.back();
       stack.pop_back();
-      for (VarId c : children_[static_cast<size_t>(at)]) {
+      const VarRec& at_rec = recs_[static_cast<size_t>(at)];
+      for (uint32_t i = 0; i < at_rec.children_len; ++i) {
+        VarId c = children_pool_[at_rec.children_off + i];
         if (!reached[static_cast<size_t>(c)]) {
           reached[static_cast<size_t>(c)] = 1;
           stack.push_back(c);
         }
       }
     }
-    std::vector<VarId>& cone = descendant_cone_[v];
+    cone.clear();
     for (size_t c = 0; c < n; ++c) {
       if (reached[c]) cone.push_back(static_cast<VarId>(c));
     }
@@ -157,6 +206,9 @@ Status CpNet::Validate() {
       return topo_pos[static_cast<size_t>(a)] <
              topo_pos[static_cast<size_t>(b)];
     });
+    recs_[v].cone_off = static_cast<uint32_t>(cone_pool_.size());
+    recs_[v].cone_len = static_cast<uint32_t>(cone.size());
+    cone_pool_.insert(cone_pool_.end(), cone.begin(), cone.end());
   }
 
   validated_ = true;
@@ -188,7 +240,12 @@ const std::vector<VarId>& CpNet::Parents(VarId v) const {
 }
 
 std::vector<VarId> CpNet::Children(VarId v) const {
-  if (validated_) return children_[static_cast<size_t>(v)];
+  if (validated_) {
+    const VarRec& rec = recs_[static_cast<size_t>(v)];
+    return std::vector<VarId>(
+        children_pool_.begin() + rec.children_off,
+        children_pool_.begin() + rec.children_off + rec.children_len);
+  }
   std::vector<VarId> children;
   for (size_t c = 0; c < variables_.size(); ++c) {
     const std::vector<VarId>& parents = variables_[c].parents;
@@ -199,8 +256,10 @@ std::vector<VarId> CpNet::Children(VarId v) const {
   return children;
 }
 
-const std::vector<VarId>& CpNet::DescendantCone(VarId v) const {
-  return descendant_cone_[static_cast<size_t>(v)];
+std::span<const VarId> CpNet::DescendantCone(VarId v) const {
+  if (!validated_) return {};
+  const VarRec& rec = recs_[static_cast<size_t>(v)];
+  return {cone_pool_.data() + rec.cone_off, rec.cone_len};
 }
 
 const Cpt& CpNet::CptOf(VarId v) const {
@@ -242,22 +301,22 @@ Result<size_t> CpNet::RowFor(VarId v, const Assignment& outcome) const {
   MMCONF_RETURN_IF_ERROR(CheckVar(v));
   const Variable& var = variables_[static_cast<size_t>(v)];
   if (validated_) {
-    // Hot path: the cached strides turn the row lookup into a dot
+    // Hot path: the flat parent arcs turn the row lookup into a dot
     // product over the outcome — no temporary parent-value vector and no
     // message construction unless a lookup actually fails.
-    const std::vector<size_t>& strides =
-        parent_strides_[static_cast<size_t>(v)];
+    const VarRec& rec = recs_[static_cast<size_t>(v)];
+    const ParentArc* arcs = parent_pool_.data() + rec.parents_off;
     size_t row = 0;
-    for (size_t i = 0; i < var.parents.size(); ++i) {
-      VarId p = var.parents[i];
-      if (static_cast<size_t>(p) >= outcome.size()) {
-        return RowForError(v, p, kUnassigned);
+    for (uint32_t i = 0; i < rec.parents_len; ++i) {
+      const ParentArc& arc = arcs[i];
+      if (static_cast<size_t>(arc.parent) >= outcome.size()) {
+        return RowForError(v, arc.parent, kUnassigned);
       }
-      ValueId value = outcome.Get(p);
-      if (value < 0 || value >= DomainSize(p)) {
-        return RowForError(v, p, value);
+      ValueId value = outcome.Get(arc.parent);
+      if (value < 0 || value >= arc.domain) {
+        return RowForError(v, arc.parent, value);
       }
-      row += strides[i] * static_cast<size_t>(value);
+      row += arc.stride * static_cast<size_t>(value);
     }
     return row;
   }
@@ -287,20 +346,34 @@ Result<Assignment> CpNet::OptimalCompletion(
         " variables, network has " + std::to_string(variables_.size()));
   }
   Assignment outcome = evidence;
+  uint64_t rows_swept = 0;
   for (VarId v : topo_order_) {
+    const VarRec& rec = recs_[static_cast<size_t>(v)];
     ValueId fixed = evidence.Get(v);
     if (fixed != kUnassigned) {
-      if (fixed < 0 || fixed >= DomainSize(v)) {
+      if (fixed < 0 || fixed >= rec.domain) {
         return Status::OutOfRange("evidence value " + std::to_string(fixed) +
                                   " outside domain of \"" + VariableName(v) +
                                   "\"");
       }
       continue;  // Viewer's explicit choice is frozen.
     }
-    MMCONF_ASSIGN_OR_RETURN(size_t row, RowFor(v, outcome));
-    MMCONF_ASSIGN_OR_RETURN(
-        ValueId best, variables_[static_cast<size_t>(v)].cpt.BestValue(row));
-    outcome.Set(v, best);
+    // Parents precede v in topo order, so their outcome values were
+    // either swept (in range by construction) or frozen evidence that the
+    // check above already validated — the row needs no range checks.
+    const ParentArc* arcs = parent_pool_.data() + rec.parents_off;
+    size_t row = 0;
+    for (uint32_t i = 0; i < rec.parents_len; ++i) {
+      row += arcs[i].stride * static_cast<size_t>(outcome.Get(arcs[i].parent));
+    }
+    outcome.Set(
+        v, rankings_pool_[rec.rows_off +
+                          row * static_cast<size_t>(rec.domain)]);
+    ++rows_swept;
+  }
+  if (m_sweep_calls_ != nullptr) {
+    m_sweep_calls_->Add(1);
+    m_sweep_rows_->Add(rows_swept);
   }
   return outcome;
 }
@@ -319,19 +392,61 @@ Status CpNet::RecompleteInto(const Assignment& base_outcome, VarId pinned,
     return Status::InvalidArgument(
         "base outcome must be a full assignment over the network");
   }
-  if (value < 0 || value >= DomainSize(pinned)) {
+  const VarRec& pin_rec = recs_[static_cast<size_t>(pinned)];
+  if (value < 0 || value >= pin_rec.domain) {
     return Status::OutOfRange("value " + std::to_string(value) +
                               " outside domain of \"" +
                               VariableName(pinned) + "\"");
   }
   *out = base_outcome;  // Reuses out's storage when already sized.
   out->Set(pinned, value);
-  for (VarId v : descendant_cone_[static_cast<size_t>(pinned)]) {
-    if (v == pinned) continue;  // The newly pinned choice is frozen.
-    MMCONF_ASSIGN_OR_RETURN(size_t row, RowFor(v, *out));
-    MMCONF_ASSIGN_OR_RETURN(
-        ValueId best, variables_[static_cast<size_t>(v)].cpt.BestValue(row));
-    out->Set(v, best);
+  uint64_t rows_touched = 0;
+  uint64_t skipped = 0;
+  if (value != base_outcome.Get(pinned)) {
+    // Watched-style sweep over the pinned variable's descendant cone (in
+    // topological order, the pin itself first). A variable re-ranks only
+    // when some parent's value differs from the watched base assignment;
+    // since changed parents are themselves cone members settled earlier
+    // (or the pin), the dirty test needs nothing beyond comparing the two
+    // assignments — no allocation, no visited set. A pin whose effect
+    // dies out leaves the rest of the cone untouched.
+    const VarId* cone = cone_pool_.data() + pin_rec.cone_off;
+    for (uint32_t ci = 0; ci < pin_rec.cone_len; ++ci) {
+      VarId v = cone[ci];
+      if (v == pinned) continue;  // The newly pinned choice is frozen.
+      const VarRec& rec = recs_[static_cast<size_t>(v)];
+      const ParentArc* arcs = parent_pool_.data() + rec.parents_off;
+      size_t row = 0;
+      bool dirty = false;
+      for (uint32_t i = 0; i < rec.parents_len; ++i) {
+        const ParentArc& arc = arcs[i];
+        ValueId pv = out->Get(arc.parent);
+        dirty |= pv != base_outcome.Get(arc.parent);
+        if (pv < 0 || pv >= arc.domain) {
+          return RowForError(v, arc.parent, pv);
+        }
+        row += arc.stride * static_cast<size_t>(pv);
+      }
+      if (!dirty) {
+        ++skipped;
+        continue;  // Same row as the base sweep -> same best value.
+      }
+      out->Set(
+          v, rankings_pool_[rec.rows_off +
+                            row * static_cast<size_t>(rec.domain)]);
+      ++rows_touched;
+    }
+  } else {
+    // Pinning the value the base already carries changes nothing: the
+    // base sweep would reproduce itself. skipped counts the cone suffix
+    // the watch spared us.
+    skipped = pin_rec.cone_len > 0 ? pin_rec.cone_len - 1 : 0;
+  }
+  if (m_recomplete_calls_ != nullptr) {
+    m_recomplete_calls_->Add(1);
+    m_recomplete_cone_->Add(pin_rec.cone_len);
+    m_recomplete_rows_->Add(rows_touched);
+    m_recomplete_skipped_->Add(skipped);
   }
   return Status::OK();
 }
@@ -347,6 +462,11 @@ Result<ValueId> CpNet::PreferredValue(VarId v,
                                       const Assignment& outcome) const {
   MMCONF_RETURN_IF_ERROR(CheckVar(v));
   MMCONF_ASSIGN_OR_RETURN(size_t row, RowFor(v, outcome));
+  if (validated_) {
+    const VarRec& rec = recs_[static_cast<size_t>(v)];
+    return rankings_pool_[rec.rows_off +
+                          row * static_cast<size_t>(rec.domain)];
+  }
   return variables_[static_cast<size_t>(v)].cpt.BestValue(row);
 }
 
@@ -360,25 +480,32 @@ Result<std::vector<Flip>> CpNet::ImprovingFlips(
   }
   std::vector<Flip> flips;
   for (size_t v = 0; v < variables_.size(); ++v) {
-    MMCONF_ASSIGN_OR_RETURN(size_t row,
-                            RowFor(static_cast<VarId>(v), outcome));
-    const Cpt& cpt = variables_[v].cpt;
-    // Walk the ranking in place (no copy): everything ranked above the
-    // current value is an improving flip.
-    const PreferenceRanking* ranking = cpt.RankingOrNull(row);
-    if (ranking == nullptr) {
-      return Status::FailedPrecondition(
-          "CPT row of \"" + variables_[v].name + "\" has no ranking");
+    const VarRec& rec = recs_[v];
+    const ParentArc* arcs = parent_pool_.data() + rec.parents_off;
+    size_t row = 0;
+    for (uint32_t i = 0; i < rec.parents_len; ++i) {
+      const ParentArc& arc = arcs[i];
+      ValueId pv = outcome.Get(arc.parent);
+      if (pv < 0 || pv >= arc.domain) {
+        return RowForError(static_cast<VarId>(v), arc.parent, pv);
+      }
+      row += arc.stride * static_cast<size_t>(pv);
     }
+    // Walk the row's ranking in place: everything ranked above the
+    // current value is an improving flip.
+    const ValueId* ranking =
+        rankings_pool_.data() + rec.rows_off +
+        row * static_cast<size_t>(rec.domain);
     ValueId current = outcome.Get(static_cast<VarId>(v));
+    const size_t domain = static_cast<size_t>(rec.domain);
     size_t rank = 0;
-    while (rank < ranking->size() && (*ranking)[rank] != current) ++rank;
-    if (rank == ranking->size()) {
+    while (rank < domain && ranking[rank] != current) ++rank;
+    if (rank == domain) {
       return Status::InvalidArgument("value " + std::to_string(current) +
                                      " not in domain");
     }
     for (size_t r = 0; r < rank; ++r) {
-      flips.push_back({static_cast<VarId>(v), (*ranking)[r]});
+      flips.push_back({static_cast<VarId>(v), ranking[r]});
     }
   }
   return flips;
@@ -387,6 +514,25 @@ Result<std::vector<Flip>> CpNet::ImprovingFlips(
 Result<bool> CpNet::IsOptimal(const Assignment& outcome) const {
   MMCONF_ASSIGN_OR_RETURN(std::vector<Flip> flips, ImprovingFlips(outcome));
   return flips.empty();
+}
+
+void CpNet::SetObserver(obs::MetricsRegistry* metrics) const {
+  if (metrics == nullptr) {
+    m_sweep_calls_ = nullptr;
+    m_sweep_rows_ = nullptr;
+    m_recomplete_calls_ = nullptr;
+    m_recomplete_cone_ = nullptr;
+    m_recomplete_rows_ = nullptr;
+    m_recomplete_skipped_ = nullptr;
+    return;
+  }
+  m_sweep_calls_ = metrics->GetCounter("cpnet.sweep.calls");
+  m_sweep_rows_ = metrics->GetCounter("cpnet.sweep.rows");
+  m_recomplete_calls_ = metrics->GetCounter("cpnet.recomplete.calls");
+  m_recomplete_cone_ = metrics->GetCounter("cpnet.recomplete.cone_vars");
+  m_recomplete_rows_ = metrics->GetCounter("cpnet.recomplete.rows_touched");
+  m_recomplete_skipped_ =
+      metrics->GetCounter("cpnet.recomplete.vars_skipped");
 }
 
 std::string CpNet::DebugString() const {

@@ -1,6 +1,8 @@
 #ifndef MMCONF_CPNET_CPNET_H_
 #define MMCONF_CPNET_CPNET_H_
 
+#include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -8,6 +10,11 @@
 #include "common/status.h"
 #include "cpnet/assignment.h"
 #include "cpnet/cpt.h"
+
+namespace mmconf::obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace mmconf::obs
 
 namespace mmconf::cpnet {
 
@@ -27,6 +34,14 @@ struct Flip {
 /// rankings, then Validate() once; the query methods require a validated
 /// (acyclic, CPT-complete) network and return FailedPrecondition
 /// otherwise.
+///
+/// Validate() compiles the pointer-free *flat arena* the query methods
+/// run on: one index-addressed `VarRec` per variable whose
+/// variable-length payloads — parent arcs (parent id, domain, mixed-radix
+/// stride), children, descendant cone, and every CPT row's ranking — are
+/// contiguous slices into shared pools. A full sweep is then a linear
+/// walk over a handful of flat arrays instead of a pointer chase through
+/// per-variable heap vectors.
 class CpNet {
  public:
   CpNet() = default;
@@ -55,8 +70,9 @@ class CpNet {
                                     const PreferenceRanking& ranking);
 
   /// Checks the network is well formed: parent references valid, graph
-  /// acyclic, every CPT row ranked. On success caches the topological
-  /// order used by the query methods.
+  /// acyclic, every CPT row ranked. On success compiles the flat arena
+  /// (topological order, parent arcs, children, descendant cones, CPT row
+  /// pool) used by the query methods.
   Status Validate();
   bool validated() const { return validated_; }
 
@@ -105,17 +121,25 @@ class CpNet {
 
   /// Allocation-free variant of RecompleteFrom: writes the result into
   /// `*out`, reusing its storage when already sized to the network.
+  ///
+  /// Propagation is watched-style incremental: a cone variable's CPT row
+  /// is only fetched when at least one of its parents actually changed
+  /// relative to `base_outcome` (the parent assignment it watches). A pin
+  /// whose effect dies out — the re-ranked best equals the cached value —
+  /// stops the sweep from touching anything downstream, so the cost is
+  /// proportional to the *changed* region, not the full descendant cone.
   Status RecompleteInto(const Assignment& base_outcome, VarId pinned,
                         ValueId value, Assignment* out) const;
 
   /// Variables reachable from `v` via child arcs (v included), in
-  /// topological order — the suffix RecompleteFrom re-sweeps. Requires
-  /// Validate().
-  const std::vector<VarId>& DescendantCone(VarId v) const;
+  /// topological order — the suffix RecompleteFrom re-sweeps. The view
+  /// aliases the arena's cone pool and is invalidated by the next
+  /// Validate(). Requires Validate().
+  std::span<const VarId> DescendantCone(VarId v) const;
 
   /// CPT row index of `v` under `outcome` (which must assign all parents
-  /// of v). On a validated net this reads the cached mixed-radix parent
-  /// strides and performs no allocation.
+  /// of v). On a validated net this reads the flat parent arcs and
+  /// performs no allocation.
   Result<size_t> RowFor(VarId v, const Assignment& outcome) const;
 
   /// Most preferred value of `v` given the parent values found in
@@ -131,6 +155,12 @@ class CpNet {
   /// True when no improving flip exists from `outcome`.
   Result<bool> IsOptimal(const Assignment& outcome) const;
 
+  /// Wires the per-phase profiling counters (cpnet.sweep.*,
+  /// cpnet.recomplete.*) into `metrics`; pass nullptr to detach. Const
+  /// because observability is not logical state: the counters record how
+  /// much work the queries did, they never influence a result.
+  void SetObserver(obs::MetricsRegistry* metrics) const;
+
   /// Human-readable dump (variable list, parents, CPT rows).
   std::string DebugString() const;
 
@@ -142,6 +172,31 @@ class CpNet {
     Cpt cpt;
   };
 
+  /// One parent arc of the flat arena: the parent's id, its domain size
+  /// (so value range checks stay on the same cache line), and the
+  /// mixed-radix stride its value contributes to the CPT row index.
+  struct ParentArc {
+    VarId parent = 0;
+    int32_t domain = 0;
+    size_t stride = 0;
+  };
+
+  /// Index-addressed record of one variable in the flat arena. All
+  /// variable-length payloads live in the shared pools as [off, off+len)
+  /// slices; CPT row `r` of a variable is the `domain`-long ranking at
+  /// rankings_pool_[rows_off + r * domain], best value first.
+  struct VarRec {
+    int32_t domain = 0;
+    uint32_t parents_off = 0;
+    uint32_t parents_len = 0;
+    uint32_t children_off = 0;
+    uint32_t children_len = 0;
+    uint32_t cone_off = 0;
+    uint32_t cone_len = 0;
+    size_t rows_off = 0;
+    size_t num_rows = 0;
+  };
+
   Status CheckVar(VarId v) const;
   /// Cold-path error construction for RowFor (message strings are only
   /// built once a lookup has already failed).
@@ -151,14 +206,22 @@ class CpNet {
 
   std::vector<Variable> variables_;
   std::vector<VarId> topo_order_;
-  /// Query-time caches rebuilt by Validate(): children adjacency,
-  /// per-variable mixed-radix parent strides (row = sum strides[i] *
-  /// parent_value[i]), and per-variable descendant cones in topological
-  /// order.
-  std::vector<std::vector<VarId>> children_;
-  std::vector<std::vector<size_t>> parent_strides_;
-  std::vector<std::vector<VarId>> descendant_cone_;
+  /// Flat arena compiled by Validate(); see VarRec.
+  std::vector<VarRec> recs_;
+  std::vector<ParentArc> parent_pool_;
+  std::vector<VarId> children_pool_;
+  std::vector<VarId> cone_pool_;
+  std::vector<ValueId> rankings_pool_;
   bool validated_ = false;
+
+  /// Profiling handles (nullptr when no observer is attached). Mutable:
+  /// see SetObserver.
+  mutable obs::Counter* m_sweep_calls_ = nullptr;
+  mutable obs::Counter* m_sweep_rows_ = nullptr;
+  mutable obs::Counter* m_recomplete_calls_ = nullptr;
+  mutable obs::Counter* m_recomplete_cone_ = nullptr;
+  mutable obs::Counter* m_recomplete_rows_ = nullptr;
+  mutable obs::Counter* m_recomplete_skipped_ = nullptr;
 };
 
 }  // namespace mmconf::cpnet

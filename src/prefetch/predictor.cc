@@ -35,6 +35,10 @@ void PrefetchPredictor::SetObserver(obs::MetricsRegistry* metrics) {
     m_rank_calls_ = nullptr;
     m_rank_candidates_ = nullptr;
   }
+  // The ranking hot loop is RecompleteInto on the document's CP-net;
+  // surface its per-phase counters (cpnet.recomplete.*) alongside the
+  // predictor's own.
+  if (document_ != nullptr) document_->net().SetObserver(metrics);
 }
 
 Result<std::vector<PrefetchCandidate>> PrefetchPredictor::RankCandidates(

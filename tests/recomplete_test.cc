@@ -1,3 +1,4 @@
+#include <span>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -78,6 +79,44 @@ TEST(RecompleteFromTest, AgreesWithBruteForceOnSmallNets) {
   }
 }
 
+TEST(RecompleteFromTest, DifferentialFuzzAgainstBruteForce) {
+  // Differential fuzz of the flat arena + watched propagation against the
+  // exhaustive oracle, across net shapes: arity (max parents per
+  // variable) x depth (variable count) x domain size. Every single
+  // (variable, value) pin goes through the allocation-free RecompleteInto
+  // path and must land byte-identical to BruteForceRecompleteFrom.
+  Rng rng(20260808);
+  for (int max_parents : {1, 2, 4}) {
+    for (int num_vars : {3, 5, 7}) {
+      for (int max_domain : {2, 4}) {
+        for (int trial = 0; trial < 4; ++trial) {
+          CpNet net =
+              doc::MakeRandomCpNet(num_vars, max_parents, max_domain, rng);
+          Result<Assignment> base = net.OptimalOutcome();
+          ASSERT_TRUE(base.ok()) << base.status().message();
+          Assignment empty(net.num_variables());
+          Assignment scratch;
+          for (size_t v = 0; v < net.num_variables(); ++v) {
+            VarId pinned = static_cast<VarId>(v);
+            for (ValueId value = 0; value < net.DomainSize(pinned);
+                 ++value) {
+              ASSERT_TRUE(
+                  net.RecompleteInto(*base, pinned, value, &scratch).ok());
+              Result<Assignment> oracle =
+                  BruteForceRecompleteFrom(net, empty, pinned, value);
+              ASSERT_TRUE(oracle.ok()) << oracle.status().message();
+              EXPECT_EQ(scratch, *oracle)
+                  << "arity " << max_parents << " vars " << num_vars
+                  << " domain " << max_domain << " trial " << trial
+                  << " pinned " << pinned << "=" << value;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
 TEST(RecompleteFromTest, HonorsEvidenceOutsideTheCone) {
   // Base computed under evidence is a valid starting point as long as
   // the evidence assigns nothing inside the pinned variable's cone.
@@ -89,7 +128,7 @@ TEST(RecompleteFromTest, HonorsEvidenceOutsideTheCone) {
     // descendant cone (if none exists, skip the trial).
     VarId pinned = static_cast<VarId>(
         rng.NextBelow(static_cast<uint64_t>(net.num_variables())));
-    const std::vector<VarId>& cone = net.DescendantCone(pinned);
+    std::span<const VarId> cone = net.DescendantCone(pinned);
     VarId outside = -1;
     for (size_t v = 0; v < net.num_variables(); ++v) {
       VarId var = static_cast<VarId>(v);
@@ -163,11 +202,11 @@ TEST(RecompleteFromTest, ScratchReuseMatchesFreshResults) {
 TEST(RecompleteFromTest, DescendantConeIsTopologicalAndStartsAtPin) {
   CpNet net = doc::MakePaperFigure2Net();
   // c3's cone is {c3, c4, c5}; c1's cone contains c1, c3, c4, c5.
-  const std::vector<VarId>& c3_cone = net.DescendantCone(2);
+  std::span<const VarId> c3_cone = net.DescendantCone(2);
   ASSERT_FALSE(c3_cone.empty());
   EXPECT_EQ(c3_cone.front(), 2);
   EXPECT_EQ(c3_cone.size(), 3u);
-  const std::vector<VarId>& c1_cone = net.DescendantCone(0);
+  std::span<const VarId> c1_cone = net.DescendantCone(0);
   EXPECT_EQ(c1_cone.front(), 0);
   EXPECT_EQ(c1_cone.size(), 4u);
   // Leaves' cones are singletons.

@@ -1,0 +1,222 @@
+#include "fanout/relay_tree.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace mmconf::fanout {
+
+RelayTree::RelayTree(net::Network* network, net::NodeId root,
+                     std::string label, RelayTreeOptions options)
+    : network_(network),
+      root_(root),
+      label_(std::move(label)),
+      options_(options) {
+  if (options_.fanout < 2) options_.fanout = 2;
+  if (options_.viewers_per_edge == 0) options_.viewers_per_edge = 1;
+}
+
+Status RelayTree::Build(size_t audience) {
+  if (built()) {
+    return Status::FailedPrecondition("relay tree already built");
+  }
+  size_t num_edges = std::max<size_t>(
+      1, (audience + options_.viewers_per_edge - 1) /
+             options_.viewers_per_edge);
+
+  auto add_relay = [&](bool edge) {
+    Relay relay;
+    relay.node = network_->AddNode("relay-" + label_ + "-" +
+                                   std::to_string(relays_.size()));
+    relay.edge = edge;
+    index_[relay.node] = relays_.size();
+    relay_nodes_.push_back(relay.node);
+    if (edge) edge_nodes_.push_back(relay.node);
+    relays_.push_back(relay);
+    return relay.node;
+  };
+
+  // Bottom-up: the edge level first, then interior levels packing up to
+  // `fanout` children per parent, until one level fits under the root.
+  std::vector<net::NodeId> level;
+  level.reserve(num_edges);
+  for (size_t i = 0; i < num_edges; ++i) level.push_back(add_relay(true));
+  while (level.size() > options_.fanout) {
+    std::vector<net::NodeId> parents;
+    parents.reserve((level.size() + options_.fanout - 1) / options_.fanout);
+    for (size_t i = 0; i < level.size(); i += options_.fanout) {
+      net::NodeId parent = add_relay(false);
+      for (size_t j = i; j < std::min(level.size(), i + options_.fanout);
+           ++j) {
+        relays_[index_.at(level[j])].parent = parent;
+        MMCONF_RETURN_IF_ERROR(
+            network_->SetDuplexLink(parent, level[j], options_.relay_link));
+      }
+      parents.push_back(parent);
+    }
+    level = std::move(parents);
+  }
+  for (net::NodeId child : level) {
+    relays_[index_.at(child)].parent = root_;
+    MMCONF_RETURN_IF_ERROR(
+        network_->SetDuplexLink(root_, child, options_.relay_link));
+  }
+  return Status::OK();
+}
+
+std::vector<std::pair<net::NodeId, net::NodeId>> RelayTree::Edges() const {
+  std::vector<std::pair<net::NodeId, net::NodeId>> edges;
+  edges.reserve(relays_.size());
+  for (const Relay& relay : relays_) {
+    edges.emplace_back(relay.parent, relay.node);
+  }
+  return edges;
+}
+
+RelayTree::Relay* RelayTree::Find(net::NodeId node) {
+  auto it = index_.find(node);
+  return it == index_.end() ? nullptr : &relays_[it->second];
+}
+
+const RelayTree::Relay* RelayTree::Find(net::NodeId node) const {
+  auto it = index_.find(node);
+  return it == index_.end() ? nullptr : &relays_[it->second];
+}
+
+Result<net::NodeId> RelayTree::ParentOf(net::NodeId relay) const {
+  const Relay* r = Find(relay);
+  if (r == nullptr) return Status::NotFound("not a tree relay");
+  return r->parent;
+}
+
+std::vector<net::NodeId> RelayTree::ChildrenOf(net::NodeId node) const {
+  std::vector<net::NodeId> children;
+  for (const Relay& relay : relays_) {
+    if (relay.parent == node) children.push_back(relay.node);
+  }
+  return children;
+}
+
+bool RelayTree::IsEdge(net::NodeId node) const {
+  const Relay* r = Find(node);
+  return r != nullptr && r->edge;
+}
+
+Result<net::NodeId> RelayTree::AssignViewer() {
+  if (!built()) return Status::FailedPrecondition("relay tree not built");
+  Relay* best = nullptr;
+  for (net::NodeId node : edge_nodes_) {
+    Relay* relay = Find(node);
+    if (best == nullptr || relay->viewers < best->viewers) best = relay;
+  }
+  ++best->viewers;
+  ++total_viewers_;
+  return best->node;
+}
+
+Status RelayTree::AssignAudience(size_t count) {
+  if (!built()) return Status::FailedPrecondition("relay tree not built");
+  // Equivalent to `count` AssignViewer calls, without the per-viewer
+  // scan: level every edge up to the target mean, then round-robin the
+  // remainder from the front.
+  size_t total = total_viewers_ + count;
+  size_t per_edge = total / edge_nodes_.size();
+  size_t extra = total % edge_nodes_.size();
+  for (size_t i = 0; i < edge_nodes_.size(); ++i) {
+    Relay* relay = Find(edge_nodes_[i]);
+    size_t target = per_edge + (i < extra ? 1 : 0);
+    relay->viewers = std::max(relay->viewers, target);
+  }
+  total_viewers_ = 0;
+  for (net::NodeId node : edge_nodes_) total_viewers_ += Find(node)->viewers;
+  return Status::OK();
+}
+
+Status RelayTree::ReleaseViewer(net::NodeId edge) {
+  Relay* relay = Find(edge);
+  if (relay == nullptr || !relay->edge) {
+    return Status::NotFound("not an edge relay");
+  }
+  if (relay->viewers == 0) {
+    return Status::FailedPrecondition("edge relay has no viewers");
+  }
+  --relay->viewers;
+  --total_viewers_;
+  return Status::OK();
+}
+
+Result<size_t> RelayTree::ViewersAt(net::NodeId edge) const {
+  const Relay* relay = Find(edge);
+  if (relay == nullptr || !relay->edge) {
+    return Status::NotFound("not an edge relay");
+  }
+  return relay->viewers;
+}
+
+Result<net::NodeId> RelayTree::Reparent(net::NodeId relay) {
+  Relay* orphan = Find(relay);
+  if (orphan == nullptr) return Status::NotFound("not a tree relay");
+  // A subtree member of `relay` must not adopt it — that would cut the
+  // subtree loose as a cycle. Collect the subtree first.
+  std::vector<net::NodeId> subtree = {relay};
+  for (size_t i = 0; i < subtree.size(); ++i) {
+    for (net::NodeId child : ChildrenOf(subtree[i])) {
+      subtree.push_back(child);
+    }
+  }
+  auto in_subtree = [&](net::NodeId node) {
+    return std::find(subtree.begin(), subtree.end(), node) != subtree.end();
+  };
+  net::NodeId new_parent = root_;
+  if (orphan->parent == root_) {
+    // The root's own link died; hang the subtree under the
+    // lowest-index sibling subtree instead.
+    new_parent = -1;
+    for (const Relay& candidate : relays_) {
+      if (candidate.parent == root_ && !in_subtree(candidate.node)) {
+        new_parent = candidate.node;
+        break;
+      }
+    }
+    if (new_parent < 0) {
+      return Status::FailedPrecondition(
+          "no healthy sibling to re-hang the subtree under");
+    }
+  }
+  MMCONF_RETURN_IF_ERROR(
+      network_->SetDuplexLink(new_parent, relay, options_.relay_link));
+  orphan->parent = new_parent;
+  ++rebuilds_;
+  return new_parent;
+}
+
+Status RelayTree::Reroot(net::NodeId new_root) {
+  if (new_root == root_) return Status::OK();
+  for (Relay& relay : relays_) {
+    if (relay.parent != root_) continue;
+    MMCONF_RETURN_IF_ERROR(
+        network_->SetDuplexLink(new_root, relay.node, options_.relay_link));
+    relay.parent = new_root;
+  }
+  root_ = new_root;
+  return Status::OK();
+}
+
+size_t RelayTree::TreeWireBytes() const {
+  size_t total = 0;
+  for (const Relay& relay : relays_) {
+    total += network_->BytesSent(relay.parent, relay.node);
+  }
+  return total;
+}
+
+size_t RelayTree::RootEgressBytes() const {
+  size_t total = 0;
+  for (const Relay& relay : relays_) {
+    if (relay.parent == root_) {
+      total += network_->BytesSent(root_, relay.node);
+    }
+  }
+  return total;
+}
+
+}  // namespace mmconf::fanout

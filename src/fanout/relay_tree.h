@@ -1,0 +1,144 @@
+#ifndef MMCONF_FANOUT_RELAY_TREE_H_
+#define MMCONF_FANOUT_RELAY_TREE_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "net/network.h"
+
+namespace mmconf::fanout {
+
+/// Shape of a broadcast fan-out tree.
+struct RelayTreeOptions {
+  /// Maximum children per node (root included). The origin's egress is
+  /// bounded by this regardless of audience size — the shared-subpath
+  /// pricing the lecture tier exists for.
+  size_t fanout = 8;
+  /// Aggregated audience one edge relay serves. The edge-relay count is
+  /// ceil(audience / viewers_per_edge), so total relay state grows with
+  /// audience / viewers_per_edge, not with the audience itself.
+  size_t viewers_per_edge = 1024;
+  /// Link spec of every tree edge (origin->relay and relay->relay,
+  /// duplex so acks flow back).
+  net::LinkSpec relay_link{50e6, 2000};
+};
+
+/// One-to-many distribution tree over the simulated network: the origin
+/// (an interaction node hosting a BroadcastSession) feeds at most
+/// `fanout` first-hop relays, interior relays replicate downward, and
+/// edge relays terminate the aggregated audience. A stream chunk
+/// traverses each tree edge exactly once, so a shared subpath is priced
+/// once no matter how many viewers sit below it: origin egress is
+/// O(fanout), total tree wire bytes are O(#relays), and only the
+/// conceptual last hop scales with the audience — which is exactly the
+/// hop the aggregation models instead of simulating.
+///
+/// Invariants (asserted by the tests):
+///  - every relay has exactly one parent and is reachable from the root;
+///  - no node exceeds `fanout` children (the root included);
+///  - edge relays and only edge relays carry viewers;
+///  - Reparent/Reroot preserve all of the above, so a rebuild after a
+///    link failure or a room migration never orphans a subtree.
+class RelayTree {
+ public:
+  /// `network` must outlive the tree. `label` namespaces the relay node
+  /// names ("relay-<label>-<i>") so several sessions can share a network.
+  RelayTree(net::Network* network, net::NodeId root, std::string label,
+            RelayTreeOptions options);
+
+  RelayTree(const RelayTree&) = delete;
+  RelayTree& operator=(const RelayTree&) = delete;
+
+  /// Sizes the tree for `audience` aggregated viewers: creates the edge
+  /// relays and the interior spine above them (bottom-up, every level
+  /// packing up to `fanout` children per parent), adds the duplex links,
+  /// and wires everything under the root. FailedPrecondition when called
+  /// twice — the tree is built once per session; admission then fills
+  /// the edges.
+  Status Build(size_t audience);
+  bool built() const { return !relays_.empty(); }
+
+  net::NodeId root() const { return root_; }
+  /// Every relay node, creation order (edges first, then interior
+  /// levels bottom-up).
+  const std::vector<net::NodeId>& relays() const { return relay_nodes_; }
+  const std::vector<net::NodeId>& edge_relays() const { return edge_nodes_; }
+  size_t num_relays() const { return relays_.size(); }
+  /// Tree edges (parent -> child pairs), including the root's.
+  std::vector<std::pair<net::NodeId, net::NodeId>> Edges() const;
+  size_t num_edges() const { return relays_.size(); }
+
+  /// NotFound unless `relay` is a tree relay.
+  Result<net::NodeId> ParentOf(net::NodeId relay) const;
+  std::vector<net::NodeId> ChildrenOf(net::NodeId node) const;
+  bool IsRelay(net::NodeId node) const { return index_.count(node) > 0; }
+  bool IsEdge(net::NodeId node) const;
+
+  /// Deterministic viewer admission: the least-loaded edge relay
+  /// (lowest index on ties). Never fails once built — edges aggregate,
+  /// they do not cap.
+  Result<net::NodeId> AssignViewer();
+  /// Bulk admission of `count` aggregated viewers, spread round-robin
+  /// from the least-loaded edge; returns the per-edge counts touched.
+  Status AssignAudience(size_t count);
+  Status ReleaseViewer(net::NodeId edge);
+  /// Aggregated viewers currently assigned to `edge` (NotFound for a
+  /// non-edge node).
+  Result<size_t> ViewersAt(net::NodeId edge) const;
+  size_t total_viewers() const { return total_viewers_; }
+
+  /// Re-hangs `relay`'s whole subtree under a healthy parent after the
+  /// link from its current parent died (flap or partition): picks the
+  /// root when the dead parent was interior, else the lowest-index
+  /// sibling subtree root that is not `relay` itself, adds the duplex
+  /// link, and re-points the parent. The subtree below `relay` is
+  /// untouched — its links never failed. Returns the new parent.
+  /// FailedPrecondition when `relay` is the root's only child (nowhere
+  /// left to hang it).
+  Result<net::NodeId> Reparent(net::NodeId relay);
+  size_t rebuilds() const { return rebuilds_; }
+
+  /// Moves the tree to a new origin (room migration): every first-hop
+  /// relay is re-linked under `new_root` and the old root forgets the
+  /// tree. Idempotent for the current root.
+  Status Reroot(net::NodeId new_root);
+
+  /// Total bytes ever sent down the tree's current edges (root fan-out
+  /// included) — the shared-subpath wire cost, measured on the Network
+  /// rather than estimated. Retransmissions bill here too; acks ride
+  /// the reverse links and are not counted.
+  size_t TreeWireBytes() const;
+  /// Bytes the origin itself transmitted onto its first-hop edges — the
+  /// server-egress figure the audience sweep shows to be sub-linear.
+  size_t RootEgressBytes() const;
+
+ private:
+  struct Relay {
+    net::NodeId node = 0;
+    net::NodeId parent = 0;
+    bool edge = false;
+    size_t viewers = 0;
+  };
+
+  Relay* Find(net::NodeId node);
+  const Relay* Find(net::NodeId node) const;
+
+  net::Network* network_;
+  net::NodeId root_;
+  std::string label_;
+  RelayTreeOptions options_;
+  std::vector<Relay> relays_;
+  std::map<net::NodeId, size_t> index_;
+  std::vector<net::NodeId> relay_nodes_;
+  std::vector<net::NodeId> edge_nodes_;
+  size_t total_viewers_ = 0;
+  size_t rebuilds_ = 0;
+};
+
+}  // namespace mmconf::fanout
+
+#endif  // MMCONF_FANOUT_RELAY_TREE_H_

@@ -48,13 +48,18 @@ FederatedInteractionTier::FederatedInteractionTier(
     nodes_.push_back(std::move(node));
   }
   transport_->SetFailureCallback([this](const net::FailedMessage& failure) {
-    for (Node& node : nodes_) {
-      if (node.server->server_node() == failure.from) {
-        node.server->HandleDeliveryFailure(failure);
-        return;
-      }
-    }
+    DispatchFailure(failure);
   });
+}
+
+void FederatedInteractionTier::DispatchFailure(
+    const net::FailedMessage& failure) {
+  for (Node& node : nodes_) {
+    if (node.server->server_node() == failure.from) {
+      node.server->HandleDeliveryFailure(failure);
+      return;
+    }
+  }
 }
 
 void FederatedInteractionTier::SetObserver(obs::MetricsRegistry* metrics,
@@ -429,6 +434,9 @@ Result<MigrationReport> FederatedInteractionTier::FinishMigration(
                   report.started_at,
                   std::max(report.completed_at, report.started_at + 1),
                   "actions", static_cast<int64_t>(report.replayed_actions));
+  }
+  if (on_room_moved_) {
+    on_room_moved_(room_id, migration.from, migration.to);
   }
   return report;
 }

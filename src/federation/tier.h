@@ -1,6 +1,7 @@
 #ifndef MMCONF_FEDERATION_TIER_H_
 #define MMCONF_FEDERATION_TIER_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -173,6 +174,25 @@ class FederatedInteractionTier {
   /// forwarded requests) in arrival order.
   Result<std::vector<net::Delivery>> Settle();
 
+  /// Routes one transport delivery-failure to the node that sent the
+  /// failed message (the tier's own failure-callback body). Public so a
+  /// co-driver sharing the transport — e.g. the broadcast director in
+  /// src/fanout/, whose relay traffic the tier knows nothing about —
+  /// can install a wrapping callback that handles its own tags first
+  /// and forwards everything else here.
+  void DispatchFailure(const net::FailedMessage& failure);
+
+  /// Invoked at the end of every successful FinishMigration, after the
+  /// "fed:rebind" broadcast is queued: (room_id, from_node, to_node).
+  /// This is how a hosted broadcast session learns its room moved and
+  /// re-roots its fan-out tree at the new home. Replaces any previous
+  /// callback; pass nullptr to clear.
+  using RoomMovedCallback = std::function<void(
+      const std::string& room_id, size_t from_node, size_t to_node)>;
+  void SetRoomMovedCallback(RoomMovedCallback callback) {
+    on_room_moved_ = std::move(callback);
+  }
+
   /// Per-node load snapshot; also refreshes the fed.node.<i>.* gauges
   /// and folds each settled room's latest time-to-consistency into the
   /// per-node tail-latency histograms.
@@ -235,6 +255,7 @@ class FederatedInteractionTier {
   /// (the replay base for migration).
   std::map<std::string, Bytes> room_docs_;
   std::map<std::string, ActiveMigration> migrations_;
+  RoomMovedCallback on_room_moved_;
   /// Last time-to-consistency round folded per room, so tail-latency
   /// histograms observe each converged round once.
   std::map<std::string, MicrosT> t2c_folded_;

@@ -260,4 +260,35 @@ Result<Image> EqualizeHistogram(const Image& image) {
   return out;
 }
 
+Result<std::vector<Rect>> GridCells(int width, int height, int rows,
+                                    int cols) {
+  if (width <= 0 || height <= 0) {
+    return Status::InvalidArgument("grid canvas must be non-empty");
+  }
+  if (rows <= 0 || cols <= 0) {
+    return Status::InvalidArgument("grid must have positive rows and cols");
+  }
+  if (cols > width || rows > height) {
+    return Status::InvalidArgument("grid finer than the canvas pixels");
+  }
+  // Edge(i) = i * extent / n is monotone with Edge(0) = 0 and
+  // Edge(n) = extent, so consecutive edges tile the extent exactly and
+  // every cell gets floor or ceil of extent / n pixels.
+  auto edge = [](int i, int n, int extent) {
+    return static_cast<int>(static_cast<long>(i) * extent / n);
+  };
+  std::vector<Rect> cells;
+  cells.reserve(static_cast<size_t>(rows) * cols);
+  for (int r = 0; r < rows; ++r) {
+    int y0 = edge(r, rows, height);
+    int y1 = edge(r + 1, rows, height);
+    for (int c = 0; c < cols; ++c) {
+      int x0 = edge(c, cols, width);
+      int x1 = edge(c + 1, cols, width);
+      cells.push_back({x0, y0, x1 - x0, y1 - y0});
+    }
+  }
+  return cells;
+}
+
 }  // namespace mmconf::imaging

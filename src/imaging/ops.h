@@ -94,6 +94,20 @@ Result<RegionStats> ComputeRegionStats(const media::Image& image,
 /// remapping) — useful before segmenting low-contrast scans.
 Result<media::Image> EqualizeHistogram(const media::Image& image);
 
+/// Splits a width x height canvas into rows x cols cells that tile it
+/// exactly: cell (r, c) spans [Edge(c, cols, width), Edge(c+1, cols,
+/// width)) x [Edge(r, rows, height), Edge(r+1, rows, height)) with
+/// Edge(i, n, extent) = i * extent / n (integer division), so
+/// non-divisible extents spread the remainder pixels across the grid one
+/// at a time. Every cell is non-empty, in bounds, and pairwise disjoint,
+/// and their union is the full canvas — the region-safety contract the
+/// mosaic compositor (src/fanout/) builds its tile rects on. Returned
+/// row-major. InvalidArgument for non-positive dimensions or a grid
+/// finer than the pixels (cols > width or rows > height would force
+/// empty cells).
+Result<std::vector<media::Rect>> GridCells(int width, int height, int rows,
+                                           int cols);
+
 }  // namespace mmconf::imaging
 
 #endif  // MMCONF_IMAGING_OPS_H_

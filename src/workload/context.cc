@@ -1,0 +1,84 @@
+#include "workload/context.h"
+
+namespace mmconf::workload {
+
+const char* DeviceClassToString(DeviceClass device) {
+  switch (device) {
+    case DeviceClass::kWorkstation:
+      return "workstation";
+    case DeviceClass::kLaptop:
+      return "laptop";
+    case DeviceClass::kHandheld:
+      return "handheld";
+  }
+  return "unknown";
+}
+
+const char* FocusStateToString(FocusState focus) {
+  switch (focus) {
+    case FocusState::kForeground:
+      return "fg";
+    case FocusState::kBackground:
+      return "bg";
+  }
+  return "unknown";
+}
+
+doc::BandwidthLevel EffectiveLevel(const ClientContext& context) {
+  int level = static_cast<int>(context.bandwidth);
+  if (context.device == DeviceClass::kHandheld &&
+      level < static_cast<int>(doc::BandwidthLevel::kMedium)) {
+    level = static_cast<int>(doc::BandwidthLevel::kMedium);
+  }
+  if (context.focus == FocusState::kBackground &&
+      level < static_cast<int>(doc::BandwidthLevel::kLow)) {
+    ++level;
+  }
+  return static_cast<doc::BandwidthLevel>(level);
+}
+
+net::LinkSpec ContextLinkSpec(const ClientContext& context) {
+  switch (context.bandwidth) {
+    case doc::BandwidthLevel::kHigh:
+      return {8e6, 15000};
+    case doc::BandwidthLevel::kMedium:
+      return {1e6, 30000};
+    case doc::BandwidthLevel::kLow:
+      return {128e3, 80000};
+  }
+  return {1e6, 30000};
+}
+
+ClientContext DrawContext(Rng& rng, double handheld_share,
+                          double low_bandwidth_share) {
+  ClientContext context;
+  if (rng.Chance(low_bandwidth_share)) {
+    context.bandwidth = doc::BandwidthLevel::kLow;
+  } else if (rng.Chance(0.4)) {
+    context.bandwidth = doc::BandwidthLevel::kMedium;
+  } else {
+    context.bandwidth = doc::BandwidthLevel::kHigh;
+  }
+  if (rng.Chance(handheld_share)) {
+    context.device = DeviceClass::kHandheld;
+  } else if (rng.Chance(0.5)) {
+    context.device = DeviceClass::kLaptop;
+  } else {
+    context.device = DeviceClass::kWorkstation;
+  }
+  context.focus =
+      rng.Chance(0.2) ? FocusState::kBackground : FocusState::kForeground;
+  return context;
+}
+
+std::string ContextToString(const ClientContext& context) {
+  std::string out = "bw=";
+  out += doc::BandwidthLevelToString(context.bandwidth);
+  out += " dev=";
+  out += DeviceClassToString(context.device);
+  out += " focus=";
+  out += FocusStateToString(context.focus);
+  return out;
+}
+
+}  // namespace mmconf::workload

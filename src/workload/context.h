@@ -1,0 +1,68 @@
+#ifndef MMCONF_WORKLOAD_CONTEXT_H_
+#define MMCONF_WORKLOAD_CONTEXT_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "doc/tuning.h"
+#include "net/network.h"
+
+namespace mmconf::workload {
+
+/// Hardware class a conference client runs on. CWcollab's context-aware
+/// collaboration treats the client device as a first-class signal; here
+/// it caps how rich a presentation the client can usefully receive.
+enum class DeviceClass : uint8_t {
+  kWorkstation = 0,  ///< full-resolution display, no cap
+  kLaptop = 1,       ///< no cap, slower last mile is typical
+  kHandheld = 2,     ///< small screen: full-cost renditions are wasted
+};
+
+/// Whether the conference window currently has the user's attention.
+/// A backgrounded client is deliberately degraded one level — its wire
+/// budget is better spent on partners who are looking.
+enum class FocusState : uint8_t {
+  kForeground = 0,
+  kBackground = 1,
+};
+
+const char* DeviceClassToString(DeviceClass device);
+const char* FocusStateToString(FocusState focus);
+
+/// Per-client context vector: measured bandwidth class, device class,
+/// and focus. The generator attaches one to every join and occasionally
+/// re-draws it mid-session (focus flips, a client walks out of WiFi
+/// range); the chaos driver folds it into CP-net evidence by pinning the
+/// document's bandwidth-tuning variable at EffectiveLevel().
+struct ClientContext {
+  doc::BandwidthLevel bandwidth = doc::BandwidthLevel::kHigh;
+  DeviceClass device = DeviceClass::kWorkstation;
+  FocusState focus = FocusState::kForeground;
+
+  bool operator==(const ClientContext&) const = default;
+};
+
+/// Collapses the context vector into the single tuning level the CP-net
+/// conditions on: start from the measured bandwidth class, cap a
+/// handheld at kMedium (full renditions are wasted on it), and degrade a
+/// backgrounded client one further level.
+doc::BandwidthLevel EffectiveLevel(const ClientContext& context);
+
+/// Last-mile link a client of this context connects over (the bandwidth
+/// class decides rate and latency; device/focus only shape evidence).
+net::LinkSpec ContextLinkSpec(const ClientContext& context);
+
+/// Draws a context from the scenario's population mix: mostly
+/// workstations on good links for consults, a long handheld/low tail
+/// for lectures. `handheld_share` and `low_bandwidth_share` are
+/// probabilities in [0, 1].
+ClientContext DrawContext(Rng& rng, double handheld_share,
+                          double low_bandwidth_share);
+
+/// Deterministic one-line rendering ("bw=high dev=laptop focus=fg"),
+/// used by the trace text the determinism tests compare byte-for-byte.
+std::string ContextToString(const ClientContext& context);
+
+}  // namespace mmconf::workload
+
+#endif  // MMCONF_WORKLOAD_CONTEXT_H_

@@ -1,0 +1,402 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "server/events.h"
+
+namespace mmconf::workload {
+namespace {
+
+std::string ViewerName(int slot) { return "u" + std::to_string(slot); }
+
+/// Medical-record components with their choice domains ("" releases the
+/// viewer's earlier choice — rooms must survive that too).
+struct ChoiceDomain {
+  const char* component;
+  std::vector<const char*> presentations;
+};
+
+const std::vector<ChoiceDomain>& MedicalChoices() {
+  static const std::vector<ChoiceDomain> kChoices = {
+      {"CT", {"flat", "segmented", "thumbnail", "icon", "hidden", ""}},
+      {"XRay", {"flat", "segmented", "thumbnail", "icon", "hidden", ""}},
+      {"ExpertVoice", {"audio", "summary", "hidden", ""}},
+      {"WardNotes", {"text", "hidden", ""}},
+  };
+  return kChoices;
+}
+
+}  // namespace
+
+const char* ScenarioMixToString(ScenarioMix mix) {
+  switch (mix) {
+    case ScenarioMix::kLecture:
+      return "lecture";
+    case ScenarioMix::kConsult:
+      return "consult";
+    case ScenarioMix::kBrowse:
+      return "browse";
+    case ScenarioMix::kMixed:
+      return "mixed";
+  }
+  return "unknown";
+}
+
+Result<ScenarioMix> ScenarioMixFromString(const std::string& name) {
+  if (name == "lecture") return ScenarioMix::kLecture;
+  if (name == "consult") return ScenarioMix::kConsult;
+  if (name == "browse") return ScenarioMix::kBrowse;
+  if (name == "mixed") return ScenarioMix::kMixed;
+  return Status::InvalidArgument("unknown scenario mix \"" + name + "\"");
+}
+
+WorkloadGenerator::WorkloadGenerator(uint64_t seed, GeneratorOptions options)
+    : seed_(seed), options_(std::move(options)), rng_(seed) {
+  if (options_.rooms == 0) options_.rooms = 1;
+  if (options_.clients < 2) options_.clients = 2;
+}
+
+MicrosT WorkloadGenerator::NextActivityAt(MicrosT t, MicrosT base_gap_micros) {
+  // Parabolic diurnal curve (no libm, so the trace is bit-deterministic
+  // everywhere): modulation peaks at 1 + amplitude mid-run and falls to
+  // 1 at the edges; a busier instant means a shorter gap to the next
+  // activity round.
+  double x = static_cast<double>(t) /
+             static_cast<double>(options_.duration_micros);
+  if (x < 0) x = 0;
+  if (x > 1) x = 1;
+  double modulation = 1.0 + options_.diurnal_amplitude * 4.0 * x * (1.0 - x);
+  double jitter = rng_.Uniform(0.75, 1.25);
+  MicrosT gap = static_cast<MicrosT>(
+      static_cast<double>(base_gap_micros) * jitter / modulation);
+  if (gap < 1000) gap = 1000;
+  return t + gap;
+}
+
+void WorkloadGenerator::GenerateLecture(WorkloadTrace& trace,
+                                        const std::string& room,
+                                        MicrosT open_at,
+                                        std::vector<int> slots) {
+  // slots[0] lectures first; slots[1] takes over at the mid-run handoff.
+  const int speaker = slots[0];
+  const int next_speaker = slots.size() > 1 ? slots[1] : slots[0];
+  trace.events.push_back({open_at, EventKind::kOpenRoom, room, "", "", "",
+                          -1, 1, options_.timeline.segments, {}});
+  ClientContext podium{doc::BandwidthLevel::kHigh, DeviceClass::kWorkstation,
+                       FocusState::kForeground};
+  trace.events.push_back({open_at, EventKind::kJoin, room,
+                          ViewerName(speaker), "", "", speaker, 0, 0,
+                          podium});
+
+  // Flash crowd: the audience piles in within a 300 ms window of the
+  // announced start.
+  for (size_t i = 1; i < slots.size(); ++i) {
+    MicrosT join_at = open_at + rng_.UniformInt(0, 300'000);
+    ClientContext context = DrawContext(rng_, options_.handheld_share,
+                                        options_.low_bandwidth_share);
+    trace.events.push_back({join_at, EventKind::kJoin, room,
+                            ViewerName(slots[i]), "", "", slots[i], 0, 0,
+                            context});
+  }
+
+  // Broadcast fan-out for the view-only masses: host once the room is
+  // up, then admit aggregated viewers in two waves (their own flash
+  // crowd).
+  size_t audience = 40 * slots.size();
+  trace.events.push_back({open_at + 200'000, EventKind::kHostBroadcast,
+                          room, "", "", "", -1, audience, 0, {}});
+  for (int wave = 0; wave < 2; ++wave) {
+    ClientContext crowd = DrawContext(rng_, options_.handheld_share,
+                                      options_.low_bandwidth_share);
+    trace.events.push_back({open_at + 250'000 + wave * 400'000,
+                            EventKind::kAdmitViewers, room, "", "", "", -1,
+                            audience / 2, 0, crowd});
+  }
+
+  // Scheduled media timeline: at every boundary the current speaker
+  // advances the schedule (predecessor hidden, successor live), streams
+  // the segment's media to a sampled listener, and pushes a composed
+  // broadcast frame.
+  std::vector<MicrosT> boundaries =
+      TimelineBoundaries(options_.timeline, open_at + 500'000);
+  size_t handoff_at = boundaries.size() / 2;
+  for (size_t k = 0; k < boundaries.size(); ++k) {
+    const int presenter = k < handoff_at ? speaker : next_speaker;
+    const std::string presenter_name = ViewerName(presenter);
+    MicrosT at = boundaries[k];
+    if (k == handoff_at) {
+      // Speaker handoff: the outgoing speaker announces it, drops to
+      // background (their context evidence degrades), and the incoming
+      // speaker drives from here on.
+      trace.events.push_back({at, EventKind::kBroadcast, room,
+                              ViewerName(speaker), "", "handoff", speaker,
+                              2048, 0, {}});
+      ClientContext parked = podium;
+      parked.focus = FocusState::kBackground;
+      trace.events.push_back({at, EventKind::kSetContext, room,
+                              ViewerName(speaker), "", "", speaker, 0, 0,
+                              parked});
+    }
+    if (k > 0) {
+      trace.events.push_back({at, EventKind::kChoice, room, presenter_name,
+                              TimelineSegmentName(k - 1), "hidden", presenter,
+                              0, 0, {}});
+    }
+    trace.events.push_back({at, EventKind::kChoice, room, presenter_name,
+                            TimelineSegmentName(k), "flat", presenter, 0, 0,
+                            {}});
+    if (slots.size() > 2) {
+      size_t listener = 2 + rng_.NextBelow(slots.size() - 2);
+      trace.events.push_back({at + 50'000, EventKind::kOpenStream, room,
+                              ViewerName(slots[listener]), "", "",
+                              slots[listener], 1 + rng_.NextBelow(2),
+                              200'000, {}});
+    }
+    trace.events.push_back({at + 100'000, EventKind::kPushFrame, room, "",
+                            "", "", -1, 0, 0, {}});
+  }
+
+  // Live migration mid-lecture, broadcast and streams carried along.
+  if (options_.federation_nodes > 1 && boundaries.size() > 1) {
+    MicrosT at = (boundaries[0] + boundaries[boundaries.size() - 1]) / 2 +
+                 150'000;
+    trace.events.push_back(
+        {at, EventKind::kMigrateRoom, room, "", "", "", -1,
+         1 + rng_.NextBelow(options_.federation_nodes - 1), 0, {}});
+  }
+
+  // Mass leave at the end; a fraction linger for Q&A and a few of the
+  // leavers rejoin for it.
+  MicrosT lecture_end = boundaries.back() +
+                        options_.timeline.segment_interval_micros;
+  std::vector<int> rejoiners;
+  for (size_t i = 2; i < slots.size(); ++i) {
+    if (rng_.Chance(0.7)) {
+      MicrosT leave_at = lecture_end + rng_.UniformInt(0, 200'000);
+      trace.events.push_back({leave_at, EventKind::kLeave, room,
+                              ViewerName(slots[i]), "", "", slots[i], 0, 0,
+                              {}});
+      if (rng_.Chance(0.25)) rejoiners.push_back(slots[i]);
+    }
+  }
+  for (int slot : rejoiners) {
+    MicrosT rejoin_at = lecture_end + 400'000 + rng_.UniformInt(0, 300'000);
+    ClientContext context = DrawContext(rng_, options_.handheld_share,
+                                        options_.low_bandwidth_share);
+    trace.events.push_back({rejoin_at, EventKind::kJoin, room,
+                            ViewerName(slot), "", "", slot, 0, 0, context});
+  }
+  trace.events.push_back({lecture_end + 800'000, EventKind::kBroadcast, room,
+                          ViewerName(next_speaker), "", "qna", next_speaker,
+                          4096, 0, {}});
+}
+
+void WorkloadGenerator::GenerateConsult(WorkloadTrace& trace,
+                                        const std::string& room,
+                                        MicrosT open_at,
+                                        std::vector<int> slots) {
+  trace.events.push_back(
+      {open_at, EventKind::kOpenRoom, room, "", "", "", -1, 0, 0, {}});
+  for (size_t i = 0; i < slots.size(); ++i) {
+    MicrosT join_at = open_at + rng_.UniformInt(0, 500'000);
+    ClientContext context = DrawContext(rng_, options_.handheld_share,
+                                        options_.low_bandwidth_share);
+    trace.events.push_back({join_at, EventKind::kJoin, room,
+                            ViewerName(slots[i]), "", "", slots[i], 0, 0,
+                            context});
+  }
+
+  MicrosT consult_end = open_at + options_.duration_micros * 3 / 4;
+  MicrosT stream_at = (open_at + consult_end) / 2;
+  MicrosT migrate_at = open_at + (consult_end - open_at) * 3 / 5;
+  bool streamed = false;
+  bool migrated = options_.federation_nodes <= 1;
+  // One partner steps out mid-consult and returns later.
+  int absent_slot = slots.size() > 2 ? slots.back() : -1;
+  MicrosT absent_from = open_at + (consult_end - open_at) / 3;
+  MicrosT absent_until = absent_from + (consult_end - open_at) / 4;
+  if (absent_slot >= 0) {
+    trace.events.push_back({absent_from, EventKind::kLeave, room,
+                            ViewerName(absent_slot), "", "", absent_slot, 0,
+                            0, {}});
+    ClientContext context = DrawContext(rng_, options_.handheld_share,
+                                        options_.low_bandwidth_share);
+    trace.events.push_back({absent_until, EventKind::kJoin, room,
+                            ViewerName(absent_slot), "", "", absent_slot, 0,
+                            0, context});
+  }
+
+  MicrosT t = open_at + 700'000;
+  while (t < consult_end) {
+    // Pick an actor present at time t.
+    int actor = slots[rng_.NextBelow(slots.size())];
+    if (actor == absent_slot && t >= absent_from && t < absent_until) {
+      actor = slots[0];
+    }
+    const std::string actor_name = ViewerName(actor);
+    uint64_t dice = rng_.NextBelow(10);
+    if (dice < 5) {
+      const ChoiceDomain& domain =
+          MedicalChoices()[rng_.NextBelow(MedicalChoices().size())];
+      const char* presentation =
+          domain.presentations[rng_.NextBelow(domain.presentations.size())];
+      trace.events.push_back({t, EventKind::kChoice, room, actor_name,
+                              domain.component, presentation, actor, 0, 0,
+                              {}});
+    } else if (dice < 8) {
+      static const server::ActionType kOps[] = {
+          server::ActionType::kAnnotateText, server::ActionType::kZoom,
+          server::ActionType::kSegmentOp};
+      server::ActionType op = kOps[rng_.NextBelow(3)];
+      const char* target = rng_.Chance(0.5) ? "CT" : "XRay";
+      trace.events.push_back({t, EventKind::kOperation, room, actor_name,
+                              target, "", actor, static_cast<uint64_t>(op),
+                              rng_.Chance(0.3) ? 1u : 0u, {}});
+    } else if (dice < 9) {
+      trace.events.push_back({t, EventKind::kBroadcast, room, actor_name,
+                              "", "finding", actor,
+                              512 + rng_.NextBelow(4096), 0, {}});
+    } else {
+      ClientContext context = DrawContext(rng_, options_.handheld_share,
+                                          options_.low_bandwidth_share);
+      trace.events.push_back({t, EventKind::kSetContext, room, actor_name,
+                              "", "", actor, 0, 0, context});
+    }
+    if (!streamed && t >= stream_at) {
+      streamed = true;
+      trace.events.push_back({t + 20'000, EventKind::kOpenStream, room,
+                              ViewerName(slots[0]), "", "", slots[0], 2,
+                              250'000, {}});
+    }
+    if (!migrated && t >= migrate_at) {
+      migrated = true;
+      trace.events.push_back(
+          {t + 40'000, EventKind::kMigrateRoom, room, "", "", "", -1,
+           1 + rng_.NextBelow(options_.federation_nodes - 1), 0, {}});
+    }
+    t = NextActivityAt(t, 600'000);
+  }
+}
+
+void WorkloadGenerator::GenerateBrowse(WorkloadTrace& trace,
+                                       const std::string& room,
+                                       MicrosT open_at, int slot) {
+  trace.events.push_back(
+      {open_at, EventKind::kOpenRoom, room, "", "", "", -1, 0, 0, {}});
+  ClientContext context = DrawContext(rng_, options_.handheld_share,
+                                      options_.low_bandwidth_share);
+  const std::string viewer = ViewerName(slot);
+  trace.events.push_back({open_at + 30'000, EventKind::kJoin, room, viewer,
+                          "", "", slot, 0, 0, context});
+  MicrosT t = open_at + 300'000;
+  size_t flips = 1 + rng_.NextBelow(3);
+  for (size_t i = 0; i < flips; ++i) {
+    const ChoiceDomain& domain =
+        MedicalChoices()[rng_.NextBelow(MedicalChoices().size())];
+    const char* presentation =
+        domain.presentations[rng_.NextBelow(domain.presentations.size() - 1)];
+    trace.events.push_back({t, EventKind::kChoice, room, viewer,
+                            domain.component, presentation, slot, 0, 0, {}});
+    t = NextActivityAt(t, 400'000);
+  }
+  if (rng_.Chance(0.5)) {
+    trace.events.push_back({t, EventKind::kOpenStream, room, viewer, "", "",
+                            slot, 1, 200'000, {}});
+    t += 600'000;
+  }
+  // A browse session ends: the viewer leaves and the room closes (the
+  // open/close churn the placement and storage tiers must absorb).
+  trace.events.push_back(
+      {t, EventKind::kLeave, room, viewer, "", "", slot, 0, 0, {}});
+  trace.events.push_back(
+      {t + 50'000, EventKind::kCloseRoom, room, "", "", "", -1, 0, 0, {}});
+}
+
+void WorkloadGenerator::GenerateFaultSchedule(WorkloadTrace& trace) {
+  if (options_.inject_net_faults) {
+    size_t flaps = options_.clients / 3 + 1;
+    for (size_t i = 0; i < flaps; ++i) {
+      int slot = static_cast<int>(rng_.NextBelow(options_.clients));
+      MicrosT at = rng_.UniformInt(options_.duration_micros / 10,
+                                   options_.duration_micros * 4 / 5);
+      uint64_t outage = 120'000 + rng_.NextBelow(280'000);
+      trace.events.push_back({at, EventKind::kLinkFlap, "", "", "", "", slot,
+                              outage, 0, {}});
+    }
+  }
+  if (options_.inject_storage_faults && options_.storage_shards > 0) {
+    for (MicrosT frac : {options_.duration_micros * 2 / 5,
+                         options_.duration_micros * 3 / 4}) {
+      trace.events.push_back({frac, EventKind::kShardCrash, "", "", "", "",
+                              -1, rng_.NextBelow(options_.storage_shards),
+                              rng_.NextBelow(3), {}});
+    }
+  }
+}
+
+WorkloadTrace WorkloadGenerator::Generate() {
+  WorkloadTrace trace;
+  trace.seed = seed_;
+  trace.scenario = ScenarioMixToString(options_.mix);
+
+  auto mix_of = [&](size_t room_index) {
+    if (options_.mix != ScenarioMix::kMixed) return options_.mix;
+    switch (room_index % 3) {
+      case 0:
+        return ScenarioMix::kLecture;
+      case 1:
+        return ScenarioMix::kConsult;
+      default:
+        return ScenarioMix::kBrowse;
+    }
+  };
+
+  for (size_t r = 0; r < options_.rooms; ++r) {
+    ScenarioMix mix = mix_of(r);
+    std::string room = std::string(ScenarioMixToString(mix)) + "-" +
+                       std::to_string(r);
+    switch (mix) {
+      case ScenarioMix::kLecture: {
+        // The whole population attends; slot order decides the podium.
+        std::vector<int> slots;
+        for (size_t i = 0; i < options_.clients; ++i) {
+          slots.push_back(static_cast<int>(i));
+        }
+        rng_.Shuffle(slots);
+        MicrosT open_at = options_.duration_micros / 8 +
+                          static_cast<MicrosT>(r) * 250'000;
+        GenerateLecture(trace, room, open_at, std::move(slots));
+        break;
+      }
+      case ScenarioMix::kConsult: {
+        size_t members = 2 + rng_.NextBelow(3);
+        std::vector<int> slots;
+        for (size_t i = 0; i < members; ++i) {
+          slots.push_back(static_cast<int>(
+              (r * members + i) % options_.clients));
+        }
+        MicrosT open_at = options_.duration_micros / 12 +
+                          static_cast<MicrosT>(r) * 400'000;
+        GenerateConsult(trace, room, open_at, std::move(slots));
+        break;
+      }
+      case ScenarioMix::kBrowse: {
+        int slot = static_cast<int>(rng_.NextBelow(options_.clients));
+        MicrosT open_at = options_.duration_micros / 10 +
+                          static_cast<MicrosT>(r) *
+                              (options_.duration_micros /
+                               (options_.rooms + 1));
+        GenerateBrowse(trace, room, open_at, slot);
+        break;
+      }
+      case ScenarioMix::kMixed:
+        break;  // unreachable: mix_of never returns kMixed
+    }
+  }
+  GenerateFaultSchedule(trace);
+  trace.SortByTime();
+  return trace;
+}
+
+}  // namespace mmconf::workload

@@ -1,0 +1,84 @@
+#ifndef MMCONF_WORKLOAD_GENERATOR_H_
+#define MMCONF_WORKLOAD_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "workload/timeline.h"
+#include "workload/trace.h"
+
+namespace mmconf::workload {
+
+/// Conference shape families the generator composes.
+enum class ScenarioMix : uint8_t {
+  kLecture = 0,  ///< one speaker, flash-crowd audience, scheduled timeline,
+                 ///< broadcast fan-out, speaker handoffs, mass leave/rejoin
+  kConsult = 1,  ///< small rooms, dense choice/operation rounds, streams
+  kBrowse = 2,   ///< many single-viewer rooms, open/close churn
+  kMixed = 3,    ///< all three families side by side on one tier
+};
+
+const char* ScenarioMixToString(ScenarioMix mix);
+Result<ScenarioMix> ScenarioMixFromString(const std::string& name);
+
+/// Knobs of one generated workload. Defaults are the smoke-scale shape
+/// the chaos bench and tests sweep; the nightly CI leg turns them up.
+struct GeneratorOptions {
+  ScenarioMix mix = ScenarioMix::kConsult;
+  size_t rooms = 2;
+  /// Client-slot population the rooms draw members from.
+  size_t clients = 12;
+  MicrosT duration_micros = 12'000'000;
+  /// Diurnal load curve: activity-round spacing is modulated by a
+  /// parabola peaking at 1 + amplitude mid-run — the run opens quiet,
+  /// peaks mid-way, and tails off, like a conferencing day compressed
+  /// into one trace. 0 disables the curve.
+  double diurnal_amplitude = 0.6;
+  /// Context population (see DrawContext).
+  double handheld_share = 0.2;
+  double low_bandwidth_share = 0.2;
+  /// Emit kLinkFlap events against client last miles.
+  bool inject_net_faults = true;
+  /// Emit kShardCrash events (indices drawn below storage_shards).
+  bool inject_storage_faults = true;
+  size_t storage_shards = 2;
+  /// Migration targets are offsets below this node count.
+  size_t federation_nodes = 2;
+  /// Timeline shape for lecture rooms.
+  TimelineOptions timeline{};
+};
+
+/// Seeded, deterministic workload generator: the same (seed, options)
+/// pair yields a byte-identical trace on every run and platform — the
+/// contract that makes a failing CI seed replayable locally.
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(uint64_t seed, GeneratorOptions options);
+
+  /// Composes the trace for the configured mix, sorted by time.
+  WorkloadTrace Generate();
+
+ private:
+  /// Next activity timestamp after `t`: the base gap shrunk where the
+  /// diurnal curve peaks, with +/-25% seeded jitter.
+  MicrosT NextActivityAt(MicrosT t, MicrosT base_gap_micros);
+
+  void GenerateLecture(WorkloadTrace& trace, const std::string& room,
+                       MicrosT open_at, std::vector<int> slots);
+  void GenerateConsult(WorkloadTrace& trace, const std::string& room,
+                       MicrosT open_at, std::vector<int> slots);
+  void GenerateBrowse(WorkloadTrace& trace, const std::string& room,
+                      MicrosT open_at, int slot);
+  void GenerateFaultSchedule(WorkloadTrace& trace);
+
+  uint64_t seed_;
+  GeneratorOptions options_;
+  Rng rng_;
+};
+
+}  // namespace mmconf::workload
+
+#endif  // MMCONF_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,73 @@
+#include "workload/timeline.h"
+
+#include <memory>
+#include <utility>
+
+#include "doc/builder.h"
+
+namespace mmconf::workload {
+
+std::string TimelineSegmentName(size_t index) {
+  return "seg-" + std::to_string(index);
+}
+
+Result<doc::MultimediaDocument> MakeTimelineDocument(
+    const TimelineOptions& options) {
+  if (options.segments == 0) {
+    return Status::InvalidArgument("timeline needs at least one segment");
+  }
+  doc::TreeBuilder builder("timeline");
+  builder.Group("timeline", "schedule");
+  for (size_t i = 0; i < options.segments; ++i) {
+    builder.Leaf("schedule", TimelineSegmentName(i),
+                 {"Image", static_cast<uint64_t>(i + 1),
+                  options.segment_bytes},
+                 doc::ImagePresentations());
+  }
+  builder.Leaf("timeline", "notes", {"Text", 1, 2048},
+               doc::TextPresentations());
+  auto document = builder.Build();
+  if (!document.ok()) return document.status();
+  doc::MultimediaDocument timeline = std::move(document).value();
+
+  // The first segment opens the show; everything else enters hidden and
+  // is previewed only while its predecessor is live.
+  const std::vector<std::string> kLiveFirst = {"flat", "segmented",
+                                               "thumbnail", "icon", "hidden"};
+  const std::vector<std::string> kPreview = {"thumbnail", "icon", "hidden",
+                                             "flat", "segmented"};
+  const std::vector<std::string> kHiddenFirst = {"hidden", "icon",
+                                                 "thumbnail", "flat",
+                                                 "segmented"};
+  Status status = timeline.SetUnconditionalPreferenceByName(
+      TimelineSegmentName(0), kLiveFirst);
+  if (!status.ok()) return status;
+  for (size_t i = 1; i < options.segments; ++i) {
+    const std::string segment = TimelineSegmentName(i);
+    const std::string predecessor = TimelineSegmentName(i - 1);
+    status = timeline.SetParentsByName(segment, {predecessor});
+    if (!status.ok()) return status;
+    for (const std::string& parent_value : kLiveFirst) {
+      status = timeline.SetPreferenceByName(
+          segment, {parent_value},
+          parent_value == "flat" ? kPreview : kHiddenFirst);
+      if (!status.ok()) return status;
+    }
+  }
+  status = timeline.Finalize();
+  if (!status.ok()) return status;
+  return timeline;
+}
+
+std::vector<MicrosT> TimelineBoundaries(const TimelineOptions& options,
+                                        MicrosT start) {
+  std::vector<MicrosT> boundaries;
+  boundaries.reserve(options.segments);
+  for (size_t i = 0; i < options.segments; ++i) {
+    boundaries.push_back(start + static_cast<MicrosT>(i) *
+                                     options.segment_interval_micros);
+  }
+  return boundaries;
+}
+
+}  // namespace mmconf::workload

@@ -1,0 +1,50 @@
+#ifndef MMCONF_WORKLOAD_TIMELINE_H_
+#define MMCONF_WORKLOAD_TIMELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "doc/document.h"
+
+namespace mmconf::workload {
+
+/// Shape of a scheduled media timeline ("Media Objects in Time",
+/// PAPERS.md): an ordered run of media segments, each live for one
+/// interval, with the next segment previewed while the current one
+/// plays.
+struct TimelineOptions {
+  size_t segments = 4;
+  MicrosT segment_interval_micros = 2'000'000;
+  /// Full content bytes per segment (cost-model input).
+  size_t segment_bytes = 262'144;
+};
+
+/// Name of segment `index` in a timeline document ("seg-<index>").
+std::string TimelineSegmentName(size_t index);
+
+/// Builds the timeline document pattern: a "timeline" root holding a
+/// "schedule" composite of image segments seg-0..seg-N-1 plus a "notes"
+/// text leaf. Author preferences encode the schedule semantics:
+///
+///   seg-0       : flat first (the timeline opens on its first segment)
+///   seg-i (i>0) : conditioned on seg-(i-1) — while the predecessor is
+///                 live ("flat"), the successor is previewed (thumbnail
+///                 first); in every other context it stays hidden first.
+///
+/// Advancing the timeline is a pair of viewer choices per boundary
+/// (predecessor -> hidden, successor -> flat), which the generator emits
+/// on schedule; the CP-net then pulls the following segment's preview in
+/// by itself. The document is finalized and ready for a room.
+Result<doc::MultimediaDocument> MakeTimelineDocument(
+    const TimelineOptions& options);
+
+/// Absolute virtual times at which segment k goes live, k = 0..N-1:
+/// `start + k * segment_interval_micros`.
+std::vector<MicrosT> TimelineBoundaries(const TimelineOptions& options,
+                                        MicrosT start);
+
+}  // namespace mmconf::workload
+
+#endif  // MMCONF_WORKLOAD_TIMELINE_H_

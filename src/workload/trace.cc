@@ -1,0 +1,84 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+
+namespace mmconf::workload {
+
+const char* EventKindToString(EventKind kind) {
+  switch (kind) {
+    case EventKind::kOpenRoom:
+      return "open_room";
+    case EventKind::kCloseRoom:
+      return "close_room";
+    case EventKind::kJoin:
+      return "join";
+    case EventKind::kLeave:
+      return "leave";
+    case EventKind::kSetContext:
+      return "set_context";
+    case EventKind::kChoice:
+      return "choice";
+    case EventKind::kOperation:
+      return "operation";
+    case EventKind::kBroadcast:
+      return "broadcast";
+    case EventKind::kOpenStream:
+      return "open_stream";
+    case EventKind::kMigrateRoom:
+      return "migrate_room";
+    case EventKind::kHostBroadcast:
+      return "host_broadcast";
+    case EventKind::kAdmitViewers:
+      return "admit_viewers";
+    case EventKind::kPushFrame:
+      return "push_frame";
+    case EventKind::kLinkFlap:
+      return "link_flap";
+    case EventKind::kShardCrash:
+      return "shard_crash";
+  }
+  return "unknown";
+}
+
+std::string WorkloadEvent::ToText() const {
+  std::string line = std::to_string(at);
+  line += ' ';
+  line += EventKindToString(kind);
+  line += " room=";
+  line += room;
+  line += " viewer=";
+  line += viewer;
+  line += " component=";
+  line += component;
+  line += " presentation=";
+  line += presentation;
+  line += " client=";
+  line += std::to_string(client);
+  line += " a=";
+  line += std::to_string(a);
+  line += " b=";
+  line += std::to_string(b);
+  line += ' ';
+  line += ContextToString(context);
+  return line;
+}
+
+void WorkloadTrace::SortByTime() {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const WorkloadEvent& x, const WorkloadEvent& y) {
+                     return x.at < y.at;
+                   });
+}
+
+std::string WorkloadTrace::ToText() const {
+  std::string out = "workload scenario=" + scenario +
+                    " seed=" + std::to_string(seed) +
+                    " events=" + std::to_string(events.size()) + "\n";
+  for (const WorkloadEvent& event : events) {
+    out += event.ToText();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace mmconf::workload

@@ -1,0 +1,75 @@
+#ifndef MMCONF_WORKLOAD_TRACE_H_
+#define MMCONF_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "workload/context.h"
+
+namespace mmconf::workload {
+
+/// Primitive events a workload trace is composed of. Scenario shapes
+/// (flash crowds, speaker handoffs, timeline progressions, fault
+/// schedules) are compositions of these primitives, so one driver can
+/// replay any mix.
+enum class EventKind : uint8_t {
+  kOpenRoom = 0,   ///< a = doc kind (0 medical, 1 timeline), b = segments
+  kCloseRoom,
+  kJoin,           ///< client slot + context; pins tuning evidence
+  kLeave,
+  kSetContext,     ///< context changed mid-session; evidence re-pinned
+  kChoice,         ///< component/presentation selection
+  kOperation,      ///< a = server::ActionType, b = globally_important
+  kBroadcast,      ///< a = bytes
+  kOpenStream,     ///< a = object count, b = per-object interval micros
+  kMigrateRoom,    ///< a = target-node offset from the owner
+  kHostBroadcast,  ///< a = expected audience (lecture fan-out)
+  kAdmitViewers,   ///< a = aggregated viewer count at context's level
+  kPushFrame,      ///< compose + fan out one broadcast frame
+  kLinkFlap,       ///< a = outage micros on the client's last mile
+  kShardCrash,     ///< a = shard index, b = storage::WalCrashKind
+};
+
+const char* EventKindToString(EventKind kind);
+
+/// One timestamped workload event. Which fields are meaningful depends
+/// on the kind (see EventKind); unused fields keep their defaults so the
+/// text rendering stays canonical.
+struct WorkloadEvent {
+  MicrosT at = 0;
+  EventKind kind = EventKind::kOpenRoom;
+  std::string room;
+  std::string viewer;
+  std::string component;
+  std::string presentation;
+  int client = -1;  ///< client slot in the driver's population, -1 = none
+  uint64_t a = 0;   ///< kind-specific scalar (see EventKind comments)
+  uint64_t b = 0;   ///< second kind-specific scalar
+  ClientContext context{};
+
+  /// Canonical one-line rendering (every field, fixed order).
+  std::string ToText() const;
+};
+
+/// A generated workload: the seed and scenario it came from plus the
+/// time-ordered event list. Determinism contract: generating twice from
+/// the same seed and options yields byte-identical ToText() — the
+/// property tests/workload_test.cc pins and CI replays rely on.
+struct WorkloadTrace {
+  uint64_t seed = 0;
+  std::string scenario;
+  std::vector<WorkloadEvent> events;
+
+  /// Stable-sorts events by timestamp (ties keep generation order, which
+  /// is how bursts at one instant stay causally ordered).
+  void SortByTime();
+
+  /// Header line plus one line per event; byte-deterministic.
+  std::string ToText() const;
+};
+
+}  // namespace mmconf::workload
+
+#endif  // MMCONF_WORKLOAD_TRACE_H_

@@ -1,0 +1,244 @@
+// Tests for src/workload/: generator determinism (the seed-replay
+// contract CI relies on), scenario shapes (flash crowds, handoffs,
+// diurnal density), context evidence collapse, the timeline document
+// pattern, and chaos-run determinism down to byte-identical metrics
+// snapshots.
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "workload/chaos.h"
+#include "workload/context.h"
+#include "workload/generator.h"
+#include "workload/timeline.h"
+#include "workload/trace.h"
+
+namespace mmconf::workload {
+namespace {
+
+GeneratorOptions SmallOptions(ScenarioMix mix) {
+  GeneratorOptions options;
+  options.mix = mix;
+  options.rooms = 2;
+  options.clients = 8;
+  options.duration_micros = 8'000'000;
+  return options;
+}
+
+TEST(WorkloadGeneratorTest, SameSeedYieldsByteIdenticalTrace) {
+  for (ScenarioMix mix : {ScenarioMix::kLecture, ScenarioMix::kConsult,
+                          ScenarioMix::kBrowse, ScenarioMix::kMixed}) {
+    WorkloadTrace a = WorkloadGenerator(42, SmallOptions(mix)).Generate();
+    WorkloadTrace b = WorkloadGenerator(42, SmallOptions(mix)).Generate();
+    EXPECT_EQ(a.ToText(), b.ToText())
+        << "mix " << ScenarioMixToString(mix) << " not deterministic";
+    EXPECT_FALSE(a.events.empty());
+  }
+}
+
+TEST(WorkloadGeneratorTest, DifferentSeedsDiverge) {
+  WorkloadTrace a =
+      WorkloadGenerator(1, SmallOptions(ScenarioMix::kConsult)).Generate();
+  WorkloadTrace b =
+      WorkloadGenerator(2, SmallOptions(ScenarioMix::kConsult)).Generate();
+  EXPECT_NE(a.ToText(), b.ToText());
+}
+
+TEST(WorkloadGeneratorTest, TraceIsTimeOrdered) {
+  WorkloadTrace trace =
+      WorkloadGenerator(7, SmallOptions(ScenarioMix::kMixed)).Generate();
+  for (size_t i = 1; i < trace.events.size(); ++i) {
+    EXPECT_LE(trace.events[i - 1].at, trace.events[i].at) << "index " << i;
+  }
+}
+
+TEST(WorkloadGeneratorTest, LectureHasFlashCrowdAndHandoff) {
+  GeneratorOptions options = SmallOptions(ScenarioMix::kLecture);
+  options.rooms = 1;
+  WorkloadTrace trace = WorkloadGenerator(3, options).Generate();
+
+  MicrosT open_at = -1;
+  size_t early_joins = 0, admits = 0, frames = 0, leaves = 0;
+  bool hosted = false, handoff = false, migrated = false;
+  for (const WorkloadEvent& e : trace.events) {
+    switch (e.kind) {
+      case EventKind::kOpenRoom:
+        open_at = e.at;
+        EXPECT_EQ(e.a, 1u) << "lecture rooms open on timeline documents";
+        break;
+      case EventKind::kJoin:
+        if (open_at >= 0 && e.at <= open_at + 300'000) ++early_joins;
+        break;
+      case EventKind::kHostBroadcast:
+        hosted = true;
+        EXPECT_GT(e.a, 0u);
+        break;
+      case EventKind::kAdmitViewers:
+        ++admits;
+        break;
+      case EventKind::kPushFrame:
+        ++frames;
+        break;
+      case EventKind::kBroadcast:
+        if (e.presentation == "handoff") handoff = true;
+        break;
+      case EventKind::kMigrateRoom:
+        migrated = true;
+        break;
+      case EventKind::kLeave:
+        ++leaves;
+        break;
+      default:
+        break;
+    }
+  }
+  // Flash crowd: most of the audience piles in within 300ms of open.
+  EXPECT_GE(early_joins, 4u);
+  EXPECT_TRUE(hosted);
+  EXPECT_GE(admits, 2u);
+  EXPECT_GE(frames, 1u);
+  EXPECT_TRUE(handoff) << "mid-lecture speaker handoff missing";
+  EXPECT_TRUE(migrated);
+  // Mass leave after the lecture body.
+  EXPECT_GE(leaves, 2u);
+}
+
+TEST(WorkloadGeneratorTest, DiurnalCurveDensifiesMidRun) {
+  GeneratorOptions options = SmallOptions(ScenarioMix::kConsult);
+  options.duration_micros = 12'000'000;
+  WorkloadTrace trace = WorkloadGenerator(11, options).Generate();
+  // Activity spacing shrinks where the load curve peaks, so the middle
+  // third of the run carries more events than the first third.
+  const MicrosT third = options.duration_micros / 3;
+  size_t first = 0, middle = 0;
+  for (const WorkloadEvent& e : trace.events) {
+    if (e.at < third) {
+      ++first;
+    } else if (e.at < 2 * third) {
+      ++middle;
+    }
+  }
+  EXPECT_GT(middle, first);
+}
+
+TEST(WorkloadGeneratorTest, FaultScheduleCoversNetAndStorage) {
+  WorkloadTrace trace =
+      WorkloadGenerator(5, SmallOptions(ScenarioMix::kConsult)).Generate();
+  size_t flaps = 0, crashes = 0;
+  for (const WorkloadEvent& e : trace.events) {
+    if (e.kind == EventKind::kLinkFlap) {
+      ++flaps;
+      EXPECT_GT(e.a, 0u) << "flap without an outage duration";
+    }
+    if (e.kind == EventKind::kShardCrash) {
+      ++crashes;
+      EXPECT_LT(e.a, SmallOptions(ScenarioMix::kConsult).storage_shards);
+    }
+  }
+  EXPECT_GE(flaps, 1u);
+  EXPECT_EQ(crashes, 2u);
+}
+
+TEST(ClientContextTest, EffectiveLevelCapsAndDegrades) {
+  ClientContext ctx;
+  EXPECT_EQ(EffectiveLevel(ctx), doc::BandwidthLevel::kHigh);
+  ctx.device = DeviceClass::kHandheld;
+  EXPECT_EQ(EffectiveLevel(ctx), doc::BandwidthLevel::kMedium);
+  ctx.focus = FocusState::kBackground;
+  EXPECT_EQ(EffectiveLevel(ctx), doc::BandwidthLevel::kLow);
+  ctx = {doc::BandwidthLevel::kLow, DeviceClass::kWorkstation,
+         FocusState::kBackground};
+  EXPECT_EQ(EffectiveLevel(ctx), doc::BandwidthLevel::kLow);
+}
+
+TEST(ClientContextTest, RenderingIsCanonical) {
+  ClientContext ctx{doc::BandwidthLevel::kMedium, DeviceClass::kLaptop,
+                    FocusState::kBackground};
+  EXPECT_EQ(ContextToString(ctx), "bw=medium dev=laptop focus=bg");
+}
+
+TEST(TimelineTest, DocumentHasScheduledSegments) {
+  TimelineOptions options;
+  options.segments = 4;
+  Result<doc::MultimediaDocument> doc = MakeTimelineDocument(options);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  std::set<std::string> names;
+  for (const auto* component : doc.value().components()) {
+    names.insert(component->name());
+  }
+  for (size_t i = 0; i < options.segments; ++i) {
+    EXPECT_TRUE(names.count(TimelineSegmentName(i)))
+        << "missing " << TimelineSegmentName(i);
+  }
+  EXPECT_TRUE(names.count("notes"));
+  // Round-trips through the storage encoding.
+  Result<doc::MultimediaDocument> decoded =
+      doc::MultimediaDocument::Decode(doc.value().Encode());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().Encode(), doc.value().Encode());
+}
+
+TEST(TimelineTest, BoundariesAreEvenlySpaced) {
+  TimelineOptions options;
+  options.segments = 3;
+  options.segment_interval_micros = 1'000'000;
+  std::vector<MicrosT> boundaries = TimelineBoundaries(options, 500'000);
+  ASSERT_EQ(boundaries.size(), 3u);
+  EXPECT_EQ(boundaries[0], 500'000);
+  EXPECT_EQ(boundaries[1], 1'500'000);
+  EXPECT_EQ(boundaries[2], 2'500'000);
+}
+
+TEST(ChaosDriverTest, InvariantsHoldUnderFaults) {
+  WorkloadTrace trace =
+      WorkloadGenerator(1, SmallOptions(ScenarioMix::kConsult)).Generate();
+  ChaosDriver driver({});
+  Result<ChaosReport> report = driver.Run(trace);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const ChaosReport& r = report.value();
+  EXPECT_TRUE(r.invariants.AllHeld())
+      << (r.invariants.violations.empty()
+              ? std::string("no detail")
+              : r.invariants.violations.front());
+  EXPECT_GT(r.events_applied, 0u);
+  EXPECT_EQ(r.shard_crashes, 2u);
+  EXPECT_TRUE(r.invariants.storage_recovery_exact);
+  EXPECT_TRUE(r.invariants.base_layers_intact);
+}
+
+TEST(ChaosDriverTest, SecondRunRejected) {
+  WorkloadTrace trace =
+      WorkloadGenerator(1, SmallOptions(ScenarioMix::kBrowse)).Generate();
+  ChaosDriver driver({});
+  ASSERT_TRUE(driver.Run(trace).ok());
+  EXPECT_FALSE(driver.Run(trace).ok());
+}
+
+TEST(ChaosDriverTest, MetricsSnapshotsAreByteIdenticalAcrossRuns) {
+  WorkloadTrace trace =
+      WorkloadGenerator(9, SmallOptions(ScenarioMix::kMixed)).Generate();
+
+  obs::MetricsRegistry metrics_a;
+  ChaosDriver driver_a({}, &metrics_a);
+  Result<ChaosReport> report_a = driver_a.Run(trace);
+  ASSERT_TRUE(report_a.ok()) << report_a.status().ToString();
+
+  obs::MetricsRegistry metrics_b;
+  ChaosDriver driver_b({}, &metrics_b);
+  Result<ChaosReport> report_b = driver_b.Run(trace);
+  ASSERT_TRUE(report_b.ok()) << report_b.status().ToString();
+
+  // The whole stack is virtual-time deterministic, so two runs of the
+  // same trace agree down to the serialized metrics snapshot.
+  EXPECT_EQ(metrics_a.Snapshot().ToJson(), metrics_b.Snapshot().ToJson());
+  EXPECT_EQ(report_a.value().events_applied, report_b.value().events_applied);
+  EXPECT_EQ(report_a.value().wire_bytes, report_b.value().wire_bytes);
+  EXPECT_EQ(report_a.value().end_micros, report_b.value().end_micros);
+}
+
+}  // namespace
+}  // namespace mmconf::workload

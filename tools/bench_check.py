@@ -70,10 +70,14 @@ def main():
                         help="comma-separated keys to ignore (wall-clock)")
     args = parser.parse_args()
 
-    with open(args.baseline) as f:
-        base = json.load(f)
-    with open(args.fresh) as f:
-        fresh = json.load(f)
+    try:
+        with open(args.baseline) as f:
+            base = json.load(f)
+        with open(args.fresh) as f:
+            fresh = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_check: cannot load report: {e}")
+        return 2
 
     violations = []
     skip = {k for k in args.skip.split(",") if k}

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Tests for tools/bench_check.py — the bench-gate comparator CI runs.
+
+Covers the failure modes the gate must catch (missing/extra keys,
+tolerance edges, flipped booleans, shape changes, malformed JSON) and
+that every violation in a file pair is reported in one pass. Pure
+stdlib; run directly or via unittest discovery:
+
+    python3 tools/bench_check_test.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+CHECK = os.path.join(os.path.dirname(os.path.abspath(__file__)), "bench_check.py")
+
+
+def run_check(baseline, fresh, *extra_args, write_fresh=True):
+    """Writes both documents to temp files and runs bench_check.py."""
+    with tempfile.TemporaryDirectory() as tmp:
+        base_path = os.path.join(tmp, "baseline.json")
+        fresh_path = os.path.join(tmp, "fresh.json")
+        with open(base_path, "w") as f:
+            if isinstance(baseline, str):
+                f.write(baseline)
+            else:
+                json.dump(baseline, f)
+        with open(fresh_path, "w") as f:
+            if isinstance(fresh, str):
+                f.write(fresh)
+            else:
+                json.dump(fresh, f)
+        return subprocess.run(
+            [sys.executable, CHECK, base_path, fresh_path, *extra_args],
+            capture_output=True,
+            text=True,
+        )
+
+
+BASE = {
+    "bench": "suite",
+    "smoke": True,
+    "cells": [{"metric": 100, "held": True}, {"metric": 200, "held": True}],
+    "baseline_us": 5000,
+}
+
+
+class BenchCheckTest(unittest.TestCase):
+    def test_identical_reports_pass(self):
+        result = run_check(BASE, BASE)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_within_tolerance_passes(self):
+        fresh = json.loads(json.dumps(BASE))
+        fresh["cells"][0]["metric"] = 124  # +24% < 25%
+        self.assertEqual(run_check(BASE, fresh).returncode, 0)
+
+    def test_outside_tolerance_fails(self):
+        fresh = json.loads(json.dumps(BASE))
+        fresh["cells"][0]["metric"] = 126  # +26% > 25%
+        result = run_check(BASE, fresh)
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("metric", result.stdout)
+
+    def test_tolerance_flag_respected(self):
+        fresh = json.loads(json.dumps(BASE))
+        fresh["cells"][0]["metric"] = 140  # +40%
+        self.assertNotEqual(run_check(BASE, fresh).returncode, 0)
+        self.assertEqual(run_check(BASE, fresh, "--tolerance", "0.5").returncode, 0)
+
+    def test_baseline_zero_requires_fresh_zero(self):
+        self.assertNotEqual(run_check({"n": 0}, {"n": 1}).returncode, 0)
+        self.assertEqual(run_check({"n": 0}, {"n": 0}).returncode, 0)
+
+    def test_missing_key_fails(self):
+        fresh = json.loads(json.dumps(BASE))
+        del fresh["cells"][1]["held"]
+        result = run_check(BASE, fresh)
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("missing", result.stdout)
+
+    def test_extra_keys_in_fresh_are_allowed(self):
+        # New metrics may land before the baseline is regenerated; only
+        # baseline keys gate.
+        fresh = json.loads(json.dumps(BASE))
+        fresh["new_metric"] = 7
+        self.assertEqual(run_check(BASE, fresh).returncode, 0)
+
+    def test_boolean_flip_fails_even_within_numeric_tolerance(self):
+        # bool is an int subclass in Python; True -> False must fail even
+        # though 0 and 1 could slip through a numeric comparison.
+        fresh = json.loads(json.dumps(BASE))
+        fresh["cells"][1]["held"] = False
+        result = run_check(BASE, fresh)
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("held", result.stdout)
+
+    def test_bool_baseline_rejects_numeric_fresh(self):
+        self.assertNotEqual(run_check({"ok": True}, {"ok": 1}).returncode, 0)
+
+    def test_string_mismatch_fails(self):
+        self.assertNotEqual(
+            run_check({"bench": "a"}, {"bench": "b"}).returncode, 0
+        )
+
+    def test_array_length_change_fails(self):
+        fresh = json.loads(json.dumps(BASE))
+        fresh["cells"].pop()
+        result = run_check(BASE, fresh)
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("length", result.stdout)
+
+    def test_shape_change_fails(self):
+        self.assertNotEqual(run_check({"a": {"b": 1}}, {"a": [1]}).returncode, 0)
+
+    def test_wall_clock_keys_skipped(self):
+        fresh = json.loads(json.dumps(BASE))
+        fresh["baseline_us"] = 999999  # wall clock: never gated
+        self.assertEqual(run_check(BASE, fresh).returncode, 0)
+
+    def test_malformed_fresh_json_fails_cleanly(self):
+        result = run_check(BASE, "{not json")
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("cannot load", result.stdout)
+        self.assertEqual(result.stderr, "")
+
+    def test_malformed_baseline_json_fails_cleanly(self):
+        result = run_check("][", {"n": 1})
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("cannot load", result.stdout)
+
+    def test_missing_file_fails_cleanly(self):
+        result = subprocess.run(
+            [sys.executable, CHECK, "/no/such/base.json", "/no/such/fresh.json"],
+            capture_output=True,
+            text=True,
+        )
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("cannot load", result.stdout)
+
+    def test_all_violations_reported_in_one_pass(self):
+        fresh = json.loads(json.dumps(BASE))
+        fresh["cells"][0]["metric"] = 1000  # out of tolerance
+        fresh["cells"][1]["held"] = False  # boolean flip
+        del fresh["smoke"]  # missing key
+        result = run_check(BASE, fresh)
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("3 violation(s)", result.stdout)
+        self.assertIn("metric", result.stdout)
+        self.assertIn("held", result.stdout)
+        self.assertIn("smoke", result.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -34,6 +34,11 @@ namespace {
 
 using namespace mmconf;
 
+/// --node_loss: run every cell with WAL-shipping replication (one
+/// follower per shard) and a scheduled primary-loss event, so follower
+/// promotion is exercised under the standing chaos gate.
+bool g_node_loss = false;
+
 workload::GeneratorOptions OptionsFor(workload::ScenarioMix mix) {
   workload::GeneratorOptions options;
   options.mix = mix;
@@ -59,6 +64,7 @@ workload::GeneratorOptions OptionsFor(workload::ScenarioMix mix) {
       options.duration_micros = 12'000'000;
       break;
   }
+  options.inject_node_loss = g_node_loss;
   return options;
 }
 
@@ -80,7 +86,9 @@ ChaosCell RunCell(workload::ScenarioMix mix, uint64_t seed,
   cell.mix = mix;
   cell.seed = seed;
   workload::WorkloadTrace trace = GenerateCell(mix, seed);
-  workload::ChaosDriver driver({}, metrics);
+  workload::ChaosOptions chaos_options;
+  if (g_node_loss) chaos_options.replication_followers = 1;
+  workload::ChaosDriver driver(chaos_options, metrics);
   cell.report = driver.Run(trace).value();
   return cell;
 }
@@ -101,10 +109,11 @@ void PrintCell(const ChaosCell& cell, const char* argv0) {
     for (const std::string& sample : r.skip_samples) {
       std::printf("    skipped: %s\n", sample.c_str());
     }
-    std::printf("    repro: %s --smoke --scenario=%s --seed=%llu "
+    std::printf("    repro: %s --smoke%s --scenario=%s --seed=%llu "
                 "--metrics_out=chaos-metrics.json "
                 "--trace_out=chaos-trace.txt\n",
-                argv0, workload::ScenarioMixToString(cell.mix),
+                argv0, g_node_loss ? " --node_loss" : "",
+                workload::ScenarioMixToString(cell.mix),
                 static_cast<unsigned long long>(cell.seed));
   }
 }
@@ -129,17 +138,19 @@ bool WriteJson(const std::string& path, const std::vector<ChaosCell>& cells,
         "\"applied\": %zu, \"skipped\": %zu, \"rooms_opened\": %zu, "
         "\"rooms_closed\": %zu, \"migrations\": %zu, "
         "\"migrations_failed\": %zu, \"shard_crashes\": %zu, "
+        "\"node_losses\": %zu, \"promotions\": %zu, "
         "\"streams\": %zu, \"frames\": %zu, \"wire_bytes\": %zu, "
         "\"end_ms\": %.1f, \"max_stall_ms\": %.2f, \"max_t2c_ms\": %.2f, "
         "\"base_layers_intact\": %s, \"storage_recovery_exact\": %s, "
         "\"rooms_converged\": %s, \"serialize_converged\": %s, "
         "\"stalls_within_budget\": %s, \"t2c_within_budget\": %s, "
+        "\"replication_failover_exact\": %s, "
         "\"invariants_held\": %s}%s\n",
         workload::ScenarioMixToString(cell.mix),
         static_cast<unsigned long long>(cell.seed), r.events_total,
         r.events_applied, r.events_skipped, r.rooms_opened, r.rooms_closed,
-        r.migrations, r.migrations_failed, r.shard_crashes,
-        r.streams_opened, r.broadcast_frames, r.wire_bytes,
+        r.migrations, r.migrations_failed, r.shard_crashes, r.node_losses,
+        r.promotions, r.streams_opened, r.broadcast_frames, r.wire_bytes,
         static_cast<double>(r.end_micros) / 1000.0,
         static_cast<double>(r.max_stall_micros) / 1000.0,
         static_cast<double>(r.max_t2c_micros) / 1000.0,
@@ -149,6 +160,7 @@ bool WriteJson(const std::string& path, const std::vector<ChaosCell>& cells,
         inv.serialize_converged ? "true" : "false",
         inv.stalls_within_budget ? "true" : "false",
         inv.t2c_within_budget ? "true" : "false",
+        inv.replication_failover_exact ? "true" : "false",
         inv.AllHeld() ? "true" : "false", i + 1 < cells.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
@@ -193,6 +205,8 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--node_loss") == 0) {
+      g_node_loss = true;
     } else if (std::strncmp(argv[i], "--json_out=", 11) == 0) {
       json_path = argv[i] + 11;
     } else if (std::strncmp(argv[i], "--metrics_out=", 14) == 0) {

@@ -101,6 +101,14 @@ size_t Tracer::BeginSpan(int pid, int tid, const char* name,
   return events_.size() - 1;
 }
 
+size_t Tracer::open_spans() const {
+  size_t open = 0;
+  for (const Event& event : events_) {
+    if (event.phase == 'X' && event.dur < 0) ++open;
+  }
+  return open;
+}
+
 void Tracer::EndSpan(size_t handle) {
   if (handle >= events_.size()) return;
   Event& event = events_[handle];

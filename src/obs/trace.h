@@ -68,6 +68,10 @@ class Tracer {
   void CounterSample(int pid, const char* name, int64_t value);
 
   size_t num_events() const { return events_.size(); }
+  /// Spans begun but never ended — a leaked guard (an early-error
+  /// return that skipped EndSpan) shows up here; a healthy timeline
+  /// reports 0 once the traced operations have returned.
+  size_t open_spans() const;
   void Clear();
 
   /// Chrome trace JSON: {"traceEvents": [...]}. Events appear in record
@@ -96,6 +100,52 @@ class Tracer {
   std::vector<Event> events_;
   std::map<std::pair<int, std::string>, int> tids_;
   std::map<int, int> next_tid_;  ///< per pid, starts at 1
+};
+
+/// RAII guard over BeginSpan/EndSpan: the span closes when the guard
+/// leaves scope, so early-error returns cannot leak an open span (a
+/// leaked span renders as dur -1 and poisons the timeline). A null
+/// tracer makes the guard a no-op, matching the optional-observer
+/// convention across the tiers.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ScopedSpan(Tracer* tracer, int pid, int tid, const char* name,
+             const char* category)
+      : tracer_(tracer) {
+    if (tracer_ != nullptr) {
+      handle_ = tracer_->BeginSpan(pid, tid, name, category);
+    }
+  }
+  ~ScopedSpan() { End(); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ScopedSpan(ScopedSpan&& other) noexcept
+      : tracer_(other.tracer_), handle_(other.handle_) {
+    other.tracer_ = nullptr;
+  }
+  ScopedSpan& operator=(ScopedSpan&& other) noexcept {
+    if (this != &other) {
+      End();
+      tracer_ = other.tracer_;
+      handle_ = other.handle_;
+      other.tracer_ = nullptr;
+    }
+    return *this;
+  }
+
+  /// Closes the span early (idempotent).
+  void End() {
+    if (tracer_ != nullptr) {
+      tracer_->EndSpan(handle_);
+      tracer_ = nullptr;
+    }
+  }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  size_t handle_ = 0;
 };
 
 }  // namespace mmconf::obs

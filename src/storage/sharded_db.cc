@@ -340,26 +340,44 @@ ShardedDatabaseServer::TypeSpecs() const {
   return specs;
 }
 
-void ShardedDatabaseServer::RebuildIdCounters() {
-  next_ids_.clear();
-  for (const auto& [entry, schema] : TypeSpecs()) {
+Status ShardedDatabaseServer::RebuildIdCounters() {
+  // The type universe is the union across shards so that asymmetry in
+  // either direction — a recovered image rolled back past a
+  // registration, or a replicated image ahead of the survivors — is
+  // caught here instead of asserting inside Result::value().
+  std::vector<std::string> universe;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    for (const MediaTypeEntry& entry : shard->db->catalog().ListTypes()) {
+      if (std::find(universe.begin(), universe.end(), entry.type_name) ==
+          universe.end()) {
+        universe.push_back(entry.type_name);
+      }
+    }
+  }
+  std::map<std::string, ObjectId> rebuilt;
+  for (const std::string& type : universe) {
     ObjectId next = 1;
-    for (const std::unique_ptr<Shard>& shard : shards_) {
-      const ObjectTable* table =
-          shard->db->catalog().TableFor(entry.type_name).value();
-      std::vector<ObjectId> ids = table->Ids();
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      Result<const ObjectTable*> table =
+          shards_[i]->db->catalog().TableFor(type);
+      if (!table.ok()) {
+        return Status::NotFound("shard " + std::to_string(i) +
+                                " has no table for registered type '" + type +
+                                "': shard catalogs disagree");
+      }
+      std::vector<ObjectId> ids = (*table)->Ids();
       if (!ids.empty()) next = std::max(next, ids.back() + 1);
     }
-    next_ids_[entry.type_name] = next;
+    rebuilt[type] = next;
   }
+  next_ids_ = std::move(rebuilt);
+  return Status::OK();
 }
 
 Status ShardedDatabaseServer::Rebalance(size_t new_num_shards) {
   new_num_shards = std::max<size_t>(1, new_num_shards);
-  size_t span = 0;
-  if (tracer_ != nullptr) {
-    span = tracer_->BeginSpan(trace_pid_, trace_tid_, "rebalance", "storage");
-  }
+  obs::ScopedSpan span(tracer_, trace_pid_, trace_tid_, "rebalance",
+                       "storage");
   SyncAll();
   std::vector<std::pair<MediaTypeEntry, std::vector<FieldDef>>> specs =
       TypeSpecs();
@@ -421,9 +439,8 @@ Status ShardedDatabaseServer::Rebalance(size_t new_num_shards) {
     metrics_->GetGauge("storage.num_shards")
         ->Set(static_cast<int64_t>(shards_.size()));
   }
-  RebuildIdCounters();
+  MMCONF_RETURN_IF_ERROR(RebuildIdCounters());
   if (m_rebalances_ != nullptr) m_rebalances_->Add(1);
-  if (tracer_ != nullptr) tracer_->EndSpan(span);
   return Status::OK();
 }
 
@@ -434,33 +451,96 @@ Result<WalReplayStats> ShardedDatabaseServer::ReplayLogInto(
   });
 }
 
+Status ShardedDatabaseServer::HealSchema(DatabaseServer* db,
+                                         WriteAheadLog* wal) const {
+  if (db == nullptr) {
+    return Status::InvalidArgument("HealSchema: null database");
+  }
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    for (const MediaTypeEntry& entry : shard->db->catalog().ListTypes()) {
+      if (db->HasType(entry.type_name)) continue;
+      MMCONF_ASSIGN_OR_RETURN(
+          const ObjectTable* table,
+          shard->db->catalog().TableFor(entry.type_name));
+      std::vector<FieldDef> schema = table->schema();
+      MMCONF_RETURN_IF_ERROR(db->RegisterType(entry, schema));
+      if (wal != nullptr) {
+        wal->Append(WalOp::kRegisterType, EncodeRegisterType(entry, schema));
+      }
+    }
+  }
+  return Status::OK();
+}
+
 Result<WalReplayStats> ShardedDatabaseServer::RecoverShardFromLog(
     size_t index, const Bytes& log) {
   if (index >= shards_.size()) {
     return Status::InvalidArgument("no shard " + std::to_string(index));
   }
-  size_t span = 0;
-  if (tracer_ != nullptr) {
-    span = tracer_->BeginSpan(trace_pid_, trace_tid_, "recover", "storage");
-  }
+  obs::ScopedSpan span(tracer_, trace_pid_, trace_tid_, "recover", "storage");
   auto recovered = std::make_unique<DatabaseServer>();
   MMCONF_ASSIGN_OR_RETURN(WalReplayStats stats,
                           ReplayLogInto(log, recovered.get()));
+  // A type the image knows but the facade does not cannot come from
+  // this facade's history and cannot be healed from the survivors:
+  // refuse before mutating anything (the facade keeps serving its
+  // pre-recovery state).
+  for (const MediaTypeEntry& entry : recovered->catalog().ListTypes()) {
+    if (!HasType(entry.type_name)) {
+      return Status::NotFound("recovered image carries type '" +
+                              entry.type_name +
+                              "' the facade never registered");
+    }
+  }
   Shard& shard = *shards_[index];
   shard.db = std::move(recovered);
   // The WAL restarts from the clean prefix: post-recovery mutations
-  // extend the surviving history, not the damaged image.
+  // extend the surviving history, not the damaged image. Pre-crash
+  // group-commit boundaries that survive in the prefix are kept.
   Bytes clean(log.begin(), log.begin() + stats.bytes_scanned);
-  shard.wal.RestoreDurable(std::move(clean), stats.records_applied);
-  RebuildIdCounters();
+  std::vector<WalSyncPoint> boundaries = shard.wal.sync_points();
+  shard.wal.RestoreDurable(std::move(clean), stats.records_applied,
+                           std::move(boundaries));
+  // Registrations the image rolled back past (or that never group-
+  // committed on a quiet shard) are re-pushed: schema is facade-global
+  // bootstrap metadata, not lost data. The healed records land in the
+  // restored WAL so the image stays replayable.
+  MMCONF_RETURN_IF_ERROR(HealSchema(shard.db.get(), &shard.wal));
+  MMCONF_RETURN_IF_ERROR(RebuildIdCounters());
   if (m_recoveries_ != nullptr) {
     m_recoveries_->Add(1);
     m_replayed_records_->Add(stats.records_applied);
     if (!stats.clean_end) m_truncations_->Add(1);
   }
   RefreshShardGauges(index);
-  if (tracer_ != nullptr) tracer_->EndSpan(span);
   return stats;
+}
+
+Status ShardedDatabaseServer::InstallShard(
+    size_t index, std::unique_ptr<DatabaseServer> db, Bytes wal_log,
+    size_t records, std::vector<WalSyncPoint> boundaries) {
+  if (index >= shards_.size()) {
+    return Status::InvalidArgument("no shard " + std::to_string(index));
+  }
+  if (db == nullptr) {
+    return Status::InvalidArgument("InstallShard: null database");
+  }
+  obs::ScopedSpan span(tracer_, trace_pid_, trace_tid_, "install-shard",
+                      "storage");
+  Shard& shard = *shards_[index];
+  shard.db = std::move(db);
+  shard.wal.RestoreDurable(std::move(wal_log), records, std::move(boundaries));
+  // Registrations the installed image never received (e.g. the primary
+  // lost its machine before a registration group-committed and shipped)
+  // are re-pushed from the surviving shards, WAL records included.
+  MMCONF_RETURN_IF_ERROR(HealSchema(shard.db.get(), &shard.wal));
+  RefreshShardGauges(index);
+  if (m_recoveries_ != nullptr) m_recoveries_->Add(1);
+  // A takeover has no old primary to fall back to: the image stays
+  // installed even when the id-counter rebuild finds it incomplete
+  // (a type the facade never registered cannot be healed away), and
+  // the error surfaces to the replication tier.
+  return RebuildIdCounters();
 }
 
 void ShardedDatabaseServer::SetObserver(obs::MetricsRegistry* metrics,

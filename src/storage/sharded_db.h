@@ -99,9 +99,39 @@ class ShardedDatabaseServer : public ObjectStore {
 
   /// Crash recovery: rebuilds shard `index` from `log` (typically a
   /// WalCrashImage), replacing its DatabaseServer and resetting its WAL
-  /// to the clean prefix so post-recovery appends continue the history.
-  /// Facade id counters are re-derived from the surviving shards.
+  /// to the clean prefix — group-commit boundaries that survive in the
+  /// prefix are preserved so replication shipping keeps its batch
+  /// structure. Type registrations the log rolled back past are healed
+  /// via HealSchema, and facade id counters are re-derived from the
+  /// surviving shards. An image carrying a type the facade never
+  /// registered (impossible from this facade's own history) fails with
+  /// NotFound before anything is mutated.
   Result<WalReplayStats> RecoverShardFromLog(size_t index, const Bytes& log);
+
+  /// Re-registers on `db` every media type the facade knows that `db`
+  /// is missing — the bootstrap step the recovery paths apply to a
+  /// replayed image whose log rolled back past (or, on a quiet shard,
+  /// never group-committed) a registration. Schema is facade-global
+  /// metadata: it is re-pushed like a server re-registering its types
+  /// at startup, not treated as lost data. When `wal` is non-null the
+  /// matching kRegisterType records are appended so the healed image
+  /// stays replayable. No-op for a db already carrying every type.
+  /// Public so drivers can apply the same bootstrap to a control
+  /// replica when checking recovery byte-exactness.
+  Status HealSchema(DatabaseServer* db, WriteAheadLog* wal) const;
+
+  /// Replaces shard `index` wholesale with `db` plus the WAL history
+  /// that produced it — the replication tier's promotion/recovery hook.
+  /// `db` must already hold the state the log describes (snapshot +
+  /// replayed records); `boundaries` carries the group-commit structure
+  /// of `wal_log`. Registrations the image never received are healed
+  /// via HealSchema. Unlike RecoverShardFromLog this does NOT refuse an
+  /// inconsistent image: a takeover has no old primary to fall back to,
+  /// so the image is installed and any id-counter rebuild error (a type
+  /// the facade never registered) surfaces to the caller.
+  Status InstallShard(size_t index, std::unique_ptr<DatabaseServer> db,
+                      Bytes wal_log, size_t records,
+                      std::vector<WalSyncPoint> boundaries);
 
   /// Publishes storage activity into the obs layer: `storage.wal.*`
   /// counters (appends, synced batches, replayed records, truncations),
@@ -127,8 +157,12 @@ class ShardedDatabaseServer : public ObjectStore {
   /// refreshes that shard's gauges.
   void Log(size_t index, WalOp op, const Bytes& payload);
   void RefreshShardGauges(size_t index);
-  /// Recomputes per-type next ids from the shards (recovery/rebalance).
-  void RebuildIdCounters();
+  /// Recomputes per-type next ids from the shards (recovery/rebalance/
+  /// promotion). The type universe is the union across shards; a shard
+  /// missing a table another shard has (a recovered or replicated image
+  /// rolled back past a registration) surfaces as NotFound, with
+  /// `next_ids_` left unchanged.
+  Status RebuildIdCounters();
   /// Registered types with their schemas, from shard 0 (all shards
   /// agree by construction).
   std::vector<std::pair<MediaTypeEntry, std::vector<FieldDef>>> TypeSpecs()

@@ -60,13 +60,30 @@ void WriteAheadLog::Truncate() {
   last_sync_at_ = clock_ != nullptr ? clock_->NowMicros() : 0;
 }
 
-void WriteAheadLog::RestoreDurable(Bytes log, size_t records) {
+void WriteAheadLog::RestoreDurable(Bytes log, size_t records,
+                                   std::vector<WalSyncPoint> boundaries) {
   durable_ = std::move(log);
   pending_.clear();
   durable_records_ = records;
   pending_records_ = 0;
   sync_points_.clear();
-  if (records > 0) sync_points_.push_back({durable_.size(), records});
+  // Keep the strictly ascending prefix of candidate boundaries the
+  // surviving image still covers; a crash that tore the tail or rolled
+  // back to an earlier commit invalidates only the suffix.
+  for (const WalSyncPoint& point : boundaries) {
+    if (point.bytes > durable_.size() || point.records > records) break;
+    if (!sync_points_.empty() &&
+        (point.bytes <= sync_points_.back().bytes ||
+         point.records <= sync_points_.back().records)) {
+      break;
+    }
+    if (point.records == 0) break;
+    sync_points_.push_back(point);
+  }
+  if (records > 0 &&
+      (sync_points_.empty() || sync_points_.back().records < records)) {
+    sync_points_.push_back({durable_.size(), records});
+  }
   next_lsn_ = records + 1;
   last_sync_at_ = clock_ != nullptr ? clock_->NowMicros() : 0;
 }

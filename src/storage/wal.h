@@ -92,7 +92,17 @@ class WriteAheadLog {
   /// Replaces the log with a recovered durable image holding `records`
   /// clean records (the post-crash recovery path). Pending appends are
   /// discarded and lsn assignment resumes after the surviving history.
-  void RestoreDurable(Bytes log, size_t records);
+  ///
+  /// `boundaries` carries the group-commit boundaries that produced the
+  /// image (typically the pre-crash sync_points()): the strictly
+  /// ascending prefix still contained in the surviving image is kept,
+  /// and a final boundary covering the whole image is appended when the
+  /// history extends past the last surviving one. Without candidates
+  /// the whole image collapses into a single boundary — callers that
+  /// need the real batch structure (replication shipping) must pass the
+  /// history in, or re-derive boundaries via Scan before restoring.
+  void RestoreDurable(Bytes log, size_t records,
+                      std::vector<WalSyncPoint> boundaries = {});
 
   /// The bytes that survive a clean crash (pending appends are lost).
   const Bytes& durable() const { return durable_; }

@@ -102,6 +102,22 @@ void ChaosDriver::SkipEvent(const WorkloadEvent& event, const Status& status,
   }
 }
 
+Status ChaosDriver::SettleStack() {
+  while (true) {
+    MMCONF_ASSIGN_OR_RETURN(std::vector<net::Delivery> drained,
+                            director_->Settle());
+    if (repl_ == nullptr) return Status::OK();
+    size_t consumed = 0;
+    for (const net::Delivery& delivery : drained) {
+      if (repl_->HandleDelivery(delivery)) ++consumed;
+    }
+    MMCONF_ASSIGN_OR_RETURN(storage::ShipReport shipped, repl_->Ship());
+    if (consumed == 0 && shipped.batches == 0 && shipped.snapshots == 0) {
+      return Status::OK();
+    }
+  }
+}
+
 Status ChaosDriver::RunEvent(const WorkloadEvent& event,
                              ChaosReport& report) {
   switch (event.kind) {
@@ -268,25 +284,112 @@ Status ChaosDriver::RunEvent(const WorkloadEvent& event,
       auto kind = static_cast<storage::WalCrashKind>(event.b % 3);
       storage::WalCrashImage image =
           injector_->Crash(*db_->shard_wal(shard), kind);
+      // Control: a fresh server holding exactly what recovery should
+      // reproduce. With replication on, the shard's WAL only covers the
+      // current epoch, so the control replays on top of the checkpoint.
       storage::DatabaseServer fresh;
+      if (repl_ != nullptr && !repl_->checkpoint(shard).empty()) {
+        MMCONF_RETURN_IF_ERROR(fresh.LoadFrom(repl_->checkpoint(shard)));
+      }
       Result<storage::WalReplayStats> replayed =
           storage::ShardedDatabaseServer::ReplayLogInto(image.log, &fresh);
       Result<storage::WalReplayStats> recovered =
-          db_->RecoverShardFromLog(shard, image.log);
+          repl_ != nullptr ? repl_->RecoverPrimary(shard, image.log)
+                           : db_->RecoverShardFromLog(shard, image.log);
+      // Recovery re-pushes registrations the damaged image lost (schema
+      // is facade-global bootstrap metadata); the control gets the same
+      // bootstrap so byte-exactness is judged on equal terms.
+      MMCONF_RETURN_IF_ERROR(db_->HealSchema(&fresh, nullptr));
       ++report.shard_crashes;
-      bool exact =
-          replayed.ok() && recovered.ok() &&
-          recovered.value().records_applied == image.clean_records &&
-          fresh.Serialize() == db_->shard(shard)->Serialize() &&
-          db_->shard(shard)->blob_store().VerifyAllPages().ok();
-      if (!exact) {
+      std::string detail;
+      if (!replayed.ok()) {
+        detail = "control replay: " + replayed.status().ToString();
+      } else if (!recovered.ok()) {
+        detail = "recovery: " + recovered.status().ToString();
+      } else if (recovered.value().records_applied != image.clean_records) {
+        detail = "replayed " +
+                 std::to_string(recovered.value().records_applied) + " of " +
+                 std::to_string(image.clean_records) + " clean records";
+      } else if (fresh.Serialize() != db_->shard(shard)->Serialize()) {
+        detail = "serialized image differs from control";
+      } else if (!db_->shard(shard)->blob_store().VerifyAllPages().ok()) {
+        detail = "blob page checksum failed";
+      }
+      if (!detail.empty()) {
         report.invariants.storage_recovery_exact = false;
         report.invariants.violations.push_back(
             "shard " + std::to_string(shard) + " " +
             storage::WalCrashKindToString(kind) +
-            " crash did not recover byte-exactly");
+            " crash did not recover byte-exactly (" + detail + ")");
+      }
+      // Recovery may have rolled the shard back to the clean prefix:
+      // cached reads from the rolled-back tail would be stale.
+      if (cache_ != nullptr) {
+        cache_->InvalidateShard(
+            shard, [this](const storage::ObjectRef& ref) {
+              return db_->ShardOf(ref);
+            });
       }
       return Status::OK();
+    }
+    case EventKind::kNodeLoss: {
+      ++report.node_losses;
+      // Without replication there is no follower to promote; the event
+      // is a no-op by design (the generator gates it the same way).
+      if (repl_ == nullptr) return Status::OK();
+      size_t shard = event.a % db_->num_shards();
+      // Drain the wire first: the zero-loss contract covers writes the
+      // primary group-committed AND a follower acknowledged. Settling to
+      // quiescence makes those two sets equal, so the invariant below
+      // can demand byte-exactness rather than a bounded gap.
+      MMCONF_RETURN_IF_ERROR(SettleStack());
+      // Control: what a never-crashed replica holds — the checkpoint
+      // image plus the primary's durable (group-committed) log.
+      storage::DatabaseServer control;
+      if (!repl_->checkpoint(shard).empty()) {
+        MMCONF_RETURN_IF_ERROR(control.LoadFrom(repl_->checkpoint(shard)));
+      }
+      const storage::WriteAheadLog* wal = db_->shard_wal(shard);
+      size_t acked_records = wal->durable_records();
+      Result<storage::WalReplayStats> control_replay =
+          storage::ShardedDatabaseServer::ReplayLogInto(wal->durable(),
+                                                        &control);
+      Result<storage::PromotionReport> promoted = repl_->Promote(shard, 0);
+      if (promoted.ok()) ++report.promotions;
+      // Promotion heals registrations the follower never received; the
+      // control replica gets the same bootstrap (see kShardCrash).
+      MMCONF_RETURN_IF_ERROR(db_->HealSchema(&control, nullptr));
+      std::string detail;
+      if (!control_replay.ok()) {
+        detail = "control replay: " + control_replay.status().ToString();
+      } else if (!promoted.ok()) {
+        detail = "promotion: " + promoted.status().ToString();
+      } else if (promoted.value().diverged) {
+        detail = "follower history diverged";
+      } else if (promoted.value().replayed_records != acked_records) {
+        detail = "replayed " +
+                 std::to_string(promoted.value().replayed_records) + " of " +
+                 std::to_string(acked_records) + " acked records";
+      } else if (db_->shard(shard)->Serialize() != control.Serialize()) {
+        detail = "promoted image differs from never-crashed control";
+      }
+      if (!detail.empty()) {
+        report.invariants.replication_failover_exact = false;
+        report.invariants.violations.push_back(
+            "shard " + std::to_string(shard) +
+            " follower promotion lost acked writes (" + detail + ")");
+      }
+      // Promotion rolled the shard to the follower's verified prefix;
+      // drop exactly that shard's cached entries (coherence hook).
+      if (cache_ != nullptr) {
+        cache_->InvalidateShard(
+            shard, [this](const storage::ObjectRef& ref) {
+              return db_->ShardOf(ref);
+            });
+      }
+      // Resync the remaining followers behind the new primary (the
+      // promotion began a fresh epoch).
+      return SettleStack();
     }
   }
   return Status::InvalidArgument("unknown event kind");
@@ -388,20 +491,35 @@ Result<ChaosReport> ChaosDriver::Run(const WorkloadTrace& trace) {
                                                          db_options);
   db_node_ = network_->AddNode("db");
   MMCONF_RETURN_IF_ERROR(db_->RegisterStandardTypes());
+  if (options_.replication_followers > 0) {
+    cache_ = std::make_unique<storage::ReadThroughCache>(
+        db_.get(), options_.replication_cache_bytes);
+  }
   federation::FederationOptions fed_options;
   fed_options.num_nodes = options_.federation_nodes;
   fed_options.backbone = options_.backbone;
   fed_options.retry = options_.retry;
   tier_ = std::make_unique<federation::FederatedInteractionTier>(
-      db_.get(), network_.get(), db_node_, fed_options);
+      cache_ != nullptr ? static_cast<storage::ObjectStore*>(cache_.get())
+                        : db_.get(),
+      network_.get(), db_node_, fed_options);
   director_ =
       std::make_unique<fanout::BroadcastDirector>(tier_.get(), network_.get());
+  if (options_.replication_followers > 0) {
+    storage::ReplicationOptions repl_options;
+    repl_options.followers_per_shard = options_.replication_followers;
+    repl_options.checkpoint_log_bytes = options_.replication_checkpoint_bytes;
+    repl_ = std::make_unique<storage::ReplicatedShardSet>(
+        db_.get(), tier_->transport(), &clock_, db_node_, repl_options);
+  }
   injector_ = std::make_unique<storage::WalCrashInjector>(trace.seed);
   media_rng_ = Rng(trace.seed ^ 0x6d656469615f726eull);
   db_->SetObserver(metrics_, nullptr);
   network_->SetObserver(metrics_, nullptr);
   tier_->SetObserver(metrics_, nullptr);
   director_->SetObserver(metrics_, nullptr);
+  if (cache_ != nullptr) cache_->SetObserver(metrics_);
+  if (repl_ != nullptr) repl_->SetObserver(metrics_, nullptr);
   MMCONF_RETURN_IF_ERROR(tier_->node(0)->RegisterDocumentType());
   media_pool_.clear();
   for (int i = 0; i < 3; ++i) {
@@ -424,9 +542,7 @@ Result<ChaosReport> ChaosDriver::Run(const WorkloadTrace& trace) {
   MicrosT batch_at = -1;
   for (const WorkloadEvent& event : trace.events) {
     if (event.at != batch_at) {
-      MMCONF_ASSIGN_OR_RETURN(std::vector<net::Delivery> drained,
-                              director_->Settle());
-      (void)drained;
+      MMCONF_RETURN_IF_ERROR(SettleStack());
       clock_.AdvanceTo(event.at);
       batch_at = event.at;
     }
@@ -437,9 +553,7 @@ Result<ChaosReport> ChaosDriver::Run(const WorkloadTrace& trace) {
       SkipEvent(event, status, report);
     }
   }
-  MMCONF_ASSIGN_OR_RETURN(std::vector<net::Delivery> drained,
-                          director_->Settle());
-  (void)drained;
+  MMCONF_RETURN_IF_ERROR(SettleStack());
   CheckInvariants(report);
   return report;
 }

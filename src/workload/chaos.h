@@ -17,6 +17,7 @@
 #include "net/network.h"
 #include "net/reliable.h"
 #include "obs/metrics.h"
+#include "storage/replication.h"
 #include "storage/sharded_db.h"
 #include "storage/wal.h"
 #include "workload/trace.h"
@@ -46,6 +47,18 @@ struct ChaosOptions {
   MicrosT t2c_budget_micros = 12'000'000;
   /// How many skipped-event samples the report keeps for debugging.
   size_t max_skip_samples = 5;
+  /// Followers per primary shard. 0 (the default) runs without
+  /// replication — existing traces and reports stay byte-identical.
+  /// With followers, every shard's WAL is shipped between settle
+  /// rounds, kNodeLoss events promote a follower, and kShardCrash
+  /// recovery becomes checkpoint-aware (storage::ReplicatedShardSet).
+  size_t replication_followers = 0;
+  /// Checkpoint/compaction threshold handed to the replica set. Small
+  /// by default so smoke-length runs exercise compaction + resync.
+  size_t replication_checkpoint_bytes = 64 * 1024;
+  /// Read-through object cache in front of the shard facade (bytes);
+  /// only stood up when replication is on. 0 disables the cache.
+  size_t replication_cache_bytes = 1 << 20;
 };
 
 /// Whole-run invariants of one chaos run. Every `false` comes with a
@@ -72,11 +85,19 @@ struct InvariantReport {
   /// Max per-node time-to-consistency (fed.node.<i>.t2c_micros) within
   /// budget.
   bool t2c_within_budget = true;
+  /// Every kNodeLoss promoted a follower with zero acked-write loss:
+  /// the promoted shard's serialized image is byte-identical to a
+  /// never-crashed control (checkpoint + durable-log replay), the
+  /// replayed record count matches the acked count, and the follower's
+  /// received history verified clean. Trivially true when the run has
+  /// no replication or no node losses.
+  bool replication_failover_exact = true;
   std::vector<std::string> violations;
 
   bool AllHeld() const {
     return base_layers_intact && storage_recovery_exact && rooms_converged &&
-           serialize_converged && stalls_within_budget && t2c_within_budget;
+           serialize_converged && stalls_within_budget && t2c_within_budget &&
+           replication_failover_exact;
   }
 };
 
@@ -94,6 +115,8 @@ struct ChaosReport {
   size_t migrations = 0;
   size_t migrations_failed = 0;  ///< aborted cleanly, room intact
   size_t shard_crashes = 0;
+  size_t node_losses = 0;   ///< kNodeLoss events seen (applied or not)
+  size_t promotions = 0;    ///< follower promotions performed
   size_t streams_opened = 0;
   size_t broadcast_frames = 0;
   size_t wire_bytes = 0;
@@ -167,6 +190,13 @@ class ChaosDriver {
                  ChaosReport& report);
   void CheckInvariants(ChaosReport& report);
 
+  /// Settles the whole stack to quiescence: pumps the director/tier
+  /// settle loop, forwards replication passthrough deliveries into the
+  /// replica set and ships newly committed batches, repeating until a
+  /// round neither consumes nor produces replication traffic. With
+  /// replication off this is a single director settle.
+  Status SettleStack();
+
   ChaosOptions options_;
   obs::MetricsRegistry owned_metrics_;
   obs::MetricsRegistry* metrics_;
@@ -175,8 +205,11 @@ class ChaosDriver {
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<storage::ShardedDatabaseServer> db_;
   net::NodeId db_node_ = 0;
+  /// Fronts db_ when replication is on; the tier reads through it.
+  std::unique_ptr<storage::ReadThroughCache> cache_;
   std::unique_ptr<federation::FederatedInteractionTier> tier_;
   std::unique_ptr<fanout::BroadcastDirector> director_;
+  std::unique_ptr<storage::ReplicatedShardSet> repl_;
   std::unique_ptr<storage::WalCrashInjector> injector_;
   Rng media_rng_{1};
 

@@ -333,6 +333,13 @@ void WorkloadGenerator::GenerateFaultSchedule(WorkloadTrace& trace) {
                               rng_.NextBelow(3), {}});
     }
   }
+  // Drawn last so traces generated with the flag off stay byte-identical
+  // to pre-replication ones (the rng consumes nothing extra).
+  if (options_.inject_node_loss && options_.storage_shards > 0) {
+    trace.events.push_back({options_.duration_micros * 3 / 5,
+                            EventKind::kNodeLoss, "", "", "", "", -1,
+                            rng_.NextBelow(options_.storage_shards), 0, {}});
+  }
 }
 
 WorkloadTrace WorkloadGenerator::Generate() {

@@ -44,6 +44,11 @@ struct GeneratorOptions {
   bool inject_net_faults = true;
   /// Emit kShardCrash events (indices drawn below storage_shards).
   bool inject_storage_faults = true;
+  /// Emit a kNodeLoss event (primary machine loss -> follower
+  /// promotion). Off by default: it only makes sense against a driver
+  /// running with replication enabled, and existing traces must stay
+  /// byte-identical.
+  bool inject_node_loss = false;
   size_t storage_shards = 2;
   /// Migration targets are offsets below this node count.
   size_t federation_nodes = 2;

@@ -36,6 +36,8 @@ const char* EventKindToString(EventKind kind) {
       return "link_flap";
     case EventKind::kShardCrash:
       return "shard_crash";
+    case EventKind::kNodeLoss:
+      return "node_loss";
   }
   return "unknown";
 }

@@ -30,6 +30,8 @@ enum class EventKind : uint8_t {
   kPushFrame,      ///< compose + fan out one broadcast frame
   kLinkFlap,       ///< a = outage micros on the client's last mile
   kShardCrash,     ///< a = shard index, b = storage::WalCrashKind
+  kNodeLoss,       ///< a = shard index whose primary machine is lost;
+                   ///< a follower is promoted (no-op without replication)
 };
 
 const char* EventKindToString(EventKind kind);

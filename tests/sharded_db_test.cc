@@ -363,6 +363,177 @@ TEST(ShardedDbTest, InteractionServerRunsOverShardedFacade) {
   }
 }
 
+TEST(ShardedDbTest, RecoveryHealsRegistrationsLostWithTheShard) {
+  Clock clock;
+  ShardedDatabaseServer::Options options;
+  options.num_shards = 2;
+  ShardedDatabaseServer db(&clock, options);
+  ASSERT_TRUE(db.RegisterStandardTypes().ok());
+  Rng rng(61);
+  for (int i = 0; i < 10; ++i) {
+    db.Store("Image", ImageFields(i, "h"),
+             {{"FLD_DATA", RandomBytes(120, rng)}})
+        .value();
+  }
+  db.SyncAll();
+  // Shard 0's machine loses its entire log — registrations included (on
+  // a quiet shard they may never even have group-committed). Recovery
+  // replays nothing, then heals the schema from the surviving shards:
+  // registrations are facade-global bootstrap metadata, not lost data.
+  ASSERT_EQ(db.RecoverShardFromLog(0, Bytes{}).value().records_applied, 0u);
+  EXPECT_TRUE(db.shard(0)->HasType("Image"));
+  EXPECT_TRUE(db.shard(0)->HasType("Text"));
+  // The healed registrations landed in shard 0's WAL, so the restored
+  // log still replays to the live image.
+  db.SyncAll();
+  DatabaseServer fresh;
+  WalReplayStats replay =
+      ShardedDatabaseServer::ReplayLogInto(db.shard_wal(0)->durable(),
+                                           &fresh)
+          .value();
+  EXPECT_TRUE(replay.clean_end);
+  EXPECT_EQ(fresh.Serialize(), db.shard(0)->Serialize());
+  // The facade keeps serving: new stores route to both shards again.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(db.Store("Image", ImageFields(100 + i, "post"),
+                         {{"FLD_DATA", RandomBytes(90, rng)}})
+                    .ok());
+  }
+}
+
+/// A 1-shard facade carrying a type `db` never registered, with the log
+/// that produced it — the "foreign image" the recovery paths must not
+/// accept silently.
+struct ForeignImage {
+  Clock clock;
+  std::unique_ptr<ShardedDatabaseServer> facade;
+
+  ForeignImage() {
+    facade = std::make_unique<ShardedDatabaseServer>(&clock);
+    EXPECT_TRUE(facade->RegisterStandardTypes().ok());
+    MediaTypeEntry entry{"Zed", "application/x-zed", "read-write",
+                         "ZED_OBJECTS_TABLE", "a type the facade lacks"};
+    EXPECT_TRUE(facade->RegisterType(entry, {{"FLD_NAME", FieldType::kString},
+                                             {"FLD_DATA", FieldType::kBlob}})
+                    .ok());
+    facade
+        ->Store("Zed", {{"FLD_NAME", FieldValue{std::string("z")}}},
+                {{"FLD_DATA", Bytes{1, 2, 3}}})
+        .value();
+    facade->SyncAll();
+  }
+
+  const Bytes& log() const { return facade->shard_wal(0)->durable(); }
+};
+
+TEST(ShardedDbTest, RecoverShardFromLogRefusesForeignImageUntouched) {
+  Clock clock;
+  ShardedDatabaseServer::Options options;
+  options.num_shards = 2;
+  ShardedDatabaseServer db(&clock, options);
+  ASSERT_TRUE(db.RegisterStandardTypes().ok());
+  Rng rng(67);
+  for (int i = 0; i < 6; ++i) {
+    db.Store("Image", ImageFields(i, "f"),
+             {{"FLD_DATA", RandomBytes(100, rng)}})
+        .value();
+  }
+  db.SyncAll();
+  ForeignImage foreign;
+  Bytes image_before = db.shard(0)->Serialize();
+  size_t records_before = db.shard_wal(0)->durable_records();
+  // An image carrying a type the facade never registered cannot come
+  // from this facade's own history: refuse it before mutating anything.
+  Status refused = db.RecoverShardFromLog(0, foreign.log()).status();
+  EXPECT_TRUE(refused.IsNotFound());
+  EXPECT_EQ(db.shard(0)->Serialize(), image_before);
+  EXPECT_EQ(db.shard_wal(0)->durable_records(), records_before);
+  EXPECT_FALSE(db.shard(0)->HasType("Zed"));
+  EXPECT_TRUE(db.Store("Image", ImageFields(99, "after"),
+                       {{"FLD_DATA", Bytes{7}}})
+                  .ok());
+}
+
+TEST(ShardedDbTest, InstallShardSurfacesForeignTypeAndRebalanceFailsClosed) {
+  Clock clock;
+  ShardedDatabaseServer::Options options;
+  options.num_shards = 2;
+  ShardedDatabaseServer db(&clock, options);
+  ASSERT_TRUE(db.RegisterStandardTypes().ok());
+  Rng rng(71);
+  std::vector<ObjectRef> refs;
+  for (int i = 0; i < 8; ++i) {
+    refs.push_back(db.Store("Image", ImageFields(i, "rb"),
+                            {{"FLD_DATA", RandomBytes(100, rng)}})
+                       .value());
+  }
+  db.SyncAll();
+  // A promotion-style takeover installs whatever the follower held —
+  // there is no old primary to fall back to — so an image with a type
+  // the facade never registered stays installed and the id-counter
+  // rebuild error surfaces instead.
+  ForeignImage foreign;
+  auto replica = std::make_unique<DatabaseServer>();
+  ASSERT_TRUE(ShardedDatabaseServer::ReplayLogInto(foreign.log(),
+                                                   replica.get())
+                  .ok());
+  Status installed =
+      db.InstallShard(0, std::move(replica), foreign.log(),
+                      foreign.facade->shard_wal(0)->durable_records(),
+                      foreign.facade->shard_wal(0)->sync_points());
+  EXPECT_TRUE(installed.IsNotFound());
+  EXPECT_TRUE(db.shard(0)->HasType("Zed"));
+  // Rebalance cannot re-shard catalogs that disagree: it fails closed —
+  // error surfaced, shard count and surviving content unchanged.
+  Status rebalanced = db.Rebalance(3);
+  EXPECT_TRUE(rebalanced.IsNotFound());
+  EXPECT_EQ(db.num_shards(), 2u);
+  for (const ObjectRef& ref : refs) {
+    if (db.ShardOf(ref) != 0) {
+      EXPECT_TRUE(db.FetchRecord(ref).ok()) << "ref " << ref.id;
+    }
+  }
+}
+
+TEST(ShardedDbTest, ErrorPathsLeaveNoOpenTraceSpans) {
+  Clock clock;
+  obs::MetricsRegistry metrics;
+  obs::Tracer tracer(&clock);
+  ShardedDatabaseServer::Options options;
+  options.num_shards = 2;
+  ShardedDatabaseServer db(&clock, options);
+  db.SetObserver(&metrics, &tracer);
+  ASSERT_TRUE(db.RegisterStandardTypes().ok());
+  Rng rng(73);
+  for (int i = 0; i < 6; ++i) {
+    db.Store("Image", ImageFields(i, "sp"),
+             {{"FLD_DATA", RandomBytes(80, rng)}})
+        .value();
+  }
+  db.SyncAll();
+  // Successful recovery and rebalance, then the refusing/failing legs of
+  // both: every span must close, success or error — a leaked open span
+  // renders as a zero-length event and poisons the timeline.
+  WalCrashInjector injector(79);
+  WalCrashImage image =
+      injector.Crash(*db.shard_wal(0), WalCrashKind::kTornTail);
+  ASSERT_TRUE(db.RecoverShardFromLog(0, image.log).ok());
+  ASSERT_TRUE(db.Rebalance(3).ok());
+  ForeignImage foreign;
+  EXPECT_FALSE(db.RecoverShardFromLog(0, foreign.log()).ok());
+  auto replica = std::make_unique<DatabaseServer>();
+  ASSERT_TRUE(ShardedDatabaseServer::ReplayLogInto(foreign.log(),
+                                                   replica.get())
+                  .ok());
+  EXPECT_FALSE(db.InstallShard(0, std::move(replica), foreign.log(),
+                               foreign.facade->shard_wal(0)->durable_records(),
+                               foreign.facade->shard_wal(0)->sync_points())
+                   .ok());
+  EXPECT_FALSE(db.Rebalance(2).ok());
+  EXPECT_GE(tracer.num_events(), 5u);
+  EXPECT_EQ(tracer.open_spans(), 0u);
+}
+
 // --- Acceptance sweep -------------------------------------------------
 //
 // A seeded crash injected at any WAL record boundary during a

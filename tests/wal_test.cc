@@ -212,6 +212,102 @@ TEST(WalTest, RestoreDurableResumesLsn) {
   EXPECT_EQ(stats.records_applied, 3u);
 }
 
+TEST(WalTest, ReplayStopsAtUnknownOp) {
+  Clock clock;
+  WriteAheadLog wal(&clock);
+  wal.Append(WalOp::kStore, Payload("good"));
+  wal.Append(WalOp::kStore, Payload("bad-op"));
+  wal.Sync();
+  Bytes log = wal.durable();
+  // Rewrite record 2's op byte to a value past kDelete and re-checksum
+  // the body, so the frame is valid but the op is from the future (a
+  // log written by a newer incompatible version).
+  size_t record1_end = 8 + (static_cast<size_t>(log[4]) |
+                            static_cast<size_t>(log[5]) << 8 |
+                            static_cast<size_t>(log[6]) << 16 |
+                            static_cast<size_t>(log[7]) << 24);
+  size_t length2 = static_cast<size_t>(log[record1_end + 4]) |
+                   static_cast<size_t>(log[record1_end + 5]) << 8 |
+                   static_cast<size_t>(log[record1_end + 6]) << 16 |
+                   static_cast<size_t>(log[record1_end + 7]) << 24;
+  log[record1_end + 8 + 8] = 0x7f;  // op byte: after 8B header + u64 lsn
+  uint32_t crc = Crc32c(log.data() + record1_end + 8, length2);
+  for (int i = 0; i < 4; ++i) {
+    log[record1_end + i] = static_cast<uint8_t>(crc >> (8 * i));
+  }
+  WalReplayStats stats = WriteAheadLog::Scan(log);
+  EXPECT_FALSE(stats.clean_end);
+  EXPECT_EQ(stats.stop_reason, "unknown op");
+  EXPECT_EQ(stats.records_applied, 1u);
+  EXPECT_EQ(stats.bytes_scanned, record1_end);
+}
+
+TEST(WalTest, ZeroLengthPayloadsRoundTrip) {
+  Clock clock;
+  WriteAheadLog wal(&clock);
+  // Every op frames and replays a zero-length payload: the record is
+  // pure header + lsn + op, nothing else.
+  for (WalOp op : {WalOp::kRegisterStandardTypes, WalOp::kRegisterType,
+                   WalOp::kStore, WalOp::kModify, WalOp::kDelete}) {
+    wal.Append(op, {});
+  }
+  wal.Sync();
+  Applied applied;
+  WalReplayStats stats =
+      WriteAheadLog::Replay(wal.durable(),
+                            [&](WalOp op, const Bytes& payload) {
+                              return applied.Apply(op, payload);
+                            })
+          .value();
+  EXPECT_TRUE(stats.clean_end);
+  ASSERT_EQ(applied.records.size(), 5u);
+  for (size_t i = 0; i < applied.records.size(); ++i) {
+    EXPECT_TRUE(applied.records[i].second.empty()) << "record " << i;
+  }
+  EXPECT_EQ(applied.records[0].first, WalOp::kRegisterStandardTypes);
+  EXPECT_EQ(applied.records[4].first, WalOp::kDelete);
+  // Zero-length records still checksum: damaging one stops the scan.
+  Bytes log = wal.durable();
+  log[0] ^= 0x01;
+  WalReplayStats damaged = WriteAheadLog::Scan(log);
+  EXPECT_FALSE(damaged.clean_end);
+  EXPECT_EQ(damaged.stop_reason, "record checksum mismatch");
+  EXPECT_EQ(damaged.records_applied, 0u);
+}
+
+TEST(WalTest, RestoreDurablePreservesSyncBoundaries) {
+  Clock clock;
+  WriteAheadLog wal(&clock);
+  for (int batch = 0; batch < 3; ++batch) {
+    wal.Append(WalOp::kStore, Bytes(40, static_cast<uint8_t>(batch)));
+    wal.Append(WalOp::kStore, Bytes(40, static_cast<uint8_t>(batch)));
+    wal.Sync();
+  }
+  std::vector<WalSyncPoint> points = wal.sync_points();
+  ASSERT_EQ(points.size(), 3u);
+  // Restoring the full image with its boundary history keeps the exact
+  // batch structure — what replication shipping batches on.
+  WriteAheadLog full(&clock);
+  full.RestoreDurable(wal.durable(), wal.durable_records(), points);
+  EXPECT_EQ(full.sync_points(), points);
+  EXPECT_EQ(full.sync_count(), 3u);
+  // A crash that rolled back to the second commit invalidates only the
+  // boundary suffix: points past the surviving image are dropped.
+  Bytes prefix(wal.durable().begin(),
+               wal.durable().begin() + points[1].bytes);
+  WriteAheadLog rolled(&clock);
+  rolled.RestoreDurable(prefix, points[1].records, points);
+  ASSERT_EQ(rolled.sync_count(), 2u);
+  EXPECT_EQ(rolled.sync_points()[0], points[0]);
+  EXPECT_EQ(rolled.sync_points()[1], points[1]);
+  // Without history the image collapses into a single boundary.
+  WriteAheadLog flat(&clock);
+  flat.RestoreDurable(wal.durable(), wal.durable_records());
+  EXPECT_EQ(flat.sync_count(), 1u);
+  EXPECT_EQ(flat.sync_points().back(),
+            (WalSyncPoint{wal.durable().size(), wal.durable_records()}));
+}
+
 TEST(WalCrashInjectorTest, SameSeedSameDamage) {
   Clock clock;
   WriteAheadLog wal(&clock);
